@@ -1,0 +1,42 @@
+// Command dotviz compiles CQL statements and prints the resulting query
+// graph in Graphviz DOT format.
+//
+// Usage:
+//
+//	dotviz -ddl 'CREATE STREAM a (v int); CREATE STREAM b (v int)' \
+//	       -q 'SELECT * FROM a UNION b' | dot -Tpng > graph.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	ddl := flag.String("ddl", "", "semicolon-separated CREATE STREAM statements")
+	var queries []string
+	flag.Func("q", "SELECT query (repeatable)", func(v string) error {
+		queries = append(queries, v)
+		return nil
+	})
+	flag.Parse()
+	if *ddl == "" || len(queries) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	e := core.NewEngine()
+	if _, err := e.ExecuteScript(*ddl, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dotviz:", err)
+		os.Exit(1)
+	}
+	for _, q := range queries {
+		if _, err := e.Execute(q, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "dotviz:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Print(e.Graph().Dot())
+}

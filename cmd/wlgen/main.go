@@ -1,0 +1,65 @@
+// Command wlgen generates workload traces as CSV files: one row per tuple
+// with a microsecond timestamp column followed by an integer payload. The
+// arrival process is Poisson (the paper's model), constant-rate, or bursty
+// on-off.
+//
+// Usage:
+//
+//	wlgen -rate 50 -dur 60s -seed 1 > fast.csv
+//	wlgen -rate 0.05 -dur 60s -seed 2 > slow.csv
+//	wlgen -bursty -rate 500 -on 1s -off 9s -dur 60s > bursty.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tuple"
+	"repro/internal/wrappers"
+)
+
+func main() {
+	rate := flag.Float64("rate", 50, "average arrival rate (tuples/second)")
+	dur := flag.Duration("dur", time.Minute, "trace duration")
+	seed := flag.Int64("seed", 1, "random seed")
+	constant := flag.Bool("constant", false, "constant-rate arrivals instead of Poisson")
+	bursty := flag.Bool("bursty", false, "bursty on-off arrivals (rate applies within bursts)")
+	on := flag.Duration("on", time.Second, "burst duration (with -bursty)")
+	off := flag.Duration("off", 9*time.Second, "inter-burst silence (with -bursty)")
+	flag.Parse()
+
+	var proc sim.Process
+	switch {
+	case *bursty:
+		proc = sim.NewBursty(*rate, tuple.FromDuration(*on), tuple.FromDuration(*off), *seed)
+	case *constant:
+		proc = sim.NewConstant(tuple.Time(float64(tuple.Second) / *rate))
+	default:
+		proc = sim.NewPoisson(*rate, *seed)
+	}
+
+	sch := tuple.NewSchema("wl", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	w := wrappers.NewCSVWriter(os.Stdout, sch, wrappers.CSVOptions{TsColumn: 0, Header: true})
+	horizon := tuple.FromDuration(*dur)
+	ts := tuple.Time(0)
+	n := int64(0)
+	for {
+		ts += proc.NextGap()
+		if ts > horizon {
+			break
+		}
+		if err := w.Write(tuple.NewData(ts, tuple.Int(n))); err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "wlgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wlgen: %d tuples over %v\n", n, *dur)
+}

@@ -1,0 +1,55 @@
+package streammill_test
+
+import (
+	"fmt"
+
+	streammill "repro"
+)
+
+// Example shows the end-to-end flow: declare streams, register a continuous
+// query, build the engine with on-demand ETS, and push tuples through. The
+// tuple on `fast` is delivered immediately even though `slow` is silent —
+// the engine backtracks to slow's source and generates an Enabling
+// Time-Stamp on demand.
+func Example() {
+	e := streammill.NewEngine()
+	e.MustExecute(`CREATE STREAM fast (v int)`, nil)
+	e.MustExecute(`CREATE STREAM slow (v int)`, nil)
+	e.MustExecute(`SELECT * FROM fast UNION slow WHERE v % 2 = 0`,
+		func(t *streammill.Tuple, now streammill.Time) {
+			fmt.Printf("v=%v latency=%v\n", t.Vals[0], now-t.Ts)
+		})
+
+	clock := streammill.Time(0)
+	ex, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return clock })
+	if err != nil {
+		panic(err)
+	}
+	fast, _ := e.Source("fast")
+	clock = 20 * streammill.Millisecond
+	fast.Ingest(streammill.NewData(0, streammill.Int(2)), clock)
+	ex.Run(1000)
+	// Output:
+	// v=2 latency=0µs
+}
+
+// Example_explain shows plan inspection: EXPLAIN describes the physical
+// operator graph — note the WHERE filter pushed below the join.
+func Example_explain() {
+	e := streammill.NewEngine()
+	e.MustExecute(`CREATE STREAM a (k int, v float)`, nil)
+	e.MustExecute(`CREATE STREAM b (k int, w float)`, nil)
+	out, err := e.Explain(`EXPLAIN SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 2s WHERE v > 1.0`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(out)
+	// Output:
+	//  0: a
+	//  1: b
+	//  2: where↓       ← 0
+	//  3: join         ← 2 1
+	//  4: project      ← 3
+	//  5: output       ← 4
+	// out: a_b_proj(k int, v float, w float) ts=internal
+}

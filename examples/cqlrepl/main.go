@@ -1,0 +1,100 @@
+// cqlrepl: a tiny interactive shell over the engine. Type CREATE STREAM and
+// SELECT statements, then feed tuples with the built-in \ingest command and
+// watch results stream back. Demonstrates using the library interactively:
+//
+//	$ go run ./examples/cqlrepl
+//	> CREATE STREAM s (id int, temp float)
+//	> SELECT id, temp FROM s WHERE temp > 30.0
+//	> \ingest s 1,35.5
+//	[q0] tuple(1µs, 1, 35.5)
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	streammill "repro"
+	"repro/internal/wrappers"
+)
+
+func main() {
+	e := streammill.NewEngine()
+	clock := streammill.Time(0)
+	var ex *streammill.ExecEngine
+	nq := 0
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Println("streammill cqlrepl — CREATE STREAM ..., SELECT ..., \\ingest <stream> <csv>, \\dot, \\quit")
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\dot`:
+			fmt.Print(e.Graph().Dot())
+		case strings.HasPrefix(strings.ToLower(line), "explain"):
+			out, err := e.Explain(line)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(out)
+			}
+		case strings.HasPrefix(line, `\ingest `):
+			if err := ingest(e, &ex, &clock, line); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			id := nq
+			q, err := e.Execute(line, func(t *streammill.Tuple, _ streammill.Time) {
+				fmt.Printf("[q%d] %v\n", id, t)
+			})
+			if err != nil {
+				fmt.Println("error:", err)
+			} else if q != nil {
+				fmt.Printf("registered q%d → %s\n", nq, q.Out)
+				nq++
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+// ingest parses "\ingest stream v1,v2,..." and pushes the tuple through.
+func ingest(e *streammill.Engine, ex **streammill.ExecEngine, clock *streammill.Time, line string) error {
+	parts := strings.SplitN(strings.TrimPrefix(line, `\ingest `), " ", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf(`usage: \ingest <stream> <csv-values>`)
+	}
+	src, err := e.Source(parts[0])
+	if err != nil {
+		return err
+	}
+	sch, err := e.Catalog().Schema(parts[0])
+	if err != nil {
+		return err
+	}
+	tuples, err := wrappers.ReadAllCSV(strings.NewReader(parts[1]+"\n"), sch,
+		wrappers.CSVOptions{TsColumn: -1})
+	if err != nil {
+		return err
+	}
+	if *ex == nil {
+		c := clock
+		built, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return *c })
+		if err != nil {
+			return err
+		}
+		*ex = built
+	}
+	for _, t := range tuples {
+		*clock += streammill.Millisecond
+		src.Ingest(t, *clock)
+	}
+	(*ex).Run(100000)
+	return nil
+}

@@ -1,0 +1,64 @@
+// Multiquery: several continuous queries sharing one engine, executed under
+// the weighted fair scheduler. The paper treats each weakly-connected
+// component of the query graph as a "scheduling unit that is assigned a
+// share of the system resources" (§3); this example gives a latency-critical
+// alerting query 4× the share of a bulk analytics query and shows the step
+// accounting.
+package main
+
+import (
+	"fmt"
+
+	streammill "repro"
+)
+
+func main() {
+	e := streammill.NewEngine()
+
+	// Two independent stream groups = two scheduling units.
+	e.MustExecute(`CREATE STREAM alerts_in (sev int, msg string)`, nil)
+	e.MustExecute(`CREATE STREAM metrics (host int, cpu float)`, nil)
+
+	nAlerts, nRollups := 0, 0
+	e.MustExecute(`SELECT * FROM alerts_in WHERE sev >= 3`,
+		func(t *streammill.Tuple, _ streammill.Time) { nAlerts++ })
+	e.MustExecute(`SELECT host, avg(cpu), max(cpu) FROM metrics GROUP BY host WINDOW 1s`,
+		func(t *streammill.Tuple, _ streammill.Time) { nRollups++ })
+
+	clock := streammill.Time(0)
+	ex, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return clock })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scheduling units: %d\n", len(ex.Components()))
+
+	// Unit 0 (alerts) gets 4× the share of unit 1 (metrics rollups).
+	sched, err := streammill.NewScheduler(ex, map[int]int{0: 4, 1: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	alerts, _ := e.Source("alerts_in")
+	metrics, _ := e.Source("metrics")
+
+	// Saturate both units, then run a bounded step budget to show the
+	// share in action.
+	for i := 0; i < 2000; i++ {
+		clock += streammill.Millisecond
+		alerts.Ingest(streammill.NewData(0,
+			streammill.Int(int64(i%5)), streammill.Str("event")), clock)
+		metrics.Ingest(streammill.NewData(0,
+			streammill.Int(int64(i%16)), streammill.Float(float64(i%100))), clock)
+	}
+	sched.Run(6000)
+	us := sched.UnitSteps()
+	fmt.Printf("after 6000 steps under 4:1 weights: unit0=%d unit1=%d (ratio %.1f)\n",
+		us[0], us[1], float64(us[0])/float64(us[1]))
+
+	// Drain the rest; idle units yield their share automatically.
+	sched.Run(1 << 20)
+	fmt.Printf("delivered: %d alerts, %d rollup rows\n", nAlerts, nRollups)
+	for _, st := range ex.NodeStats() {
+		fmt.Printf("  unit %d  %-12s steps=%d\n", st.Comp, st.Name, st.Steps)
+	}
+}

@@ -1,0 +1,86 @@
+// Network monitoring: the Gigascope-style workload that motivated heartbeat
+// punctuation (Johnson et al., VLDB'05) and this paper's on-demand
+// improvement. Two packet streams — a busy backbone link and a quiet
+// management link — are joined on flow id inside a 2-second window to
+// correlate control events with data traffic, and a per-link aggregate
+// counts packets in 1-second windows.
+//
+// The quiet link would stall both queries under classic merge semantics;
+// on-demand ETS keeps them live. The whole thing runs on the deterministic
+// simulator with Poisson traffic, so the demo completes in milliseconds of
+// wall time while simulating a minute of link traffic.
+package main
+
+import (
+	"fmt"
+
+	streammill "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	e := streammill.NewEngine()
+	e.MustExecute(`CREATE STREAM backbone (flow int, bytes int)`, nil)
+	e.MustExecute(`CREATE STREAM mgmt (flow int, code int)`, nil)
+
+	correlated := 0
+	e.MustExecute(
+		`SELECT backbone.flow, bytes, code FROM backbone JOIN mgmt ON backbone.flow = mgmt.flow WINDOW 2s`,
+		func(t *streammill.Tuple, _ streammill.Time) {
+			correlated++
+			if correlated <= 5 {
+				fmt.Printf("  correlated: flow=%v bytes=%v code=%v at %v\n",
+					t.Vals[0], t.Vals[1], t.Vals[2], t.Ts)
+			}
+		})
+
+	rate := 0
+	e.MustExecute(
+		`SELECT count(*) AS pkts, sum(bytes) AS vol FROM backbone WINDOW 1s`,
+		func(t *streammill.Tuple, _ streammill.Time) {
+			rate++
+			if rate <= 3 {
+				fmt.Printf("  1s window ending %v: %v packets, %v bytes\n",
+					t.Ts, t.Vals[0], t.Vals[1])
+			}
+		})
+
+	var s *streammill.Sim
+	ex, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return s.Clock() })
+	if err != nil {
+		panic(err)
+	}
+	s = streammill.NewSim(ex, streammill.Minute)
+
+	backbone, _ := e.Source("backbone")
+	mgmt, _ := e.Source("mgmt")
+	// Backbone: 200 packets/s across 8 flows. Management: 0.5 events/s.
+	s.AddStream(&streammill.Stream{
+		Source: backbone,
+		Proc:   sim.NewPoisson(200, 7),
+		Payload: func(i uint64) []streammill.Value {
+			return []streammill.Value{
+				streammill.Int(int64(i % 8)),
+				streammill.Int(int64(64 + i%1400)),
+			}
+		},
+	})
+	s.AddStream(&streammill.Stream{
+		Source: mgmt,
+		Proc:   sim.NewPoisson(0.5, 8),
+		Payload: func(i uint64) []streammill.Value {
+			return []streammill.Value{
+				streammill.Int(int64(i % 8)),
+				streammill.Int(int64(100 + i%5)),
+			}
+		},
+	})
+
+	fmt.Println("simulating 60s of link traffic (200/s backbone, 0.5/s mgmt):")
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("correlation matches: %d; aggregate windows emitted: %d\n", correlated, rate)
+	fmt.Printf("on-demand ETS injected: %d; peak buffered tuples: %d\n",
+		ex.ETSInjected(), ex.Queues().Peak())
+}

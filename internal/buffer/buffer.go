@@ -1,0 +1,223 @@
+// Package buffer implements the FIFO queues that form the arcs of a query
+// graph. In the paper's execution model (§3) a directed arc from Qi to Qj is
+// a buffer: Qi appends tuples at the tail (production) and Qj removes them
+// from the front (consumption).
+//
+// Queues track occupancy statistics — in particular the peak size — because
+// peak total queue size is the memory metric reported in Figure 8 of the
+// paper.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Queue is a growable ring-buffer FIFO of tuples. It is not safe for
+// concurrent use; the simulation engine is single-threaded and the
+// concurrent runtime uses channels instead.
+type Queue struct {
+	name string
+
+	buf   []*tuple.Tuple
+	head  int // index of front element
+	n     int // number of elements
+	nData int // number of buffered data (non-punctuation) tuples
+
+	// stats
+	peak      int
+	pushes    uint64
+	pops      uint64
+	punctIn   uint64
+	punctOut  uint64
+	lastTs    tuple.Time // timestamp of the most recently pushed tuple
+	hasLastTs bool
+}
+
+const minCap = 8
+
+// New returns an empty queue. The name is used in diagnostics and stats.
+func New(name string) *Queue {
+	return &Queue{name: name}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }
+
+// Len reports the number of buffered tuples (data + punctuation).
+func (q *Queue) Len() int { return q.n }
+
+// DataLen reports the number of buffered data tuples. Idle-waiting
+// detection uses it: an operator holding only punctuation is not delaying
+// any result.
+func (q *Queue) DataLen() int { return q.nData }
+
+// Empty reports whether the queue holds no tuples.
+func (q *Queue) Empty() bool { return q.n == 0 }
+
+// Push appends t at the tail of the queue.
+func (q *Queue) Push(t *tuple.Tuple) {
+	if t == nil {
+		panic("buffer: Push(nil)")
+	}
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = t
+	q.n++
+	q.pushes++
+	if t.IsPunct() {
+		q.punctIn++
+	} else {
+		q.nData++
+	}
+	q.lastTs = t.Ts
+	q.hasLastTs = true
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+}
+
+// Peek returns the front tuple without removing it, or nil when empty.
+func (q *Queue) Peek() *tuple.Tuple {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// At returns the i-th buffered tuple counting from the front (0 = front).
+// It panics when i is out of range.
+func (q *Queue) At(i int) *tuple.Tuple {
+	if i < 0 || i >= q.n {
+		panic(fmt.Sprintf("buffer %s: At(%d) with len %d", q.name, i, q.n))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Pop removes and returns the front tuple, or nil when empty.
+func (q *Queue) Pop() *tuple.Tuple {
+	if q.n == 0 {
+		return nil
+	}
+	t := q.buf[q.head]
+	q.buf[q.head] = nil // allow GC
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.pops++
+	if t.IsPunct() {
+		q.punctOut++
+	} else {
+		q.nData--
+	}
+	return t
+}
+
+// Clear discards all buffered tuples (stats are preserved).
+func (q *Queue) Clear() {
+	for q.n > 0 {
+		q.Pop()
+	}
+}
+
+func (q *Queue) grow() {
+	newCap := len(q.buf) * 2
+	if newCap < minCap {
+		newCap = minCap
+	}
+	nb := make([]*tuple.Tuple, newCap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// LastTs returns the timestamp of the most recently pushed tuple and whether
+// any tuple has ever been pushed. Source wrappers use it to keep ETS values
+// monotone with respect to already-enqueued tuples.
+func (q *Queue) LastTs() (tuple.Time, bool) { return q.lastTs, q.hasLastTs }
+
+// Stats is a snapshot of a queue's counters.
+type Stats struct {
+	Name     string
+	Len      int
+	Peak     int
+	Pushes   uint64
+	Pops     uint64
+	PunctIn  uint64
+	PunctOut uint64
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue) Stats() Stats {
+	return Stats{
+		Name:     q.name,
+		Len:      q.n,
+		Peak:     q.peak,
+		Pushes:   q.pushes,
+		Pops:     q.pops,
+		PunctIn:  q.punctIn,
+		PunctOut: q.punctOut,
+	}
+}
+
+// Peak reports the maximum occupancy ever observed.
+func (q *Queue) Peak() int { return q.peak }
+
+// ResetStats zeroes the counters (occupancy is untouched) — used when a
+// measurement window starts after a warm-up period.
+func (q *Queue) ResetStats() {
+	q.peak = q.n
+	q.pushes = 0
+	q.pops = 0
+	q.punctIn = 0
+	q.punctOut = 0
+}
+
+func (q *Queue) String() string {
+	return fmt.Sprintf("queue %s: len=%d peak=%d", q.name, q.n, q.peak)
+}
+
+// Group aggregates occupancy across a set of queues. The experiment harness
+// uses a Group over every arc of the query graph to track *peak total* queue
+// size, the metric of Figure 8 (which is a property of the instantaneous sum,
+// not the sum of per-queue peaks).
+type Group struct {
+	queues []*Queue
+	peak   int
+}
+
+// NewGroup returns a Group observing the given queues.
+func NewGroup(queues ...*Queue) *Group {
+	return &Group{queues: queues}
+}
+
+// Add registers another queue with the group.
+func (g *Group) Add(q *Queue) { g.queues = append(g.queues, q) }
+
+// Total reports the current total occupancy across all queues.
+func (g *Group) Total() int {
+	total := 0
+	for _, q := range g.queues {
+		total += q.Len()
+	}
+	return total
+}
+
+// Observe samples the current total occupancy and updates the peak. The
+// engine calls it after every production step.
+func (g *Group) Observe() int {
+	t := g.Total()
+	if t > g.peak {
+		g.peak = t
+	}
+	return t
+}
+
+// Peak reports the maximum total occupancy observed so far.
+func (g *Group) Peak() int { return g.peak }
+
+// Reset zeroes the group peak (e.g. after warm-up).
+func (g *Group) Reset() { g.peak = g.Total() }

@@ -1,0 +1,225 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := New("a")
+	if !q.Empty() || q.Len() != 0 || q.Peek() != nil || q.Pop() != nil {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push(tuple.NewData(tuple.Time(i), tuple.Int(int64(i))))
+	}
+	if q.Len() != 100 || q.Empty() {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Peek(); got.Ts != tuple.Time(i) {
+			t.Fatalf("Peek %d: ts=%v", i, got.Ts)
+		}
+		if got := q.Pop(); got.Ts != tuple.Time(i) {
+			t.Fatalf("Pop %d: ts=%v", i, got.Ts)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("queue should be empty after draining")
+	}
+}
+
+func TestQueueInterleavedPushPop(t *testing.T) {
+	// Exercises ring wrap-around: alternate pushes and pops so head travels.
+	q := New("w")
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(tuple.NewData(tuple.Time(next)))
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			got := q.Pop()
+			if got.Ts != tuple.Time(want) {
+				t.Fatalf("round %d: pop ts=%v want %d", round, got.Ts, want)
+			}
+			want++
+		}
+	}
+	for !q.Empty() {
+		got := q.Pop()
+		if got.Ts != tuple.Time(want) {
+			t.Fatalf("drain: pop ts=%v want %d", got.Ts, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d, pushed %d", want, next)
+	}
+}
+
+func TestQueueAt(t *testing.T) {
+	q := New("at")
+	for i := 0; i < 10; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+	}
+	q.Pop()
+	q.Pop()
+	for i := 0; i < q.Len(); i++ {
+		if got := q.At(i); got.Ts != tuple.Time(i+2) {
+			t.Fatalf("At(%d).Ts = %v", i, got.Ts)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At out of range must panic")
+		}
+	}()
+	q.At(q.Len())
+}
+
+func TestQueuePushNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Push(nil) must panic")
+		}
+	}()
+	New("n").Push(nil)
+}
+
+func TestQueueStats(t *testing.T) {
+	q := New("s")
+	q.Push(tuple.NewData(1))
+	q.Push(tuple.NewPunct(2))
+	q.Push(tuple.NewData(3))
+	q.Pop()
+	q.Pop()
+	st := q.Stats()
+	if st.Name != "s" || st.Len != 1 || st.Peak != 3 || st.Pushes != 3 || st.Pops != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.PunctIn != 1 || st.PunctOut != 1 {
+		t.Errorf("punct stats = %+v", st)
+	}
+	if q.Peak() != 3 {
+		t.Errorf("Peak = %d", q.Peak())
+	}
+	q.ResetStats()
+	st = q.Stats()
+	if st.Peak != 1 || st.Pushes != 0 || st.Pops != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestQueueLastTs(t *testing.T) {
+	q := New("l")
+	if _, ok := q.LastTs(); ok {
+		t.Error("fresh queue claims a last ts")
+	}
+	q.Push(tuple.NewData(5))
+	q.Push(tuple.NewData(9))
+	if ts, ok := q.LastTs(); !ok || ts != 9 {
+		t.Errorf("LastTs = %v, %v", ts, ok)
+	}
+	q.Pop()
+	q.Pop()
+	if ts, ok := q.LastTs(); !ok || ts != 9 {
+		t.Error("LastTs must survive draining")
+	}
+}
+
+func TestQueueClear(t *testing.T) {
+	q := New("c")
+	for i := 0; i < 5; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+	}
+	q.Clear()
+	if !q.Empty() {
+		t.Error("Clear left tuples")
+	}
+	if q.Peak() != 5 {
+		t.Error("Clear must preserve peak")
+	}
+}
+
+func TestGroupPeakIsInstantaneousSum(t *testing.T) {
+	a, b := New("a"), New("b")
+	g := NewGroup(a)
+	g.Add(b)
+
+	// a peaks at 3 while b is empty; then a drains and b peaks at 3.
+	// Sum of per-queue peaks would be 6; the instantaneous total peak is 3.
+	for i := 0; i < 3; i++ {
+		a.Push(tuple.NewData(tuple.Time(i)))
+		g.Observe()
+	}
+	for !a.Empty() {
+		a.Pop()
+		g.Observe()
+	}
+	for i := 0; i < 3; i++ {
+		b.Push(tuple.NewData(tuple.Time(i)))
+		g.Observe()
+	}
+	if g.Peak() != 3 {
+		t.Errorf("group peak = %d, want 3", g.Peak())
+	}
+	if g.Total() != 3 {
+		t.Errorf("group total = %d, want 3", g.Total())
+	}
+	g.Reset()
+	if g.Peak() != 3 {
+		t.Errorf("Reset should set peak to current total, got %d", g.Peak())
+	}
+	b.Clear()
+	g.Observe()
+	if g.Peak() != 3 {
+		t.Errorf("peak after drain = %d", g.Peak())
+	}
+}
+
+// Property: for any sequence of pushes and pops, the queue behaves exactly
+// like a slice-based FIFO.
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		q := New("prop")
+		var ref []*tuple.Tuple
+		n := 0
+		for _, push := range ops {
+			if push {
+				tp := tuple.NewData(tuple.Time(n))
+				n++
+				q.Push(tp)
+				ref = append(ref, tp)
+			} else {
+				got := q.Pop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := ref[0]
+				ref = ref[1:]
+				if got != want {
+					return false
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+			if (q.Peek() == nil) != (len(ref) == 0) {
+				return false
+			}
+			if len(ref) > 0 && q.Peek() != ref[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package core ties the system together as a Stream Mill-style engine
+// facade: a catalog of declared streams, CQL compilation, query-graph
+// assembly, and handles for running the resulting graph on either the
+// deterministic simulation engine (internal/sim) or the concurrent
+// real-time runtime (internal/runtime).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cql"
+	"repro/internal/ets"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// Engine is the DSMS facade. Declare streams (DDL or schema), submit
+// continuous queries, then run the assembled graph.
+type Engine struct {
+	cat     *cql.Catalog
+	g       *graph.Graph
+	sources map[string]*sourceEntry
+	queries []*Query
+	sealed  bool
+}
+
+type sourceEntry struct {
+	op   *ops.Source
+	node graph.NodeID
+}
+
+// Query is a handle on one registered continuous query.
+type Query struct {
+	// Text is the original CQL.
+	Text string
+	// Out is the output schema.
+	Out *tuple.Schema
+	// Sink is the query's sink operator (counts, punctuation stats).
+	Sink *ops.Sink
+
+	outNode graph.NodeID
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		cat:     cql.NewCatalog(),
+		g:       graph.New("streammill"),
+		sources: make(map[string]*sourceEntry),
+	}
+}
+
+// DeclareStream registers a stream schema directly (the programmatic
+// alternative to CREATE STREAM). delta is the external-timestamp skew bound
+// (ignored for other kinds).
+func (e *Engine) DeclareStream(sch *tuple.Schema, delta tuple.Time) (*ops.Source, error) {
+	return e.DeclareStreamSlack(sch, delta, 0)
+}
+
+// DeclareStreamSlack is DeclareStream with a disorder tolerance: when slack
+// is positive a reorder stage is placed behind the source, so queries see a
+// timestamp-ordered stream even if the wrapper delivers tuples up to slack
+// out of order (CREATE STREAM ... SLACK d).
+func (e *Engine) DeclareStreamSlack(sch *tuple.Schema, delta, slack tuple.Time) (*ops.Source, error) {
+	if e.sealed {
+		return nil, fmt.Errorf("core: engine already running")
+	}
+	if err := e.cat.Register(sch); err != nil {
+		return nil, err
+	}
+	src := ops.NewSource(sch.Name, sch, delta)
+	node := e.g.AddNode(src)
+	if slack > 0 {
+		node = e.g.AddNode(ops.NewReorder(sch.Name+".reorder", sch, slack), node)
+	}
+	e.sources[sch.Name] = &sourceEntry{op: src, node: node}
+	return src, nil
+}
+
+// Execute runs one CQL statement. CREATE STREAM declares a stream and
+// returns (nil, nil); SELECT registers a continuous query and returns its
+// handle. onRow receives the query's result tuples (may be nil).
+func (e *Engine) Execute(q string, onRow func(t *tuple.Tuple, now tuple.Time)) (*Query, error) {
+	if e.sealed {
+		return nil, fmt.Errorf("core: engine already running")
+	}
+	st, err := cql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return nil, fmt.Errorf("core: use Engine.Explain for EXPLAIN statements")
+	}
+	if st.Create != nil {
+		sch := cql.SchemaFromCreate(st.Create)
+		_, err := e.DeclareStreamSlack(sch, st.Create.Skew, st.Create.Slack)
+		return nil, err
+	}
+	return e.executeSelect(st.Select, q, onRow)
+}
+
+func (e *Engine) executeSelect(sel *cql.SelectStmt, text string, onRow func(t *tuple.Tuple, now tuple.Time)) (*Query, error) {
+	plan, err := cql.PlanSelect(sel, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	srcNodes := make(map[string]graph.NodeID, len(plan.Streams))
+	for _, sch := range plan.Streams {
+		entry, ok := e.sources[sch.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: stream %q has no source", sch.Name)
+		}
+		srcNodes[sch.Name] = entry.node
+	}
+	outNode, err := plan.Build(e.g, srcNodes)
+	if err != nil {
+		return nil, err
+	}
+	qh := &Query{Text: text, Out: plan.Out, outNode: outNode}
+	qh.Sink = ops.NewSink(fmt.Sprintf("sink%d", len(e.queries)), onRow)
+	e.g.AddNode(qh.Sink, outNode)
+	e.queries = append(e.queries, qh)
+	return qh, nil
+}
+
+// Explain parses a SELECT (with or without an EXPLAIN prefix), plans it
+// against the catalog, and describes the physical operator plan without
+// registering the query: one line per operator in topological order, with
+// predecessors, followed by the output schema.
+func (e *Engine) Explain(q string) (string, error) {
+	st, err := cql.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	if st.Select == nil {
+		return "", fmt.Errorf("core: EXPLAIN requires a SELECT")
+	}
+	plan, err := cql.PlanSelect(st.Select, e.cat)
+	if err != nil {
+		return "", err
+	}
+	// Instantiate into a scratch graph so the description reflects the
+	// plan that would actually run.
+	g := graph.New("explain")
+	srcNodes := make(map[string]graph.NodeID, len(plan.Streams))
+	for _, sch := range plan.Streams {
+		if _, ok := srcNodes[sch.Name]; ok {
+			continue
+		}
+		srcNodes[sch.Name] = g.AddNode(ops.NewSource(sch.Name, sch, 0))
+	}
+	outNode, err := plan.Build(g, srcNodes)
+	if err != nil {
+		return "", err
+	}
+	g.AddNode(ops.NewSink("output", nil), outNode)
+
+	var b strings.Builder
+	for _, id := range g.TopoOrder() {
+		n := g.Node(id)
+		line := fmt.Sprintf("%2d: %-12s", id, n.Op.Name())
+		if len(n.Preds) > 0 {
+			line += " ←"
+			for _, p := range n.Preds {
+				line += fmt.Sprintf(" %d", p)
+			}
+		}
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "out: %s\n", plan.Out)
+	return b.String(), nil
+}
+
+// ExecuteScript runs a semicolon-separated sequence of statements; every
+// SELECT in the script gets the same onRow callback. It returns the handles
+// of the queries registered, in script order.
+func (e *Engine) ExecuteScript(script string, onRow func(t *tuple.Tuple, now tuple.Time)) ([]*Query, error) {
+	stmts, err := cql.ParseAll(script)
+	if err != nil {
+		return nil, err
+	}
+	var queries []*Query
+	for _, st := range stmts {
+		switch {
+		case st.Create != nil:
+			sch := cql.SchemaFromCreate(st.Create)
+			if _, err := e.DeclareStreamSlack(sch, st.Create.Skew, st.Create.Slack); err != nil {
+				return nil, err
+			}
+		case st.Select != nil:
+			q, err := e.executeSelect(st.Select, "", onRow)
+			if err != nil {
+				return nil, err
+			}
+			queries = append(queries, q)
+		}
+	}
+	return queries, nil
+}
+
+// MustExecute is Execute panicking on error (examples, fixed queries).
+func (e *Engine) MustExecute(q string, onRow func(t *tuple.Tuple, now tuple.Time)) *Query {
+	qh, err := e.Execute(q, onRow)
+	if err != nil {
+		panic(err)
+	}
+	return qh
+}
+
+// Source returns the source operator for a declared stream.
+func (e *Engine) Source(name string) (*ops.Source, error) {
+	entry, ok := e.sources[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown stream %q", name)
+	}
+	return entry.op, nil
+}
+
+// SourceNode returns the graph node id of a declared stream's source.
+func (e *Engine) SourceNode(name string) (graph.NodeID, error) {
+	entry, ok := e.sources[name]
+	if !ok {
+		return 0, fmt.Errorf("core: unknown stream %q", name)
+	}
+	return entry.node, nil
+}
+
+// Graph exposes the assembled query graph. Mutating it after sealing is the
+// caller's responsibility to avoid.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Queries lists the registered query handles.
+func (e *Engine) Queries() []*Query { return e.queries }
+
+// Catalog exposes the stream catalog.
+func (e *Engine) Catalog() *cql.Catalog { return e.cat }
+
+// ETSPolicy names the timestamp-management policies of the paper.
+type ETSPolicy uint8
+
+const (
+	// NoETS never generates enabling timestamps (paper scenario A).
+	NoETS ETSPolicy = iota
+	// OnDemandETS generates ETS when backtracking finds an idle-waiting
+	// operator (scenario C, the paper's contribution). Periodic heartbeats
+	// (scenario B) are configured on the driver, not here: see
+	// sim.Stream.Heartbeat and Source.InjectETS.
+	OnDemandETS
+)
+
+// Build seals the engine and returns an execution engine over the graph
+// with the chosen ETS policy. now supplies the virtual (or real) clock.
+func (e *Engine) Build(policy ETSPolicy, now func() tuple.Time) (*exec.Engine, error) {
+	if len(e.queries) == 0 {
+		return nil, fmt.Errorf("core: no queries registered")
+	}
+	var pol exec.SourcePolicy
+	if policy == OnDemandETS {
+		pol = &ets.OnDemand{}
+	}
+	ex, err := exec.New(e.g, pol, now)
+	if err != nil {
+		return nil, err
+	}
+	e.sealed = true
+	return ex, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestEngineDDLAndQuery(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Execute("CREATE STREAM a (k int, v float)", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("CREATE STREAM b (k int, v float)", nil); err != nil {
+		t.Fatal(err)
+	}
+	var rows []*tuple.Tuple
+	q, err := e.Execute("SELECT * FROM a UNION b WHERE v > 0.0",
+		func(tp *tuple.Tuple, _ tuple.Time) { rows = append(rows, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Out == nil || q.Sink == nil {
+		t.Fatal("query handle incomplete")
+	}
+
+	clock := tuple.Time(0)
+	ex, err := e.Build(OnDemandETS, func() tuple.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcA, err := e.Source("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = 100
+	srcA.Ingest(tuple.NewData(0, tuple.Int(1), tuple.Float(2.5)), clock)
+	ex.Run(1000)
+	if len(rows) != 1 || rows[0].Vals[1].AsFloat() != 2.5 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if q.Sink.Received() != 1 {
+		t.Errorf("sink received = %d", q.Sink.Received())
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Execute("SELECT * FROM ghost", nil); err == nil {
+		t.Error("query on unknown stream accepted")
+	}
+	if _, err := e.Execute("NOT SQL AT ALL", nil); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := e.Build(NoETS, func() tuple.Time { return 0 }); err == nil {
+		t.Error("Build with no queries accepted")
+	}
+	if _, err := e.Source("ghost"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := e.SourceNode("ghost"); err == nil {
+		t.Error("unknown source node accepted")
+	}
+}
+
+func TestEngineSealing(t *testing.T) {
+	e := NewEngine()
+	e.MustExecute("CREATE STREAM a (k int)", nil)
+	e.MustExecute("SELECT * FROM a", nil)
+	if _, err := e.Build(NoETS, func() tuple.Time { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Execute("CREATE STREAM b (k int)", nil); err == nil {
+		t.Error("DDL after Build accepted")
+	}
+	if _, err := e.DeclareStream(tuple.NewSchema("c", tuple.Field{Name: "x", Kind: tuple.IntKind}), 0); err == nil {
+		t.Error("DeclareStream after Build accepted")
+	}
+}
+
+func TestEngineDuplicateStream(t *testing.T) {
+	e := NewEngine()
+	e.MustExecute("CREATE STREAM a (k int)", nil)
+	if _, err := e.Execute("CREATE STREAM a (k int)", nil); err == nil {
+		t.Error("duplicate stream accepted")
+	}
+}
+
+func TestEngineMultipleQueriesShareSource(t *testing.T) {
+	e := NewEngine()
+	e.MustExecute("CREATE STREAM s (v int)", nil)
+	var all, evens int
+	e.MustExecute("SELECT * FROM s", func(*tuple.Tuple, tuple.Time) { all++ })
+	e.MustExecute("SELECT * FROM s WHERE v % 2 = 0", func(*tuple.Tuple, tuple.Time) { evens++ })
+	if len(e.Queries()) != 2 {
+		t.Fatalf("queries = %d", len(e.Queries()))
+	}
+	clock := tuple.Time(0)
+	ex, err := e.Build(NoETS, func() tuple.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := e.Source("s")
+	for i := 0; i < 10; i++ {
+		src.Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+	}
+	ex.Run(10000)
+	if all != 10 || evens != 5 {
+		t.Fatalf("fan-out results: all=%d evens=%d", all, evens)
+	}
+	if e.Graph().Len() == 0 || e.Catalog() == nil {
+		t.Error("accessors broken")
+	}
+}
+
+func TestMustExecutePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustExecute must panic on error")
+		}
+	}()
+	NewEngine().MustExecute("garbage", nil)
+}
+
+func TestEngineScriptAndSlack(t *testing.T) {
+	e := NewEngine()
+	var rows []*tuple.Tuple
+	qs, err := e.ExecuteScript(`
+		CREATE STREAM oo (v int) TIMESTAMP EXTERNAL SKEW 100ms SLACK 100ms;
+		SELECT * FROM oo;
+	`, func(tp *tuple.Tuple, _ tuple.Time) { rows = append(rows, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	clock := tuple.Time(0)
+	ex, err := e.Build(NoETS, func() tuple.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := e.Source("oo")
+	// Deliver out of order within the slack; the reorder stage fixes it.
+	clock = 1000
+	src.Ingest(tuple.NewData(500, tuple.Int(1)), clock)
+	src.Ingest(tuple.NewData(400, tuple.Int(2)), clock)
+	src.Ingest(tuple.NewData(900, tuple.Int(3)), clock)
+	ex.Run(1000)
+	// High-water 900 with slack 100ms: releases ≤ 900−100000... nothing;
+	// flush with EOS.
+	src.Offer(tuple.EOS())
+	ex.Run(1000)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Ts != 400 || rows[1].Ts != 500 || rows[2].Ts != 900 {
+		t.Fatalf("order not restored: %v", rows)
+	}
+}
+
+func TestEngineScriptErrors(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.ExecuteScript("garbage", nil); err == nil {
+		t.Fatal("bad script accepted")
+	}
+	if _, err := e.ExecuteScript("SELECT * FROM ghost", nil); err == nil {
+		t.Fatal("unknown stream accepted")
+	}
+}
+
+func TestEngineExplain(t *testing.T) {
+	e := NewEngine()
+	e.MustExecute("CREATE STREAM a (k int, v float)", nil)
+	e.MustExecute("CREATE STREAM b (k int, w float)", nil)
+	out, err := e.Explain("EXPLAIN SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 2s WHERE v > 1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"join", "where↓", "project", "output", "out:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explain missing %q:\n%s", frag, out)
+		}
+	}
+	// Without the EXPLAIN prefix too.
+	if _, err := e.Explain("SELECT * FROM a"); err != nil {
+		t.Errorf("bare select explain: %v", err)
+	}
+	// Errors.
+	if _, err := e.Explain("CREATE STREAM c (x int)"); err == nil {
+		t.Error("explain of DDL accepted")
+	}
+	if _, err := e.Explain("SELECT * FROM ghost"); err == nil {
+		t.Error("explain of bad query accepted")
+	}
+	// Execute must redirect EXPLAIN statements.
+	if _, err := e.Execute("EXPLAIN SELECT * FROM a", nil); err == nil {
+		t.Error("Execute accepted EXPLAIN")
+	}
+	// Explain registers nothing.
+	if len(e.Queries()) != 0 {
+		t.Error("Explain registered a query")
+	}
+}

@@ -1,0 +1,122 @@
+package cql
+
+import (
+	"repro/internal/tuple"
+)
+
+// Stmt is a parsed statement: exactly one of Create or Select is non-nil.
+// Explain marks an EXPLAIN-prefixed SELECT: the engine describes the plan
+// instead of registering the query.
+type Stmt struct {
+	Create  *CreateStmt
+	Select  *SelectStmt
+	Explain bool
+}
+
+// CreateStmt declares a stream schema.
+type CreateStmt struct {
+	Name   string
+	Fields []tuple.Field
+	TS     tuple.TSKind
+	// Skew is the external-timestamp skew bound (TIMESTAMP EXTERNAL SKEW d).
+	Skew tuple.Time
+	// Slack, when positive, tolerates out-of-order arrivals up to the
+	// given bound by placing a reorder stage behind the source
+	// (... SLACK 50ms).
+	Slack tuple.Time
+}
+
+// SelectStmt is a continuous query.
+type SelectStmt struct {
+	// Star selects every column of the input relation.
+	Star bool
+	// Items are the select-list entries (empty iff Star).
+	Items []SelectItem
+	// From describes the input relation.
+	From FromClause
+	// Where is the optional filter expression (nil if absent).
+	Where Expr
+	// GroupBy is the optional grouping column (empty if absent).
+	GroupBy string
+	// Window is the aggregate window width (required with aggregates).
+	Window tuple.Time
+	// Slide is the optional hop between aggregate windows (WINDOW w SLIDE
+	// s); zero means tumbling (slide == width).
+	Slide tuple.Time
+}
+
+// SelectItem is one select-list entry: a column reference or an aggregate
+// call.
+type SelectItem struct {
+	// Expr is the column expression (nil for aggregates).
+	Expr Expr
+	// Agg is the aggregate function name ("" for plain expressions).
+	Agg string
+	// AggArg is the aggregate argument column ("" means * / count).
+	AggArg string
+	// Alias is the optional AS name.
+	Alias string
+	// Pos is the source position, for error reporting.
+	Pos int
+}
+
+// FromClause is either a union of streams or a binary equi-join.
+type FromClause struct {
+	// Streams lists the unioned stream names (len 1 = single stream).
+	Streams []string
+	// Join, when set, replaces the union: Streams[0] JOIN Streams[1].
+	Join *JoinClause
+}
+
+// JoinClause is an equi-join with a window.
+type JoinClause struct {
+	LeftCol  ColRef
+	RightCol ColRef
+	// Window is the join window span (time-based); Rows is count-based.
+	Window tuple.Time
+	Rows   int
+	// RightWindow, when positive, gives the right side its own extent
+	// (asymmetric join: WINDOW <left>, <right>); zero means symmetric.
+	RightWindow tuple.Time
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Stream string // "" when unqualified
+	Column string
+	Pos    int
+}
+
+// Expr is a boolean/arithmetic expression AST node.
+type Expr interface{ exprNode() }
+
+// BinaryExpr applies Op to Left and Right. Op is one of
+// and or = != < <= > >= + - * / %.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+	Pos         int
+}
+
+// UnaryExpr applies Op ("not" or "-") to X.
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos int
+}
+
+// ColExpr references a column.
+type ColExpr struct {
+	Ref ColRef
+}
+
+// LitExpr is a literal value.
+type LitExpr struct {
+	Val tuple.Value
+	Pos int
+}
+
+func (*BinaryExpr) exprNode() {}
+func (*UnaryExpr) exprNode()  {}
+func (*ColExpr) exprNode()    {}
+func (*LitExpr) exprNode()    {}

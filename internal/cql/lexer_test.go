@@ -1,0 +1,108 @@
+package cql
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func kinds(toks []Token) []TokKind {
+	out := make([]TokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT id, temp FROM sensors WHERE temp > 30.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokKind
+		text string
+	}{
+		{TokKeyword, "select"}, {TokIdent, "id"}, {TokOp, ","},
+		{TokIdent, "temp"}, {TokKeyword, "from"}, {TokIdent, "sensors"},
+		{TokKeyword, "where"}, {TokIdent, "temp"}, {TokOp, ">"},
+		{TokNumber, "30.5"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexDurations(t *testing.T) {
+	toks, err := Lex("2s 150ms 10us 3m 2.5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if toks[i].Kind != TokDuration {
+			t.Errorf("token %d = %v (%q), want duration", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+	for s, want := range map[string]tuple.Time{
+		"2s": 2 * tuple.Second, "150ms": 150 * tuple.Millisecond,
+		"10us": 10 * tuple.Microsecond, "3m": 3 * tuple.Minute,
+		"2.5s": 2500 * tuple.Millisecond,
+	} {
+		got, err := parseDuration(s, 0)
+		if err != nil || got != want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := Lex("5x"); err == nil {
+		t.Error("bad suffix accepted")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'hello' 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello" || toks[1].Text != "it's" {
+		t.Errorf("strings = %q, %q", toks[0].Text, toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLexOperatorsAndComments(t *testing.T) {
+	toks, err := Lex("a <= b -- comment\n c != d <> e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.Kind == TokOp {
+			ops = append(ops, tk.Text)
+		}
+	}
+	if len(ops) != 3 || ops[0] != "<=" || ops[1] != "!=" || ops[2] != "<>" {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestLexRejectsGarbage(t *testing.T) {
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestTokenStrings(t *testing.T) {
+	if (Token{Kind: TokEOF}).String() != "end of input" {
+		t.Error("EOF token string")
+	}
+	if TokIdent.String() != "identifier" || TokDuration.String() != "duration" {
+		t.Error("kind strings")
+	}
+}

@@ -1,0 +1,582 @@
+package cql
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// Parse parses one statement.
+func Parse(input string) (*Stmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, errf(p.peek().Pos, "unexpected trailing input %s", p.peek())
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.i]
+	if t.Kind != TokEOF {
+		p.i++
+	}
+	return t
+}
+
+// at reports whether the next token matches kind (and text when non-empty).
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// eat consumes the next token when it matches.
+func (p *parser) eat(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expect consumes a matching token or fails.
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, errf(p.peek().Pos, "expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	if p.eat(TokKeyword, "explain") {
+		s, err := p.selectStmtChecked()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Select: s, Explain: true}, nil
+	}
+	switch {
+	case p.at(TokKeyword, "create"):
+		c, err := p.createStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Create: c}, nil
+	case p.at(TokKeyword, "select"):
+		s, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Select: s}, nil
+	default:
+		return nil, errf(p.peek().Pos, "expected CREATE or SELECT, found %s", p.peek())
+	}
+}
+
+func (p *parser) createStmt() (*CreateStmt, error) {
+	p.next() // create
+	if _, err := p.expect(TokKeyword, "stream"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokOp, "("); err != nil {
+		return nil, err
+	}
+	c := &CreateStmt{Name: name.Text, TS: tuple.Internal}
+	for {
+		fn, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ft := p.next()
+		if ft.Kind != TokIdent && ft.Kind != TokKeyword {
+			return nil, errf(ft.Pos, "expected a type name, found %s", ft)
+		}
+		kind, err := tuple.ParseValueKind(ft.Text)
+		if err != nil {
+			return nil, errf(ft.Pos, "%v", err)
+		}
+		c.Fields = append(c.Fields, tuple.Field{Name: fn.Text, Kind: kind})
+		if p.eat(TokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokOp, ")"); err != nil {
+		return nil, err
+	}
+	if p.eat(TokKeyword, "timestamp") {
+		switch {
+		case p.eat(TokKeyword, "internal"):
+			c.TS = tuple.Internal
+		case p.eat(TokKeyword, "latent"):
+			c.TS = tuple.Latent
+		case p.eat(TokKeyword, "external"):
+			c.TS = tuple.External
+			if p.eat(TokKeyword, "skew") {
+				d, err := p.duration()
+				if err != nil {
+					return nil, err
+				}
+				c.Skew = d
+			}
+		default:
+			return nil, errf(p.peek().Pos, "expected INTERNAL, EXTERNAL or LATENT")
+		}
+	}
+	if p.eat(TokKeyword, "slack") {
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		c.Slack = d
+	}
+	return c, nil
+}
+
+// ParseAll parses a script of semicolon-separated statements. Statements
+// may span lines; empty statements are skipped.
+func ParseAll(input string) ([]*Stmt, error) {
+	var out []*Stmt
+	for _, part := range splitStatements(input) {
+		st, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// splitStatements splits on top-level semicolons, respecting string
+// literals.
+func splitStatements(input string) []string {
+	var parts []string
+	var cur []byte
+	inStr := false
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			cur = append(cur, c)
+		case c == ';' && !inStr:
+			if s := strings.TrimSpace(string(cur)); s != "" {
+				parts = append(parts, s)
+			}
+			cur = cur[:0]
+		default:
+			cur = append(cur, c)
+		}
+	}
+	if s := strings.TrimSpace(string(cur)); s != "" {
+		parts = append(parts, s)
+	}
+	return parts
+}
+
+// selectStmtChecked expects a SELECT at the current position.
+func (p *parser) selectStmtChecked() (*SelectStmt, error) {
+	if !p.at(TokKeyword, "select") {
+		return nil, errf(p.peek().Pos, "expected SELECT after EXPLAIN, found %s", p.peek())
+	}
+	return p.selectStmt()
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	p.next() // select
+	s := &SelectStmt{}
+	if p.eat(TokOp, "*") {
+		s.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+			if !p.eat(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	if err := p.fromClause(s); err != nil {
+		return nil, err
+	}
+	if p.eat(TokKeyword, "where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.eat(TokKeyword, "group") {
+		if _, err := p.expect(TokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		s.GroupBy = col.Text
+	}
+	if p.eat(TokKeyword, "window") {
+		d, err := p.duration()
+		if err != nil {
+			return nil, err
+		}
+		s.Window = d
+		if p.eat(TokKeyword, "slide") {
+			sl, err := p.duration()
+			if err != nil {
+				return nil, err
+			}
+			s.Slide = sl
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	// Aggregate call: ident '(' (ident|*) ')'
+	if t.Kind == TokIdent && p.toks[p.i+1].Kind == TokOp && p.toks[p.i+1].Text == "(" {
+		name := p.next().Text
+		p.next() // (
+		arg := ""
+		if !p.eat(TokOp, "*") {
+			a, err := p.expect(TokIdent, "")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			arg = a.Text
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: name, AggArg: arg, Pos: t.Pos}
+		if p.eat(TokKeyword, "as") {
+			al, err := p.expect(TokIdent, "")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Alias = al.Text
+		}
+		return item, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e, Pos: t.Pos}
+	if p.eat(TokKeyword, "as") {
+		al, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = al.Text
+	}
+	return item, nil
+}
+
+func (p *parser) fromClause(s *SelectStmt) error {
+	first, err := p.expect(TokIdent, "")
+	if err != nil {
+		return err
+	}
+	s.From.Streams = []string{first.Text}
+	if p.eat(TokKeyword, "join") {
+		right, err := p.expect(TokIdent, "")
+		if err != nil {
+			return err
+		}
+		s.From.Streams = append(s.From.Streams, right.Text)
+		if _, err := p.expect(TokKeyword, "on"); err != nil {
+			return err
+		}
+		l, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(TokOp, "="); err != nil {
+			return err
+		}
+		r, err := p.colRef()
+		if err != nil {
+			return err
+		}
+		j := &JoinClause{LeftCol: l, RightCol: r}
+		if p.eat(TokKeyword, "window") {
+			if p.at(TokNumber, "") {
+				// count-based: WINDOW n ROWS
+				numTok := p.next()
+				n, convErr := strconv.Atoi(numTok.Text)
+				if convErr != nil || n <= 0 {
+					return errf(numTok.Pos, "bad row count %q", numTok.Text)
+				}
+				if _, err := p.expect(TokKeyword, "rows"); err != nil {
+					return err
+				}
+				j.Rows = n
+			} else {
+				d, err := p.duration()
+				if err != nil {
+					return err
+				}
+				j.Window = d
+				// Asymmetric extents: WINDOW <left>, <right>.
+				if p.eat(TokOp, ",") {
+					dr, err := p.duration()
+					if err != nil {
+						return err
+					}
+					j.RightWindow = dr
+				}
+			}
+		}
+		s.From.Join = j
+		return nil
+	}
+	for p.eat(TokKeyword, "union") {
+		nxt, err := p.expect(TokIdent, "")
+		if err != nil {
+			return err
+		}
+		s.From.Streams = append(s.From.Streams, nxt.Text)
+	}
+	return nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return ColRef{}, err
+	}
+	ref := ColRef{Column: t.Text, Pos: t.Pos}
+	if p.eat(TokOp, ".") {
+		c, err := p.expect(TokIdent, "")
+		if err != nil {
+			return ColRef{}, err
+		}
+		ref.Stream = ref.Column
+		ref.Column = c.Text
+	}
+	return ref, nil
+}
+
+func (p *parser) duration() (tuple.Time, error) {
+	t, err := p.expect(TokDuration, "")
+	if err != nil {
+		return 0, err
+	}
+	return parseDuration(t.Text, t.Pos)
+}
+
+func parseDuration(s string, pos int) (tuple.Time, error) {
+	low := strings.ToLower(s)
+	var unit tuple.Time
+	var numPart string
+	switch {
+	case strings.HasSuffix(low, "us"):
+		unit, numPart = tuple.Microsecond, low[:len(low)-2]
+	case strings.HasSuffix(low, "ms"):
+		unit, numPart = tuple.Millisecond, low[:len(low)-2]
+	case strings.HasSuffix(low, "s"):
+		unit, numPart = tuple.Second, low[:len(low)-1]
+	case strings.HasSuffix(low, "m"):
+		unit, numPart = tuple.Minute, low[:len(low)-1]
+	default:
+		return 0, errf(pos, "bad duration %q", s)
+	}
+	f, err := strconv.ParseFloat(numPart, 64)
+	if err != nil || f < 0 {
+		return 0, errf(pos, "bad duration %q", s)
+	}
+	return tuple.Time(f * float64(unit)), nil
+}
+
+// Expression grammar: or → and → not → cmp → addsub → muldiv → unary → primary.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokKeyword, "or") {
+		pos := p.next().Pos
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "or", Left: left, Right: right, Pos: pos}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokKeyword, "and") {
+		pos := p.next().Pos
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "and", Left: left, Right: right, Pos: pos}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.at(TokKeyword, "not") {
+		pos := p.next().Pos
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", X: x, Pos: pos}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOp {
+		op := p.peek().Text
+		switch op {
+		case "=", "!=", "<>", "<", "<=", ">", ">=":
+			pos := p.next().Pos
+			if op == "<>" {
+				op = "!="
+			}
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right, Pos: pos}
+		default:
+			return left, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "+") || p.at(TokOp, "-") {
+		op := p.next()
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op.Text, Left: left, Right: right, Pos: op.Pos}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokOp, "*") || p.at(TokOp, "/") || p.at(TokOp, "%") {
+		op := p.next()
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op.Text, Left: left, Right: right, Pos: op.Pos}
+	}
+	return left, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.at(TokOp, "-") {
+		pos := p.next().Pos
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Pos: pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, errf(t.Pos, "bad number %q", t.Text)
+			}
+			return &LitExpr{Val: tuple.Float(f), Pos: t.Pos}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad number %q", t.Text)
+		}
+		return &LitExpr{Val: tuple.Int(i), Pos: t.Pos}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &LitExpr{Val: tuple.String_(t.Text), Pos: t.Pos}, nil
+	case t.Kind == TokKeyword && (t.Text == "true" || t.Text == "false"):
+		p.next()
+		return &LitExpr{Val: tuple.Bool(t.Text == "true"), Pos: t.Pos}, nil
+	case t.Kind == TokIdent:
+		ref, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return &ColExpr{Ref: ref}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(t.Pos, "expected an expression, found %s", t)
+	}
+}

@@ -1,0 +1,161 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func mustParse(t *testing.T, q string) *Stmt {
+	t.Helper()
+	st, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	return st
+}
+
+func TestParseCreateStream(t *testing.T) {
+	st := mustParse(t, "CREATE STREAM sensors (id int, temp float, loc string) TIMESTAMP INTERNAL")
+	c := st.Create
+	if c == nil || c.Name != "sensors" || len(c.Fields) != 3 {
+		t.Fatalf("create = %+v", c)
+	}
+	if c.Fields[1].Name != "temp" || c.Fields[1].Kind != tuple.FloatKind {
+		t.Errorf("field 1 = %v", c.Fields[1])
+	}
+	if c.TS != tuple.Internal {
+		t.Errorf("TS = %v", c.TS)
+	}
+}
+
+func TestParseCreateExternalSkew(t *testing.T) {
+	st := mustParse(t, "create stream trades (sym string, px float) timestamp external skew 100ms")
+	if st.Create.TS != tuple.External || st.Create.Skew != 100*tuple.Millisecond {
+		t.Fatalf("create = %+v", st.Create)
+	}
+	st = mustParse(t, "create stream l (x int) timestamp latent")
+	if st.Create.TS != tuple.Latent {
+		t.Fatal("latent not parsed")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM a UNION b UNION c")
+	s := st.Select
+	if !s.Star || len(s.From.Streams) != 3 || s.From.Streams[2] != "c" {
+		t.Fatalf("select = %+v", s)
+	}
+}
+
+func TestParseSelectWithWhere(t *testing.T) {
+	st := mustParse(t, "SELECT id, temp AS celsius FROM sensors WHERE temp > 30 AND NOT (loc = 'lab')")
+	s := st.Select
+	if len(s.Items) != 2 || s.Items[1].Alias != "celsius" {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	top, ok := s.Where.(*BinaryExpr)
+	if !ok || top.Op != "and" {
+		t.Fatalf("where = %#v", s.Where)
+	}
+	if _, ok := top.Right.(*UnaryExpr); !ok {
+		t.Fatalf("where rhs = %#v", top.Right)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	st := mustParse(t, "SELECT a.k, b.v FROM a JOIN b ON a.k = b.k WINDOW 2s")
+	j := st.Select.From.Join
+	if j == nil {
+		t.Fatal("no join")
+	}
+	if j.LeftCol.Stream != "a" || j.LeftCol.Column != "k" || j.RightCol.Stream != "b" {
+		t.Errorf("join cols = %+v", j)
+	}
+	if j.Window != 2*tuple.Second || j.Rows != 0 {
+		t.Errorf("window = %v/%d", j.Window, j.Rows)
+	}
+}
+
+func TestParseJoinRowWindow(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM a JOIN b ON a.k = b.k WINDOW 100 ROWS")
+	j := st.Select.From.Join
+	if j.Rows != 100 || j.Window != 0 {
+		t.Fatalf("row window = %+v", j)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	st := mustParse(t, "SELECT loc, avg(temp), count(*) AS n FROM sensors GROUP BY loc WINDOW 10s")
+	s := st.Select
+	if s.GroupBy != "loc" || s.Window != 10*tuple.Second {
+		t.Fatalf("groupby/window = %q/%v", s.GroupBy, s.Window)
+	}
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	if s.Items[1].Agg != "avg" || s.Items[1].AggArg != "temp" {
+		t.Errorf("avg item = %+v", s.Items[1])
+	}
+	if s.Items[2].Agg != "count" || s.Items[2].AggArg != "" || s.Items[2].Alias != "n" {
+		t.Errorf("count item = %+v", s.Items[2])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM s WHERE a + b * 2 > 10 OR c = 'x' AND d < 5")
+	// OR is the top: (a+b*2 > 10) OR ((c='x') AND (d<5))
+	or, ok := st.Select.Where.(*BinaryExpr)
+	if !ok || or.Op != "or" {
+		t.Fatalf("top = %#v", st.Select.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("rhs = %#v", or.Right)
+	}
+	cmp, ok := or.Left.(*BinaryExpr)
+	if !ok || cmp.Op != ">" {
+		t.Fatalf("lhs = %#v", or.Left)
+	}
+	add, ok := cmp.Left.(*BinaryExpr)
+	if !ok || add.Op != "+" {
+		t.Fatalf("sum = %#v", cmp.Left)
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != "*" {
+		t.Fatalf("product = %#v", add.Right)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP STREAM x",
+		"SELECT FROM s",
+		"SELECT * FROM",
+		"SELECT * FROM a JOIN b",                 // missing ON
+		"SELECT * FROM a JOIN b ON a.k",          // missing = rhs
+		"CREATE STREAM s ()",                     // empty fields
+		"CREATE STREAM s (x blob)",               // unknown type
+		"SELECT * FROM s WHERE",                  // missing expr
+		"SELECT * FROM s WINDOW 5x",              // bad duration
+		"SELECT * FROM s extra",                  // trailing garbage
+		"CREATE STREAM s (x int) TIMESTAMP WEEK", // bad ts kind
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 0 ROWS",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestParseErrorMentionsPosition(t *testing.T) {
+	_, err := Parse("SELECT * FROM s WHERE @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+package cql
+
+import (
+	"repro/internal/tuple"
+)
+
+// This file implements the planner's selection-pushdown rewrite: a WHERE
+// predicate evaluated after a union or join is moved upstream whenever that
+// is semantically transparent, shrinking the buffers of the IWP operator —
+// the paper's own Figure-4 graph has the selections *before* the union for
+// exactly this reason.
+//
+//   - σ over UNION: union-compatible inputs share positions and kinds, so
+//     the whole predicate is duplicated onto every input arm.
+//   - σ over JOIN: the predicate is split into top-level AND conjuncts;
+//     each conjunct referencing only left (resp. right) columns moves to
+//     that side; mixed conjuncts stay behind the join.
+
+// splitConjuncts flattens top-level ANDs into a conjunct list.
+func splitConjuncts(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "and" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// joinConjuncts rebuilds an AND tree from a conjunct list (nil when empty).
+func joinConjuncts(cs []Expr) Expr {
+	if len(cs) == 0 {
+		return nil
+	}
+	out := cs[0]
+	for _, c := range cs[1:] {
+		out = &BinaryExpr{Op: "and", Left: out, Right: c}
+	}
+	return out
+}
+
+// exprCols collects every column reference in e.
+func exprCols(e Expr) []ColRef {
+	var out []ColRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColExpr:
+			out = append(out, x.Ref)
+		case *UnaryExpr:
+			walk(x.X)
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// sideOf classifies a conjunct against a join's concatenated schema: it
+// returns 0 when every referenced column lives in the left input, 1 when
+// every one lives in the right input, and -1 for mixed (or column-free)
+// conjuncts. leftArity is the left schema's field count; resolution uses
+// the concat schema so that ambiguous names keep their post-join meaning.
+func sideOf(c Expr, concat *tuple.Schema, leftArity int) int {
+	refs := exprCols(c)
+	if len(refs) == 0 {
+		return -1
+	}
+	side := -2 // undecided
+	for _, ref := range refs {
+		idx, _, err := resolveCol(ref, concat)
+		if err != nil {
+			return -1 // leave errors to the main compile for reporting
+		}
+		s := 0
+		if idx >= leftArity {
+			s = 1
+		}
+		if side == -2 {
+			side = s
+		} else if side != s {
+			return -1
+		}
+	}
+	return side
+}
+
+// rebaseForRight maps a conjunct's references so they compile against the
+// right input's schema: references are name-based, and every name that
+// resolves into the right half of the concat schema resolves to the same
+// (rebased) position in the right schema alone, so the expression can be
+// reused as-is.
+//
+// splitJoinPredicate partitions a WHERE expression for a join into
+// (leftOnly, rightOnly, remainder) conjunct groups.
+func splitJoinPredicate(where Expr, concat *tuple.Schema, leftArity int) (left, right, rest []Expr) {
+	for _, c := range splitConjuncts(where) {
+		switch sideOf(c, concat, leftArity) {
+		case 0:
+			left = append(left, c)
+		case 1:
+			right = append(right, c)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	return left, right, rest
+}

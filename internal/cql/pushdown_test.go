@@ -1,0 +1,184 @@
+package cql
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+func TestSplitConjuncts(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM s WHERE a > 1 AND b < 2 AND (c = 3 OR d = 4)")
+	cs := splitConjuncts(st.Select.Where)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	if joinConjuncts(nil) != nil {
+		t.Error("empty rebuild must be nil")
+	}
+	rebuilt := joinConjuncts(cs)
+	if len(splitConjuncts(rebuilt)) != 3 {
+		t.Error("rebuild lost conjuncts")
+	}
+}
+
+func TestExprCols(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM s WHERE a.x > 1 AND NOT (y = z + 2)")
+	cols := exprCols(st.Select.Where)
+	if len(cols) != 3 {
+		t.Fatalf("cols = %v", cols)
+	}
+	if cols[0].Stream != "a" || cols[0].Column != "x" {
+		t.Errorf("first ref = %+v", cols[0])
+	}
+}
+
+func TestSideOf(t *testing.T) {
+	l := tuple.NewSchema("l", tuple.Field{Name: "k", Kind: tuple.IntKind}, tuple.Field{Name: "v", Kind: tuple.FloatKind})
+	r := tuple.NewSchema("r", tuple.Field{Name: "k", Kind: tuple.IntKind}, tuple.Field{Name: "w", Kind: tuple.FloatKind})
+	concat := l.Concat("j", r)
+	cases := []struct {
+		where string
+		want  int
+	}{
+		{"SELECT * FROM x WHERE v > 1.0", 0},
+		{"SELECT * FROM x WHERE w > 1.0", 1},
+		{"SELECT * FROM x WHERE v > w", -1},
+		{"SELECT * FROM x WHERE k > 1", 0},   // ambiguous name → post-join meaning = left
+		{"SELECT * FROM x WHERE r.k > 1", 1}, // qualified → right
+		{"SELECT * FROM x WHERE 1 = 1", -1},  // column-free stays behind
+		{"SELECT * FROM x WHERE ghost > 1", -1},
+	}
+	for _, c := range cases {
+		st := mustParse(t, c.where)
+		if got := sideOf(st.Select.Where, concat, l.Arity()); got != c.want {
+			t.Errorf("sideOf(%q) = %d, want %d", c.where, got, c.want)
+		}
+	}
+}
+
+// planGraph builds the plan into a fresh graph and returns it with the out
+// node, so tests can inspect the operator placement.
+func planGraph(t *testing.T, cat *Catalog, q string, opts PlanOptions) (*graph.Graph, *Plan) {
+	t.Helper()
+	st := mustParse(t, q)
+	plan, err := PlanSelectOptions(st.Select, cat, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New("q")
+	sources := map[string]graph.NodeID{}
+	for _, sch := range plan.Streams {
+		if _, ok := sources[sch.Name]; !ok {
+			sources[sch.Name] = g.AddNode(ops.NewSource(sch.Name, sch, 0))
+		}
+	}
+	if _, err := plan.Build(g, sources); err != nil {
+		t.Fatal(err)
+	}
+	return g, plan
+}
+
+// countOps counts nodes whose name has the given prefix.
+func countOps(g *graph.Graph, prefix string) int {
+	n := 0
+	for _, node := range g.Nodes() {
+		name := node.Op.Name()
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			n++
+		}
+	}
+	return n
+}
+
+func TestUnionPushdownShape(t *testing.T) {
+	cat := testCatalog(t)
+	q := "SELECT * FROM a UNION b WHERE v > 1.0"
+	g, _ := planGraph(t, cat, q, PlanOptions{})
+	// Pushed: one filter per arm, none after the union — the paper's
+	// Figure-4 shape.
+	if got := countOps(g, "where↓"); got != 2 {
+		t.Fatalf("pushed filters = %d, want 2", got)
+	}
+	if got := countOps(g, "where"); got != 2 {
+		t.Fatalf("total filters = %d, want 2 (no post-union σ)", got)
+	}
+	g2, _ := planGraph(t, cat, q, PlanOptions{NoPushdown: true})
+	if got := countOps(g2, "where↓"); got != 0 {
+		t.Fatalf("NoPushdown still pushed: %d", got)
+	}
+	if got := countOps(g2, "where"); got != 1 {
+		t.Fatalf("NoPushdown filters = %d, want 1", got)
+	}
+}
+
+func TestJoinPushdownShape(t *testing.T) {
+	cat := testCatalog(t)
+	// v is left-only, w is right-only, a.k = 1 is left, v > w is mixed.
+	q := "SELECT * FROM a JOIN b ON a.k = b.k WINDOW 1s WHERE v > 1.0 AND w < 5.0 AND v + w > 0.0"
+	g, _ := planGraph(t, cat, q, PlanOptions{})
+	if got := countOps(g, "where↓"); got != 2 {
+		t.Fatalf("pushed filters = %d, want 2", got)
+	}
+	// The mixed conjunct stays behind the join.
+	if got := countOps(g, "where"); got != 3 {
+		t.Fatalf("total filters = %d, want 3", got)
+	}
+}
+
+// TestPushdownEquivalence: for random tuples, pushed and unpushed plans
+// produce identical outputs.
+func TestPushdownEquivalence(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		"SELECT * FROM a UNION b WHERE v > 2.0",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 10s WHERE v > 1.0 AND w < 200.0",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 10s WHERE v + w > 3.0",
+	}
+	f := func(aRaw, bRaw []uint8) bool {
+		mkFeed := func() map[string][]*tuple.Tuple {
+			feed := map[string][]*tuple.Tuple{"a": nil, "b": nil}
+			ts := tuple.Time(0)
+			for _, v := range aRaw {
+				ts += tuple.Time(v % 8)
+				feed["a"] = append(feed["a"], row(ts, tuple.Int(int64(v%4)), tuple.Float(float64(v%7))))
+			}
+			ts = 0
+			for _, v := range bRaw {
+				ts += tuple.Time(v % 8)
+				feed["b"] = append(feed["b"], row(ts, tuple.Int(int64(v%4)), tuple.Float(float64(v%9))))
+			}
+			return feed
+		}
+		// Canonicalize: the paper allows simultaneous tuples to be
+		// processed in either order (§2), and pushdown legitimately
+		// changes that interleaving; sort equal timestamps by value.
+		canon := func(ts []*tuple.Tuple) []string {
+			out := make([]string, len(ts))
+			for i, tp := range ts {
+				out[i] = tp.String()
+			}
+			sort.Strings(out)
+			return out
+		}
+		for _, q := range queries {
+			out1 := canon(runQueryOpts(t, cat, q, mkFeed(), PlanOptions{}))
+			out2 := canon(runQueryOpts(t, cat, q, mkFeed(), PlanOptions{NoPushdown: true}))
+			if len(out1) != len(out2) {
+				return false
+			}
+			for i := range out1 {
+				if out1[i] != out2[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

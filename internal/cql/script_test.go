@@ -1,0 +1,168 @@
+package cql
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func TestParseCreateSlack(t *testing.T) {
+	st := mustParse(t, "CREATE STREAM s (v int) TIMESTAMP EXTERNAL SKEW 100ms SLACK 50ms")
+	if st.Create.Skew != 100*tuple.Millisecond || st.Create.Slack != 50*tuple.Millisecond {
+		t.Fatalf("create = %+v", st.Create)
+	}
+	st = mustParse(t, "CREATE STREAM s (v int) SLACK 10ms")
+	if st.Create.Slack != 10*tuple.Millisecond || st.Create.TS != tuple.Internal {
+		t.Fatalf("create = %+v", st.Create)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	stmts, err := ParseAll(`
+		CREATE STREAM a (v int);
+		-- a comment
+		CREATE STREAM b (name string);
+		SELECT * FROM a ;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+	if stmts[0].Create == nil || stmts[1].Create == nil || stmts[2].Select == nil {
+		t.Fatal("statement kinds wrong")
+	}
+}
+
+func TestParseAllRespectsStringLiterals(t *testing.T) {
+	stmts, err := ParseAll(`SELECT * FROM s WHERE name = 'a;b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("semicolon inside string split the statement: %d stmts", len(stmts))
+	}
+}
+
+func TestParseAllError(t *testing.T) {
+	if _, err := ParseAll("CREATE STREAM a (v int); garbage"); err == nil {
+		t.Fatal("bad script accepted")
+	}
+	stmts, err := ParseAll("  ;;  ")
+	if err != nil || len(stmts) != 0 {
+		t.Fatalf("empty script: %v, %v", stmts, err)
+	}
+}
+
+func TestParseWindowSlide(t *testing.T) {
+	st := mustParse(t, "SELECT count(*) FROM s WINDOW 10s SLIDE 2s")
+	if st.Select.Window != 10*tuple.Second || st.Select.Slide != 2*tuple.Second {
+		t.Fatalf("window/slide = %v/%v", st.Select.Window, st.Select.Slide)
+	}
+}
+
+func TestPlanSlidingAggregate(t *testing.T) {
+	cat := testCatalog(t)
+	out := runQuery(t, cat,
+		"SELECT count(*) FROM sensors WINDOW 10s SLIDE 5s",
+		map[string][]*tuple.Tuple{
+			"sensors": {
+				row(7*tuple.Second, tuple.Int(1), tuple.Float(1), tuple.String_("x")),
+				row(12*tuple.Second, tuple.Int(2), tuple.Float(1), tuple.String_("x")),
+			},
+		})
+	// Windows ending 10, 15, 20 (counts 1, 2, 1), flushed by EOS.
+	if len(out) != 3 {
+		t.Fatalf("rows = %v", out)
+	}
+	if out[1].Ts != 15*tuple.Second || out[1].Vals[0].AsInt() != 2 {
+		t.Fatalf("middle window = %v", out[1])
+	}
+	// SLIDE > WINDOW is rejected.
+	st := mustParse(t, "SELECT count(*) FROM sensors WINDOW 1s SLIDE 5s")
+	if _, err := PlanSelect(st.Select, cat); err == nil {
+		t.Fatal("slide > window accepted")
+	}
+}
+
+func TestParseAsymmetricJoinWindow(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM a JOIN b ON a.k = b.k WINDOW 2s, 5s")
+	j := st.Select.From.Join
+	if j.Window != 2*tuple.Second || j.RightWindow != 5*tuple.Second {
+		t.Fatalf("windows = %v/%v", j.Window, j.RightWindow)
+	}
+}
+
+func TestPlanAsymmetricJoin(t *testing.T) {
+	cat := testCatalog(t)
+	// Left window tiny, right window large: a late right tuple still joins
+	// an old left tuple only if the LEFT store kept it (it expires fast).
+	out := runQuery(t, cat,
+		"SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 1ms, 10s",
+		map[string][]*tuple.Tuple{
+			"a": {row(0, tuple.Int(7), tuple.Float(1))},
+			"b": {row(5*tuple.Second, tuple.Int(7), tuple.Float(2))},
+		})
+	if len(out) != 0 {
+		t.Fatalf("expired-left join = %v", out)
+	}
+	out = runQuery(t, cat,
+		"SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 10s, 1ms",
+		map[string][]*tuple.Tuple{
+			"a": {row(0, tuple.Int(7), tuple.Float(1))},
+			"b": {row(5*tuple.Second, tuple.Int(7), tuple.Float(2))},
+		})
+	if len(out) != 1 {
+		t.Fatalf("wide-left join = %v", out)
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	st := mustParse(t, "EXPLAIN SELECT * FROM s")
+	if !st.Explain || st.Select == nil {
+		t.Fatalf("stmt = %+v", st)
+	}
+	if _, err := Parse("EXPLAIN CREATE STREAM s (x int)"); err == nil {
+		t.Error("EXPLAIN of DDL accepted")
+	}
+}
+
+// TestParseNeverPanics: the parser must return errors, not panic, on
+// arbitrary input.
+func TestParseNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", ";;;", "SELECT", "SELECT * FROM", "((((", "')", "1s2s3s",
+		"CREATE CREATE", "SELECT * FROM a JOIN", "WHERE", "*",
+		"SELECT count( FROM s", "SELECT * FROM s WINDOW", "-- only a comment",
+		"\x00\x01\x02", "SELECT 'unterminated FROM s",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			Parse(in)
+			ParseAll(in)
+		}()
+	}
+}
+
+// FuzzParse guards the parser against panics; `go test` runs the seed
+// corpus, `go test -fuzz=FuzzParse` explores further.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT * FROM a UNION b WHERE v % 2 = 0",
+		"CREATE STREAM s (a int, b float) TIMESTAMP EXTERNAL SKEW 10ms SLACK 5ms",
+		"SELECT loc, avg(t) FROM s GROUP BY loc WINDOW 10s SLIDE 2s",
+		"SELECT a.k FROM a JOIN b ON a.k = b.k WINDOW 2s, 5s",
+		"EXPLAIN SELECT * FROM s WHERE x = 'it''s'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		Parse(input) // must not panic; errors are fine
+	})
+}

@@ -1,0 +1,96 @@
+// Package cql implements a small continuous-query language over the engine:
+// enough surface to express every query in the paper (filtered unions,
+// window joins) plus windowed group-by aggregates — the way a Stream Mill
+// user would drive the system rather than assembling operator graphs by
+// hand.
+//
+//	CREATE STREAM sensors (id int, temp float, loc string) TIMESTAMP INTERNAL
+//	SELECT id, temp FROM sensors WHERE temp > 30 AND loc = 'lab'
+//	SELECT * FROM a UNION b
+//	SELECT a.k, b.v FROM a JOIN b ON a.k = b.k WINDOW 2s
+//	SELECT loc, avg(temp) FROM sensors GROUP BY loc WINDOW 10s
+//
+// The pipeline is lexer → parser → planner: the planner resolves stream and
+// column names against a catalog of registered schemas, compiles expressions
+// to closures, and emits operator nodes into a query graph.
+package cql
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier (stream, column, function name).
+	TokIdent
+	// TokNumber is a numeric literal (int or float).
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokDuration is a duration literal such as 2s, 150ms, 10us, 3m.
+	TokDuration
+	// TokKeyword is a reserved word (SELECT, FROM, ...).
+	TokKeyword
+	// TokOp is an operator or punctuation token.
+	TokOp
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokDuration:
+		return "duration"
+	case TokKeyword:
+		return "keyword"
+	case TokOp:
+		return "operator"
+	default:
+		return "token(?)"
+	}
+}
+
+// Token is one lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string // lowercased for keywords/identifiers, raw otherwise
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// keywords lists the reserved words; identifiers matching one (case-
+// insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"window": true, "union": true, "join": true, "on": true, "and": true,
+	"or": true, "not": true, "create": true, "stream": true, "explain": true,
+	"timestamp": true, "internal": true, "external": true, "latent": true,
+	"skew": true, "slack": true, "slide": true, "rows": true, "true": true,
+	"false": true, "as": true,
+}
+
+// Error is a parse/plan error carrying the source position.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cql: at offset %d: %s", e.Pos, e.Msg) }
+
+func errf(pos int, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,56 @@
+// Package ets implements the Enabling Time-Stamp generation policies the
+// paper compares (§5–6):
+//
+//   - None: sources never produce ETS; idle-waiting operators wait for real
+//     data (the paper's scenario A).
+//   - OnDemand: when DFS backtracking reaches a source with an empty inbox,
+//     the source generates an ETS punctuation right then (scenario C, the
+//     paper's contribution).
+//   - Periodic heartbeats (scenario B, the Gigascope baseline of Johnson et
+//     al.) are not a backtrack policy: they are injected on a timer
+//     regardless of demand. The simulation driver (internal/sim) schedules
+//     them via Source.InjectETS; see sim.Heartbeat.
+package ets
+
+import (
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// None never generates ETS: backtracking to an empty source simply returns
+// control (paper scenario A).
+type None struct{}
+
+// Name implements exec.SourcePolicy.
+func (None) Name() string { return "none" }
+
+// OnBacktrack implements exec.SourcePolicy; it always reports false.
+func (None) OnBacktrack(*ops.Source, tuple.Time) bool { return false }
+
+// OnDemand generates an ETS at the source the moment backtracking proves an
+// operator downstream is idle-waiting on it (paper scenario C). Generation
+// is delegated to the source's estimator, which enforces per-kind rules and
+// monotonicity (no ETS for latent streams; none before an external stream's
+// first tuple; never the same bound twice).
+type OnDemand struct {
+	// Generated counts the ETS punctuation tuples deposited.
+	Generated uint64
+}
+
+// Name implements exec.SourcePolicy.
+func (o *OnDemand) Name() string { return "on-demand" }
+
+// OnBacktrack implements exec.SourcePolicy.
+func (o *OnDemand) OnBacktrack(src *ops.Source, now tuple.Time) bool {
+	if !src.Inbox().Empty() {
+		// Data arrived concurrently; no ETS needed.
+		return false
+	}
+	p, ok := src.OnDemandETS(now)
+	if !ok {
+		return false
+	}
+	src.Offer(p)
+	o.Generated++
+	return true
+}

@@ -1,0 +1,68 @@
+package ets
+
+import (
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+func TestNonePolicy(t *testing.T) {
+	src := ops.NewSource("s", tuple.NewSchema("s"), 0)
+	p := None{}
+	if p.Name() != "none" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.OnBacktrack(src, 100) {
+		t.Fatal("None injected an ETS")
+	}
+	if !src.Inbox().Empty() {
+		t.Fatal("None touched the inbox")
+	}
+}
+
+func TestOnDemandPolicyInternal(t *testing.T) {
+	src := ops.NewSource("s", tuple.NewSchema("s"), 0)
+	p := &OnDemand{}
+	if p.Name() != "on-demand" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if !p.OnBacktrack(src, 100) {
+		t.Fatal("no ETS at first demand")
+	}
+	if p.Generated != 1 || src.Inbox().Len() != 1 {
+		t.Fatalf("generated=%d inbox=%d", p.Generated, src.Inbox().Len())
+	}
+	got := src.Inbox().Pop()
+	if !got.IsPunct() || got.Ts != 100 {
+		t.Fatalf("ETS = %v", got)
+	}
+	// Same clock: the bound has not advanced, no new ETS.
+	if p.OnBacktrack(src, 100) {
+		t.Fatal("re-issued a stale ETS")
+	}
+	if !p.OnBacktrack(src, 101) {
+		t.Fatal("advancing clock must re-enable ETS")
+	}
+}
+
+func TestOnDemandDeclinesWithPendingData(t *testing.T) {
+	src := ops.NewSource("s", tuple.NewSchema("s"), 0)
+	src.Ingest(tuple.NewData(0), 50)
+	p := &OnDemand{}
+	if p.OnBacktrack(src, 100) {
+		t.Fatal("ETS generated while data is already queued")
+	}
+}
+
+func TestOnDemandLatentAndExternal(t *testing.T) {
+	lat := ops.NewSource("l", tuple.NewSchema("l").WithTS(tuple.Latent), 0)
+	p := &OnDemand{}
+	if p.OnBacktrack(lat, 100) {
+		t.Fatal("latent streams never need ETS")
+	}
+	ext := ops.NewSource("e", tuple.NewSchema("e").WithTS(tuple.External), 10)
+	if p.OnBacktrack(ext, 100) {
+		t.Fatal("external ETS before any tuple must fail")
+	}
+}

@@ -1,0 +1,395 @@
+// Package exec implements the paper's query-graph execution model (§3):
+// the two-step cycle of Figure 3 — execute the current operator, then select
+// the next operator — with the depth-first Next-Operator-Selection rules
+//
+//	Forward:   if yield then next := succ
+//	Encore:    else if more then next := self
+//	Backtrack: else next := pred_j (the predecessor feeding the blocking
+//	           input) and repeat on pred_j
+//
+// and the paper's key extension (§4): when backtracking reaches a source
+// node whose input buffer is empty, the engine consults a SourcePolicy. The
+// on-demand policy generates an Enabling Time-Stamp punctuation right there,
+// which flows down the path that was just backtracked and reactivates the
+// idle-waiting operator.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// SourcePolicy decides what happens when DFS backtracking reaches a source
+// node whose inbox is empty (§3: wait, return control to the scheduler, or
+// generate an ETS). OnBacktrack reports whether it deposited anything into
+// the source's inbox.
+type SourcePolicy interface {
+	Name() string
+	OnBacktrack(src *ops.Source, now tuple.Time) bool
+}
+
+// Strategy selects the scheduling discipline.
+type Strategy uint8
+
+const (
+	// DFS is the paper's depth-first strategy: tuples are pushed toward
+	// the sink as soon as they are produced, and blocked paths backtrack.
+	DFS Strategy = iota
+	// RoundRobin cycles over the operators executing any that can run —
+	// the baseline discipline for the scheduling ablation. Backtracking
+	// (and therefore *targeted* ETS generation) does not exist here; when
+	// nothing is runnable, the engine probes every source.
+	RoundRobin
+	// GreedyQueue always executes the runnable operator with the largest
+	// total input occupancy — a memory-oriented discipline in the spirit
+	// of Chain scheduling (Babcock et al., SIGMOD'03), which the paper's
+	// related work contrasts with timestamp-integrated execution. Like
+	// RoundRobin it has no backtracking, so ETS probing is indiscriminate.
+	GreedyQueue
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case GreedyQueue:
+		return "greedy-queue"
+	default:
+		return "dfs"
+	}
+}
+
+// Engine executes one query graph. It is single-threaded; the caller (a
+// simulation driver or a wrapper loop) owns the clock and calls Step.
+type Engine struct {
+	g      *graph.Graph
+	policy SourcePolicy
+	now    func() tuple.Time
+
+	// Strategy selects the scheduling discipline (default DFS).
+	Strategy Strategy
+	// BacktrackFirstPred disables blocking-input selection: Backtrack
+	// always follows input 0 (ablation AB1). With it set, on-demand ETS
+	// often probes the wrong source and idle-waiting persists.
+	BacktrackFirstPred bool
+
+	ctxs   []*ops.Ctx
+	cur    graph.NodeID
+	queues *buffer.Group
+	rr     int
+
+	// component bookkeeping for the scheduler (sched.go): nodeComp maps a
+	// node to its weakly-connected component; activeComp, when ≥ 0,
+	// restricts Step to that component (the scheduling unit).
+	nodeComp   []int
+	comps      [][]graph.NodeID
+	activeComp int
+
+	steps        uint64
+	stepsPerNode []uint64
+	etsInjected  uint64
+}
+
+// New builds an engine over a validated graph. policy may be nil (never
+// generate ETS on backtrack — the paper's scenario A). now supplies the
+// virtual clock.
+func New(g *graph.Graph, policy SourcePolicy, now func() tuple.Time) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{g: g, policy: policy, now: now, queues: g.QueueGroup(), activeComp: -1}
+	e.comps = g.Components()
+	e.nodeComp = make([]int, g.Len())
+	for c, ids := range e.comps {
+		for _, id := range ids {
+			e.nodeComp[id] = c
+		}
+	}
+	e.stepsPerNode = make([]uint64, g.Len())
+	e.ctxs = make([]*ops.Ctx, g.Len())
+	for _, n := range g.Nodes() {
+		n := n
+		e.ctxs[n.ID] = &ops.Ctx{
+			Ins: n.In,
+			Emit: func(t *tuple.Tuple) {
+				for _, a := range n.Out {
+					a.Buf.Push(t)
+				}
+			},
+			Now: now,
+		}
+	}
+	// Start at the first source: nothing can be runnable before an
+	// arrival, and the first arrival lands in a source inbox.
+	if srcs := g.Sources(); len(srcs) > 0 {
+		e.cur = srcs[0]
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for tests and fixed harnesses.
+func MustNew(g *graph.Graph, policy SourcePolicy, now func() tuple.Time) *Engine {
+	e, err := New(g, policy, now)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
+	}
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Queues returns the group observing every buffer (arcs + source inboxes);
+// its peak is the Figure-8 memory metric.
+func (e *Engine) Queues() *buffer.Group { return e.queues }
+
+// Steps reports the number of operator executions performed.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// ETSInjected reports how many times the source policy deposited an ETS
+// during backtracking.
+func (e *Engine) ETSInjected() uint64 { return e.etsInjected }
+
+// Step performs one execution of the two-step cycle: it locates a runnable
+// operator (following the strategy's discipline, generating on-demand ETS
+// at sources where the policy allows), executes it once, and applies the
+// NOS rules to position the engine for the next step. It returns false when
+// the whole graph is quiescent — no operator can run and no source policy
+// can produce anything new; the caller should then advance the clock.
+func (e *Engine) Step() bool {
+	switch e.Strategy {
+	case RoundRobin:
+		return e.stepRoundRobin()
+	case GreedyQueue:
+		return e.stepGreedy()
+	default:
+		return e.stepDFS()
+	}
+}
+
+// stepGreedy executes the runnable node with the largest input backlog.
+func (e *Engine) stepGreedy() bool {
+	var best *graph.Node
+	bestLen := -1
+	for _, n := range e.g.Nodes() {
+		if e.skip(n.ID) || !n.Op.More(e.ctxs[n.ID]) {
+			continue
+		}
+		total := 0
+		for _, q := range n.In {
+			total += q.Len()
+		}
+		if s := n.Source(); s != nil {
+			total += s.Inbox().Len()
+		}
+		if total > bestLen {
+			best, bestLen = n, total
+		}
+	}
+	if best != nil {
+		e.cur = best.ID
+		best.Op.Exec(e.ctxs[best.ID])
+		e.steps++
+		e.stepsPerNode[best.ID]++
+		e.queues.Observe()
+		return true
+	}
+	// Nothing runnable: probe every source (no backtracking exists).
+	if e.policy == nil {
+		return false
+	}
+	injected := false
+	for _, id := range e.g.Sources() {
+		if e.skip(id) {
+			continue
+		}
+		n := e.g.Node(id)
+		if n.Source().Inbox().Empty() && e.policy.OnBacktrack(n.Source(), e.now()) {
+			e.etsInjected++
+			injected = true
+		}
+	}
+	if !injected {
+		return false
+	}
+	return e.stepGreedy()
+}
+
+// skip reports whether node id lies outside the active scheduling unit.
+func (e *Engine) skip(id graph.NodeID) bool {
+	return e.activeComp >= 0 && e.nodeComp[id] != e.activeComp
+}
+
+func (e *Engine) stepDFS() bool {
+	// Phase 1: continue from the current operator, walking the blocking
+	// chain upstream (the Backtrack rule).
+	if !e.skip(e.cur) && e.tryPath(e.cur) {
+		return true
+	}
+	// Phase 2: the current path is dead; emulate returning control to the
+	// scheduler, which attends to other paths (§3). Any runnable node
+	// elsewhere is executed.
+	for _, n := range e.g.Nodes() {
+		if n.ID == e.cur || e.skip(n.ID) {
+			continue
+		}
+		if n.Op.More(e.ctxs[n.ID]) {
+			e.cur = n.ID
+			e.execute(n)
+			return true
+		}
+	}
+	// Phase 3: no operator is runnable; backtrack from every other
+	// idle-waiting operator so each blocked path gets its chance to
+	// request an ETS.
+	for _, n := range e.g.Nodes() {
+		if n.ID == e.cur || n.IsSource() || e.skip(n.ID) {
+			continue
+		}
+		if e.hasInputData(n) && e.tryPath(n.ID) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryPath walks from id up the blocking chain. If it finds a runnable
+// operator it executes one step there and returns true. If it dead-ends at
+// a source with an empty inbox, it consults the policy — but only when some
+// operator along the chain is actually idle-waiting (blocked while holding
+// input tuples): ETS exists to *reactivate idle-waiting operators* (§4), and
+// generating it when nothing is waiting would just burn cycles and flood the
+// graph with useless punctuation.
+func (e *Engine) tryPath(id graph.NodeID) bool {
+	demand := false
+	for {
+		n := e.g.Node(id)
+		ctx := e.ctxs[id]
+		if n.Op.More(ctx) {
+			e.cur = id
+			e.execute(n)
+			return true
+		}
+		if !n.IsSource() && e.hasInputData(n) {
+			demand = true
+		}
+		if src := n.Source(); src != nil {
+			if !demand || e.policy == nil || !e.policy.OnBacktrack(src, e.now()) {
+				return false
+			}
+			e.etsInjected++
+			if !n.Op.More(ctx) {
+				return false
+			}
+			e.cur = id
+			e.execute(n)
+			return true
+		}
+		j := n.Op.BlockingInput(ctx)
+		if j < 0 || e.BacktrackFirstPred {
+			j = 0
+		}
+		id = n.Preds[j]
+	}
+}
+
+// execute runs one execution step at node n and applies the continuation
+// rules: Forward on yield, Encore while more (cur stays), otherwise leave
+// cur in place so the next Step backtracks from here.
+func (e *Engine) execute(n *graph.Node) {
+	ctx := e.ctxs[n.ID]
+	yield := n.Op.Exec(ctx)
+	e.steps++
+	e.stepsPerNode[n.ID]++
+	e.queues.Observe()
+	if yield && len(n.Out) > 0 {
+		e.cur = n.Out[0].To // Forward
+	}
+	// Encore/Backtrack are implicit: cur stays at n and the next Step
+	// either finds More true (Encore) or walks upstream (Backtrack).
+}
+
+func (e *Engine) stepRoundRobin() bool {
+	nodes := e.g.Nodes()
+	for k := 0; k < len(nodes); k++ {
+		n := nodes[(e.rr+k)%len(nodes)]
+		if e.skip(n.ID) {
+			continue
+		}
+		if n.Op.More(e.ctxs[n.ID]) {
+			e.rr = (int(n.ID) + 1) % len(nodes)
+			e.cur = n.ID
+			n.Op.Exec(e.ctxs[n.ID])
+			e.steps++
+			e.stepsPerNode[n.ID]++
+			e.queues.Observe()
+			return true
+		}
+	}
+	// Nothing runnable: probe every source (round-robin has no notion of
+	// a blocking path, so ETS generation is indiscriminate).
+	if e.policy == nil {
+		return false
+	}
+	injected := false
+	for _, id := range e.g.Sources() {
+		if e.skip(id) {
+			continue
+		}
+		n := e.g.Node(id)
+		if n.Source().Inbox().Empty() && e.policy.OnBacktrack(n.Source(), e.now()) {
+			e.etsInjected++
+			injected = true
+		}
+	}
+	if !injected {
+		return false
+	}
+	return e.stepRoundRobin()
+}
+
+// hasInputData reports whether any input buffer of n holds a *data* tuple.
+// Buffered punctuation does not count: an operator that cannot yet consume a
+// punctuation tuple is not delaying any result, so it creates no ETS demand
+// (treating it as demand makes two sources feed each other punctuation
+// forever).
+func (e *Engine) hasInputData(n *graph.Node) bool {
+	for _, q := range n.In {
+		if q.DataLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedWithData returns the nodes that are currently idle-waiting in the
+// paper's sense: they hold at least one input *data* tuple but their `more`
+// condition is false. The simulation driver charges idle time to these
+// nodes while the clock advances across a quiescent period.
+func (e *Engine) BlockedWithData() []graph.NodeID {
+	var out []graph.NodeID
+	for _, n := range e.g.Nodes() {
+		if n.IsSource() {
+			continue
+		}
+		if e.hasInputData(n) && !n.Op.More(e.ctxs[n.ID]) {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Run drives Step until quiescence or maxSteps, returning the number of
+// steps executed. Tests and cost-free callers use it; the simulator calls
+// Step directly to charge time.
+func (e *Engine) Run(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps && e.Step() {
+		steps++
+	}
+	return steps
+}

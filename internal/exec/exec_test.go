@@ -1,0 +1,311 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/ets"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// fig4 assembles the paper's Figure-4 query (two sources → selections →
+// union → sink) and returns the pieces the tests poke at.
+type fig4 struct {
+	g          *graph.Graph
+	src1, src2 *ops.Source
+	unionID    graph.NodeID
+	sink       *ops.Sink
+	out        []*tuple.Tuple
+	outAt      []tuple.Time
+}
+
+func buildFig4(mode ops.IWPMode, ts tuple.TSKind) *fig4 {
+	f := &fig4{}
+	g := graph.New("fig4")
+	sch1 := tuple.NewSchema("s1", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(ts)
+	sch2 := tuple.NewSchema("s2", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(ts)
+	f.src1 = ops.NewSource("src1", sch1, 0)
+	f.src2 = ops.NewSource("src2", sch2, 0)
+	s1 := g.AddNode(f.src1)
+	s2 := g.AddNode(f.src2)
+	pass := func(*tuple.Tuple) bool { return true }
+	f1 := g.AddNode(ops.NewSelect("σ1", sch1, pass), s1)
+	f2 := g.AddNode(ops.NewSelect("σ2", sch2, pass), s2)
+	f.unionID = g.AddNode(ops.NewUnion("∪", nil, 2, mode), f1, f2)
+	f.sink = ops.NewSink("sink", func(t *tuple.Tuple, now tuple.Time) {
+		f.out = append(f.out, t)
+		f.outAt = append(f.outAt, now)
+	})
+	g.AddNode(f.sink, f.unionID)
+	f.g = g
+	return f
+}
+
+func TestEngineRejectsInvalidGraph(t *testing.T) {
+	g := graph.New("empty")
+	if _, err := New(g, nil, func() tuple.Time { return 0 }); err == nil {
+		t.Fatal("invalid graph accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic")
+		}
+	}()
+	MustNew(g, nil, func() tuple.Time { return 0 })
+}
+
+func TestSimplePathDelivery(t *testing.T) {
+	// A single-source path: source → select → sink, pure DFS forwarding.
+	var got []int64
+	g := graph.New("path")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	src := ops.NewSource("src", sch, 0)
+	s := g.AddNode(src)
+	f := g.AddNode(ops.NewSelect("σ", sch, func(t *tuple.Tuple) bool {
+		return t.Vals[0].AsInt()%2 == 0
+	}), s)
+	g.AddNode(ops.NewSink("sink", func(t *tuple.Tuple, _ tuple.Time) {
+		got = append(got, t.Vals[0].AsInt())
+	}), f)
+
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	for i := 0; i < 6; i++ {
+		src.Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+	}
+	steps := e.Run(1000)
+	if steps == 0 || e.Steps() != uint64(steps) {
+		t.Fatalf("steps = %d", steps)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("delivered = %v", got)
+	}
+	if e.Step() {
+		t.Fatal("engine must be quiescent after draining")
+	}
+}
+
+func TestScenarioANoPolicyIdleWaits(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	e := MustNew(f.g, nil, func() tuple.Time { return clock })
+
+	// A tuple arrives on stream 1 only.
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), 100)
+	clock = 100
+	e.Run(1000)
+	if len(f.out) != 0 {
+		t.Fatalf("tuple delivered without a bound on stream 2: %v", f.out)
+	}
+	// The union is idle-waiting with data.
+	blocked := e.BlockedWithData()
+	if len(blocked) != 1 || blocked[0] != f.unionID {
+		t.Fatalf("BlockedWithData = %v, want [union]", blocked)
+	}
+	// Only a stream-2 arrival releases it.
+	clock = 5000
+	f.src2.Ingest(tuple.NewData(0, tuple.Int(2)), clock)
+	e.Run(1000)
+	// The stream-1 tuple waited 4900µs: delivered at clock 5000 with ts
+	// 100. The stream-2 tuple (ts 5000) now idle-waits in turn — stream 1
+	// drained with bound 100.
+	if len(f.out) != 1 || f.out[0].Ts != 100 || f.outAt[0] != 5000 {
+		t.Fatalf("deliveries ts=%v at=%v", f.out, f.outAt)
+	}
+	clock = 6000
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(3)), clock)
+	e.Run(1000)
+	if len(f.out) != 2 || f.out[1].Ts != 5000 || f.outAt[1] != 6000 {
+		t.Fatalf("second delivery: %v at %v", f.out, f.outAt)
+	}
+}
+
+func TestScenarioCOnDemandReleasesImmediately(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	pol := &ets.OnDemand{}
+	e := MustNew(f.g, pol, func() tuple.Time { return clock })
+
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	// Backtracking reached src2, generated ETS(100), which flowed down and
+	// released the union: the tuple reaches the sink at the same clock.
+	if len(f.out) != 1 || f.out[0].Ts != 100 || f.outAt[0] != 100 {
+		t.Fatalf("out=%v at=%v", f.out, f.outAt)
+	}
+	if pol.Generated == 0 || e.ETSInjected() == 0 {
+		t.Fatal("no ETS generated")
+	}
+	if len(e.BlockedWithData()) != 0 {
+		t.Fatal("nothing should be idle-waiting")
+	}
+	// Quiescent now: the policy must not spin at the same clock.
+	if e.Step() {
+		t.Fatal("engine must be quiescent (ETS at same clock is useless)")
+	}
+	// Clock advances, new tuple: again immediate.
+	clock = 200
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(2)), clock)
+	e.Run(1000)
+	if len(f.out) != 2 || f.outAt[1] != 200 {
+		t.Fatalf("second delivery at %v", f.outAt)
+	}
+}
+
+func TestScenarioDLatentNeverWaits(t *testing.T) {
+	f := buildFig4(ops.LatentMode, tuple.Latent)
+	clock := tuple.Time(0)
+	e := MustNew(f.g, nil, func() tuple.Time { return clock })
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(f.out) != 1 {
+		t.Fatalf("latent tuple not delivered: %v", f.out)
+	}
+	if f.out[0].Arrived != 100 {
+		t.Errorf("Arrived = %v", f.out[0].Arrived)
+	}
+}
+
+func TestPeriodicHeartbeatReleases(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	e := MustNew(f.g, nil, func() tuple.Time { return clock })
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(f.out) != 0 {
+		t.Fatal("no heartbeat yet: must idle-wait")
+	}
+	// Heartbeat on stream 2 at clock 150 (as the periodic driver would).
+	clock = 150
+	if !f.src2.InjectETS(clock) {
+		t.Fatal("InjectETS failed")
+	}
+	e.Run(1000)
+	if len(f.out) != 1 || f.outAt[0] != 150 {
+		t.Fatalf("delivery after heartbeat: %v at %v", f.out, f.outAt)
+	}
+	// The punctuation itself is stuck behind stream 1's bound (100) until
+	// a heartbeat on stream 1 lets it pass; then the sink eliminates it.
+	clock = 160
+	if !f.src1.InjectETS(clock) {
+		t.Fatal("InjectETS on stream 1 failed")
+	}
+	e.Run(1000)
+	if f.sink.PunctEliminated() == 0 {
+		t.Error("sink must eliminate punctuation")
+	}
+}
+
+func TestBacktrackFirstPredAblation(t *testing.T) {
+	// With backtracking pinned to input 0, the union blocked on input 1
+	// sends its ETS demand to the wrong source, so the tuple stays stuck.
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	pol := &ets.OnDemand{}
+	e := MustNew(f.g, pol, func() tuple.Time { return clock })
+	e.BacktrackFirstPred = true
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(f.out) != 0 {
+		t.Fatalf("misdirected backtracking should not release the tuple, got %v", f.out)
+	}
+	// The correct rule (§3.2) fixes it at the next opportunity.
+	e.BacktrackFirstPred = false
+	clock = 101
+	e.Run(1000)
+	if len(f.out) != 1 {
+		t.Fatal("blocking-input backtracking failed to release")
+	}
+}
+
+func TestRoundRobinStrategy(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	pol := &ets.OnDemand{}
+	e := MustNew(f.g, pol, func() tuple.Time { return clock })
+	e.Strategy = RoundRobin
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(f.out) != 1 {
+		t.Fatalf("round-robin + probing should deliver, got %v", f.out)
+	}
+	if e.Step() {
+		t.Fatal("round-robin engine must reach quiescence")
+	}
+}
+
+func TestTwoComponentsBothServed(t *testing.T) {
+	// Two disconnected paths; work on the second must be found even when
+	// the engine's cursor sits on the first (Phase-2 scan = the scheduler
+	// attending to other tasks).
+	var got1, got2 int
+	g := graph.New("two")
+	schA := tuple.NewSchema("a", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	schB := tuple.NewSchema("b", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	srcA := ops.NewSource("srcA", schA, 0)
+	srcB := ops.NewSource("srcB", schB, 0)
+	a := g.AddNode(srcA)
+	b := g.AddNode(srcB)
+	g.AddNode(ops.NewSink("kA", func(*tuple.Tuple, tuple.Time) { got1++ }), a)
+	g.AddNode(ops.NewSink("kB", func(*tuple.Tuple, tuple.Time) { got2++ }), b)
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	srcB.Ingest(tuple.NewData(0, tuple.Int(1)), 0)
+	e.Run(100)
+	if got2 != 1 {
+		t.Fatalf("second component starved: %d/%d", got1, got2)
+	}
+	srcA.Ingest(tuple.NewData(0, tuple.Int(1)), 0)
+	e.Run(100)
+	if got1 != 1 {
+		t.Fatalf("first component starved: %d/%d", got1, got2)
+	}
+}
+
+func TestQueuesPeakObserved(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	e := MustNew(f.g, nil, func() tuple.Time { return clock })
+	for i := 0; i < 10; i++ {
+		f.src1.Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+	}
+	if e.Queues().Total() != 10 {
+		t.Fatalf("inbox occupancy = %d", e.Queues().Total())
+	}
+	e.Run(1000)
+	// Without a bound on stream 2 the tuples pile up at the union.
+	if e.Queues().Peak() < 10 {
+		t.Errorf("peak = %d, want ≥ 10", e.Queues().Peak())
+	}
+	if len(e.BlockedWithData()) == 0 {
+		t.Error("union should be idle-waiting")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if DFS.String() != "dfs" || RoundRobin.String() != "round-robin" {
+		t.Error("Strategy.String wrong")
+	}
+	if (ets.None{}).Name() != "none" || (&ets.OnDemand{}).Name() != "on-demand" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	src := ops.NewSource("s", tuple.NewSchema("s"), 0)
+	if (ets.None{}).OnBacktrack(src, 100) {
+		t.Fatal("None must never inject")
+	}
+	// OnDemand declines when the inbox already has data.
+	pol := &ets.OnDemand{}
+	src.Ingest(tuple.NewData(0), 50)
+	if pol.OnBacktrack(src, 100) {
+		t.Fatal("OnDemand must decline with a non-empty inbox")
+	}
+}

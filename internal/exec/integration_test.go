@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/ets"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// TestCascadedUnionsOnDemand verifies that backtracking traverses *multiple*
+// IWP levels: union(s1, s2) feeds union(·, s3). A tuple on s1 alone must
+// trigger ETS generation at both s2 (to release the inner union) and s3 (to
+// release the outer one) — all within a single arrival's processing.
+func TestCascadedUnionsOnDemand(t *testing.T) {
+	g := graph.New("cascade")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	s3 := ops.NewSource("s3", sch, 0)
+	n1 := g.AddNode(s1)
+	n2 := g.AddNode(s2)
+	n3 := g.AddNode(s3)
+	u1 := g.AddNode(ops.NewUnion("u1", nil, 2, ops.TSM), n1, n2)
+	u2 := g.AddNode(ops.NewUnion("u2", nil, 2, ops.TSM), u1, n3)
+	var out []*tuple.Tuple
+	var at []tuple.Time
+	g.AddNode(ops.NewSink("k", func(tp *tuple.Tuple, now tuple.Time) {
+		out = append(out, tp)
+		at = append(at, now)
+	}), u2)
+
+	clock := tuple.Time(0)
+	pol := &ets.OnDemand{}
+	e := MustNew(g, pol, func() tuple.Time { return clock })
+	clock = 1000
+	s1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(out) != 1 || at[0] != 1000 {
+		t.Fatalf("cascaded delivery failed: out=%v at=%v", out, at)
+	}
+	// Both idle sources produced an ETS.
+	if s2.ETSEmitted() == 0 || s3.ETSEmitted() == 0 {
+		t.Fatalf("ETS per source: s2=%d s3=%d", s2.ETSEmitted(), s3.ETSEmitted())
+	}
+	if e.Step() {
+		t.Fatal("engine must quiesce after delivery")
+	}
+	// Repeat at a later clock to prove no state was wedged.
+	clock = 2000
+	s1.Ingest(tuple.NewData(0, tuple.Int(2)), clock)
+	e.Run(1000)
+	if len(out) != 2 || at[1] != 2000 {
+		t.Fatalf("second delivery failed: %v at %v", out, at)
+	}
+}
+
+// TestAggregateFlushedByOnDemandETS verifies the blocking-operator benefit:
+// a tumbling aggregate downstream of a union over a sparse stream emits its
+// windows as soon as the bound passes, carried by on-demand punctuation,
+// instead of waiting for the next (distant) data tuple.
+func TestAggregateFlushedByOnDemandETS(t *testing.T) {
+	g := graph.New("aggflush")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	n1 := g.AddNode(s1)
+	n2 := g.AddNode(s2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), n1, n2)
+	agg := ops.NewAggregate("agg", nil, 1000, -1, ops.AggSpec{Fn: ops.Count})
+	an := g.AddNode(agg, u)
+	var rows []*tuple.Tuple
+	var at []tuple.Time
+	g.AddNode(ops.NewSink("k", func(tp *tuple.Tuple, now tuple.Time) {
+		rows = append(rows, tp)
+		at = append(at, now)
+	}), an)
+
+	clock := tuple.Time(0)
+	e := MustNew(g, &ets.OnDemand{}, func() tuple.Time { return clock })
+
+	// Three tuples inside window [0, 1000).
+	for _, ts := range []tuple.Time{100, 400, 900} {
+		clock = ts
+		s1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+		e.Run(1000)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("window emitted early: %v", rows)
+	}
+	// Clock passes the window end; the next arrival's ETS flushes it even
+	// though the arrival itself lands in a later window.
+	clock = 2500
+	s1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	if len(rows) != 1 {
+		t.Fatalf("window not flushed: %v", rows)
+	}
+	if rows[0].Ts != 1000 || rows[0].Vals[0].AsInt() != 3 {
+		t.Fatalf("window row = %v", rows[0])
+	}
+	if at[0] != 2500 {
+		t.Errorf("flush clock = %v", at[0])
+	}
+}
+
+// TestJoinIntoUnionPipeline composes a join feeding a union: punctuation
+// produced by the join (Figure 6's "if neither input contains a data tuple
+// ... add a punctuation tuple") must keep the downstream union live.
+func TestJoinIntoUnionPipeline(t *testing.T) {
+	g := graph.New("mix")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "k", Kind: tuple.IntKind})
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	s3 := ops.NewSource("s3", sch, 0)
+	n1 := g.AddNode(s1)
+	n2 := g.AddNode(s2)
+	n3 := g.AddNode(s3)
+	j := g.AddNode(ops.NewWindowJoin("j", nil, window.TimeWindow(10*tuple.Second),
+		ops.EquiJoin(0, 0), ops.TSM), n1, n2)
+	// Project the join output back to single-column so the union inputs
+	// match shape (not enforced here, but keep it tidy).
+	p := g.AddNode(ops.NewProject("p", nil, []int{0}), j)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), p, n3)
+	var out []*tuple.Tuple
+	g.AddNode(ops.NewSink("k", func(tp *tuple.Tuple, _ tuple.Time) { out = append(out, tp) }), u)
+
+	clock := tuple.Time(0)
+	e := MustNew(g, &ets.OnDemand{}, func() tuple.Time { return clock })
+
+	// A tuple on s3 must not wait on the (idle) join path.
+	clock = 1000
+	s3.Ingest(tuple.NewData(0, tuple.Int(99)), clock)
+	e.Run(10000)
+	if len(out) != 1 || out[0].Vals[0].AsInt() != 99 {
+		t.Fatalf("union starved by idle join path: %v", out)
+	}
+	// Now a matching pair through the join; both paths live.
+	clock = 2000
+	s1.Ingest(tuple.NewData(0, tuple.Int(7)), clock)
+	e.Run(10000)
+	clock = 2100
+	s2.Ingest(tuple.NewData(0, tuple.Int(7)), clock)
+	e.Run(10000)
+	if len(out) != 2 || out[1].Vals[0].AsInt() != 7 {
+		t.Fatalf("join result missing: %v", out)
+	}
+}
+
+// TestNoSpinAtQuiescence guards against ETS busy-loops: after a delivery,
+// repeated Step calls must return false even though the policy could mint
+// ever-growing timestamps if asked.
+func TestNoSpinAtQuiescence(t *testing.T) {
+	f := buildFig4(ops.TSM, tuple.Internal)
+	clock := tuple.Time(0)
+	pol := &ets.OnDemand{}
+	e := MustNew(f.g, pol, func() tuple.Time { return clock })
+	clock = 100
+	f.src1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(1000)
+	before := pol.Generated
+	for i := 0; i < 100; i++ {
+		clock++ // even with an advancing clock...
+		if e.Step() {
+			t.Fatal("engine stepped while nothing is idle-waiting")
+		}
+	}
+	if pol.Generated != before {
+		t.Fatalf("policy generated %d ETS at quiescence", pol.Generated-before)
+	}
+}
+
+// TestDeepPipelineBacktrack exercises a long chain: source → 5 selections →
+// union with a silent stream. Backtracking must walk the whole chain.
+func TestDeepPipelineBacktrack(t *testing.T) {
+	g := graph.New("deep")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	n1 := g.AddNode(s1)
+	n2 := g.AddNode(s2)
+	pass := func(*tuple.Tuple) bool { return true }
+	prev := n2
+	for i := 0; i < 5; i++ {
+		prev = g.AddNode(ops.NewSelect("σ", sch, pass), prev)
+	}
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), n1, prev)
+	count := 0
+	g.AddNode(ops.NewSink("k", func(*tuple.Tuple, tuple.Time) { count++ }), u)
+
+	clock := tuple.Time(0)
+	e := MustNew(g, &ets.OnDemand{}, func() tuple.Time { return clock })
+	clock = 500
+	s1.Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	e.Run(10000)
+	if count != 1 {
+		t.Fatalf("deep backtrack failed: delivered %d", count)
+	}
+	if s2.ETSEmitted() == 0 {
+		t.Fatal("no ETS generated at the chain's source")
+	}
+}

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// NodeStat is one node's execution statistics.
+type NodeStat struct {
+	ID    graph.NodeID
+	Name  string
+	Comp  int // scheduling unit (weakly-connected component)
+	Steps uint64
+	// Buffered is the node's current total input occupancy.
+	Buffered int
+}
+
+// NodeStats returns per-node execution statistics, in node order. streamd's
+// -stats flag and tests use it to see where work happened.
+func (e *Engine) NodeStats() []NodeStat {
+	out := make([]NodeStat, 0, e.g.Len())
+	for _, n := range e.g.Nodes() {
+		buffered := 0
+		for _, q := range n.In {
+			buffered += q.Len()
+		}
+		if s := n.Source(); s != nil {
+			buffered += s.Inbox().Len()
+		}
+		out = append(out, NodeStat{
+			ID:       n.ID,
+			Name:     n.Op.Name(),
+			Comp:     e.nodeComp[n.ID],
+			Steps:    e.stepsPerNode[n.ID],
+			Buffered: buffered,
+		})
+	}
+	return out
+}
+
+// Components reports the engine's scheduling units (weakly-connected
+// components of the query graph), as node-id groups.
+func (e *Engine) Components() [][]graph.NodeID { return e.comps }
+
+// Scheduler apportions an engine's execution steps across its scheduling
+// units — the paper's "each DAG represents a scheduling unit that is
+// assigned a share of the system resources by the DSMS scheduler" (§3) —
+// using deficit round robin: each unit accumulates credit proportional to
+// its weight and spends one credit per executed step. Units without work
+// are skipped without spending, so capacity flows to busy queries while
+// long-run shares track the weights.
+//
+// The Scheduler replaces direct Engine.Step calls:
+//
+//	s := exec.NewScheduler(engine, weights)   // weights[i] for component i
+//	for s.Step() { ... }
+type Scheduler struct {
+	e       *Engine
+	weights []float64
+	credit  []float64
+	cursors []graph.NodeID
+	next    int
+
+	stepsPerUnit []uint64
+}
+
+// NewScheduler builds a scheduler over the engine. weights maps component
+// index → relative share; missing components default to weight 1. A nil map
+// gives uniform shares.
+func NewScheduler(e *Engine, weights map[int]int) (*Scheduler, error) {
+	n := len(e.comps)
+	if n == 0 {
+		return nil, fmt.Errorf("exec: scheduler over an empty graph")
+	}
+	s := &Scheduler{
+		e:            e,
+		weights:      make([]float64, n),
+		credit:       make([]float64, n),
+		cursors:      make([]graph.NodeID, n),
+		stepsPerUnit: make([]uint64, n),
+	}
+	for c := range s.weights {
+		s.weights[c] = 1
+		s.cursors[c] = e.comps[c][0]
+		// Prefer starting at a source, like the engine does.
+		for _, id := range e.comps[c] {
+			if e.g.Node(id).IsSource() {
+				s.cursors[c] = id
+				break
+			}
+		}
+	}
+	for c, w := range weights {
+		if c < 0 || c >= n {
+			return nil, fmt.Errorf("exec: weight for unknown component %d (have %d)", c, n)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("exec: component %d weight must be positive", c)
+		}
+		s.weights[c] = float64(w)
+	}
+	return s, nil
+}
+
+// UnitSteps reports how many steps each scheduling unit has executed.
+func (s *Scheduler) UnitSteps() []uint64 {
+	return append([]uint64(nil), s.stepsPerUnit...)
+}
+
+// Step executes one operator step in the unit chosen by deficit round
+// robin. It returns false when every unit is quiescent.
+func (s *Scheduler) Step() bool {
+	n := len(s.weights)
+	for attempts := 0; attempts < 2*n; attempts++ {
+		c := s.pick()
+		if c < 0 {
+			s.refill()
+			continue
+		}
+		s.e.activeComp = c
+		s.e.cur = s.cursors[c]
+		ok := s.e.Step()
+		s.cursors[c] = s.e.cur
+		s.e.activeComp = -1
+		if ok {
+			s.credit[c]--
+			s.stepsPerUnit[c]++
+			s.next = (c + 1) % n
+			return true
+		}
+		// Unit quiescent: exhaust its credit so pick moves on, but
+		// remember we owe it nothing (it had nothing to run).
+		s.credit[c] = 0
+	}
+	return false
+}
+
+// pick returns the next unit (after s.next, round-robin) holding credit, or
+// -1 when all credit is spent.
+func (s *Scheduler) pick() int {
+	n := len(s.weights)
+	for k := 0; k < n; k++ {
+		c := (s.next + k) % n
+		if s.credit[c] > 0 {
+			return c
+		}
+	}
+	return -1
+}
+
+func (s *Scheduler) refill() {
+	for c := range s.credit {
+		s.credit[c] += s.weights[c]
+	}
+}
+
+// Run drives Step until quiescence or maxSteps.
+func (s *Scheduler) Run(maxSteps int) int {
+	steps := 0
+	for steps < maxSteps && s.Step() {
+		steps++
+	}
+	return steps
+}
+
+// String summarizes the schedule state.
+func (s *Scheduler) String() string {
+	type cw struct {
+		c int
+		w float64
+	}
+	var cws []cw
+	for c, w := range s.weights {
+		cws = append(cws, cw{c, w})
+	}
+	sort.Slice(cws, func(i, j int) bool { return cws[i].c < cws[j].c })
+	out := "sched["
+	for i, x := range cws {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("u%d:w%g:%d", x.c, x.w, s.stepsPerUnit[x.c])
+	}
+	return out + "]"
+}

@@ -1,0 +1,133 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// buildTwoUnits makes a graph with two independent pipelines (two
+// scheduling units), each source → select → sink.
+func buildTwoUnits(t *testing.T) (*graph.Graph, [2]*ops.Source, [2]*int) {
+	t.Helper()
+	g := graph.New("units")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	var srcs [2]*ops.Source
+	var counts [2]*int
+	for i := 0; i < 2; i++ {
+		src := ops.NewSource("src", sch, 0)
+		n := g.AddNode(src)
+		f := g.AddNode(ops.NewSelect("σ", sch, func(*tuple.Tuple) bool { return true }), n)
+		c := new(int)
+		g.AddNode(ops.NewSink("k", func(*tuple.Tuple, tuple.Time) { *c++ }), f)
+		srcs[i] = src
+		counts[i] = c
+	}
+	return g, srcs, counts
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	g, _, _ := buildTwoUnits(t)
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	if len(e.Components()) != 2 {
+		t.Fatalf("components = %d", len(e.Components()))
+	}
+	if _, err := NewScheduler(e, map[int]int{5: 1}); err == nil {
+		t.Error("unknown component weight accepted")
+	}
+	if _, err := NewScheduler(e, map[int]int{0: 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewScheduler(e, nil); err != nil {
+		t.Errorf("uniform scheduler rejected: %v", err)
+	}
+}
+
+func TestSchedulerWeightedShares(t *testing.T) {
+	g, srcs, counts := buildTwoUnits(t)
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	s, err := NewScheduler(e, map[int]int{0: 3, 1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate both units.
+	const n = 600
+	for i := 0; i < n; i++ {
+		srcs[0].Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+		srcs[1].Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+	}
+	// Run only part of the total work so shares are visible mid-flight.
+	s.Run(800)
+	us := s.UnitSteps()
+	ratio := float64(us[0]) / float64(us[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("unit step ratio = %.2f (steps %v), want ≈ 3", ratio, us)
+	}
+	// Both units progressed; neither starved.
+	if *counts[0] == 0 || *counts[1] == 0 {
+		t.Fatalf("deliveries = %d/%d", *counts[0], *counts[1])
+	}
+	// Finish everything: total work completes regardless of weights.
+	s.Run(1 << 20)
+	if *counts[0] != n || *counts[1] != n {
+		t.Fatalf("final deliveries = %d/%d, want %d each", *counts[0], *counts[1], n)
+	}
+	if s.Step() {
+		t.Fatal("scheduler must be quiescent after draining")
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestSchedulerIdleUnitYieldsCapacity(t *testing.T) {
+	g, srcs, counts := buildTwoUnits(t)
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	s, err := NewScheduler(e, map[int]int{0: 1, 1: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only unit 0 has work: despite its tiny weight it must get all steps.
+	for i := 0; i < 50; i++ {
+		srcs[0].Ingest(tuple.NewData(0, tuple.Int(int64(i))), clock)
+	}
+	s.Run(1 << 20)
+	if *counts[0] != 50 {
+		t.Fatalf("starved despite idle competitor: %d/50", *counts[0])
+	}
+	if *counts[1] != 0 {
+		t.Fatalf("unit 1 delivered %d from nothing", *counts[1])
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	g, srcs, _ := buildTwoUnits(t)
+	clock := tuple.Time(0)
+	e := MustNew(g, nil, func() tuple.Time { return clock })
+	srcs[0].Ingest(tuple.NewData(0, tuple.Int(1)), clock)
+	stats := e.NodeStats()
+	if len(stats) != 6 {
+		t.Fatalf("stats = %d nodes", len(stats))
+	}
+	// Inbox occupancy is visible before execution.
+	if stats[0].Buffered != 1 {
+		t.Errorf("source buffered = %d", stats[0].Buffered)
+	}
+	e.Run(100)
+	stats = e.NodeStats()
+	total := uint64(0)
+	for _, st := range stats {
+		total += st.Steps
+	}
+	if total != e.Steps() {
+		t.Errorf("per-node steps (%d) != engine steps (%d)", total, e.Steps())
+	}
+	if stats[0].Comp == stats[3].Comp {
+		t.Error("independent pipelines share a component")
+	}
+}

@@ -1,0 +1,306 @@
+// Package experiments assembles the paper's evaluation (§6): the Figure-4
+// query graph (two selections feeding a union), the 50 / 0.05 tuple-per-
+// second Poisson workload, the four timestamp-management scenarios
+//
+//	A  internally timestamped, no ETS
+//	B  internally timestamped, periodic ETS (Gigascope-style heartbeats)
+//	C  internally timestamped, on-demand ETS (the paper's contribution)
+//	D  latent timestamps (the no-idle-waiting lower bound)
+//
+// and the parameter sweeps behind every figure, table and ablation listed in
+// DESIGN.md. Each experiment returns a Figure of named series that
+// cmd/etsbench renders and bench_test.go asserts shape properties on.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ets"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/sim"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// Scenario names the four timestamp-management configurations of §6.
+type Scenario uint8
+
+const (
+	// ScenarioA uses internal timestamps and never generates ETS.
+	ScenarioA Scenario = iota
+	// ScenarioB uses internal timestamps and periodic heartbeats on the
+	// sparse stream.
+	ScenarioB
+	// ScenarioC uses internal timestamps and on-demand ETS.
+	ScenarioC
+	// ScenarioD uses latent timestamps.
+	ScenarioD
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case ScenarioA:
+		return "A(no-ETS)"
+	case ScenarioB:
+		return "B(periodic)"
+	case ScenarioC:
+		return "C(on-demand)"
+	case ScenarioD:
+		return "D(latent)"
+	default:
+		return "?"
+	}
+}
+
+// QueryKind selects the query graph shape.
+type QueryKind uint8
+
+const (
+	// UnionQuery is the Figure-4 graph: two filtered streams unioned.
+	UnionQuery QueryKind = iota
+	// JoinQuery replaces the union with a symmetric window join (E7).
+	JoinQuery
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Scenario Scenario
+	Query    QueryKind
+
+	// Rate1/Rate2 are average arrival rates (tuples per second) on the
+	// fast and sparse stream. Paper defaults: 50 and 0.05.
+	Rate1, Rate2 float64
+	// HeartbeatRate (scenario B) is the periodic-ETS injection rate, in
+	// punctuation tuples per second, applied to the sparse stream.
+	HeartbeatRate float64
+	// HeartbeatBoth also heartbeats the fast stream (the paper injects
+	// into the sparser stream; enabling this matches systems that
+	// heartbeat everything).
+	HeartbeatBoth bool
+	// Selectivity is the fraction of tuples the per-stream selections
+	// pass (paper: 0.95).
+	Selectivity float64
+
+	// Bursty replaces the fast stream's Poisson process with an on-off
+	// bursty process of the same average rate (E5).
+	Bursty bool
+
+	// External switches both streams to external timestamps with skew
+	// bound Delta (E8); timestamps lag arrival by a deterministic skew.
+	External bool
+	Delta    tuple.Time
+	// CoarseTs quantizes external timestamps down to multiples of the
+	// given granularity, producing the simultaneous tuples of §4.1 (E6).
+	// Delta must be at least CoarseTs to keep the skew bound sound.
+	CoarseTs tuple.Time
+
+	// BasicIWP runs the IWP operator with the Figure-1 rules instead of
+	// the Figure-6 TSM rules (E6: the simultaneous-tuples comparison).
+	BasicIWP bool
+
+	// WindowSpan is the join window for JoinQuery.
+	WindowSpan tuple.Time
+
+	// Horizon/Warmup bound the simulation; CostPerStep is the CPU model.
+	Horizon     tuple.Time
+	Warmup      tuple.Time
+	CostPerStep tuple.Time
+
+	// Strategy and ablation switches (exec engine).
+	Strategy           exec.Strategy
+	BacktrackFirstPred bool
+	NoDedupPunct       bool
+
+	// Validate inserts an arc-discipline validator (ops.Validate) between
+	// the IWP operator and the sink; violations are reported in the
+	// Result. The shape tests run every scenario with it enabled.
+	Validate bool
+
+	Seed int64
+}
+
+// Default returns the paper's experimental setup for the given scenario:
+// Figure-4 union query, 50 / 0.05 t/s Poisson streams, 95% selectivity.
+func Default(s Scenario) Config {
+	return Config{
+		Scenario:    s,
+		Query:       UnionQuery,
+		Rate1:       50,
+		Rate2:       0.05,
+		Selectivity: 0.95,
+		WindowSpan:  2 * tuple.Second,
+		Horizon:     2000 * tuple.Second,
+		Warmup:      100 * tuple.Second,
+		CostPerStep: sim.DefaultCostPerStep,
+		Seed:        42,
+	}
+}
+
+// Result aggregates the metrics of one run.
+type Result struct {
+	Config Config
+
+	// Latency of data tuples at the sink.
+	MeanLatency tuple.Time
+	P95Latency  tuple.Time
+	P99Latency  tuple.Time
+	MaxLatency  tuple.Time
+
+	// PeakQueue is the peak total buffer occupancy (Figure 8 metric).
+	PeakQueue int
+	// IdleFraction is the share of measured time the IWP operator spent
+	// idle-waiting while holding input tuples.
+	IdleFraction float64
+	// Outputs counts data tuples delivered to the sink.
+	Outputs int
+	// ETSGenerated counts ETS punctuation injected at sources (heartbeats
+	// in B, on-demand generations in C).
+	ETSGenerated uint64
+	// Steps counts operator executions.
+	Steps uint64
+	// OrderViolations counts arc-discipline violations observed by the
+	// optional validator (always 0 in a correct engine).
+	OrderViolations int
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-13s lat(mean)=%11.3fms p99=%11.3fms peakQ=%6d idle=%6.2f%% out=%7d ets=%7d",
+		r.Config.Scenario, r.MeanLatency.Millis(), r.P99Latency.Millis(),
+		r.PeakQueue, r.IdleFraction*100, r.Outputs, r.ETSGenerated)
+}
+
+// Run executes one configured simulation and collects its metrics.
+func Run(cfg Config) Result {
+	tsKind := tuple.Internal
+	mode := ops.TSM
+	if cfg.BasicIWP {
+		mode = ops.Basic
+	}
+	if cfg.Scenario == ScenarioD {
+		tsKind = tuple.Latent
+		mode = ops.LatentMode
+	}
+	if cfg.External {
+		tsKind = tuple.External
+	}
+
+	sch1 := tuple.NewSchema("S1", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tsKind)
+	sch2 := tuple.NewSchema("S2", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tsKind)
+	src1 := ops.NewSource("src1", sch1, cfg.Delta)
+	src2 := ops.NewSource("src2", sch2, cfg.Delta)
+
+	g := graph.New("fig4")
+	n1 := g.AddNode(src1)
+	n2 := g.AddNode(src2)
+	selPred := func(t *tuple.Tuple) bool {
+		// Deterministic ~Selectivity filter on the payload counter.
+		return float64(t.Vals[0].AsInt()%1000) < cfg.Selectivity*1000
+	}
+	f1 := g.AddNode(ops.NewSelect("sel1", sch1, selPred), n1)
+	f2 := g.AddNode(ops.NewSelect("sel2", sch2, selPred), n2)
+
+	var iwp graph.NodeID
+	var union *ops.Union
+	var join *ops.WindowJoin
+	switch cfg.Query {
+	case JoinQuery:
+		join = ops.NewWindowJoin("join", nil, window.TimeWindow(cfg.WindowSpan), ops.CrossJoin(), mode)
+		join.DedupPunct = !cfg.NoDedupPunct
+		iwp = g.AddNode(join, f1, f2)
+	default:
+		union = ops.NewUnion("union", nil, 2, mode)
+		union.DedupPunct = !cfg.NoDedupPunct
+		iwp = g.AddNode(union, f1, f2)
+	}
+
+	outNode := iwp
+	var validator *ops.Validate
+	if cfg.Validate {
+		validator = ops.NewValidate("validate", nil)
+		outNode = g.AddNode(validator, iwp)
+	}
+	sink, lat := sim.NewLatencySink("sink")
+	g.AddNode(sink, outNode)
+
+	var policy exec.SourcePolicy
+	var onDemand *ets.OnDemand
+	if cfg.Scenario == ScenarioC {
+		onDemand = &ets.OnDemand{}
+		policy = onDemand
+	}
+
+	var s *sim.Sim
+	engine := exec.MustNew(g, policy, func() tuple.Time { return s.Clock() })
+	engine.Strategy = cfg.Strategy
+	engine.BacktrackFirstPred = cfg.BacktrackFirstPred
+	s = sim.New(engine, cfg.Horizon)
+	s.Warmup = cfg.Warmup
+	if cfg.CostPerStep > 0 {
+		s.CostPerStep = cfg.CostPerStep
+	}
+	s.OnReset = append(s.OnReset, lat.Reset)
+
+	idle := s.TrackIdle(iwp)
+
+	var proc1 sim.Process
+	if cfg.Bursty {
+		// Same average rate: bursts of 1s at 10× the rate, 9s silence.
+		proc1 = sim.NewBursty(cfg.Rate1*10, tuple.Second, 9*tuple.Second, cfg.Seed)
+	} else {
+		proc1 = sim.NewPoisson(cfg.Rate1, cfg.Seed)
+	}
+	extTs := func(arrival tuple.Time, _ uint64) tuple.Time {
+		ts := arrival
+		if cfg.Delta > 0 && cfg.CoarseTs == 0 {
+			ts = arrival - cfg.Delta/2 // stable skew within the bound
+		}
+		if cfg.CoarseTs > 0 {
+			ts = arrival - arrival%cfg.CoarseTs
+		}
+		return ts
+	}
+	st1 := &sim.Stream{Source: src1, Proc: proc1, ExtTs: extTs}
+	st2 := &sim.Stream{Source: src2, Proc: sim.NewPoisson(cfg.Rate2, cfg.Seed+1), ExtTs: extTs}
+	if cfg.Scenario == ScenarioB && cfg.HeartbeatRate > 0 {
+		interval := tuple.Time(float64(tuple.Second) / cfg.HeartbeatRate)
+		if interval < 1 {
+			interval = 1
+		}
+		st2.Heartbeat = interval
+		if cfg.HeartbeatBoth {
+			st1.Heartbeat = interval
+		}
+	}
+	s.AddStream(st1)
+	s.AddStream(st2)
+
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+
+	res := Result{
+		Config:       cfg,
+		MeanLatency:  lat.Mean(),
+		P95Latency:   lat.Percentile(95),
+		P99Latency:   lat.Percentile(99),
+		MaxLatency:   lat.Max(),
+		PeakQueue:    engine.Queues().Peak(),
+		IdleFraction: idle.Fraction(),
+		Outputs:      lat.Count(),
+		Steps:        engine.Steps(),
+	}
+	switch cfg.Scenario {
+	case ScenarioB:
+		res.ETSGenerated = src1.ETSEmitted() + src2.ETSEmitted()
+	case ScenarioC:
+		if onDemand != nil {
+			res.ETSGenerated = onDemand.Generated
+		}
+	}
+	if validator != nil {
+		res.OrderViolations = len(validator.Violations())
+	}
+	return res
+}

@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// short trims a config for test speed while keeping enough slow-stream
+// arrivals for stable shape comparisons.
+func short(cfg Config) Config {
+	cfg.Horizon = 600 * tuple.Second
+	cfg.Warmup = 50 * tuple.Second
+	return cfg
+}
+
+func runShort(s Scenario, mod func(*Config)) Result {
+	cfg := short(Default(s))
+	if mod != nil {
+		mod(&cfg)
+	}
+	return Run(cfg)
+}
+
+// TestScenarioOrdering asserts the paper's headline result: latency ordering
+// A ≫ B ≫ C ≥ D with the documented magnitudes.
+func TestScenarioOrdering(t *testing.T) {
+	a := runShort(ScenarioA, nil)
+	b := runShort(ScenarioB, func(c *Config) { c.HeartbeatRate = 10 })
+	c := runShort(ScenarioC, nil)
+	d := runShort(ScenarioD, nil)
+
+	if !(a.MeanLatency > b.MeanLatency && b.MeanLatency > c.MeanLatency && c.MeanLatency >= d.MeanLatency) {
+		t.Fatalf("ordering violated: A=%v B=%v C=%v D=%v",
+			a.MeanLatency, b.MeanLatency, c.MeanLatency, d.MeanLatency)
+	}
+	// "several orders of magnitude": A/C ≥ 1000 (paper: ~4 orders).
+	if ratio := float64(a.MeanLatency) / float64(c.MeanLatency); ratio < 1000 {
+		t.Errorf("A/C latency ratio = %.0f, want ≥ 1000", ratio)
+	}
+	// C within ~0.2ms of D (paper: ~0.1ms).
+	if gap := c.MeanLatency - d.MeanLatency; gap > 300*tuple.Microsecond {
+		t.Errorf("C-D gap = %v, want ≲ 0.3ms", gap)
+	}
+	// All scenarios deliver essentially the same data tuples.
+	if c.Outputs == 0 || d.Outputs == 0 {
+		t.Fatal("no outputs")
+	}
+	if diff := c.Outputs - d.Outputs; diff > 1 || diff < -1 {
+		t.Errorf("output counts diverge: C=%d D=%d", c.Outputs, d.Outputs)
+	}
+}
+
+// TestIdleWaitingShares asserts the §6 idle-waiting numbers: A≈99%,
+// B@100/s well below A (paper 15%), C below 0.1%.
+func TestIdleWaitingShares(t *testing.T) {
+	a := runShort(ScenarioA, nil)
+	b := runShort(ScenarioB, func(c *Config) { c.HeartbeatRate = 100 })
+	c := runShort(ScenarioC, nil)
+	if a.IdleFraction < 0.95 {
+		t.Errorf("A idle = %.2f%%, want ≥ 95%%", a.IdleFraction*100)
+	}
+	if b.IdleFraction > 0.5 || b.IdleFraction >= a.IdleFraction {
+		t.Errorf("B@100 idle = %.2f%%, want well below A", b.IdleFraction*100)
+	}
+	if c.IdleFraction > 0.001 {
+		t.Errorf("C idle = %.4f%%, want < 0.1%%", c.IdleFraction*100)
+	}
+}
+
+// TestPeakQueueShapes asserts the Figure-8 memory result: A in the
+// thousands, C more than two orders lower, and B's non-monotone curve.
+func TestPeakQueueShapes(t *testing.T) {
+	a := runShort(ScenarioA, nil)
+	c := runShort(ScenarioC, nil)
+	if a.PeakQueue < 500 {
+		t.Errorf("A peak queue = %d, expected hundreds-to-thousands", a.PeakQueue)
+	}
+	if c.PeakQueue*100 > a.PeakQueue {
+		t.Errorf("C peak (%d) not ≥2 orders below A (%d)", c.PeakQueue, a.PeakQueue)
+	}
+	bLow := runShort(ScenarioB, func(cf *Config) { cf.HeartbeatRate = 0.2 })
+	bMid := runShort(ScenarioB, func(cf *Config) { cf.HeartbeatRate = 10 })
+	bHigh := runShort(ScenarioB, func(cf *Config) { cf.HeartbeatRate = 1000 })
+	if !(bMid.PeakQueue < bLow.PeakQueue) {
+		t.Errorf("B peak should fall from %d (0.2/s) to %d (10/s)", bLow.PeakQueue, bMid.PeakQueue)
+	}
+	if !(bHigh.PeakQueue > bMid.PeakQueue) {
+		t.Errorf("B peak should rise again at high rates: mid=%d high=%d", bMid.PeakQueue, bHigh.PeakQueue)
+	}
+}
+
+// TestPeriodicLatencyMonotone asserts Figure 7(a)'s B line: latency falls as
+// the heartbeat rate rises, but never beats on-demand.
+func TestPeriodicLatencyMonotone(t *testing.T) {
+	c := runShort(ScenarioC, nil)
+	prev := tuple.MaxTime
+	for _, rate := range []float64{0.5, 2, 10, 50, 200} {
+		b := runShort(ScenarioB, func(cf *Config) { cf.HeartbeatRate = rate })
+		if b.MeanLatency >= prev {
+			t.Errorf("B latency not decreasing at %g/s: %v ≥ %v", rate, b.MeanLatency, prev)
+		}
+		if b.MeanLatency <= c.MeanLatency {
+			t.Errorf("B@%g/s (%v) beat on-demand (%v)", rate, b.MeanLatency, c.MeanLatency)
+		}
+		prev = b.MeanLatency
+	}
+}
+
+// TestOnDemandETSVolume asserts on-demand generation is proportional to the
+// demand (roughly one per fast-stream tuple), not to time or punct rate.
+func TestOnDemandETSVolume(t *testing.T) {
+	c := runShort(ScenarioC, nil)
+	perOutput := float64(c.ETSGenerated) / float64(c.Outputs)
+	if perOutput < 0.5 || perOutput > 3 {
+		t.Errorf("ETS per output = %.2f (ets=%d, out=%d), want ≈1",
+			perOutput, c.ETSGenerated, c.Outputs)
+	}
+}
+
+// TestSimultaneousTuplesTSMvsBasic asserts the §4.1 claim on coarse
+// timestamps: the TSM rules beat the Figure-1 rules on latency.
+func TestSimultaneousTuplesTSMvsBasic(t *testing.T) {
+	coarse := func(c *Config) {
+		c.External = true
+		c.CoarseTs = 100 * tuple.Millisecond
+		c.Delta = 100 * tuple.Millisecond
+		c.Rate2 = 50
+	}
+	tsm := runShort(ScenarioC, coarse)
+	basic := runShort(ScenarioC, func(c *Config) { coarse(c); c.BasicIWP = true })
+	if tsm.MeanLatency >= basic.MeanLatency {
+		t.Errorf("TSM (%v) should beat basic rules (%v) with simultaneous tuples",
+			tsm.MeanLatency, basic.MeanLatency)
+	}
+	// The §4.1 pathology: the Figure-1 rules idle-wait almost permanently
+	// on equal-timestamp workloads; the TSM rules mostly eliminate it.
+	if basic.IdleFraction < 0.9 {
+		t.Errorf("basic rules idle = %.1f%%, expected ≥ 90%%", basic.IdleFraction*100)
+	}
+	if tsm.IdleFraction > basic.IdleFraction/2 {
+		t.Errorf("TSM idle (%.1f%%) should be far below basic (%.1f%%)",
+			tsm.IdleFraction*100, basic.IdleFraction*100)
+	}
+	// Output counts match up to in-flight tuples at the horizon cut-off.
+	if diff := tsm.Outputs - basic.Outputs; diff < -10 {
+		t.Errorf("TSM delivered %d fewer tuples than basic (%d vs %d)",
+			-diff, tsm.Outputs, basic.Outputs)
+	}
+}
+
+// TestJoinScenarios asserts E7: the join inherits the union's behaviour.
+func TestJoinScenarios(t *testing.T) {
+	mod := func(c *Config) { c.Query = JoinQuery }
+	a := runShort(ScenarioA, mod)
+	c := runShort(ScenarioC, mod)
+	if float64(a.MeanLatency) < 100*float64(c.MeanLatency) {
+		t.Errorf("join: A (%v) should be ≫ C (%v)", a.MeanLatency, c.MeanLatency)
+	}
+	if c.PeakQueue*10 > a.PeakQueue {
+		t.Errorf("join: C peak (%d) should be far below A (%d)", c.PeakQueue, a.PeakQueue)
+	}
+}
+
+// TestExternalSkewBound asserts E8: latency grows with δ (the ETS lags the
+// clock by the skew bound) and no outputs are lost.
+func TestExternalSkewBound(t *testing.T) {
+	base := runShort(ScenarioC, func(c *Config) { c.External = true; c.Delta = 0 })
+	far := runShort(ScenarioC, func(c *Config) {
+		c.External = true
+		c.Delta = 500 * tuple.Millisecond
+	})
+	if far.MeanLatency <= base.MeanLatency {
+		t.Errorf("δ=500ms latency (%v) should exceed δ=0 (%v)", far.MeanLatency, base.MeanLatency)
+	}
+	if far.Outputs == 0 || base.Outputs == 0 {
+		t.Fatal("no outputs under external timestamps")
+	}
+}
+
+// TestAblationBacktrackTarget asserts AB1: first-pred backtracking ruins
+// on-demand ETS.
+func TestAblationBacktrackTarget(t *testing.T) {
+	good := runShort(ScenarioC, nil)
+	bad := runShort(ScenarioC, func(c *Config) { c.BacktrackFirstPred = true })
+	if float64(bad.MeanLatency) < 10*float64(good.MeanLatency) {
+		t.Errorf("first-pred (%v) should be ≫ blocking-input (%v)",
+			bad.MeanLatency, good.MeanLatency)
+	}
+}
+
+// TestAblationScheduling asserts AB3: both strategies deliver, DFS does not
+// lose to round-robin on latency.
+func TestAblationScheduling(t *testing.T) {
+	dfs := runShort(ScenarioC, nil)
+	rr := runShort(ScenarioC, func(c *Config) { c.Strategy = exec.RoundRobin })
+	if rr.Outputs == 0 {
+		t.Fatal("round-robin delivered nothing")
+	}
+	if dfs.MeanLatency > rr.MeanLatency*2 {
+		t.Errorf("DFS (%v) much worse than RR (%v)", dfs.MeanLatency, rr.MeanLatency)
+	}
+}
+
+// TestDeterminism asserts simulations are reproducible from their seed.
+func TestDeterminism(t *testing.T) {
+	r1 := runShort(ScenarioC, nil)
+	r2 := runShort(ScenarioC, nil)
+	if r1.MeanLatency != r2.MeanLatency || r1.PeakQueue != r2.PeakQueue ||
+		r1.Outputs != r2.Outputs || r1.Steps != r2.Steps {
+		t.Errorf("non-deterministic: %+v vs %+v", r1, r2)
+	}
+	r3 := runShort(ScenarioC, func(c *Config) { c.Seed = 777 })
+	if r3.Steps == r1.Steps && r3.MeanLatency == r1.MeanLatency {
+		t.Error("different seeds produced identical runs (suspicious)")
+	}
+}
+
+// TestRegistry asserts the figure registry is consistent.
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry()) {
+		t.Fatal("IDs and Registry disagree")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate figure id %q", id)
+		}
+		seen[id] = true
+		if ByID(id) == nil {
+			t.Errorf("ByID(%q) = nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID must return nil for unknown ids")
+	}
+	for _, want := range []string{"fig7a", "fig7b", "idle", "fig8a", "fig8b"} {
+		if !seen[want] {
+			t.Errorf("missing paper artifact %q", want)
+		}
+	}
+}
+
+// TestScenarioStrings covers the scenario stringer.
+func TestScenarioStrings(t *testing.T) {
+	for s, want := range map[Scenario]string{
+		ScenarioA: "A(no-ETS)", ScenarioB: "B(periodic)",
+		ScenarioC: "C(on-demand)", ScenarioD: "D(latent)",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+// TestFigureRender sanity-checks table rendering without running sweeps.
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		ID: "x", Title: "t", XLabel: "x", YLabel: "y",
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "s", Y: []float64{3}}},
+		Notes:  []string{"n"},
+	}
+	out := f.Render()
+	for _, frag := range []string{"== x: t ==", "note: n", "-"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+// TestArcDisciplineAllScenarios runs every scenario (and the ablation
+// variants that alter execution order) with the validator wired in: the
+// output arc must be timestamp-ordered with sound punctuation in all of
+// them. This is the whole-system invariant behind the paper's model.
+func TestArcDisciplineAllScenarios(t *testing.T) {
+	mods := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"A", func(c *Config) { c.Scenario = ScenarioA }},
+		{"B", func(c *Config) { c.Scenario = ScenarioB; c.HeartbeatRate = 50 }},
+		{"C", func(c *Config) {}},
+		{"C-join", func(c *Config) { c.Query = JoinQuery }},
+		{"C-rr", func(c *Config) { c.Strategy = exec.RoundRobin }},
+		{"C-greedy", func(c *Config) { c.Strategy = exec.GreedyQueue }},
+		{"C-nodedup", func(c *Config) { c.NoDedupPunct = true }},
+		{"C-external", func(c *Config) { c.External = true; c.Delta = 50 * tuple.Millisecond }},
+		{"C-bursty", func(c *Config) { c.Bursty = true }},
+	}
+	for _, m := range mods {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			cfg := short(Default(ScenarioC))
+			cfg.Horizon = 300 * tuple.Second
+			m.mod(&cfg)
+			cfg.Validate = true
+			r := Run(cfg)
+			if r.OrderViolations != 0 {
+				t.Fatalf("%d arc-discipline violations", r.OrderViolations)
+			}
+			if r.Outputs == 0 {
+				t.Fatal("no outputs")
+			}
+		})
+	}
+}

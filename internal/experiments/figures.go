@@ -1,0 +1,528 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/tuple"
+)
+
+// Series is one named line of a figure: Y values over the X sweep. A series
+// that does not depend on X (scenarios A, C, D under a heartbeat-rate sweep)
+// repeats its value so every figure is a rectangular table.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is one reproduced table/figure: an X axis, its series, and notes.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// CSV renders the figure as comma-separated values (header row, then one
+// row per X value) for downstream plotting.
+func (f Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		b.WriteString(",")
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteString("\n")
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, ",%g", s.Y[i])
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Render formats the figure as an aligned text table.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	b.WriteString("\n")
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%-14g", x)
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %16.4f", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// HeartbeatRates is the periodic-ETS sweep used by Figures 7 and 8.
+var HeartbeatRates = []float64{0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// repeat fills a constant series across the sweep.
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// sweepB runs scenario B across the heartbeat rates, applying mod to each
+// config, and returns the per-rate results.
+func sweepB(mod func(*Config)) []Result {
+	out := make([]Result, 0, len(HeartbeatRates))
+	for _, r := range HeartbeatRates {
+		cfg := Default(ScenarioB)
+		cfg.HeartbeatRate = r
+		if mod != nil {
+			mod(&cfg)
+		}
+		out = append(out, Run(cfg))
+	}
+	return out
+}
+
+// runScenario runs one non-B scenario with mod applied.
+func runScenario(s Scenario, mod func(*Config)) Result {
+	cfg := Default(s)
+	if mod != nil {
+		mod(&cfg)
+	}
+	return Run(cfg)
+}
+
+// Figure7a reproduces Figure 7(a): average output latency (ms, log scale in
+// the paper) of scenarios A–D as the periodic-ETS rate sweeps.
+func Figure7a() Figure {
+	a := runScenario(ScenarioA, nil)
+	c := runScenario(ScenarioC, nil)
+	d := runScenario(ScenarioD, nil)
+	bs := sweepB(nil)
+	bY := make([]float64, len(bs))
+	for i, r := range bs {
+		bY[i] = r.MeanLatency.Millis()
+	}
+	n := len(HeartbeatRates)
+	return Figure{
+		ID:     "fig7a",
+		Title:  "Average output latency, union query, 50/0.05 t/s Poisson",
+		XLabel: "punct/s (B)",
+		YLabel: "mean latency (ms)",
+		X:      HeartbeatRates,
+		Series: []Series{
+			{Name: "A no-ETS", Y: repeat(a.MeanLatency.Millis(), n)},
+			{Name: "B periodic", Y: bY},
+			{Name: "C on-demand", Y: repeat(c.MeanLatency.Millis(), n)},
+			{Name: "D latent", Y: repeat(d.MeanLatency.Millis(), n)},
+		},
+		Notes: []string{
+			"paper: B drops with rate but never reaches C; C is ~4 orders below A and indistinguishable from D at this scale",
+		},
+	}
+}
+
+// Figure7b reproduces Figure 7(b): the zoomed C-vs-D gap (the paper reports
+// about 0.1 ms).
+func Figure7b() Figure {
+	c := runScenario(ScenarioC, nil)
+	d := runScenario(ScenarioD, nil)
+	return Figure{
+		ID:     "fig7b",
+		Title:  "Zoom: on-demand ETS vs latent-timestamp lower bound",
+		XLabel: "point",
+		YLabel: "mean latency (ms)",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "C on-demand", Y: []float64{c.MeanLatency.Millis()}},
+			{Name: "D latent", Y: []float64{d.MeanLatency.Millis()}},
+			{Name: "gap C-D", Y: []float64{c.MeanLatency.Millis() - d.MeanLatency.Millis()}},
+		},
+		Notes: []string{"paper: gap ≈ 0.1 ms, four orders of magnitude below A"},
+	}
+}
+
+// IdleWaitingTable reproduces the §6 idle-waiting measurements: the share
+// of time the union spends idle-waiting (paper: A≈99%, B@100/s≈15%, C<0.1%).
+func IdleWaitingTable() Figure {
+	a := runScenario(ScenarioA, nil)
+	c := runScenario(ScenarioC, nil)
+	b100 := Run(func() Config {
+		cfg := Default(ScenarioB)
+		cfg.HeartbeatRate = 100
+		return cfg
+	}())
+	return Figure{
+		ID:     "idle",
+		Title:  "Union idle-waiting share of total time",
+		XLabel: "point",
+		YLabel: "idle-waiting (%)",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "A no-ETS", Y: []float64{a.IdleFraction * 100}},
+			{Name: "B @100/s", Y: []float64{b100.IdleFraction * 100}},
+			{Name: "C on-demand", Y: []float64{c.IdleFraction * 100}},
+		},
+		Notes: []string{"paper: A 99%, B@100/s 15%, C <0.1%"},
+	}
+}
+
+// Figure8a reproduces Figure 8(a): peak total queue size under the 50/0.05
+// rates as the periodic rate sweeps.
+func Figure8a() Figure {
+	a := runScenario(ScenarioA, nil)
+	c := runScenario(ScenarioC, nil)
+	bs := sweepB(nil)
+	bY := make([]float64, len(bs))
+	for i, r := range bs {
+		bY[i] = float64(r.PeakQueue)
+	}
+	n := len(HeartbeatRates)
+	return Figure{
+		ID:     "fig8a",
+		Title:  "Peak total queue size (tuples), union query, 50/0.05 t/s",
+		XLabel: "punct/s (B)",
+		YLabel: "peak tuples",
+		X:      HeartbeatRates,
+		Series: []Series{
+			{Name: "A no-ETS", Y: repeat(float64(a.PeakQueue), n)},
+			{Name: "B periodic", Y: bY},
+			{Name: "C on-demand", Y: repeat(float64(c.PeakQueue), n)},
+		},
+		Notes: []string{
+			"paper: A in the thousands; C more than 2 orders lower; B falls with rate, then rises as punctuation occupies memory",
+		},
+	}
+}
+
+// Figure8b reproduces Figure 8(b): the high-rate memory uptick of periodic
+// ETS under bursty data traffic — punctuation tuples pile up while bursts
+// of data tuples are being processed.
+func Figure8b() Figure {
+	bursty := func(c *Config) { c.Bursty = true }
+	a := runScenario(ScenarioA, bursty)
+	c := runScenario(ScenarioC, bursty)
+	bs := sweepB(bursty)
+	bY := make([]float64, len(bs))
+	for i, r := range bs {
+		bY[i] = float64(r.PeakQueue)
+	}
+	n := len(HeartbeatRates)
+	return Figure{
+		ID:     "fig8b",
+		Title:  "Peak total queue size, bursty fast stream (10x bursts, same average rate)",
+		XLabel: "punct/s (B)",
+		YLabel: "peak tuples",
+		X:      HeartbeatRates,
+		Series: []Series{
+			{Name: "A no-ETS", Y: repeat(float64(a.PeakQueue), n)},
+			{Name: "B periodic", Y: bY},
+			{Name: "C on-demand", Y: repeat(float64(c.PeakQueue), n)},
+		},
+		Notes: []string{
+			"paper: high punctuation rates eventually increase peak memory during data bursts",
+		},
+	}
+}
+
+// TSMExperiment reproduces the §4.1 claim: with coarse (simultaneous)
+// timestamps, the Figure-1 rules strand tuples and idle-wait; the TSM
+// registers + relaxed more condition eliminate it. We compare mean latency
+// on a coarse-timestamp variant of the union workload.
+func TSMExperiment() Figure {
+	// Coarse timestamps: external timestamps truncated to 100ms buckets
+	// (with a matching skew bound so the ETS estimator stays sound), and
+	// equal stream rates so nearly every bucket holds simultaneous tuples
+	// on both inputs.
+	coarse := func(c *Config) {
+		c.External = true
+		c.CoarseTs = 100 * tuple.Millisecond
+		c.Delta = 100 * tuple.Millisecond
+		c.Rate2 = 50
+	}
+	run := func(basic bool) Result {
+		cfg := Default(ScenarioC)
+		coarse(&cfg)
+		cfg.BasicIWP = basic
+		return Run(cfg)
+	}
+	withTSM := run(false)
+	withBasic := run(true)
+	return Figure{
+		ID:     "tsm",
+		Title:  "Simultaneous tuples: Figure-1 rules vs TSM registers (coarse 100ms timestamps, 50/50 t/s)",
+		XLabel: "point",
+		YLabel: "ms / %",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "basic lat(ms)", Y: []float64{withBasic.MeanLatency.Millis()}},
+			{Name: "TSM lat(ms)", Y: []float64{withTSM.MeanLatency.Millis()}},
+			{Name: "basic idle%", Y: []float64{withBasic.IdleFraction * 100}},
+			{Name: "TSM idle%", Y: []float64{withTSM.IdleFraction * 100}},
+		},
+		Notes: []string{
+			"§4.1: the Figure-1 rules strand equal-timestamp tuples and idle-wait almost permanently; TSM registers + the relaxed more condition remove that cause",
+		},
+	}
+}
+
+// JoinExperiment (E7) repeats the A/B/C/D comparison with a window join in
+// place of the union.
+func JoinExperiment() Figure {
+	mod := func(c *Config) {
+		c.Query = JoinQuery
+		c.Rate2 = 0.05
+	}
+	a := runScenario(ScenarioA, mod)
+	c := runScenario(ScenarioC, mod)
+	d := runScenario(ScenarioD, mod)
+	b := Run(func() Config {
+		cfg := Default(ScenarioB)
+		mod(&cfg)
+		cfg.HeartbeatRate = 10
+		return cfg
+	}())
+	return Figure{
+		ID:     "join",
+		Title:  "Window join (2s window): latency and memory across scenarios",
+		XLabel: "point",
+		YLabel: "ms / tuples",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "A lat(ms)", Y: []float64{a.MeanLatency.Millis()}},
+			{Name: "B@10 lat(ms)", Y: []float64{b.MeanLatency.Millis()}},
+			{Name: "C lat(ms)", Y: []float64{c.MeanLatency.Millis()}},
+			{Name: "D lat(ms)", Y: []float64{d.MeanLatency.Millis()}},
+			{Name: "A peakQ", Y: []float64{float64(a.PeakQueue)}},
+			{Name: "C peakQ", Y: []float64{float64(c.PeakQueue)}},
+		},
+		Notes: []string{"§2/§4: join inherits the union's idle-waiting problem and its ETS cure"},
+	}
+}
+
+// ExternalExperiment (E8) exercises external timestamps with a skew bound:
+// on-demand ETS uses the t + τ − δ estimator of §5.
+func ExternalExperiment() Figure {
+	deltas := []float64{0, 10, 50, 100, 500} // ms
+	var lat []float64
+	var ok []float64
+	for _, dm := range deltas {
+		cfg := Default(ScenarioC)
+		cfg.External = true
+		cfg.Delta = tuple.Time(dm * float64(tuple.Millisecond))
+		r := Run(cfg)
+		lat = append(lat, r.MeanLatency.Millis())
+		ok = append(ok, float64(r.Outputs))
+	}
+	return Figure{
+		ID:     "ext",
+		Title:  "External timestamps: on-demand ETS with skew bound δ (t + τ − δ)",
+		XLabel: "δ (ms)",
+		YLabel: "mean latency (ms)",
+		X:      deltas,
+		Series: []Series{
+			{Name: "C lat(ms)", Y: lat},
+			{Name: "outputs", Y: ok},
+		},
+		Notes: []string{"§5: larger skew bounds delay the ETS and raise latency proportionally"},
+	}
+}
+
+// AblationBacktrack (AB1) compares blocking-input backtracking with
+// first-predecessor backtracking under on-demand ETS.
+func AblationBacktrack() Figure {
+	good := runScenario(ScenarioC, nil)
+	bad := runScenario(ScenarioC, func(c *Config) { c.BacktrackFirstPred = true })
+	return Figure{
+		ID:     "ab-backtrack",
+		Title:  "Backtrack target: blocking input (§3.2) vs always-first-pred",
+		XLabel: "point",
+		YLabel: "mean latency (ms)",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "blocking-input", Y: []float64{good.MeanLatency.Millis()}},
+			{Name: "first-pred", Y: []float64{bad.MeanLatency.Millis()}},
+		},
+		Notes: []string{"misdirected backtracking sends ETS demand to the wrong source"},
+	}
+}
+
+// AblationDedup (AB2) measures punctuation deduplication.
+func AblationDedup() Figure {
+	rate := 100.0
+	on := Run(func() Config {
+		c := Default(ScenarioB)
+		c.HeartbeatRate = rate
+		c.HeartbeatBoth = true
+		return c
+	}())
+	off := Run(func() Config {
+		c := Default(ScenarioB)
+		c.HeartbeatRate = rate
+		c.HeartbeatBoth = true
+		c.NoDedupPunct = true
+		return c
+	}())
+	return Figure{
+		ID:     "ab-dedup",
+		Title:  "Punctuation dedup at the union (B @100/s on both streams)",
+		XLabel: "point",
+		YLabel: "steps / peakQ",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "dedup steps", Y: []float64{float64(on.Steps)}},
+			{Name: "no-dedup steps", Y: []float64{float64(off.Steps)}},
+			{Name: "dedup peakQ", Y: []float64{float64(on.PeakQueue)}},
+			{Name: "no-dedup peakQ", Y: []float64{float64(off.PeakQueue)}},
+		},
+		Notes: []string{"forwarding every punct multiplies downstream work"},
+	}
+}
+
+// AblationScheduling (AB3) compares DFS with round-robin scheduling under
+// on-demand ETS.
+func AblationScheduling() Figure {
+	dfs := runScenario(ScenarioC, nil)
+	rr := runScenario(ScenarioC, func(c *Config) { c.Strategy = exec.RoundRobin })
+	gq := runScenario(ScenarioC, func(c *Config) { c.Strategy = exec.GreedyQueue })
+	return Figure{
+		ID:     "ab-sched",
+		Title:  "Scheduling: DFS (paper) vs round-robin vs greedy-queue, on-demand ETS",
+		XLabel: "point",
+		YLabel: "ms / tuples",
+		X:      []float64{0},
+		Series: []Series{
+			{Name: "DFS lat(ms)", Y: []float64{dfs.MeanLatency.Millis()}},
+			{Name: "RR lat(ms)", Y: []float64{rr.MeanLatency.Millis()}},
+			{Name: "GQ lat(ms)", Y: []float64{gq.MeanLatency.Millis()}},
+			{Name: "DFS peakQ", Y: []float64{float64(dfs.PeakQueue)}},
+			{Name: "RR peakQ", Y: []float64{float64(rr.PeakQueue)}},
+			{Name: "GQ peakQ", Y: []float64{float64(gq.PeakQueue)}},
+		},
+		Notes: []string{"DFS expedites tuples toward the sink; the alternatives pay scan overhead"},
+	}
+}
+
+// AblationCost (AB4) sweeps the per-step CPU cost.
+func AblationCost() Figure {
+	costs := []float64{5, 20, 80}
+	var cLat, dLat []float64
+	for _, us := range costs {
+		c := runScenario(ScenarioC, func(cf *Config) { cf.CostPerStep = tuple.Time(us) })
+		d := runScenario(ScenarioD, func(cf *Config) { cf.CostPerStep = tuple.Time(us) })
+		cLat = append(cLat, c.MeanLatency.Millis())
+		dLat = append(dLat, d.MeanLatency.Millis())
+	}
+	return Figure{
+		ID:     "ab-cost",
+		Title:  "Cost-model sensitivity: per-step CPU cost",
+		XLabel: "µs/step",
+		YLabel: "mean latency (ms)",
+		X:      costs,
+		Series: []Series{
+			{Name: "C on-demand", Y: cLat},
+			{Name: "D latent", Y: dLat},
+		},
+		Notes: []string{"the C–D gap scales with the cost of generating and propagating the ETS"},
+	}
+}
+
+// AblationSkew (AB5) sweeps the sparse stream's rate: as the rates converge
+// the idle-waiting problem (and on-demand ETS's advantage) shrinks.
+func AblationSkew() Figure {
+	rates := []float64{0.05, 0.5, 5, 50}
+	var aLat, cLat []float64
+	for _, r2 := range rates {
+		a := runScenario(ScenarioA, func(c *Config) { c.Rate2 = r2 })
+		c := runScenario(ScenarioC, func(c *Config) { c.Rate2 = r2 })
+		aLat = append(aLat, a.MeanLatency.Millis())
+		cLat = append(cLat, c.MeanLatency.Millis())
+	}
+	return Figure{
+		ID:     "ab-skew",
+		Title:  "Rate diversity: sparse-stream rate sweep (fast stream fixed at 50/s)",
+		XLabel: "slow rate (t/s)",
+		YLabel: "mean latency (ms)",
+		X:      rates,
+		Series: []Series{
+			{Name: "A no-ETS", Y: aLat},
+			{Name: "C on-demand", Y: cLat},
+		},
+		Notes: []string{"the paper's motivation: the best case for periodic ETS needs matched rates; on-demand adapts"},
+	}
+}
+
+// Entry pairs a figure id with its generator.
+type Entry struct {
+	ID       string
+	Generate func() Figure
+}
+
+// Registry lists every reproduced figure, in presentation order. The first
+// five entries are the paper's own artifacts; the rest are the §4.1/§5
+// claims and the DESIGN.md ablations.
+func Registry() []Entry {
+	return []Entry{
+		{"fig7a", Figure7a},
+		{"fig7b", Figure7b},
+		{"idle", IdleWaitingTable},
+		{"fig8a", Figure8a},
+		{"fig8b", Figure8b},
+		{"tsm", TSMExperiment},
+		{"join", JoinExperiment},
+		{"ext", ExternalExperiment},
+		{"ab-backtrack", AblationBacktrack},
+		{"ab-dedup", AblationDedup},
+		{"ab-sched", AblationScheduling},
+		{"ab-cost", AblationCost},
+		{"ab-skew", AblationSkew},
+		{"rt", RuntimeFigure},
+	}
+}
+
+// ByID returns the figure generator with the given id, or nil.
+func ByID(id string) func() Figure {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Generate
+		}
+	}
+	return nil
+}
+
+// IDs lists every figure id in presentation order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}

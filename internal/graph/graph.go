@@ -1,0 +1,320 @@
+// Package graph models continuous queries as operator graphs, the structure
+// the paper's execution model is defined over (§3): nodes are query
+// operators (plus source and sink nodes), and each directed arc is a buffer
+// — the producer appends at the tail, the consumer removes from the front.
+//
+// A Graph is assembled with AddNode, validated with Validate, and executed
+// by internal/exec. Graphs are DAGs; each weakly-connected component is an
+// independent scheduling unit.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/buffer"
+	"repro/internal/ops"
+)
+
+// NodeID identifies a node within its Graph.
+type NodeID int
+
+// None marks the absence of a node (e.g. the predecessor of a source).
+const None NodeID = -1
+
+// Arc connects a producer node to one input port of a consumer node. The
+// Buf is the paper's buffer: the producer pushes, the consumer pops.
+type Arc struct {
+	From NodeID
+	To   NodeID
+	Port int // input port of To
+	Buf  *buffer.Queue
+}
+
+// Node is one operator in the graph together with its wiring.
+type Node struct {
+	ID NodeID
+	Op ops.Operator
+
+	// In holds the node's input buffers, one per port (aliases of the
+	// corresponding Arc.Buf).
+	In []*buffer.Queue
+	// Preds holds the producer node of each input port.
+	Preds []NodeID
+	// Out holds the arcs leaving this node (fan-out allowed).
+	Out []*Arc
+}
+
+// IsSource reports whether the node is a source node.
+func (n *Node) IsSource() bool {
+	_, ok := n.Op.(*ops.Source)
+	return ok
+}
+
+// Source returns the node's operator as a *ops.Source, or nil.
+func (n *Node) Source() *ops.Source {
+	s, _ := n.Op.(*ops.Source)
+	return s
+}
+
+// IsSink reports whether the node has no outgoing arcs.
+func (n *Node) IsSink() bool { return len(n.Out) == 0 }
+
+// Graph is a continuous-query operator graph.
+type Graph struct {
+	name  string
+	nodes []*Node
+	arcs  []*Arc
+}
+
+// New returns an empty graph.
+func New(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the graph's name.
+func (g *Graph) Name() string { return g.name }
+
+// AddNode adds op as a node fed by the given predecessors, in input-port
+// order, and returns its id. Source operators take no predecessors. A fresh
+// buffer is created for each (pred, port) arc.
+func (g *Graph) AddNode(op ops.Operator, preds ...NodeID) NodeID {
+	if len(preds) != op.NumInputs() {
+		panic(fmt.Sprintf("graph %s: node %s has %d inputs, got %d predecessors",
+			g.name, op.Name(), op.NumInputs(), len(preds)))
+	}
+	id := NodeID(len(g.nodes))
+	n := &Node{ID: id, Op: op}
+	for port, p := range preds {
+		if p < 0 || int(p) >= len(g.nodes) {
+			panic(fmt.Sprintf("graph %s: node %s references unknown predecessor %d",
+				g.name, op.Name(), p))
+		}
+		arc := &Arc{
+			From: p,
+			To:   id,
+			Port: port,
+			Buf:  buffer.New(fmt.Sprintf("%s->%s[%d]", g.nodes[p].Op.Name(), op.Name(), port)),
+		}
+		g.arcs = append(g.arcs, arc)
+		g.nodes[p].Out = append(g.nodes[p].Out, arc)
+		n.In = append(n.In, arc.Buf)
+		n.Preds = append(n.Preds, p)
+	}
+	g.nodes = append(g.nodes, n)
+	return id
+}
+
+// Node returns the node with the given id.
+func (g *Graph) Node(id NodeID) *Node { return g.nodes[id] }
+
+// Len reports the number of nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// Nodes returns all nodes in insertion order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// Arcs returns all arcs.
+func (g *Graph) Arcs() []*Arc { return g.arcs }
+
+// Sources returns the ids of all source nodes.
+func (g *Graph) Sources() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.IsSource() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Sinks returns the ids of all nodes without outgoing arcs.
+func (g *Graph) Sinks() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.IsSink() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// QueueGroup returns a buffer group over every arc, used to track peak total
+// queue size (the Figure-8 metric). Source inboxes are included: tuples
+// waiting to enter the system occupy memory too.
+func (g *Graph) QueueGroup() *buffer.Group {
+	grp := buffer.NewGroup()
+	for _, a := range g.arcs {
+		grp.Add(a.Buf)
+	}
+	for _, n := range g.nodes {
+		if s := n.Source(); s != nil {
+			grp.Add(s.Inbox())
+		}
+	}
+	return grp
+}
+
+// Validate checks structural well-formedness: at least one node, acyclicity,
+// sources present, and every non-source node reachable from a source.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return fmt.Errorf("graph %s: empty", g.name)
+	}
+	if len(g.Sources()) == 0 {
+		return fmt.Errorf("graph %s: no source nodes", g.name)
+	}
+	for _, n := range g.nodes {
+		if n.IsSource() && len(n.Preds) != 0 {
+			return fmt.Errorf("graph %s: source %s has predecessors", g.name, n.Op.Name())
+		}
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	// Reachability from sources.
+	reached := make([]bool, len(g.nodes))
+	var stack []NodeID
+	for _, s := range g.Sources() {
+		reached[s] = true
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range g.nodes[id].Out {
+			if !reached[a.To] {
+				reached[a.To] = true
+				stack = append(stack, a.To)
+			}
+		}
+	}
+	for i, r := range reached {
+		if !r {
+			return fmt.Errorf("graph %s: node %s unreachable from any source",
+				g.name, g.nodes[i].Op.Name())
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkAcyclic() error {
+	// Kahn's algorithm over in-degrees.
+	indeg := make([]int, len(g.nodes))
+	for _, a := range g.arcs {
+		indeg[a.To]++
+	}
+	var q []NodeID
+	for i, d := range indeg {
+		if d == 0 {
+			q = append(q, NodeID(i))
+		}
+	}
+	seen := 0
+	for len(q) > 0 {
+		id := q[0]
+		q = q[1:]
+		seen++
+		for _, a := range g.nodes[id].Out {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				q = append(q, a.To)
+			}
+		}
+	}
+	if seen != len(g.nodes) {
+		return fmt.Errorf("graph %s: cycle detected", g.name)
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in a topological order (sources first).
+// Validate must have succeeded.
+func (g *Graph) TopoOrder() []NodeID {
+	indeg := make([]int, len(g.nodes))
+	for _, a := range g.arcs {
+		indeg[a.To]++
+	}
+	var q, out []NodeID
+	for i, d := range indeg {
+		if d == 0 {
+			q = append(q, NodeID(i))
+		}
+	}
+	for len(q) > 0 {
+		id := q[0]
+		q = q[1:]
+		out = append(out, id)
+		for _, a := range g.nodes[id].Out {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				q = append(q, a.To)
+			}
+		}
+	}
+	return out
+}
+
+// Components partitions the node ids into weakly-connected components — the
+// paper's scheduling units. Components are returned in ascending order of
+// their smallest node id.
+func (g *Graph) Components() [][]NodeID {
+	parent := make([]int, len(g.nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, a := range g.arcs {
+		union(int(a.From), int(a.To))
+	}
+	byRoot := make(map[int][]NodeID)
+	for i := range g.nodes {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], NodeID(i))
+	}
+	var roots []int
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]NodeID, 0, len(byRoot))
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}
+
+// Dot renders the graph in Graphviz DOT format for inspection.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.name)
+	for _, n := range g.nodes {
+		shape := "box"
+		switch {
+		case n.IsSource():
+			shape = "ellipse"
+		case n.IsSink():
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Op.Name(), shape)
+	}
+	for _, a := range g.arcs {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"port %d\"];\n", a.From, a.To, a.Port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+func passAll(*tuple.Tuple) bool { return true }
+
+// buildUnionGraph assembles the paper's Figure-4 query: two sources, each
+// through a selection, into a union, into a sink.
+func buildUnionGraph(t *testing.T) (*Graph, []NodeID) {
+	t.Helper()
+	g := New("fig4")
+	s1 := g.AddNode(ops.NewSource("src1", tuple.NewSchema("s1"), 0))
+	s2 := g.AddNode(ops.NewSource("src2", tuple.NewSchema("s2"), 0))
+	f1 := g.AddNode(ops.NewSelect("σ1", nil, passAll), s1)
+	f2 := g.AddNode(ops.NewSelect("σ2", nil, passAll), s2)
+	u := g.AddNode(ops.NewUnion("∪", nil, 2, ops.TSM), f1, f2)
+	k := g.AddNode(ops.NewSink("sink", nil), u)
+	return g, []NodeID{s1, s2, f1, f2, u, k}
+}
+
+func TestGraphStructure(t *testing.T) {
+	g, ids := buildUnionGraph(t)
+	if g.Len() != 6 || len(g.Arcs()) != 5 {
+		t.Fatalf("nodes=%d arcs=%d", g.Len(), len(g.Arcs()))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	src := g.Sources()
+	if len(src) != 2 || src[0] != ids[0] || src[1] != ids[1] {
+		t.Errorf("Sources = %v", src)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0] != ids[5] {
+		t.Errorf("Sinks = %v", sinks)
+	}
+	u := g.Node(ids[4])
+	if len(u.In) != 2 || u.Preds[0] != ids[2] || u.Preds[1] != ids[3] {
+		t.Errorf("union wiring: preds=%v", u.Preds)
+	}
+	if !g.Node(ids[0]).IsSource() || g.Node(ids[0]).Source() == nil {
+		t.Error("source detection failed")
+	}
+	if g.Node(ids[4]).IsSource() || g.Node(ids[4]).Source() != nil {
+		t.Error("union misdetected as source")
+	}
+	if !g.Node(ids[5]).IsSink() || g.Node(ids[4]).IsSink() {
+		t.Error("sink detection failed")
+	}
+}
+
+func TestAddNodePanics(t *testing.T) {
+	g := New("bad")
+	s := g.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	for name, fn := range map[string]func(){
+		"wrong arity": func() { g.AddNode(ops.NewUnion("u", nil, 2, ops.Basic), s) },
+		"unknown pred": func() {
+			g.AddNode(ops.NewSink("k", nil), NodeID(99))
+		},
+		"negative pred": func() {
+			g.AddNode(ops.NewSink("k", nil), None)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	empty := New("e")
+	if err := empty.Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	noSource := New("ns")
+	noSource.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	// A graph whose only nodes are non-sources cannot be built through
+	// AddNode without predecessors, so simulate a sourceless graph:
+	ns2 := New("ns2")
+	if err := ns2.Validate(); err == nil {
+		t.Error("sourceless graph accepted")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g, _ := buildUnionGraph(t)
+	order := g.TopoOrder()
+	if len(order) != g.Len() {
+		t.Fatalf("topo covers %d of %d", len(order), g.Len())
+	}
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, a := range g.Arcs() {
+		if pos[a.From] >= pos[a.To] {
+			t.Errorf("arc %d->%d violates topo order", a.From, a.To)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g, _ := buildUnionGraph(t)
+	comps := g.Components()
+	if len(comps) != 1 || len(comps[0]) != 6 {
+		t.Fatalf("components = %v", comps)
+	}
+	// Add a disconnected second query.
+	s3 := g.AddNode(ops.NewSource("src3", tuple.NewSchema("s3"), 0))
+	g.AddNode(ops.NewSink("sink2", nil), s3)
+	comps = g.Components()
+	if len(comps) != 2 || len(comps[1]) != 2 {
+		t.Fatalf("components after second query = %v", comps)
+	}
+}
+
+func TestQueueGroupIncludesInboxes(t *testing.T) {
+	g, ids := buildUnionGraph(t)
+	grp := g.QueueGroup()
+	src := g.Node(ids[0]).Source()
+	src.Offer(tuple.NewData(1))
+	if grp.Total() != 1 {
+		t.Errorf("group must see inbox tuples, total = %d", grp.Total())
+	}
+	g.Node(ids[4]).In[0].Push(tuple.NewData(2))
+	if grp.Total() != 2 {
+		t.Errorf("group must see arc tuples, total = %d", grp.Total())
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	g := New("fan")
+	s := g.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	k1 := g.AddNode(ops.NewSink("k1", nil), s)
+	k2 := g.AddNode(ops.NewSink("k2", nil), s)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sn := g.Node(s)
+	if len(sn.Out) != 2 {
+		t.Fatalf("fan-out arcs = %d", len(sn.Out))
+	}
+	if sn.Out[0].To != k1 || sn.Out[1].To != k2 {
+		t.Errorf("fan-out targets wrong")
+	}
+}
+
+func TestDot(t *testing.T) {
+	g, _ := buildUnionGraph(t)
+	dot := g.Dot()
+	for _, frag := range []string{"digraph", "ellipse", "doublecircle", "->"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("Dot missing %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package metrics provides the measurement instruments used by the
+// experiment harness: latency accumulators with percentiles and histograms,
+// and per-operator idle-waiting time accounting (the paper reports average
+// output latency, peak total queue size, and the percentage of time the
+// union operator spends idle-waiting).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/tuple"
+)
+
+// Latency accumulates latency samples in virtual time.
+type Latency struct {
+	samples []tuple.Time
+	sum     float64
+	max     tuple.Time
+	min     tuple.Time
+}
+
+// NewLatency returns an empty accumulator.
+func NewLatency() *Latency {
+	return &Latency{min: tuple.MaxTime, max: tuple.MinTime}
+}
+
+// Reset discards all samples (e.g. at the end of a warm-up period).
+func (l *Latency) Reset() {
+	l.samples = l.samples[:0]
+	l.sum = 0
+	l.min = tuple.MaxTime
+	l.max = tuple.MinTime
+}
+
+// Observe records one latency sample.
+func (l *Latency) Observe(d tuple.Time) {
+	l.samples = append(l.samples, d)
+	l.sum += float64(d)
+	if d > l.max {
+		l.max = d
+	}
+	if d < l.min {
+		l.min = d
+	}
+}
+
+// Count reports the number of samples.
+func (l *Latency) Count() int { return len(l.samples) }
+
+// Mean reports the average latency, or 0 with no samples.
+func (l *Latency) Mean() tuple.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return tuple.Time(l.sum / float64(len(l.samples)))
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (l *Latency) Max() tuple.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.max
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (l *Latency) Min() tuple.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	return l.min
+}
+
+// Percentile reports the p-th percentile (0 < p ≤ 100) by nearest-rank, or
+// 0 with no samples.
+func (l *Latency) Percentile(p float64) tuple.Time {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]tuple.Time(nil), l.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// Histogram buckets the samples into n logarithmic buckets between min and
+// max (in µs) and renders a small text histogram.
+func (l *Latency) Histogram(n int) string {
+	if len(l.samples) == 0 || n <= 0 {
+		return "(no samples)"
+	}
+	lo, hi := float64(l.Min()), float64(l.Max())
+	if lo < 1 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	counts := make([]int, n)
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for _, s := range l.samples {
+		v := float64(s)
+		if v < 1 {
+			v = 1
+		}
+		b := int(float64(n) * (math.Log(v) - logLo) / (logHi - logLo))
+		if b >= n {
+			b = n - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		from := math.Exp(logLo + (logHi-logLo)*float64(i)/float64(n))
+		bar := ""
+		if peak > 0 {
+			bar = strings.Repeat("#", c*40/peak)
+		}
+		fmt.Fprintf(&b, "%12.0fµs |%-40s %d\n", from, bar, c)
+	}
+	return b.String()
+}
+
+// IdleAccount tracks, for one operator, how much virtual time it has spent
+// idle-waiting: blocked by timestamp uncertainty while holding at least one
+// input tuple it could otherwise process. This matches the paper's §6
+// measurement ("the percentage of time the union operator spends in an
+// idle-waiting state").
+type IdleAccount struct {
+	idle  tuple.Time
+	total tuple.Time
+}
+
+// AddIdle charges d of idle-waiting time.
+func (a *IdleAccount) AddIdle(d tuple.Time) { a.idle += d }
+
+// AddTotal charges d of observed (wall) time.
+func (a *IdleAccount) AddTotal(d tuple.Time) { a.total += d }
+
+// Idle reports the accumulated idle-waiting time.
+func (a *IdleAccount) Idle() tuple.Time { return a.idle }
+
+// Total reports the accumulated observation time.
+func (a *IdleAccount) Total() tuple.Time { return a.total }
+
+// Fraction reports idle/total in [0,1], or 0 when nothing was observed.
+func (a *IdleAccount) Fraction() float64 {
+	if a.total == 0 {
+		return 0
+	}
+	return float64(a.idle) / float64(a.total)
+}
+
+// Reset zeroes the account (e.g. at the end of a warm-up period).
+func (a *IdleAccount) Reset() { a.idle, a.total = 0, 0 }
+
+// Counter is a simple named counter set, used for ad-hoc experiment
+// accounting (tuples seen, ETS generated, steps executed, ...).
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (c *Counter) Add(name string, delta int64) { c.counts[name] += delta }
+
+// Get reads the named counter.
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names returns the counter names in sorted order.
+func (c *Counter) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (c *Counter) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d ", n, c.counts[n])
+	}
+	return strings.TrimSpace(b.String())
+}

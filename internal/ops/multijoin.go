@@ -1,0 +1,195 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tsm"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// MultiPred decides whether a candidate combination of tuples — one per
+// input, with vals[i] from input i — joins. The tuple that just arrived is
+// always present in the combination.
+type MultiPred func(vals []*tuple.Tuple) bool
+
+// MultiEquiJoin matches combinations whose values at the given column (one
+// index per input) are all equal.
+func MultiEquiJoin(cols ...int) MultiPred {
+	return func(vals []*tuple.Tuple) bool {
+		first := vals[0].Vals[cols[0]]
+		for i := 1; i < len(vals); i++ {
+			if !vals[i].Vals[cols[i]].Equal(first) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// MultiJoin is the n-way symmetric window join the paper defers ("we omit
+// here the discussion of multi-way joins ... whose treatment is however
+// similar to that of binary joins", §2). Each input keeps a window; a new
+// tuple on input i joins against the cross product of the other windows.
+// TSM registers make the operator punctuation-aware exactly like the binary
+// join: every input needs a timestamp bound before the operator may run,
+// punctuation expires every other window, and the merged bound propagates.
+type MultiJoin struct {
+	base
+	pred MultiPred
+	regs *tsm.Registers
+	wins []*window.Store
+
+	// DedupPunct is as for Union and WindowJoin.
+	DedupPunct bool
+	watermark  tuple.Time
+
+	dataOut  uint64
+	punctOut uint64
+}
+
+// NewMultiJoin builds an n-way symmetric window join (n ≥ 2, TSM rules).
+func NewMultiJoin(name string, schema *tuple.Schema, n int, spec window.Spec, pred MultiPred) *MultiJoin {
+	if n < 2 {
+		panic(fmt.Sprintf("multijoin %s: need at least 2 inputs, got %d", name, n))
+	}
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("multijoin %s: %v", name, err))
+	}
+	j := &MultiJoin{
+		base:       base{name: name, inputs: n, schema: schema},
+		pred:       pred,
+		regs:       tsm.New(n),
+		DedupPunct: true,
+		watermark:  tuple.MinTime,
+	}
+	j.wins = make([]*window.Store, n)
+	for i := range j.wins {
+		j.wins[i] = window.NewStore(spec)
+	}
+	return j
+}
+
+// Window exposes the window store of input i.
+func (j *MultiJoin) Window(i int) *window.Store { return j.wins[i] }
+
+// DataEmitted reports the number of joined combinations emitted.
+func (j *MultiJoin) DataEmitted() uint64 { return j.dataOut }
+
+// PunctEmitted reports the number of punctuation tuples emitted.
+func (j *MultiJoin) PunctEmitted() uint64 { return j.punctOut }
+
+// More implements the relaxed condition over all n inputs.
+func (j *MultiJoin) More(ctx *Ctx) bool {
+	j.regs.Observe(ctx.Ins)
+	ok, _, _ := j.regs.More(ctx.Ins)
+	return ok
+}
+
+// BlockingInput identifies the input to backtrack into.
+func (j *MultiJoin) BlockingInput(ctx *Ctx) int {
+	j.regs.Observe(ctx.Ins)
+	if ok, _, _ := j.regs.More(ctx.Ins); ok {
+		return -1
+	}
+	return j.regs.BlockingInput(ctx.Ins)
+}
+
+// Exec performs one production/consumption step.
+func (j *MultiJoin) Exec(ctx *Ctx) bool {
+	j.regs.Observe(ctx.Ins)
+	ok, input, τ := j.regs.More(ctx.Ins)
+	if !ok {
+		return false
+	}
+	t := ctx.Ins[input].Pop()
+	if !t.IsPunct() {
+		if τ > j.watermark {
+			j.watermark = τ
+		}
+		return j.produce(ctx, input, t)
+	}
+	// Punctuation: expire every other window against the bound, then
+	// propagate the merged bound.
+	for i, w := range j.wins {
+		if i != input {
+			w.ExpireTo(t.Ts)
+		}
+	}
+	j.regs.Observe(ctx.Ins)
+	bound, _ := j.regs.Min()
+	if !j.DedupPunct {
+		j.punctOut++
+		ctx.Emit(t)
+		return true
+	}
+	if bound > j.watermark && bound != tuple.MaxTime {
+		j.watermark = bound
+		j.punctOut++
+		ctx.Emit(tuple.NewPunct(bound))
+		return true
+	}
+	if t.IsEOS() && j.allEOS() {
+		j.punctOut++
+		ctx.Emit(tuple.EOS())
+		return true
+	}
+	return false
+}
+
+func (j *MultiJoin) allEOS() bool {
+	for i := 0; i < j.regs.Len(); i++ {
+		if j.regs.Get(i) != tuple.MaxTime {
+			return false
+		}
+	}
+	return true
+}
+
+// produce joins the arriving tuple against the cross product of the other
+// windows, emits qualifying combinations (values concatenated in input
+// order, timestamp τ of the arriving tuple), and inserts the tuple into its
+// own window.
+func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
+	n := len(j.wins)
+	for i, w := range j.wins {
+		if i != input {
+			w.ExpireTo(t.Ts)
+		}
+	}
+	combo := make([]*tuple.Tuple, n)
+	combo[input] = t
+	yield := false
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			if !j.pred(combo) {
+				return
+			}
+			size := 0
+			for _, c := range combo {
+				size += len(c.Vals)
+			}
+			vals := make([]tuple.Value, 0, size)
+			for _, c := range combo {
+				vals = append(vals, c.Vals...)
+			}
+			j.dataOut++
+			yield = true
+			ctx.Emit(&tuple.Tuple{Ts: t.Ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived})
+			return
+		}
+		if i == input {
+			walk(i + 1)
+			return
+		}
+		j.wins[i].Each(func(o *tuple.Tuple) {
+			combo[i] = o
+			walk(i + 1)
+		})
+		combo[i] = nil
+	}
+	walk(0)
+	j.wins[input].Insert(t)
+	return yield
+}

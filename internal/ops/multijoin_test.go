@@ -1,0 +1,146 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func TestMultiJoinValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"one input":  func() { NewMultiJoin("j", nil, 1, window.TimeWindow(10), nil) },
+		"bad window": func() { NewMultiJoin("j", nil, 3, window.Spec{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMultiEquiJoinPredicate(t *testing.T) {
+	p := MultiEquiJoin(0, 0, 0)
+	a := keyed(1, 5)
+	b := keyed(2, 5)
+	c := keyed(3, 5)
+	if !p([]*tuple.Tuple{a, b, c}) {
+		t.Error("equal keys rejected")
+	}
+	if p([]*tuple.Tuple{a, b, keyed(3, 6)}) {
+		t.Error("unequal keys accepted")
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	j := NewMultiJoin("j", nil, 3, window.TimeWindow(100), MultiEquiJoin(0, 0, 0))
+	h := newHarness(j)
+	// Key 7 appears on all three inputs within the window; key 8 on two.
+	h.ins[0].Push(keyed(1, 7))
+	h.ins[1].Push(keyed(2, 7))
+	h.ins[2].Push(keyed(3, 7))
+	h.ins[0].Push(keyed(4, 8))
+	h.ins[1].Push(keyed(5, 8))
+	for i := 0; i < 3; i++ {
+		h.ins[i].Push(tuple.EOS())
+	}
+	h.run()
+	d := h.data()
+	if len(d) != 1 {
+		t.Fatalf("combinations = %v", d)
+	}
+	// Output carries input-order concatenated values at the arrival ts of
+	// the completing tuple.
+	if d[0].Ts != 3 || len(d[0].Vals) != 3 {
+		t.Fatalf("combination = %v", d[0])
+	}
+	for _, v := range d[0].Vals {
+		if v.AsInt() != 7 {
+			t.Fatalf("combination vals = %v", d[0].Vals)
+		}
+	}
+	if j.DataEmitted() != 1 {
+		t.Errorf("DataEmitted = %d", j.DataEmitted())
+	}
+	// EOS propagated once all inputs hit it.
+	p := h.puncts()
+	if len(p) == 0 || !p[len(p)-1].IsEOS() {
+		t.Fatalf("EOS not propagated: %v", p)
+	}
+}
+
+func TestMultiJoinRequiresBoundOnEveryInput(t *testing.T) {
+	j := NewMultiJoin("j", nil, 3, window.TimeWindow(100), MultiEquiJoin(0, 0, 0))
+	h := newHarness(j)
+	h.ins[0].Push(keyed(1, 7))
+	h.ins[1].Push(keyed(2, 7))
+	if j.More(h.ctx) {
+		t.Fatal("must wait for a bound on input 2")
+	}
+	if b := j.BlockingInput(h.ctx); b != 2 {
+		t.Fatalf("BlockingInput = %d", b)
+	}
+	// A punctuation on input 2 releases input 0's tuple; input 1 then
+	// waits on input 0's register (1) until a bound arrives there too.
+	h.ins[2].Push(tuple.NewPunct(50))
+	h.run()
+	if !h.ins[0].Empty() {
+		t.Fatal("input 0 should have drained")
+	}
+	if h.ins[1].Empty() {
+		t.Fatal("input 1 must wait for a bound on drained input 0")
+	}
+	h.ins[0].Push(tuple.NewPunct(50))
+	h.run()
+	if !h.ins[1].Empty() {
+		t.Fatal("input 1 should have drained after the bound")
+	}
+	if j.Window(0).Len() != 1 || j.Window(1).Len() != 1 {
+		t.Fatal("tuples should sit in their windows")
+	}
+}
+
+func TestMultiJoinPunctExpiresWindows(t *testing.T) {
+	j := NewMultiJoin("j", nil, 3, window.TimeWindow(10), func([]*tuple.Tuple) bool { return true })
+	h := newHarness(j)
+	h.ins[0].Push(keyed(0, 1))
+	h.ins[1].Push(tuple.NewPunct(0))
+	h.ins[2].Push(tuple.NewPunct(0))
+	h.run()
+	if j.Window(0).Len() != 1 {
+		t.Fatalf("window 0 = %d", j.Window(0).Len())
+	}
+	for i := 0; i < 3; i++ {
+		h.ins[i].Push(tuple.NewPunct(100))
+	}
+	h.run()
+	if j.Window(0).Len() != 0 {
+		t.Fatalf("punct failed to expire window: %d live", j.Window(0).Len())
+	}
+	if len(h.puncts()) == 0 {
+		t.Fatal("bound not propagated")
+	}
+}
+
+func TestMultiJoinCrossProductCount(t *testing.T) {
+	// 2 tuples on each of inputs 1 and 2 in-window, then 1 tuple arrives
+	// on input 0: 1×2×2 = 4 combinations.
+	j := NewMultiJoin("j", nil, 3, window.TimeWindow(1000), func([]*tuple.Tuple) bool { return true })
+	h := newHarness(j)
+	h.ins[1].Push(keyed(1, 10))
+	h.ins[1].Push(keyed(2, 11))
+	h.ins[2].Push(keyed(3, 20))
+	h.ins[2].Push(keyed(4, 21))
+	h.ins[0].Push(keyed(5, 30))
+	for i := 0; i < 3; i++ {
+		h.ins[i].Push(tuple.EOS())
+	}
+	h.run()
+	if got := len(h.data()); got != 4 {
+		t.Fatalf("combinations = %d, want 4", got)
+	}
+}

@@ -1,0 +1,285 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/tuple"
+)
+
+// harness wires an operator to input queues, an output capture and a
+// settable clock, and drives it with the Encore rule (run while More).
+type harness struct {
+	op  Operator
+	ins []*buffer.Queue
+	out []*tuple.Tuple
+	now tuple.Time
+	ctx *Ctx
+}
+
+func newHarness(op Operator) *harness {
+	h := &harness{op: op}
+	h.ins = make([]*buffer.Queue, op.NumInputs())
+	for i := range h.ins {
+		h.ins[i] = buffer.New("in")
+	}
+	h.ctx = &Ctx{
+		Ins:  h.ins,
+		Emit: func(t *tuple.Tuple) { h.out = append(h.out, t) },
+		Now:  func() tuple.Time { return h.now },
+	}
+	return h
+}
+
+// run executes the operator while More holds, returning the number of steps.
+func (h *harness) run() int {
+	steps := 0
+	for h.op.More(h.ctx) {
+		h.op.Exec(h.ctx)
+		steps++
+		if steps > 100000 {
+			panic("harness: runaway operator")
+		}
+	}
+	return steps
+}
+
+// data returns the emitted data tuples.
+func (h *harness) data() []*tuple.Tuple {
+	var d []*tuple.Tuple
+	for _, t := range h.out {
+		if !t.IsPunct() {
+			d = append(d, t)
+		}
+	}
+	return d
+}
+
+// puncts returns the emitted punctuation tuples.
+func (h *harness) puncts() []*tuple.Tuple {
+	var p []*tuple.Tuple
+	for _, t := range h.out {
+		if t.IsPunct() {
+			p = append(p, t)
+		}
+	}
+	return p
+}
+
+func tsOf(ts ...tuple.Time) []*tuple.Tuple {
+	out := make([]*tuple.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = tuple.NewData(t, tuple.Int(int64(i)))
+	}
+	return out
+}
+
+func wantTs(t *testing.T, got []*tuple.Tuple, want ...tuple.Time) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d tuples, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Ts != want[i] {
+			t.Fatalf("tuple %d: ts=%v, want %v (all: %v)", i, got[i].Ts, want[i], got)
+		}
+	}
+}
+
+func TestSourceInternalStamping(t *testing.T) {
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	src := NewSource("s", sch, 0)
+	if src.TSKind() != tuple.Internal {
+		t.Fatal("default schema must be internal")
+	}
+	h := newHarness(src)
+	h.now = 500
+	src.Ingest(tuple.NewData(0, tuple.Int(1)), h.now) // raw ts ignored
+	if !src.More(h.ctx) {
+		t.Fatal("More must be true with inbox content")
+	}
+	if !src.Exec(h.ctx) {
+		t.Fatal("Exec must yield")
+	}
+	wantTs(t, h.out, 500)
+	if h.out[0].Arrived != 500 || h.out[0].Seq != 1 {
+		t.Errorf("arrival metadata wrong: %+v", h.out[0])
+	}
+	if src.Emitted() != 1 {
+		t.Errorf("Emitted = %d", src.Emitted())
+	}
+}
+
+func TestSourceExternalKeepsTs(t *testing.T) {
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tuple.External)
+	src := NewSource("s", sch, 100)
+	h := newHarness(src)
+	h.now = 500
+	src.Ingest(tuple.NewData(123, tuple.Int(1)), h.now)
+	src.Exec(h.ctx)
+	wantTs(t, h.out, 123)
+	if h.out[0].Arrived != 500 {
+		t.Errorf("Arrived = %v", h.out[0].Arrived)
+	}
+}
+
+func TestSourceLatentClearsTs(t *testing.T) {
+	sch := tuple.NewSchema("s").WithTS(tuple.Latent)
+	src := NewSource("s", sch, 0)
+	h := newHarness(src)
+	h.now = 500
+	src.Ingest(tuple.NewData(77), h.now)
+	src.Exec(h.ctx)
+	if h.out[0].Ts != tuple.MinTime {
+		t.Errorf("latent ts = %v, want MinTime", h.out[0].Ts)
+	}
+}
+
+func TestSourceOnDemandETSInternal(t *testing.T) {
+	src := NewSource("s", tuple.NewSchema("s"), 0)
+	p, ok := src.OnDemandETS(900)
+	if !ok || !p.IsPunct() || p.Ts != 900 {
+		t.Fatalf("OnDemandETS = %v, %v", p, ok)
+	}
+	// Clock unchanged: a second ETS is useless.
+	if _, ok := src.OnDemandETS(900); ok {
+		t.Fatal("repeated ETS at same clock must fail")
+	}
+	if p, ok := src.OnDemandETS(901); !ok || p.Ts != 901 {
+		t.Fatal("advancing clock must enable a new ETS")
+	}
+}
+
+func TestSourceOnDemandETSExternal(t *testing.T) {
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tuple.External)
+	src := NewSource("s", sch, 10)
+	if _, ok := src.OnDemandETS(50); ok {
+		t.Fatal("external ETS before any tuple must fail")
+	}
+	h := newHarness(src)
+	h.now = 105
+	src.Ingest(tuple.NewData(100, tuple.Int(1)), h.now)
+	src.Exec(h.ctx)
+	p, ok := src.OnDemandETS(145)
+	if !ok || p.Ts != 130 { // 100 + 40 − 10
+		t.Fatalf("external ETS = %v, %v; want 130", p, ok)
+	}
+}
+
+func TestSourceOnDemandETSLatent(t *testing.T) {
+	src := NewSource("s", tuple.NewSchema("s").WithTS(tuple.Latent), 0)
+	if _, ok := src.OnDemandETS(100); ok {
+		t.Fatal("latent streams must not generate ETS")
+	}
+}
+
+func TestSourceInjectETS(t *testing.T) {
+	src := NewSource("s", tuple.NewSchema("s"), 0)
+	if !src.InjectETS(100) {
+		t.Fatal("internal InjectETS must succeed")
+	}
+	h := newHarness(src)
+	h.now = 250
+	src.Exec(h.ctx)
+	// Heartbeat carries the injection-time bound.
+	if len(h.puncts()) != 1 || h.puncts()[0].Ts != 100 {
+		t.Fatalf("heartbeat = %v", h.out)
+	}
+	if src.ETSEmitted() != 1 {
+		t.Errorf("ETSEmitted = %d", src.ETSEmitted())
+	}
+	lat := NewSource("l", tuple.NewSchema("l").WithTS(tuple.Latent), 0)
+	if lat.InjectETS(100) {
+		t.Fatal("latent InjectETS must fail")
+	}
+}
+
+func TestSinkEliminatesPunctuation(t *testing.T) {
+	var got []*tuple.Tuple
+	var at []tuple.Time
+	sink := NewSink("k", func(tp *tuple.Tuple, now tuple.Time) {
+		got = append(got, tp)
+		at = append(at, now)
+	})
+	h := newHarness(sink)
+	h.now = 42
+	h.ins[0].Push(tuple.NewData(1, tuple.Int(5)))
+	h.ins[0].Push(tuple.NewPunct(2))
+	h.ins[0].Push(tuple.NewData(3, tuple.Int(6)))
+	h.run()
+	if len(got) != 2 || got[0].Ts != 1 || got[1].Ts != 3 {
+		t.Fatalf("sink data = %v", got)
+	}
+	if at[0] != 42 {
+		t.Errorf("delivery clock = %v", at[0])
+	}
+	if sink.Received() != 2 || sink.PunctEliminated() != 1 {
+		t.Errorf("counters: %d data, %d punct", sink.Received(), sink.PunctEliminated())
+	}
+	if sink.BlockingInput(h.ctx) != 0 {
+		t.Error("empty sink must block on input 0")
+	}
+	h.ins[0].Push(tuple.NewData(4))
+	if sink.BlockingInput(h.ctx) != -1 {
+		t.Error("non-empty sink must not block")
+	}
+}
+
+func TestSelectFiltersDataPassesPunct(t *testing.T) {
+	sel := NewSelect("σ", nil, func(tp *tuple.Tuple) bool { return tp.Vals[0].AsInt()%2 == 0 })
+	h := newHarness(sel)
+	for i := 0; i < 6; i++ {
+		h.ins[0].Push(tuple.NewData(tuple.Time(i), tuple.Int(int64(i))))
+	}
+	h.ins[0].Push(tuple.NewPunct(10))
+	h.run()
+	d := h.data()
+	wantTs(t, d, 0, 2, 4)
+	if len(h.puncts()) != 1 || h.puncts()[0].Ts != 10 {
+		t.Fatalf("punct not passed: %v", h.out)
+	}
+	if sel.Processed() != 6 || sel.Emitted() != 3 {
+		t.Errorf("counters: %d/%d", sel.Processed(), sel.Emitted())
+	}
+}
+
+func TestProject(t *testing.T) {
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "a", Kind: tuple.IntKind},
+		tuple.Field{Name: "b", Kind: tuple.StringKind},
+		tuple.Field{Name: "c", Kind: tuple.FloatKind},
+	)
+	_, idx, err := sch.Project("p", "c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProject("π", nil, idx)
+	h := newHarness(p)
+	h.ins[0].Push(tuple.NewData(7, tuple.Int(1), tuple.String_("x"), tuple.Float(2.5)))
+	h.run()
+	out := h.data()[0]
+	if out.Ts != 7 || len(out.Vals) != 2 || out.Vals[0].AsFloat() != 2.5 || out.Vals[1].AsInt() != 1 {
+		t.Fatalf("projected tuple = %v", out)
+	}
+}
+
+func TestMapDropAndTransform(t *testing.T) {
+	m := NewMap("µ", nil, func(tp *tuple.Tuple) *tuple.Tuple {
+		v := tp.Vals[0].AsInt()
+		if v < 0 {
+			return nil
+		}
+		return tuple.NewData(999, tuple.Int(v*10)) // wrong ts on purpose
+	})
+	h := newHarness(m)
+	h.ins[0].Push(tuple.NewData(3, tuple.Int(4)))
+	h.ins[0].Push(tuple.NewData(5, tuple.Int(-1)))
+	h.run()
+	d := h.data()
+	if len(d) != 1 || d[0].Vals[0].AsInt() != 40 {
+		t.Fatalf("mapped = %v", d)
+	}
+	if d[0].Ts != 3 {
+		t.Errorf("map must preserve input timestamp, got %v", d[0].Ts)
+	}
+}

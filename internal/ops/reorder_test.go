@@ -1,0 +1,172 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestReorderRejectsNegativeSlack(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative slack accepted")
+		}
+	}()
+	NewReorder("r", nil, -1)
+}
+
+func TestReorderSortsWithinSlack(t *testing.T) {
+	r := NewReorder("r", nil, 10)
+	h := newHarness(r)
+	for _, ts := range []tuple.Time{5, 3, 8, 6, 20, 15, 30} {
+		h.ins[0].Push(tuple.NewData(ts))
+	}
+	h.run()
+	// High-water 30 releases everything ≤ 20.
+	wantTs(t, h.data(), 3, 5, 6, 8, 15, 20)
+	if r.Buffered() != 1 {
+		t.Errorf("buffered = %d", r.Buffered())
+	}
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestReorderPunctFlushes(t *testing.T) {
+	r := NewReorder("r", nil, 100)
+	h := newHarness(r)
+	h.ins[0].Push(tuple.NewData(5))
+	h.ins[0].Push(tuple.NewData(3))
+	h.run()
+	if len(h.data()) != 0 {
+		t.Fatal("slack 100 must hold everything back")
+	}
+	h.ins[0].Push(tuple.NewPunct(10))
+	h.run()
+	wantTs(t, h.data(), 3, 5)
+	p := h.puncts()
+	if len(p) != 1 || p[0].Ts != 10 {
+		t.Fatalf("punct pass-through = %v", p)
+	}
+}
+
+func TestReorderDropsLateTuples(t *testing.T) {
+	r := NewReorder("r", nil, 5)
+	h := newHarness(r)
+	h.ins[0].Push(tuple.NewData(100)) // releases everything ≤ 95
+	h.ins[0].Push(tuple.NewData(50))  // < released high bound? released=MinTime yet
+	h.run()
+	// 100 arrives: nothing released yet (heap: {100}, release bound 95 →
+	// nothing ≤ 95 except... 100 > 95 stays). 50 arrives: bound still 95
+	// → releases 50. Order is fine since nothing was emitted before it.
+	wantTs(t, h.data(), 50)
+	// Now a punct at 200 flushes 100; a later tuple at 90 is too late.
+	h.ins[0].Push(tuple.NewPunct(200))
+	h.run()
+	wantTs(t, h.data(), 50, 100)
+	h.ins[0].Push(tuple.NewData(90))
+	h.run()
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", r.Dropped())
+	}
+	wantTs(t, h.data(), 50, 100)
+}
+
+func TestReorderSimultaneousWithReleased(t *testing.T) {
+	r := NewReorder("r", nil, 0)
+	h := newHarness(r)
+	h.ins[0].Push(tuple.NewData(10))
+	h.run()
+	// Slack 0: high-water 10 releases ts ≤ 10 immediately.
+	wantTs(t, h.data(), 10)
+	// An equal-timestamp tuple is not "late": simultaneous tuples pass.
+	h.ins[0].Push(tuple.NewData(10))
+	h.run()
+	wantTs(t, h.data(), 10, 10)
+	if r.Dropped() != 0 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+}
+
+func TestReorderEOSFlushesAll(t *testing.T) {
+	r := NewReorder("r", nil, 1000)
+	h := newHarness(r)
+	h.ins[0].Push(tuple.NewData(7))
+	h.ins[0].Push(tuple.NewData(2))
+	h.ins[0].Push(tuple.EOS())
+	h.run()
+	wantTs(t, h.data(), 2, 7)
+	p := h.puncts()
+	if len(p) != 1 || !p[0].IsEOS() {
+		t.Fatalf("EOS = %v", p)
+	}
+	if r.Emitted() != 2 {
+		t.Errorf("Emitted = %d", r.Emitted())
+	}
+}
+
+// Property: for any input sequence with bounded disorder ≤ slack, the
+// reorder operator emits every tuple, in nondecreasing timestamp order.
+func TestReorderProperty(t *testing.T) {
+	f := func(gaps []uint8, jitter []uint8, slackRaw uint8) bool {
+		slack := tuple.Time(slackRaw%32) + 32 // ≥ max jitter
+		r := NewReorder("r", nil, slack)
+		h := newHarness(r)
+		base := tuple.Time(0)
+		n := 0
+		for i, g := range gaps {
+			base += tuple.Time(g % 16)
+			ts := base
+			if i < len(jitter) {
+				ts -= tuple.Time(jitter[i] % 32) // bounded backward jitter
+			}
+			if ts < 0 {
+				ts = 0
+			}
+			h.ins[0].Push(tuple.NewData(ts))
+			n++
+		}
+		h.ins[0].Push(tuple.EOS())
+		h.run()
+		d := h.data()
+		if len(d)+int(r.Dropped()) != n {
+			return false
+		}
+		// With jitter < slack... jitter max 31 < slack min 32: nothing
+		// may be dropped and order must hold.
+		if r.Dropped() != 0 {
+			return false
+		}
+		prev := tuple.MinTime
+		for _, tp := range d {
+			if tp.Ts < prev {
+				return false
+			}
+			prev = tp.Ts
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderFeedsUnionCleanly(t *testing.T) {
+	// Integration: disordered input → reorder → TSM union stays sound.
+	u := NewUnion("u", nil, 2, TSM)
+	r := NewReorder("r", nil, 10)
+	hr := newHarness(r)
+	hu := newHarness(u)
+	for _, ts := range []tuple.Time{4, 2, 9, 7, 30} {
+		hr.ins[0].Push(tuple.NewData(ts))
+	}
+	hr.ins[0].Push(tuple.EOS())
+	hr.run()
+	for _, tp := range hr.out {
+		hu.ins[0].Push(tp)
+	}
+	hu.ins[1].Push(tuple.EOS())
+	hu.run()
+	wantTs(t, hu.data(), 2, 4, 7, 9, 30)
+}

@@ -1,0 +1,225 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/tsm"
+	"repro/internal/tuple"
+)
+
+// Source is the operator form of a source node. External wrappers (or the
+// simulation driver) deposit raw tuples into the source's inbox; an
+// execution step moves one tuple from the inbox to the output arcs,
+// timestamping it according to the stream's timestamp kind:
+//
+//   - Internal: the tuple is stamped with the current virtual clock;
+//   - External: the tuple keeps its application timestamp (the source
+//     verifies order and feeds its skew estimator);
+//   - Latent: the tuple keeps no timestamp (tuple.MinTime).
+//
+// The source also owns the stream's ETS estimator (§5): when the execution
+// engine backtracks to a source whose inbox is empty, it asks the source for
+// an on-demand ETS; periodic-heartbeat drivers call InjectETS on a timer.
+type Source struct {
+	base
+	tsKind tuple.TSKind
+	inbox  *buffer.Queue
+	est    *tsm.ETSEstimator
+	seq    uint64
+
+	// stats
+	emitted    uint64
+	etsEmitted uint64
+}
+
+// NewSource returns a source for the given schema. For external streams,
+// delta is the maximum skew bound used by the ETS estimator; it is ignored
+// for other kinds.
+func NewSource(name string, schema *tuple.Schema, delta tuple.Time) *Source {
+	kind := tuple.Internal
+	if schema != nil {
+		kind = schema.TS
+	}
+	s := &Source{
+		base:   base{name: name, inputs: 0, schema: schema},
+		tsKind: kind,
+		inbox:  buffer.New(name + ".inbox"),
+	}
+	switch kind {
+	case tuple.Internal:
+		s.est = tsm.NewInternalEstimator()
+	case tuple.External:
+		s.est = tsm.NewExternalEstimator(delta)
+	}
+	return s
+}
+
+// TSKind reports the stream's timestamp kind.
+func (s *Source) TSKind() tuple.TSKind { return s.tsKind }
+
+// Inbox returns the queue external wrappers deposit tuples into.
+func (s *Source) Inbox() *buffer.Queue { return s.inbox }
+
+// Offer deposits an already-stamped tuple into the inbox (wrapper side).
+// Most callers should use Ingest, which applies the stream's timestamping
+// rule first.
+func (s *Source) Offer(t *tuple.Tuple) { s.inbox.Push(t) }
+
+// Ingest stamps a raw tuple according to the stream's timestamp kind as of
+// clock now — the moment it enters the DSMS (§5) — and deposits it into the
+// inbox. Timestamping happens here rather than when the source operator
+// runs, so queueing delay inside the system is visible to latency metrics.
+func (s *Source) Ingest(raw *tuple.Tuple, now tuple.Time) {
+	t := raw
+	switch s.tsKind {
+	case tuple.Internal:
+		t = raw.WithTs(now)
+	case tuple.Latent:
+		t = raw.WithTs(tuple.MinTime)
+	case tuple.External:
+		// keep the application timestamp
+	}
+	t.Arrived = now
+	s.inbox.Push(t)
+}
+
+// Emitted reports the number of data tuples the source has emitted.
+func (s *Source) Emitted() uint64 { return s.emitted }
+
+// ETSEmitted reports the number of punctuation tuples the source has
+// emitted (periodic and on-demand combined).
+func (s *Source) ETSEmitted() uint64 { return s.etsEmitted }
+
+// More reports whether the inbox holds a tuple.
+func (s *Source) More(*Ctx) bool { return !s.inbox.Empty() }
+
+// BlockingInput always returns -1: a source has no upstream.
+func (s *Source) BlockingInput(*Ctx) int { return -1 }
+
+// Exec moves one tuple from the inbox (already stamped by Ingest) to the
+// output and feeds the stream's ETS estimator.
+func (s *Source) Exec(ctx *Ctx) bool {
+	out := s.inbox.Pop()
+	if out == nil {
+		return false
+	}
+	if out.IsPunct() {
+		if s.est != nil && !out.IsEOS() {
+			s.est.Emit(out.Ts)
+		}
+		s.etsEmitted++
+		ctx.Emit(out)
+		return true
+	}
+	s.seq++
+	out.Seq = s.seq
+	if s.est != nil {
+		s.est.ObserveTuple(out.Ts, out.Arrived)
+		// A data tuple is itself a watermark carrier: future ETS must
+		// exceed it to be useful.
+		s.est.Emit(out.Ts)
+	}
+	s.emitted++
+	ctx.Emit(out)
+	return true
+}
+
+// OnDemandETS generates an Enabling Time-Stamp for the current clock, as the
+// paper's backtrack-to-source rule requires (§4, §5). It returns false when
+// the stream kind admits no ETS (latent), no bound exists yet (external
+// before the first tuple), or the bound has not advanced since the last ETS
+// — re-issuing it could not unblock anything and would make a quiescent
+// graph spin.
+func (s *Source) OnDemandETS(now tuple.Time) (*tuple.Tuple, bool) {
+	if s.est == nil {
+		return nil, false
+	}
+	ets, ok := s.est.ETS(now)
+	if !ok {
+		return nil, false
+	}
+	s.est.Emit(ets)
+	return tuple.NewPunct(ets), true
+}
+
+// InjectETS pushes a heartbeat punctuation into the inbox; the periodic
+// (Gigascope-style) driver calls this at fixed intervals. Internal streams
+// stamp the heartbeat with the injection clock; external streams use the
+// estimator's current bound if one exists. Unlike on-demand generation,
+// periodic injection happens regardless of whether anything downstream is
+// idle-waiting — that indiscriminateness is what the paper improves on.
+func (s *Source) InjectETS(now tuple.Time) bool {
+	switch s.tsKind {
+	case tuple.Latent:
+		return false
+	case tuple.Internal:
+		s.inbox.Push(tuple.NewPunct(now))
+		return true
+	default: // external
+		if s.est == nil {
+			return false
+		}
+		ets, ok := s.est.ETS(now)
+		if !ok {
+			return false
+		}
+		s.inbox.Push(tuple.NewPunct(ets))
+		return true
+	}
+}
+
+func (s *Source) String() string {
+	return fmt.Sprintf("source %s (%v, inbox=%d)", s.name, s.tsKind, s.inbox.Len())
+}
+
+// Sink is the operator form of a sink node: it consumes every input tuple,
+// eliminates punctuation (paper §3: "sink nodes should also eliminate
+// punctuation tuples since they are only needed internally"), and hands data
+// tuples to an optional callback — the output wrapper.
+type Sink struct {
+	base
+	onTuple func(t *tuple.Tuple, now tuple.Time)
+
+	received uint64
+	punct    uint64
+}
+
+// NewSink returns a sink; onTuple may be nil.
+func NewSink(name string, onTuple func(t *tuple.Tuple, now tuple.Time)) *Sink {
+	return &Sink{base: base{name: name, inputs: 1}, onTuple: onTuple}
+}
+
+// Received reports the number of data tuples delivered.
+func (s *Sink) Received() uint64 { return s.received }
+
+// PunctEliminated reports the number of punctuation tuples dropped.
+func (s *Sink) PunctEliminated() uint64 { return s.punct }
+
+// More reports whether the input holds a tuple.
+func (s *Sink) More(ctx *Ctx) bool { return !ctx.Ins[0].Empty() }
+
+// BlockingInput returns 0 when the input is empty.
+func (s *Sink) BlockingInput(ctx *Ctx) int {
+	if ctx.Ins[0].Empty() {
+		return 0
+	}
+	return -1
+}
+
+// Exec consumes one tuple. Sinks never yield (they have no output arcs).
+func (s *Sink) Exec(ctx *Ctx) bool {
+	t := ctx.Ins[0].Pop()
+	if t == nil {
+		return false
+	}
+	if t.IsPunct() {
+		s.punct++
+		return false
+	}
+	s.received++
+	if s.onTuple != nil {
+		s.onTuple(t, ctx.Now())
+	}
+	return false
+}

@@ -1,0 +1,277 @@
+package ops
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestUnionNeedsTwoInputs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("1-input union must panic")
+		}
+	}()
+	NewUnion("u", nil, 1, Basic)
+}
+
+func TestBasicUnionMerges(t *testing.T) {
+	u := NewUnion("u", nil, 2, Basic)
+	if u.Mode() != Basic || u.Registers() != nil {
+		t.Fatal("mode/registers wrong")
+	}
+	h := newHarness(u)
+	for _, ts := range []tuple.Time{1, 4, 9} {
+		h.ins[0].Push(tuple.NewData(ts))
+	}
+	for _, ts := range []tuple.Time{2, 3, 10} {
+		h.ins[1].Push(tuple.NewData(ts))
+	}
+	h.run()
+	// Basic more fails once an input drains: after consuming 1,2,3,4 input
+	// 1 holds {9}, input 2 holds {10}; 9 goes, then input 1 is empty.
+	wantTs(t, h.data(), 1, 2, 3, 4, 9)
+	if u.BlockingInput(h.ctx) != 0 {
+		t.Errorf("BlockingInput = %d", u.BlockingInput(h.ctx))
+	}
+}
+
+func TestBasicUnionIdleWaitsOnEmptyInput(t *testing.T) {
+	u := NewUnion("u", nil, 2, Basic)
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewData(1))
+	if u.More(h.ctx) {
+		t.Fatal("basic union must idle-wait with an empty input")
+	}
+	if u.BlockingInput(h.ctx) != 1 {
+		t.Errorf("BlockingInput = %d", u.BlockingInput(h.ctx))
+	}
+}
+
+func TestTSMUnionUnblockedByPunctuation(t *testing.T) {
+	u := NewUnion("u", nil, 2, TSM)
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewData(5))
+	h.ins[0].Push(tuple.NewData(8))
+	if u.More(h.ctx) {
+		t.Fatal("no bound on input 1 yet")
+	}
+	if u.BlockingInput(h.ctx) != 1 {
+		t.Fatalf("BlockingInput = %d", u.BlockingInput(h.ctx))
+	}
+	// An ETS punctuation at 7 releases the tuple at 5 but not the one at 8.
+	h.ins[1].Push(tuple.NewPunct(7))
+	h.run()
+	wantTs(t, h.data(), 5)
+	// The punctuation itself was consumed and propagated with the merged
+	// bound min(7, 8) = 7.
+	p := h.puncts()
+	if len(p) != 1 || p[0].Ts != 7 {
+		t.Fatalf("puncts = %v", p)
+	}
+	if u.More(h.ctx) {
+		t.Fatal("tuple at 8 must wait for a bound ≥ 8")
+	}
+	h.ins[1].Push(tuple.NewPunct(9))
+	h.run()
+	wantTs(t, h.data(), 5, 8)
+}
+
+func TestTSMUnionSimultaneousTuples(t *testing.T) {
+	// §4.1: with coarse timestamps, all simultaneous tuples must flow with
+	// no idle-waiting once each input's register reaches τ.
+	u := NewUnion("u", nil, 2, TSM)
+	h := newHarness(u)
+	for i := 0; i < 3; i++ {
+		h.ins[0].Push(tuple.NewData(100))
+	}
+	for i := 0; i < 2; i++ {
+		h.ins[1].Push(tuple.NewData(100))
+	}
+	h.run()
+	if len(h.data()) != 5 {
+		t.Fatalf("emitted %d of 5 simultaneous tuples", len(h.data()))
+	}
+	// Late-arriving simultaneous tuples also pass: registers remember 100.
+	h.ins[1].Push(tuple.NewData(100))
+	h.run()
+	if len(h.data()) != 6 {
+		t.Fatal("late simultaneous tuple idle-waited")
+	}
+}
+
+func TestBasicUnionStrandsSimultaneousTuples(t *testing.T) {
+	// The failure mode the TSM registers fix (§4.1): Figure-1 rules move
+	// one tuple at a time, so one input drains and the other idles.
+	u := NewUnion("u", nil, 2, Basic)
+	h := newHarness(u)
+	for i := 0; i < 3; i++ {
+		h.ins[0].Push(tuple.NewData(100))
+	}
+	for i := 0; i < 2; i++ {
+		h.ins[1].Push(tuple.NewData(100))
+	}
+	h.run()
+	if len(h.data()) == 5 {
+		t.Fatal("basic union unexpectedly processed all simultaneous tuples")
+	}
+	if h.ins[0].Empty() && h.ins[1].Empty() {
+		t.Fatal("expected stranded tuples")
+	}
+}
+
+func TestTSMUnionOrderedOutput(t *testing.T) {
+	u := NewUnion("u", nil, 3, TSM)
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewData(1))
+	h.ins[0].Push(tuple.NewData(7))
+	h.ins[1].Push(tuple.NewData(2))
+	h.ins[1].Push(tuple.NewData(8))
+	h.ins[2].Push(tuple.NewData(3))
+	h.ins[2].Push(tuple.NewData(9))
+	h.run()
+	// Merge proceeds to 7; consuming 7 drains input 0 whose register (7)
+	// is then the operator minimum, so 8 and 9 must wait for a new bound
+	// on input 0.
+	wantTs(t, h.data(), 1, 2, 3, 7)
+	if u.More(h.ctx) {
+		t.Fatal("8 must wait for a bound on input 0")
+	}
+	if u.BlockingInput(h.ctx) != 0 {
+		t.Fatalf("BlockingInput = %d", u.BlockingInput(h.ctx))
+	}
+	h.ins[0].Push(tuple.NewPunct(20))
+	h.run()
+	// The bound on input 0 releases 8; then input 1 (register 8) blocks 9.
+	wantTs(t, h.data(), 1, 2, 3, 7, 8)
+	h.ins[1].Push(tuple.NewPunct(20))
+	h.run()
+	wantTs(t, h.data(), 1, 2, 3, 7, 8, 9)
+}
+
+func TestTSMUnionPunctDedup(t *testing.T) {
+	u := NewUnion("u", nil, 2, TSM)
+	h := newHarness(u)
+	// Both inputs punctuate at 5: only one output punct should appear.
+	h.ins[0].Push(tuple.NewPunct(5))
+	h.ins[1].Push(tuple.NewPunct(5))
+	h.run()
+	if len(h.puncts()) != 1 || h.puncts()[0].Ts != 5 {
+		t.Fatalf("deduped puncts = %v", h.puncts())
+	}
+	if u.PunctEmitted() != 1 {
+		t.Errorf("PunctEmitted = %d", u.PunctEmitted())
+	}
+}
+
+func TestTSMUnionPunctNoDedup(t *testing.T) {
+	u := NewUnion("u", nil, 2, TSM)
+	u.DedupPunct = false
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewPunct(5))
+	h.ins[1].Push(tuple.NewPunct(5))
+	h.run()
+	if len(h.puncts()) != 2 {
+		t.Fatalf("raw puncts = %v", h.puncts())
+	}
+}
+
+func TestTSMUnionPunctNotEmittedBehindData(t *testing.T) {
+	u := NewUnion("u", nil, 2, TSM)
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewData(10))
+	h.ins[1].Push(tuple.NewData(10))
+	h.ins[1].Push(tuple.NewPunct(10))
+	h.run()
+	// The punct at 10 conveys nothing beyond the data at 10: suppressed.
+	if len(h.puncts()) != 0 {
+		t.Fatalf("puncts = %v", h.puncts())
+	}
+	wantTs(t, h.data(), 10, 10)
+}
+
+func TestTSMUnionEOS(t *testing.T) {
+	u := NewUnion("u", nil, 2, TSM)
+	h := newHarness(u)
+	h.ins[0].Push(tuple.NewData(1))
+	h.ins[0].Push(tuple.EOS())
+	h.ins[1].Push(tuple.NewData(2))
+	h.ins[1].Push(tuple.EOS())
+	h.run()
+	wantTs(t, h.data(), 1, 2)
+	p := h.puncts()
+	if len(p) == 0 || !p[len(p)-1].IsEOS() {
+		t.Fatalf("EOS not propagated: %v", p)
+	}
+}
+
+func TestLatentUnionArrivalOrder(t *testing.T) {
+	u := NewUnion("u", nil, 2, LatentMode)
+	h := newHarness(u)
+	// Only input 0 has tuples: latent union must not wait for input 1.
+	h.ins[0].Push(tuple.NewData(tuple.MinTime, tuple.Int(1)))
+	h.ins[0].Push(tuple.NewData(tuple.MinTime, tuple.Int(2)))
+	h.run()
+	if len(h.data()) != 2 {
+		t.Fatalf("latent union emitted %d", len(h.data()))
+	}
+	if u.BlockingInput(h.ctx) != -1 {
+		t.Error("latent union never blocks on an input")
+	}
+}
+
+func TestLatentUnionRoundRobin(t *testing.T) {
+	u := NewUnion("u", nil, 2, LatentMode)
+	h := newHarness(u)
+	for i := 0; i < 3; i++ {
+		h.ins[0].Push(tuple.NewData(tuple.MinTime, tuple.Int(0)))
+		h.ins[1].Push(tuple.NewData(tuple.MinTime, tuple.Int(1)))
+	}
+	h.run()
+	d := h.data()
+	if len(d) != 6 {
+		t.Fatalf("emitted %d", len(d))
+	}
+	// Alternating origin: no starvation.
+	for i := 1; i < len(d); i++ {
+		if d[i].Vals[0].AsInt() == d[i-1].Vals[0].AsInt() {
+			t.Fatalf("round robin violated at %d: %v", i, d)
+		}
+	}
+}
+
+// Property: a TSM union's data output is always nondecreasing in timestamp,
+// for any interleaving of ordered inputs with punctuation.
+func TestTSMUnionOrderProperty(t *testing.T) {
+	f := func(aGaps, bGaps []uint8, punctEvery uint8) bool {
+		u := NewUnion("u", nil, 2, TSM)
+		h := newHarness(u)
+		feed := func(q int, gaps []uint8) {
+			ts := tuple.Time(0)
+			for i, g := range gaps {
+				ts += tuple.Time(g)
+				h.ins[q].Push(tuple.NewData(ts))
+				if punctEvery > 0 && i%(int(punctEvery)+1) == 0 {
+					h.ins[q].Push(tuple.NewPunct(ts))
+				}
+			}
+			h.ins[q].Push(tuple.EOS())
+		}
+		feed(0, aGaps)
+		feed(1, bGaps)
+		h.run()
+		prev := tuple.MinTime
+		for _, d := range h.data() {
+			if d.Ts < prev {
+				return false
+			}
+			prev = d.Ts
+		}
+		// With EOS on both inputs everything must drain.
+		return len(h.data()) == len(aGaps)+len(bGaps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Violation describes one arc-discipline violation observed by a Validate
+// operator.
+type Violation struct {
+	// Seq is the position in the validated stream (1-based).
+	Seq uint64
+	// Msg describes the violation.
+	Msg string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("#%d: %s", v.Seq, v.Msg) }
+
+// Validate is a transparent assertion operator: it forwards every tuple
+// unchanged while checking the discipline every arc in this system must
+// obey —
+//
+//  1. timestamps are nondecreasing, and
+//  2. punctuation is sound: no data tuple ever carries a timestamp smaller
+//     than a previously seen punctuation's (an ETS is a promise about the
+//     future; a violation means some upstream operator lied).
+//
+// Insert it between stages while developing custom operators, or wire it
+// into tests; production graphs normally omit it. Violations are recorded
+// (bounded) rather than panicking, so a misbehaving pipeline can still be
+// inspected.
+type Validate struct {
+	base
+	lastTs     tuple.Time
+	bound      tuple.Time // strongest punctuation promise seen
+	seq        uint64
+	violations []Violation
+
+	// MaxViolations bounds the recorded list (default 16).
+	MaxViolations int
+}
+
+// NewValidate builds a validation operator.
+func NewValidate(name string, schema *tuple.Schema) *Validate {
+	return &Validate{
+		base:          base{name: name, inputs: 1, schema: schema},
+		lastTs:        tuple.MinTime,
+		bound:         tuple.MinTime,
+		MaxViolations: 16,
+	}
+}
+
+// Violations returns the recorded violations.
+func (v *Validate) Violations() []Violation { return v.violations }
+
+// Ok reports whether no violation has been observed.
+func (v *Validate) Ok() bool { return len(v.violations) == 0 }
+
+// Checked reports the number of tuples validated.
+func (v *Validate) Checked() uint64 { return v.seq }
+
+func (v *Validate) record(format string, args ...interface{}) {
+	if len(v.violations) >= v.MaxViolations {
+		return
+	}
+	v.violations = append(v.violations, Violation{Seq: v.seq, Msg: fmt.Sprintf(format, args...)})
+}
+
+// More reports whether the input holds a tuple.
+func (v *Validate) More(ctx *Ctx) bool { return !ctx.Ins[0].Empty() }
+
+// BlockingInput returns 0 when the input is empty.
+func (v *Validate) BlockingInput(ctx *Ctx) int {
+	if ctx.Ins[0].Empty() {
+		return 0
+	}
+	return -1
+}
+
+// Exec validates and forwards one tuple.
+func (v *Validate) Exec(ctx *Ctx) bool {
+	t := ctx.Ins[0].Pop()
+	if t == nil {
+		return false
+	}
+	v.seq++
+	if t.Ts != tuple.MinTime && t.Ts < v.lastTs {
+		v.record("timestamp order violated: %v after %v", t.Ts, v.lastTs)
+	}
+	if t.Ts > v.lastTs {
+		v.lastTs = t.Ts
+	}
+	if t.IsPunct() {
+		if t.Ts > v.bound {
+			v.bound = t.Ts
+		}
+	} else if t.Ts != tuple.MinTime && t.Ts < v.bound {
+		v.record("punctuation broken: data at %v after a promise of %v", t.Ts, v.bound)
+	}
+	ctx.Emit(t)
+	return true
+}

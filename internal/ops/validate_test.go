@@ -1,0 +1,121 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestValidateCleanStream(t *testing.T) {
+	v := NewValidate("v", nil)
+	h := newHarness(v)
+	h.ins[0].Push(tuple.NewData(1))
+	h.ins[0].Push(tuple.NewPunct(2))
+	h.ins[0].Push(tuple.NewData(2)) // equal to the promise: allowed
+	h.ins[0].Push(tuple.NewData(5))
+	h.run()
+	if !v.Ok() {
+		t.Fatalf("violations on a clean stream: %v", v.Violations())
+	}
+	if v.Checked() != 4 || len(h.out) != 4 {
+		t.Errorf("checked=%d forwarded=%d", v.Checked(), len(h.out))
+	}
+}
+
+func TestValidateDetectsDisorder(t *testing.T) {
+	v := NewValidate("v", nil)
+	h := newHarness(v)
+	h.ins[0].Push(tuple.NewData(5))
+	h.ins[0].Push(tuple.NewData(3))
+	h.run()
+	if v.Ok() || len(v.Violations()) != 1 {
+		t.Fatalf("violations = %v", v.Violations())
+	}
+	if !strings.Contains(v.Violations()[0].String(), "order violated") {
+		t.Errorf("message: %v", v.Violations()[0])
+	}
+	// Everything was still forwarded (transparent operator).
+	if len(h.out) != 2 {
+		t.Error("validator swallowed tuples")
+	}
+}
+
+func TestValidateDetectsBrokenPunctuation(t *testing.T) {
+	v := NewValidate("v", nil)
+	h := newHarness(v)
+	h.ins[0].Push(tuple.NewPunct(10))
+	h.ins[0].Push(tuple.NewData(7)) // violates the ETS promise AND order
+	h.run()
+	if v.Ok() {
+		t.Fatal("broken punctuation not detected")
+	}
+	found := false
+	for _, viol := range v.Violations() {
+		if strings.Contains(viol.Msg, "punctuation broken") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v", v.Violations())
+	}
+}
+
+func TestValidateLatentTuplesIgnored(t *testing.T) {
+	v := NewValidate("v", nil)
+	h := newHarness(v)
+	h.ins[0].Push(tuple.NewData(5))
+	h.ins[0].Push(tuple.NewData(tuple.MinTime)) // latent: exempt from order
+	h.run()
+	if !v.Ok() {
+		t.Fatalf("latent tuple flagged: %v", v.Violations())
+	}
+}
+
+func TestValidateBoundsRecording(t *testing.T) {
+	v := NewValidate("v", nil)
+	v.MaxViolations = 2
+	h := newHarness(v)
+	for ts := tuple.Time(100); ts > 0; ts -= 10 {
+		h.ins[0].Push(tuple.NewData(ts))
+	}
+	h.run()
+	if len(v.Violations()) != 2 {
+		t.Fatalf("recorded %d violations, want cap 2", len(v.Violations()))
+	}
+}
+
+// Property: every operator in this library preserves arc discipline — feed
+// ordered streams (with punctuation) through select→union and validate the
+// output.
+func TestPipelineDisciplineProperty(t *testing.T) {
+	f := func(aGaps, bGaps []uint8, punctEvery uint8) bool {
+		u := NewUnion("u", nil, 2, TSM)
+		val := NewValidate("v", nil)
+		hu := newHarness(u)
+		hv := newHarness(val)
+		feed := func(q int, gaps []uint8) {
+			ts := tuple.Time(0)
+			for i, g := range gaps {
+				ts += tuple.Time(g % 10)
+				hu.ins[q].Push(tuple.NewData(ts))
+				if punctEvery > 0 && i%(int(punctEvery)+1) == 0 {
+					hu.ins[q].Push(tuple.NewPunct(ts))
+				}
+			}
+			hu.ins[q].Push(tuple.EOS())
+		}
+		feed(0, aGaps)
+		feed(1, bGaps)
+		hu.run()
+		for _, tp := range hu.out {
+			hv.ins[0].Push(tp)
+		}
+		hv.run()
+		return val.Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

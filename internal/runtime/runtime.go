@@ -1,0 +1,351 @@
+// Package runtime executes a query graph in real time with one goroutine
+// per operator and channels as arcs — the natural Go embodiment of the
+// paper's execution model. Where the simulation engine discovers ETS demand
+// by backtracking, the concurrent engine propagates an explicit *demand
+// signal* upstream: an idle-waiting operator that holds data but cannot run
+// sends a demand toward the source feeding its blocking input; the source
+// answers with an on-demand ETS punctuation (subject to the same per-kind
+// estimator rules). Demand signals are hints — they are sent without
+// blocking and dropped when a node is busy, which keeps the engine
+// deadlock-free (data flows strictly downstream, demand strictly upstream,
+// and only data sends may block).
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// Options configures a runtime engine.
+type Options struct {
+	// OnDemandETS enables demand-driven ETS generation at sources.
+	OnDemandETS bool
+	// ChannelDepth sets per-arc channel capacity (default 256).
+	ChannelDepth int
+	// Now supplies the clock; defaults to wall time in µs since engine
+	// start.
+	Now func() tuple.Time
+}
+
+// Engine runs one query graph concurrently.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+	now  func() tuple.Time
+
+	nodes   []*node
+	wg      sync.WaitGroup
+	started bool
+	stop    chan struct{}
+	mu      sync.Mutex
+
+	etsGenerated atomic.Uint64
+}
+
+type portTuple struct {
+	port int
+	t    *tuple.Tuple
+}
+
+type node struct {
+	gn  *graph.Node
+	in  chan portTuple // fan-in of all input arcs
+	dem chan struct{}  // demand signals from downstream
+
+	outs     []*node // per out-arc consumer
+	outPorts []int
+
+	eosSeen []bool
+	ins     []*buffer.Queue
+}
+
+// New builds a runtime engine over a validated graph.
+func New(g *graph.Graph, opts Options) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	depth := opts.ChannelDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	e := &Engine{g: g, opts: opts, stop: make(chan struct{})}
+	if opts.Now != nil {
+		e.now = opts.Now
+	} else {
+		start := time.Now()
+		e.now = func() tuple.Time { return tuple.FromDuration(time.Since(start)) }
+	}
+	e.nodes = make([]*node, g.Len())
+	for _, gn := range g.Nodes() {
+		n := &node{
+			gn:      gn,
+			in:      make(chan portTuple, depth),
+			dem:     make(chan struct{}, 1),
+			eosSeen: make([]bool, gn.Op.NumInputs()),
+		}
+		n.ins = make([]*buffer.Queue, gn.Op.NumInputs())
+		for i := range n.ins {
+			n.ins[i] = buffer.New(fmt.Sprintf("%s.in%d", gn.Op.Name(), i))
+		}
+		e.nodes[gn.ID] = n
+	}
+	for _, gn := range g.Nodes() {
+		n := e.nodes[gn.ID]
+		for _, a := range gn.Out {
+			n.outs = append(n.outs, e.nodes[a.To])
+			n.outPorts = append(n.outPorts, a.Port)
+		}
+	}
+	return e, nil
+}
+
+// ETSGenerated reports the number of demand-driven ETS punctuations emitted.
+func (e *Engine) ETSGenerated() uint64 { return e.etsGenerated.Load() }
+
+// Start launches one goroutine per node.
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.started = true
+	for _, n := range e.nodes {
+		e.wg.Add(1)
+		go e.runNode(n)
+	}
+}
+
+// Ingest delivers a raw tuple to the given source node. Timestamping
+// happens inside the source's goroutine (serialized with on-demand ETS
+// generation): stamping at the call site would race with ETS generation —
+// an in-flight tuple stamped before an ETS but delivered after it would
+// break the arc's timestamp order. Safe for concurrent use.
+func (e *Engine) Ingest(src *ops.Source, raw *tuple.Tuple) {
+	n := e.nodeOf(src)
+	if n == nil {
+		panic("runtime: Ingest on a source not in this graph")
+	}
+	n.in <- portTuple{port: 0, t: raw}
+}
+
+// CloseStream sends end-of-stream into the named source; once every source
+// is closed, the graph drains and Wait returns.
+func (e *Engine) CloseStream(src *ops.Source) {
+	e.Ingest(src, tuple.EOS())
+}
+
+// Wait blocks until every node goroutine has exited (all streams closed and
+// drained).
+func (e *Engine) Wait() { e.wg.Wait() }
+
+// Stop terminates all node goroutines without draining. Prefer CloseStream
+// on every source followed by Wait for a clean shutdown; Stop is for
+// abandoning a continuous query.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+}
+
+func (e *Engine) nodeOf(src *ops.Source) *node {
+	for _, n := range e.nodes {
+		if n.gn.Op == src {
+			return n
+		}
+	}
+	return nil
+}
+
+// runNode is the per-operator goroutine loop.
+func (e *Engine) runNode(n *node) {
+	defer e.wg.Done()
+	op := n.gn.Op
+	src := n.gn.Source()
+
+	emit := func(t *tuple.Tuple) {
+		for i, out := range n.outs {
+			out.in <- portTuple{port: n.outPorts[i], t: t}
+		}
+	}
+	ctx := &ops.Ctx{Ins: n.ins, Emit: emit, Now: e.now}
+	if src != nil {
+		// Source nodes pull from their inbox; route the engine's fan-in
+		// channel into it.
+		ctx.Ins = nil
+	}
+
+	deliver := func(pt portTuple) {
+		if src != nil {
+			if pt.t.IsPunct() {
+				src.Offer(pt.t)
+			} else {
+				src.Ingest(pt.t, e.now())
+			}
+			return
+		}
+		n.ins[pt.port].Push(pt.t)
+		if pt.t.IsEOS() {
+			n.eosSeen[pt.port] = true
+		}
+	}
+	allEOS := func() bool {
+		if src != nil {
+			return false // sources end via their own EOS ingest
+		}
+		for _, s := range n.eosSeen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	drained := func() bool {
+		if src != nil {
+			return false
+		}
+		for _, q := range n.ins {
+			if !q.Empty() {
+				return false
+			}
+		}
+		return true
+	}
+
+	sourceDone := false
+	for {
+		// Drain pending channel input without blocking.
+		for {
+			select {
+			case pt := <-n.in:
+				if src != nil && pt.t.IsEOS() {
+					sourceDone = true
+				}
+				deliver(pt)
+				continue
+			default:
+			}
+			break
+		}
+		// Run the operator while it can make progress.
+		ran := false
+		for op.More(ctx) {
+			op.Exec(ctx)
+			ran = true
+		}
+		if ran {
+			continue
+		}
+		// Exit conditions: source got EOS and drained its inbox (EOS
+		// itself was forwarded by Source.Exec); non-source saw EOS on
+		// every input and drained.
+		if src != nil && sourceDone && src.Inbox().Empty() {
+			return
+		}
+		if allEOS() && drained() {
+			if _, isSink := op.(*ops.Sink); !isSink && len(n.outs) > 0 {
+				// TSM operators forward EOS themselves; stateless
+				// ones forwarded it as ordinary punctuation. A
+				// latent-mode IWP op swallows punctuation, so emit
+				// EOS explicitly for downstream termination.
+				if u, ok := op.(*ops.Union); ok && u.Mode() == ops.LatentMode {
+					emit(tuple.EOS())
+				}
+				if j, ok := op.(*ops.WindowJoin); ok && j.Mode() == ops.LatentMode {
+					emit(tuple.EOS())
+				}
+			}
+			return
+		}
+		// Idle: if we hold data but cannot run, signal demand upstream
+		// toward the blocking input (the concurrent analogue of the
+		// Backtrack rule) and wait with a retry timeout — the source
+		// may decline a demand whose clock has not advanced yet, and
+		// the hint must then be re-issued.
+		demanding := false
+		if e.opts.OnDemandETS && src == nil && e.hasData(n) {
+			j := op.BlockingInput(ctx)
+			if j < 0 {
+				j = 0
+			}
+			e.signalDemand(e.nodes[n.gn.Preds[j]])
+			demanding = true
+		}
+		if demanding {
+			select {
+			case pt := <-n.in:
+				deliver(pt)
+			case <-n.dem:
+				e.handleDemand(n, ctx)
+			case <-time.After(200 * time.Microsecond):
+				// retry the demand on the next iteration
+			case <-e.stop:
+				return
+			}
+			continue
+		}
+		// Block until input or demand arrives.
+		select {
+		case pt := <-n.in:
+			if src != nil && pt.t.IsEOS() {
+				sourceDone = true
+			}
+			deliver(pt)
+		case <-n.dem:
+			e.handleDemand(n, ctx)
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) hasData(n *node) bool {
+	for _, q := range n.ins {
+		if q.DataLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// signalDemand delivers a non-blocking demand hint to a node.
+func (e *Engine) signalDemand(n *node) {
+	select {
+	case n.dem <- struct{}{}:
+	default: // already signalled; hint coalesces
+	}
+}
+
+// handleDemand reacts to a demand signal: sources answer with an ETS (if
+// the estimator allows); interior nodes forward the demand upstream along
+// their (blocking) input.
+func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
+	if src := n.gn.Source(); src != nil {
+		if !src.Inbox().Empty() {
+			return // data is already on the way
+		}
+		if p, ok := src.OnDemandETS(e.now()); ok {
+			e.etsGenerated.Add(1)
+			src.Offer(p)
+		}
+		return
+	}
+	j := n.gn.Op.BlockingInput(ctx)
+	if j < 0 {
+		j = 0
+	}
+	if len(n.gn.Preds) > 0 {
+		e.signalDemand(e.nodes[n.gn.Preds[j]])
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tuple"
+)
+
+// Process generates inter-arrival gaps for one stream. Implementations own
+// their randomness (seeded at construction) so simulations are reproducible.
+type Process interface {
+	// NextGap returns the virtual-time gap until the next arrival.
+	NextGap() tuple.Time
+}
+
+// Poisson is a Poisson arrival process with the given average rate, the
+// traffic model of the paper's experiments (§6).
+type Poisson struct {
+	rate float64 // arrivals per second
+	r    *rand.Rand
+}
+
+// NewPoisson returns a Poisson process with ratePerSec average arrivals per
+// (virtual) second.
+func NewPoisson(ratePerSec float64, seed int64) *Poisson {
+	if ratePerSec <= 0 {
+		panic("sim: Poisson rate must be positive")
+	}
+	return &Poisson{rate: ratePerSec, r: rand.New(rand.NewSource(seed))}
+}
+
+// NextGap draws an exponential gap with mean 1/rate.
+func (p *Poisson) NextGap() tuple.Time {
+	u := p.r.Float64()
+	gap := -math.Log(1-u) / p.rate // seconds
+	t := tuple.Time(gap * float64(tuple.Second))
+	if t < 1 {
+		t = 1 // arcs carry distinct, strictly advancing entry instants
+	}
+	return t
+}
+
+// Constant is a deterministic arrival process with a fixed gap.
+type Constant struct {
+	gap tuple.Time
+}
+
+// NewConstant returns a process emitting one arrival every gap.
+func NewConstant(gap tuple.Time) *Constant {
+	if gap <= 0 {
+		panic("sim: constant gap must be positive")
+	}
+	return &Constant{gap: gap}
+}
+
+// NextGap returns the fixed gap.
+func (c *Constant) NextGap() tuple.Time { return c.gap }
+
+// Bursty is an on-off modulated Poisson process: bursts of onDur at
+// burstRate separated by silent gaps of offDur. The paper's introduction
+// motivates on-demand ETS with exactly this kind of non-stationary traffic
+// ("very hard to achieve when the traffic is not stationary and if A or B
+// are bursty").
+type Bursty struct {
+	inner *Poisson
+	on    tuple.Time
+	off   tuple.Time
+	pos   tuple.Time // position within the current on-phase
+}
+
+// NewBursty returns a bursty process: Poisson at burstRate during on-phases
+// of onDur, silent during off-phases of offDur.
+func NewBursty(burstRate float64, onDur, offDur tuple.Time, seed int64) *Bursty {
+	if onDur <= 0 || offDur < 0 {
+		panic("sim: bursty durations invalid")
+	}
+	return &Bursty{inner: NewPoisson(burstRate, seed), on: onDur, off: offDur}
+}
+
+// NextGap draws the next gap, inserting the off-phase whenever the on-phase
+// is exhausted.
+func (b *Bursty) NextGap() tuple.Time {
+	gap := b.inner.NextGap()
+	b.pos += gap
+	var silence tuple.Time
+	for b.pos >= b.on {
+		b.pos -= b.on
+		silence += b.off
+	}
+	return gap + silence
+}

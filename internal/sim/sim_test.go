@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ets"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q queue
+	var got []int
+	q.schedule(30, func(tuple.Time) { got = append(got, 3) })
+	q.schedule(10, func(tuple.Time) { got = append(got, 1) })
+	q.schedule(20, func(tuple.Time) { got = append(got, 2) })
+	q.schedule(10, func(tuple.Time) { got = append(got, 11) }) // FIFO tie-break
+	for !q.empty() {
+		ev := q.pop()
+		ev.fire(ev.at)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(50, 1) // 50/s → mean gap 20ms
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		g := p.NextGap()
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		sum += float64(g)
+	}
+	mean := sum / float64(n)
+	want := float64(20 * tuple.Millisecond)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("Poisson mean gap = %.0fµs, want ≈ %.0fµs", mean, want)
+	}
+}
+
+func TestPoissonDeterministicBySeed(t *testing.T) {
+	a, b := NewPoisson(10, 7), NewPoisson(10, 7)
+	for i := 0; i < 100; i++ {
+		if a.NextGap() != b.NextGap() {
+			t.Fatal("same seed must give same gaps")
+		}
+	}
+	c := NewPoisson(10, 8)
+	same := true
+	a2 := NewPoisson(10, 7)
+	for i := 0; i < 10; i++ {
+		if a2.NextGap() != c.NextGap() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical gap streams")
+	}
+}
+
+func TestPoissonRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero rate must panic")
+		}
+	}()
+	NewPoisson(0, 1)
+}
+
+func TestConstantProcess(t *testing.T) {
+	c := NewConstant(5 * tuple.Millisecond)
+	for i := 0; i < 3; i++ {
+		if c.NextGap() != 5*tuple.Millisecond {
+			t.Fatal("constant gap wrong")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero gap must panic")
+		}
+	}()
+	NewConstant(0)
+}
+
+func TestBurstyAverageRate(t *testing.T) {
+	// 10x burst rate, 1s on / 9s off → average rate equals burstRate/10.
+	b := NewBursty(500, tuple.Second, 9*tuple.Second, 3)
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(b.NextGap())
+	}
+	mean := sum / float64(n)
+	want := float64(tuple.Second) / 50 // average 50/s
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Errorf("bursty mean gap = %.0fµs, want ≈ %.0fµs", mean, want)
+	}
+}
+
+// pipeline builds source → sink with a latency recorder and returns the
+// pieces.
+func pipeline(tsKind tuple.TSKind) (*graph.Graph, *ops.Source, *ops.Sink, func() int) {
+	g := graph.New("p")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tsKind)
+	src := ops.NewSource("src", sch, 0)
+	n := g.AddNode(src)
+	count := 0
+	sink := ops.NewSink("sink", func(*tuple.Tuple, tuple.Time) { count++ })
+	g.AddNode(sink, n)
+	return g, src, sink, func() int { return count }
+}
+
+func TestSimDeliversPoissonStream(t *testing.T) {
+	g, src, _, count := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, 10*tuple.Second)
+	s.AddStream(&Stream{Source: src, Proc: NewPoisson(100, 1)})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 arrivals expected over 10s at 100/s.
+	got := count()
+	if got < 800 || got > 1200 {
+		t.Errorf("delivered %d tuples, want ≈ 1000", got)
+	}
+	if s.Clock() < 10*tuple.Second {
+		t.Errorf("clock stopped early at %v", s.Clock())
+	}
+	if s.StepsRun() == 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestSimHorizonValidation(t *testing.T) {
+	g, _, _, _ := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, 0)
+	if err := s.Run(); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSimWarmupResetsStats(t *testing.T) {
+	g, src, _, _ := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, 10*tuple.Second)
+	s.Warmup = 5 * tuple.Second
+	resetCalled := false
+	s.OnReset = append(s.OnReset, func() { resetCalled = true })
+	s.AddStream(&Stream{Source: src, Proc: NewPoisson(100, 1)})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resetCalled {
+		t.Error("OnReset not invoked")
+	}
+	if s.MeasuredSpan() != 5*tuple.Second {
+		t.Errorf("MeasuredSpan = %v, want 5s", s.MeasuredSpan())
+	}
+}
+
+func TestSimIdleAccounting(t *testing.T) {
+	// Union fed by one active and one silent stream, no ETS: the union
+	// must be idle-waiting essentially the whole time.
+	g := graph.New("u")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	src1 := ops.NewSource("s1", sch, 0)
+	src2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(src1)
+	b := g.AddNode(src2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+	g.AddNode(ops.NewSink("k", nil), u)
+
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, 10*tuple.Second)
+	idle := s.TrackIdle(u)
+	s.AddStream(&Stream{Source: src1, Proc: NewPoisson(100, 1)})
+	s.AddStream(&Stream{Source: src2, Proc: NewConstant(100 * tuple.Second)}) // silent within horizon
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idle.Fraction() < 0.95 {
+		t.Errorf("idle fraction = %.3f, want ≈ 1", idle.Fraction())
+	}
+	if idle.Total() != s.MeasuredSpan() {
+		t.Errorf("idle total %v != span %v", idle.Total(), s.MeasuredSpan())
+	}
+}
+
+func TestSimOnDemandKeepsUnionLive(t *testing.T) {
+	g := graph.New("u")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	src1 := ops.NewSource("s1", sch, 0)
+	src2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(src1)
+	b := g.AddNode(src2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+	sink, lat := NewLatencySink("k")
+	g.AddNode(sink, u)
+
+	var s *Sim
+	pol := &ets.OnDemand{}
+	e := exec.MustNew(g, pol, func() tuple.Time { return s.Clock() })
+	s = New(e, 10*tuple.Second)
+	idle := s.TrackIdle(u)
+	s.AddStream(&Stream{Source: src1, Proc: NewPoisson(100, 1)})
+	s.AddStream(&Stream{Source: src2, Proc: NewConstant(100 * tuple.Second)})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idle.Fraction() > 0.01 {
+		t.Errorf("idle fraction = %.4f with on-demand ETS", idle.Fraction())
+	}
+	if lat.Count() == 0 || lat.Mean() > tuple.Millisecond {
+		t.Errorf("latency: n=%d mean=%v", lat.Count(), lat.Mean())
+	}
+	if pol.Generated == 0 {
+		t.Error("no on-demand ETS generated")
+	}
+}
+
+func TestSimHeartbeatStream(t *testing.T) {
+	g, src, sink, _ := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, 10*tuple.Second)
+	s.AddStream(&Stream{
+		Source:    src,
+		Proc:      NewConstant(100 * tuple.Second), // no data in horizon
+		Heartbeat: tuple.Second,
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ~10 heartbeats eliminated at the sink.
+	if got := sink.PunctEliminated(); got < 8 || got > 12 {
+		t.Errorf("heartbeats at sink = %d, want ≈ 10", got)
+	}
+}
+
+func TestSimExternalTimestampStream(t *testing.T) {
+	g, src, _, count := pipeline(tuple.External)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, tuple.Second)
+	var seenTs []tuple.Time
+	s.AddStream(&Stream{
+		Source: src,
+		Proc:   NewConstant(100 * tuple.Millisecond),
+		ExtTs: func(arrival tuple.Time, i uint64) tuple.Time {
+			seenTs = append(seenTs, arrival-10*tuple.Millisecond)
+			return arrival - 10*tuple.Millisecond
+		},
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count() == 0 || len(seenTs) == 0 {
+		t.Fatal("no external tuples flowed")
+	}
+}
+
+func TestSimAddStreamValidation(t *testing.T) {
+	g, src, _, _ := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, tuple.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("stream without Proc must panic")
+		}
+	}()
+	s.AddStream(&Stream{Source: src})
+}
+
+func TestSimAddTrace(t *testing.T) {
+	g, src, _, count := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, tuple.Second)
+	trace := []*tuple.Tuple{
+		tuple.NewData(100*tuple.Millisecond, tuple.Int(1)),
+		tuple.NewData(250*tuple.Millisecond, tuple.Int(2)),
+		tuple.NewData(900*tuple.Millisecond, tuple.Int(3)),
+	}
+	s.AddTrace(src, trace)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count() != 3 {
+		t.Fatalf("replayed %d of 3", count())
+	}
+}
+
+func TestSimAddTraceValidation(t *testing.T) {
+	g, src, _, _ := pipeline(tuple.Internal)
+	var s *Sim
+	e := exec.MustNew(g, nil, func() tuple.Time { return s.Clock() })
+	s = New(e, tuple.Second)
+	defer func() {
+		if recover() == nil {
+			t.Error("disordered trace accepted")
+		}
+	}()
+	s.AddTrace(src, []*tuple.Tuple{tuple.NewData(100), tuple.NewData(50)})
+}

@@ -1,0 +1,102 @@
+package tsm
+
+import (
+	"repro/internal/tuple"
+)
+
+// ETSEstimator computes on-demand Enabling Time-Stamp values for a source
+// node, per the rules of paper §5 ("On-Demand Generation of ETS at Source
+// Nodes"):
+//
+//   - internal timestamps: the ETS is the current (virtual) system clock —
+//     any tuple entering later will be stamped with a later clock value;
+//   - external timestamps: the ETS is application-dependent; with a maximum
+//     inter-arrival skew bound δ, if the last tuple arrived τ ago carrying
+//     timestamp t, the source can promise t + τ − δ;
+//   - latent timestamps: no ETS is ever needed (IWP operators pass latent
+//     tuples through immediately).
+//
+// Estimators also enforce monotonicity: an ETS never moves backwards, and is
+// never smaller than the last timestamp already emitted on the arc.
+type ETSEstimator struct {
+	kind tuple.TSKind
+
+	// δ is the maximum skew between a tuple's external timestamp and the
+	// arrival clock, relative to the previous tuple (external kind only).
+	delta tuple.Time
+
+	lastTs      tuple.Time // timestamp of the last data tuple emitted
+	lastArrival tuple.Time // clock at which it was emitted
+	seen        bool
+
+	lastETS tuple.Time
+	hasETS  bool
+}
+
+// NewInternalEstimator returns an estimator for internally timestamped
+// streams.
+func NewInternalEstimator() *ETSEstimator {
+	return &ETSEstimator{kind: tuple.Internal}
+}
+
+// NewExternalEstimator returns an estimator for externally timestamped
+// streams with maximum skew δ between successive arrivals.
+func NewExternalEstimator(delta tuple.Time) *ETSEstimator {
+	return &ETSEstimator{kind: tuple.External, delta: delta}
+}
+
+// Kind reports the timestamp kind the estimator serves.
+func (e *ETSEstimator) Kind() tuple.TSKind { return e.kind }
+
+// ObserveTuple records that a data tuple with timestamp ts entered the
+// system at clock now. External estimators need this history to bound
+// future timestamps.
+func (e *ETSEstimator) ObserveTuple(ts, now tuple.Time) {
+	if ts > e.lastTs || !e.seen {
+		e.lastTs = ts
+	}
+	e.lastArrival = now
+	e.seen = true
+}
+
+// ETS returns the Enabling Time-Stamp the source can promise at clock now,
+// and whether a useful (non-MinTime, monotonically advancing) value exists.
+//
+// For internal streams the value is now itself. For external streams it is
+// t + τ − δ where t is the last external timestamp, τ = now − lastArrival;
+// before any tuple has been seen no bound exists.
+func (e *ETSEstimator) ETS(now tuple.Time) (tuple.Time, bool) {
+	var ets tuple.Time
+	switch e.kind {
+	case tuple.Internal:
+		ets = now
+	case tuple.External:
+		if !e.seen {
+			return tuple.MinTime, false
+		}
+		elapsed := now - e.lastArrival
+		ets = e.lastTs + elapsed - e.delta
+		if ets < e.lastTs {
+			// The bound can not regress below the last emitted
+			// timestamp: arcs are ordered.
+			ets = e.lastTs
+		}
+	case tuple.Latent:
+		return tuple.MinTime, false
+	}
+	if e.hasETS && ets <= e.lastETS {
+		// Re-issuing the same (or an older) ETS would not unblock
+		// anything the previous one did not already unblock.
+		return e.lastETS, false
+	}
+	return ets, true
+}
+
+// Emit records that an ETS value was actually issued, so subsequent calls
+// only report usefulness when the bound has advanced.
+func (e *ETSEstimator) Emit(ets tuple.Time) {
+	if !e.hasETS || ets > e.lastETS {
+		e.lastETS = ets
+		e.hasETS = true
+	}
+}

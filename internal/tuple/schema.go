@@ -1,0 +1,146 @@
+package tuple
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one attribute of a stream schema.
+type Field struct {
+	Name string
+	Kind ValueKind
+}
+
+// Schema describes the attributes carried by a stream's data tuples, plus
+// how the stream is timestamped.
+type Schema struct {
+	// Name is the stream name (as registered with the engine / referenced
+	// in CQL).
+	Name string
+	// Fields are the attributes, in tuple order.
+	Fields []Field
+	// TS is the stream's timestamp kind.
+	TS TSKind
+}
+
+// NewSchema builds a schema with internal timestamps; use WithTS to change
+// the timestamp kind.
+func NewSchema(name string, fields ...Field) *Schema {
+	return &Schema{Name: name, Fields: fields, TS: Internal}
+}
+
+// WithTS returns a copy of s using the given timestamp kind.
+func (s *Schema) WithTS(k TSKind) *Schema {
+	c := *s
+	c.Fields = append([]Field(nil), s.Fields...)
+	c.TS = k
+	return &c
+}
+
+// Arity reports the number of attributes.
+func (s *Schema) Arity() int { return len(s.Fields) }
+
+// Index returns the position of the named field, or -1 if absent.
+func (s *Schema) Index(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Field returns the field at position i.
+func (s *Schema) Field(i int) Field { return s.Fields[i] }
+
+// Validate checks the schema for duplicate or empty field names.
+func (s *Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("schema has no name")
+	}
+	seen := make(map[string]bool, len(s.Fields))
+	for i, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("schema %s: field %d has no name", s.Name, i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("schema %s: duplicate field %q", s.Name, f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return nil
+}
+
+// CheckTuple verifies that a data tuple conforms to the schema (arity and
+// per-field kinds; Null is accepted anywhere). Punctuation always conforms.
+func (s *Schema) CheckTuple(t *Tuple) error {
+	if t.IsPunct() {
+		return nil
+	}
+	if len(t.Vals) != len(s.Fields) {
+		return fmt.Errorf("schema %s: tuple arity %d, want %d", s.Name, len(t.Vals), len(s.Fields))
+	}
+	for i, v := range t.Vals {
+		if v.IsNull() {
+			continue
+		}
+		if v.Kind() != s.Fields[i].Kind {
+			return fmt.Errorf("schema %s: field %s has kind %v, want %v",
+				s.Name, s.Fields[i].Name, v.Kind(), s.Fields[i].Kind)
+		}
+	}
+	return nil
+}
+
+// Concat returns the schema of a join output: the fields of s followed by
+// the fields of o, with field names qualified by stream name when they
+// collide.
+func (s *Schema) Concat(name string, o *Schema) *Schema {
+	out := &Schema{Name: name, TS: s.TS}
+	names := make(map[string]bool)
+	add := func(owner string, f Field) {
+		n := f.Name
+		if names[n] {
+			n = owner + "." + f.Name
+		}
+		names[n] = true
+		out.Fields = append(out.Fields, Field{Name: n, Kind: f.Kind})
+	}
+	for _, f := range s.Fields {
+		add(s.Name, f)
+	}
+	for _, f := range o.Fields {
+		add(o.Name, f)
+	}
+	return out
+}
+
+// Project returns a schema containing only the named fields, in the given
+// order, along with the corresponding source indexes.
+func (s *Schema) Project(name string, fields ...string) (*Schema, []int, error) {
+	out := &Schema{Name: name, TS: s.TS}
+	idx := make([]int, 0, len(fields))
+	for _, fn := range fields {
+		i := s.Index(fn)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("schema %s: no field %q", s.Name, fn)
+		}
+		idx = append(idx, i)
+		out.Fields = append(out.Fields, s.Fields[i])
+	}
+	return out, idx, nil
+}
+
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteString("(")
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %v", f.Name, f.Kind)
+	}
+	fmt.Fprintf(&b, ") ts=%v", s.TS)
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func sensorSchema() *Schema {
+	return NewSchema("sensor",
+		Field{Name: "id", Kind: IntKind},
+		Field{Name: "temp", Kind: FloatKind},
+		Field{Name: "loc", Kind: StringKind},
+	)
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := sensorSchema()
+	if s.Arity() != 3 {
+		t.Fatalf("Arity = %d", s.Arity())
+	}
+	if s.TS != Internal {
+		t.Fatal("default TS kind must be Internal")
+	}
+	if i := s.Index("temp"); i != 1 {
+		t.Errorf("Index(temp) = %d", i)
+	}
+	if i := s.Index("nope"); i != -1 {
+		t.Errorf("Index(nope) = %d", i)
+	}
+	if f := s.Field(0); f.Name != "id" || f.Kind != IntKind {
+		t.Errorf("Field(0) = %v", f)
+	}
+}
+
+func TestSchemaWithTS(t *testing.T) {
+	s := sensorSchema()
+	e := s.WithTS(External)
+	if e.TS != External || s.TS != Internal {
+		t.Fatal("WithTS must copy, not mutate")
+	}
+	e.Fields[0].Name = "mutated"
+	if s.Fields[0].Name != "id" {
+		t.Fatal("WithTS aliases Fields slice")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := sensorSchema().Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	bad := NewSchema("", Field{Name: "a", Kind: IntKind})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	dup := NewSchema("s", Field{Name: "a", Kind: IntKind}, Field{Name: "a", Kind: IntKind})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate field accepted")
+	}
+	anon := NewSchema("s", Field{Name: "", Kind: IntKind})
+	if err := anon.Validate(); err == nil {
+		t.Error("empty field name accepted")
+	}
+}
+
+func TestSchemaCheckTuple(t *testing.T) {
+	s := sensorSchema()
+	good := NewData(1, Int(7), Float(21.5), String_("lab"))
+	if err := s.CheckTuple(good); err != nil {
+		t.Errorf("good tuple rejected: %v", err)
+	}
+	withNull := NewData(1, Int(7), Value{}, String_("lab"))
+	if err := s.CheckTuple(withNull); err != nil {
+		t.Errorf("null field rejected: %v", err)
+	}
+	short := NewData(1, Int(7))
+	if err := s.CheckTuple(short); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	wrongKind := NewData(1, Int(7), String_("x"), String_("lab"))
+	if err := s.CheckTuple(wrongKind); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if err := s.CheckTuple(NewPunct(5)); err != nil {
+		t.Errorf("punctuation rejected: %v", err)
+	}
+}
+
+func TestSchemaConcat(t *testing.T) {
+	a := NewSchema("a", Field{Name: "id", Kind: IntKind}, Field{Name: "x", Kind: FloatKind})
+	b := NewSchema("b", Field{Name: "id", Kind: IntKind}, Field{Name: "y", Kind: FloatKind})
+	j := a.Concat("j", b)
+	if j.Arity() != 4 {
+		t.Fatalf("Concat arity = %d", j.Arity())
+	}
+	want := []string{"id", "x", "b.id", "y"}
+	for i, w := range want {
+		if j.Fields[i].Name != w {
+			t.Errorf("Concat field %d = %q, want %q", i, j.Fields[i].Name, w)
+		}
+	}
+	if err := j.Validate(); err != nil {
+		t.Errorf("Concat schema invalid: %v", err)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := sensorSchema()
+	p, idx, err := s.Project("p", "loc", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 2 || p.Fields[0].Name != "loc" || p.Fields[1].Name != "id" {
+		t.Errorf("Project schema wrong: %v", p)
+	}
+	if len(idx) != 2 || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("Project indexes wrong: %v", idx)
+	}
+	if _, _, err := s.Project("p", "ghost"); err == nil {
+		t.Error("Project of missing field accepted")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := sensorSchema().String()
+	for _, frag := range []string{"sensor(", "id int", "temp float", "loc string", "ts=internal"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+}

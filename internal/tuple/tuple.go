@@ -1,0 +1,189 @@
+// Package tuple defines the data model shared by every part of the DSMS:
+// virtual time, typed values, schemas, and the tuples (data and punctuation)
+// that flow along the arcs of a query graph.
+//
+// Timestamps follow the three kinds supported by Stream Mill (paper §5):
+// external (assigned by the producing application), internal (assigned by the
+// system when the tuple enters the DSMS), and latent (no timestamp; operators
+// that need one stamp tuples on the fly).
+package tuple
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Time is a point on the engine's virtual clock, in microseconds.
+//
+// The discrete-event simulator advances Time explicitly; the concurrent
+// runtime maps it to wall-clock time. All latency and window arithmetic in
+// the system is done in Time.
+type Time int64
+
+// Sentinel values for Time.
+const (
+	// MinTime is smaller than every valid timestamp. It is the initial
+	// value of a TSM register: before the first tuple (or ETS) arrives on
+	// an input, nothing is known about that input's future timestamps.
+	MinTime Time = math.MinInt64
+	// MaxTime is larger than every valid timestamp. A punctuation carrying
+	// MaxTime marks end-of-stream.
+	MaxTime Time = math.MaxInt64
+)
+
+// Common durations expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// FromDuration converts a wall-clock duration to virtual time.
+func FromDuration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// Duration converts a virtual-time span to a wall-clock duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// Seconds reports t as (possibly fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis reports t as (possibly fractional) milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+func (t Time) String() string {
+	switch t {
+	case MinTime:
+		return "-inf"
+	case MaxTime:
+		return "+inf"
+	}
+	return fmt.Sprintf("%dµs", int64(t))
+}
+
+// TSKind identifies how a stream's tuples obtain timestamps (paper §5).
+type TSKind uint8
+
+const (
+	// External timestamps are assigned by the application that produced
+	// the tuples. The DSMS cannot assume anything about their relation to
+	// its own clock beyond a configured skew bound.
+	External TSKind = iota
+	// Internal timestamps are assigned by the DSMS when a tuple enters the
+	// system, using the (virtual) system clock.
+	Internal
+	// Latent streams carry no timestamp; operators that need one stamp
+	// tuples on the fly. IWP operators never idle-wait on latent streams.
+	Latent
+)
+
+func (k TSKind) String() string {
+	switch k {
+	case External:
+		return "external"
+	case Internal:
+		return "internal"
+	case Latent:
+		return "latent"
+	default:
+		return fmt.Sprintf("TSKind(%d)", uint8(k))
+	}
+}
+
+// Kind distinguishes data tuples from punctuation tuples.
+type Kind uint8
+
+const (
+	// Data tuples carry application values.
+	Data Kind = iota
+	// Punct tuples carry only an Enabling Time-Stamp (ETS): a promise that
+	// no future tuple on this arc will have a timestamp smaller than Ts.
+	// They exist to reactivate idle-waiting operators and are eliminated
+	// at sink nodes.
+	Punct
+)
+
+func (k Kind) String() string {
+	if k == Punct {
+		return "punct"
+	}
+	return "data"
+}
+
+// Tuple is one element of a stream. Tuples are immutable once emitted;
+// operators that transform values allocate new tuples.
+type Tuple struct {
+	// Ts is the tuple's timestamp. For Kind==Punct it is the ETS value.
+	// For latent streams it is MinTime until an operator stamps it.
+	Ts Time
+	// Kind is Data or Punct.
+	Kind Kind
+	// Vals holds the attribute values, aligned with the stream's schema.
+	// Punctuation tuples have nil Vals.
+	Vals []Value
+	// Arrived is the virtual time at which the tuple entered the DSMS.
+	// Latency accounting uses emission time minus Ts for timestamped
+	// streams and emission time minus Arrived for latent streams.
+	Arrived Time
+	// Seq is a per-source sequence number, useful for debugging and for
+	// deterministic tie-breaking in tests.
+	Seq uint64
+}
+
+// NewData returns a data tuple with the given timestamp and values.
+func NewData(ts Time, vals ...Value) *Tuple {
+	return &Tuple{Ts: ts, Kind: Data, Vals: vals}
+}
+
+// NewPunct returns a punctuation tuple carrying the ETS value ts.
+func NewPunct(ts Time) *Tuple {
+	return &Tuple{Ts: ts, Kind: Punct}
+}
+
+// IsPunct reports whether t is a punctuation tuple.
+func (t *Tuple) IsPunct() bool { return t.Kind == Punct }
+
+// IsEOS reports whether t is the end-of-stream punctuation.
+func (t *Tuple) IsEOS() bool { return t.Kind == Punct && t.Ts == MaxTime }
+
+// EOS is the end-of-stream punctuation constructor.
+func EOS() *Tuple { return NewPunct(MaxTime) }
+
+// WithTs returns a copy of t with the timestamp replaced. Used by operators
+// that stamp latent tuples on the fly.
+func (t *Tuple) WithTs(ts Time) *Tuple {
+	c := *t
+	c.Ts = ts
+	return &c
+}
+
+// Clone returns a deep copy of t. Vals are copied so the clone can be
+// mutated (e.g. by a projection) without aliasing.
+func (t *Tuple) Clone() *Tuple {
+	c := *t
+	if t.Vals != nil {
+		c.Vals = make([]Value, len(t.Vals))
+		copy(c.Vals, t.Vals)
+	}
+	return &c
+}
+
+func (t *Tuple) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	if t.IsPunct() {
+		return fmt.Sprintf("punct(%s)", t.Ts)
+	}
+	var b strings.Builder
+	b.WriteString("tuple(")
+	b.WriteString(t.Ts.String())
+	for _, v := range t.Vals {
+		b.WriteString(", ")
+		b.WriteString(v.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}

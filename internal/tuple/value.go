@@ -1,0 +1,258 @@
+package tuple
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind enumerates the attribute types supported by the engine.
+type ValueKind uint8
+
+const (
+	// Null is the zero Value.
+	Null ValueKind = iota
+	// IntKind holds a 64-bit signed integer.
+	IntKind
+	// FloatKind holds a 64-bit float.
+	FloatKind
+	// StringKind holds a string.
+	StringKind
+	// BoolKind holds a boolean.
+	BoolKind
+	// TimeKind holds a virtual-time value (e.g. an application timestamp
+	// attribute for externally timestamped streams).
+	TimeKind
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case Null:
+		return "null"
+	case IntKind:
+		return "int"
+	case FloatKind:
+		return "float"
+	case StringKind:
+		return "string"
+	case BoolKind:
+		return "bool"
+	case TimeKind:
+		return "time"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// ParseValueKind maps a type name (as written in CQL schemas) to a ValueKind.
+func ParseValueKind(s string) (ValueKind, error) {
+	switch s {
+	case "int":
+		return IntKind, nil
+	case "float", "double", "real":
+		return FloatKind, nil
+	case "string", "varchar", "text":
+		return StringKind, nil
+	case "bool", "boolean":
+		return BoolKind, nil
+	case "time", "timestamp":
+		return TimeKind, nil
+	default:
+		return Null, fmt.Errorf("unknown type %q", s)
+	}
+}
+
+// Value is a compact tagged union holding one attribute value. The zero
+// Value is Null. Values are comparable with Compare and Equal; the engine
+// never compares values of different kinds except against Null.
+type Value struct {
+	kind ValueKind
+	i    int64 // IntKind, BoolKind (0/1), TimeKind
+	f    float64
+	s    string
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: IntKind, i: v} }
+
+// Float returns a float Value.
+func Float(v float64) Value { return Value{kind: FloatKind, f: v} }
+
+// String_ returns a string Value. (Named with a trailing underscore because
+// Value already has a String() method satisfying fmt.Stringer.)
+func String_(v string) Value { return Value{kind: StringKind, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: BoolKind, i: i}
+}
+
+// TimeVal returns a virtual-time Value.
+func TimeVal(v Time) Value { return Value{kind: TimeKind, i: int64(v)} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// IsNull reports whether v is the Null value.
+func (v Value) IsNull() bool { return v.kind == Null }
+
+// AsInt returns the integer payload; it is 0 unless Kind is IntKind.
+func (v Value) AsInt() int64 {
+	if v.kind == IntKind {
+		return v.i
+	}
+	return 0
+}
+
+// AsFloat returns the numeric payload as a float64. Integer and time values
+// are widened; other kinds return 0.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case FloatKind:
+		return v.f
+	case IntKind, TimeKind:
+		return float64(v.i)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload; it is "" unless Kind is StringKind.
+func (v Value) AsString() string {
+	if v.kind == StringKind {
+		return v.s
+	}
+	return ""
+}
+
+// AsBool returns the boolean payload; it is false unless Kind is BoolKind.
+func (v Value) AsBool() bool { return v.kind == BoolKind && v.i != 0 }
+
+// AsTime returns the time payload; it is 0 unless Kind is TimeKind.
+func (v Value) AsTime() Time {
+	if v.kind == TimeKind {
+		return Time(v.i)
+	}
+	return 0
+}
+
+// Equal reports whether v and o hold the same kind and payload, except that
+// numeric kinds (int, float, time) compare by numeric value.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 && v.comparable_(o) }
+
+func (v Value) comparable_(o Value) bool {
+	if v.kind == o.kind {
+		return true
+	}
+	return v.isNumeric() && o.isNumeric()
+}
+
+func (v Value) isNumeric() bool {
+	return v.kind == IntKind || v.kind == FloatKind || v.kind == TimeKind
+}
+
+// Compare orders v against o: -1, 0, +1. Null sorts before everything;
+// values of incomparable kinds order by kind tag (stable but arbitrary).
+func (v Value) Compare(o Value) int {
+	if v.isNumeric() && o.isNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.kind != o.kind {
+		switch {
+		case v.kind < o.kind:
+			return -1
+		default:
+			return 1
+		}
+	}
+	switch v.kind {
+	case Null:
+		return 0
+	case StringKind:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		default:
+			return 0
+		}
+	case BoolKind:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return 0
+	}
+}
+
+// String renders v for debugging and CSV output.
+func (v Value) String() string {
+	switch v.kind {
+	case Null:
+		return "null"
+	case IntKind:
+		return strconv.FormatInt(v.i, 10)
+	case FloatKind:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case StringKind:
+		return v.s
+	case BoolKind:
+		return strconv.FormatBool(v.i != 0)
+	case TimeKind:
+		return Time(v.i).String()
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// ParseValue parses s as a value of the requested kind (used by the CSV
+// wrapper and the CQL literal parser).
+func ParseValue(kind ValueKind, s string) (Value, error) {
+	switch kind {
+	case IntKind:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse int %q: %w", s, err)
+		}
+		return Int(i), nil
+	case FloatKind:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse float %q: %w", s, err)
+		}
+		return Float(f), nil
+	case StringKind:
+		return String_(s), nil
+	case BoolKind:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse bool %q: %w", s, err)
+		}
+		return Bool(b), nil
+	case TimeKind:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("parse time %q: %w", s, err)
+		}
+		return TimeVal(Time(i)), nil
+	default:
+		return Value{}, fmt.Errorf("cannot parse into kind %v", kind)
+	}
+}

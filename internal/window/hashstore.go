@@ -1,0 +1,142 @@
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// HashStore is a window store with a hash index on one key column, giving
+// O(matches) equi-join probes instead of a full window scan. Tuples live in
+// a ring (insertion = timestamp order) for expiration and in per-key lists
+// for probing; both structures expire together.
+type HashStore struct {
+	spec   Spec
+	keyCol int
+
+	buf  []*tuple.Tuple
+	head int
+	n    int
+
+	idx map[tuple.Value][]*tuple.Tuple
+
+	peak     int
+	inserted uint64
+	expired  uint64
+}
+
+// NewHashStore returns an empty hash-indexed window keyed on column keyCol.
+func NewHashStore(spec Spec, keyCol int) *HashStore {
+	if keyCol < 0 {
+		panic("window: negative key column")
+	}
+	return &HashStore{spec: spec, keyCol: keyCol, idx: make(map[tuple.Value][]*tuple.Tuple)}
+}
+
+// Spec returns the window's extent specification.
+func (w *HashStore) Spec() Spec { return w.spec }
+
+// Len reports the number of live tuples.
+func (w *HashStore) Len() int { return w.n }
+
+// Peak reports the maximum number of live tuples ever held.
+func (w *HashStore) Peak() int { return w.peak }
+
+// Inserted reports the total number of tuples ever inserted.
+func (w *HashStore) Inserted() uint64 { return w.inserted }
+
+// Expired reports the total number of tuples ever expired.
+func (w *HashStore) Expired() uint64 { return w.expired }
+
+// Insert adds t and applies the window bounds, exactly like Store.Insert.
+func (w *HashStore) Insert(t *tuple.Tuple) {
+	if t.IsPunct() {
+		panic("window: Insert(punctuation)")
+	}
+	if w.n == len(w.buf) {
+		w.grow()
+	}
+	w.buf[(w.head+w.n)%len(w.buf)] = t
+	w.n++
+	w.inserted++
+	key := t.Vals[w.keyCol]
+	w.idx[key] = append(w.idx[key], t)
+	w.ExpireTo(t.Ts)
+	if w.spec.Rows > 0 {
+		for w.n > w.spec.Rows {
+			w.popFront()
+		}
+	}
+	if w.n > w.peak {
+		w.peak = w.n
+	}
+}
+
+// ExpireTo removes tuples with ts < bound − Span from both structures.
+func (w *HashStore) ExpireTo(ts tuple.Time) {
+	if w.spec.Span <= 0 {
+		return
+	}
+	limit := ts - w.spec.Span
+	for w.n > 0 && w.buf[w.head].Ts < limit {
+		w.popFront()
+	}
+}
+
+func (w *HashStore) popFront() {
+	t := w.buf[w.head]
+	w.buf[w.head] = nil
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+	w.expired++
+	key := t.Vals[w.keyCol]
+	lst := w.idx[key]
+	// Per-key lists are in insertion order, and global expiration is in
+	// insertion order, so the expiring tuple is the list head.
+	if len(lst) > 0 && lst[0] == t {
+		lst[0] = nil
+		lst = lst[1:]
+	} else {
+		// Defensive: remove by scan (cannot happen with ordered
+		// insertion, but a corrupted index must not leak tuples).
+		for i, x := range lst {
+			if x == t {
+				lst = append(lst[:i], lst[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(lst) == 0 {
+		delete(w.idx, key)
+	} else {
+		w.idx[key] = lst
+	}
+}
+
+func (w *HashStore) grow() {
+	newCap := len(w.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]*tuple.Tuple, newCap)
+	for i := 0; i < w.n; i++ {
+		nb[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	w.buf = nb
+	w.head = 0
+}
+
+// Probe calls fn for every live tuple whose key column equals key, in
+// insertion order.
+func (w *HashStore) Probe(key tuple.Value, fn func(*tuple.Tuple)) {
+	for _, t := range w.idx[key] {
+		fn(t)
+	}
+}
+
+// Keys reports the number of distinct live keys.
+func (w *HashStore) Keys() int { return len(w.idx) }
+
+func (w *HashStore) String() string {
+	return fmt.Sprintf("hash%v len=%d keys=%d peak=%d", w.spec, w.n, len(w.idx), w.peak)
+}

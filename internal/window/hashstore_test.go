@@ -1,0 +1,118 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func kv(ts tuple.Time, key int64) *tuple.Tuple {
+	return tuple.NewData(ts, tuple.Int(key))
+}
+
+func TestHashStoreRejectsBadKeyCol(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative key column accepted")
+		}
+	}()
+	NewHashStore(TimeWindow(10), -1)
+}
+
+func TestHashStoreProbe(t *testing.T) {
+	w := NewHashStore(TimeWindow(100), 0)
+	w.Insert(kv(1, 7))
+	w.Insert(kv(2, 8))
+	w.Insert(kv(3, 7))
+	var got []tuple.Time
+	w.Probe(tuple.Int(7), func(tp *tuple.Tuple) { got = append(got, tp.Ts) })
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("probe(7) = %v", got)
+	}
+	w.Probe(tuple.Int(99), func(*tuple.Tuple) { t.Fatal("phantom match") })
+	if w.Keys() != 2 || w.Len() != 3 {
+		t.Errorf("keys=%d len=%d", w.Keys(), w.Len())
+	}
+}
+
+func TestHashStoreExpiration(t *testing.T) {
+	w := NewHashStore(TimeWindow(10), 0)
+	w.Insert(kv(0, 7))
+	w.Insert(kv(5, 7))
+	w.Insert(kv(20, 8)) // expires kv(0,7) and kv(5,7)
+	var got []tuple.Time
+	w.Probe(tuple.Int(7), func(tp *tuple.Tuple) { got = append(got, tp.Ts) })
+	if len(got) != 0 {
+		t.Fatalf("expired tuples probeable: %v", got)
+	}
+	if w.Keys() != 1 || w.Len() != 1 || w.Expired() != 2 {
+		t.Errorf("keys=%d len=%d expired=%d", w.Keys(), w.Len(), w.Expired())
+	}
+	w.ExpireTo(100)
+	if w.Len() != 0 || w.Keys() != 0 {
+		t.Error("ExpireTo left state behind")
+	}
+}
+
+func TestHashStoreRowBound(t *testing.T) {
+	w := NewHashStore(RowWindow(2), 0)
+	for i := 0; i < 5; i++ {
+		w.Insert(kv(tuple.Time(i), 7))
+	}
+	if w.Len() != 2 || w.Peak() != 2 {
+		t.Fatalf("len=%d peak=%d", w.Len(), w.Peak())
+	}
+	var got []tuple.Time
+	w.Probe(tuple.Int(7), func(tp *tuple.Tuple) { got = append(got, tp.Ts) })
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("probe after row eviction = %v", got)
+	}
+}
+
+func TestHashStoreInsertPunctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(punct) must panic")
+		}
+	}()
+	NewHashStore(RowWindow(1), 0).Insert(tuple.NewPunct(1))
+}
+
+// Property: a HashStore's probe results always match a brute-force scan of
+// an equivalent plain Store.
+func TestHashStoreMatchesPlainStore(t *testing.T) {
+	f := func(ops []uint8, spanRaw uint8) bool {
+		span := tuple.Time(spanRaw%20 + 1)
+		h := NewHashStore(TimeWindow(span), 0)
+		p := NewStore(TimeWindow(span))
+		ts := tuple.Time(0)
+		for _, op := range ops {
+			ts += tuple.Time(op % 4)
+			key := int64(op % 5)
+			tp := kv(ts, key)
+			h.Insert(tp)
+			p.Insert(tp)
+			if h.Len() != p.Len() {
+				return false
+			}
+			// Probe every key and compare with a scan.
+			for k := int64(0); k < 5; k++ {
+				var hGot, pGot int
+				h.Probe(tuple.Int(k), func(*tuple.Tuple) { hGot++ })
+				p.Each(func(x *tuple.Tuple) {
+					if x.Vals[0].AsInt() == k {
+						pGot++
+					}
+				})
+				if hGot != pGot {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package window implements the sliding-window buffers used by window joins
+// and windowed aggregates. The semantics follow Kang, Naughton and Viglas
+// (ICDE 2003), the model the paper adopts (§2): a window W(A) over stream A
+// holds the A-tuples that are still joinable; inserting a new tuple also
+// expires tuples that have fallen out of the window extent.
+package window
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+)
+
+// Spec describes a window extent. Exactly one of Span (time-based) or Rows
+// (count-based) is used; when both are set, both constraints apply (a tuple
+// expires when either bound evicts it).
+type Spec struct {
+	// Span keeps tuples whose timestamp is within Span of the newest
+	// relevant timestamp. Zero means no time bound.
+	Span tuple.Time
+	// Rows keeps at most Rows tuples. Zero means no row bound.
+	Rows int
+}
+
+// TimeWindow returns a time-based window spec.
+func TimeWindow(span tuple.Time) Spec { return Spec{Span: span} }
+
+// RowWindow returns a count-based window spec.
+func RowWindow(rows int) Spec { return Spec{Rows: rows} }
+
+// Validate reports an error when the spec is degenerate.
+func (s Spec) Validate() error {
+	if s.Span < 0 {
+		return fmt.Errorf("window: negative span %v", s.Span)
+	}
+	if s.Rows < 0 {
+		return fmt.Errorf("window: negative rows %d", s.Rows)
+	}
+	if s.Span == 0 && s.Rows == 0 {
+		return fmt.Errorf("window: unbounded spec (set Span and/or Rows)")
+	}
+	return nil
+}
+
+func (s Spec) String() string {
+	switch {
+	case s.Span > 0 && s.Rows > 0:
+		return fmt.Sprintf("window[%v, %d rows]", s.Span, s.Rows)
+	case s.Rows > 0:
+		return fmt.Sprintf("window[%d rows]", s.Rows)
+	default:
+		return fmt.Sprintf("window[%v]", s.Span)
+	}
+}
+
+// Store holds the live tuples of one window. Tuples are kept in insertion
+// (and therefore timestamp) order in a ring buffer, so expiration pops from
+// the front.
+type Store struct {
+	spec Spec
+
+	buf  []*tuple.Tuple
+	head int
+	n    int
+
+	peak     int
+	inserted uint64
+	expired  uint64
+}
+
+// NewStore returns an empty window store with the given spec.
+func NewStore(spec Spec) *Store {
+	return &Store{spec: spec}
+}
+
+// Spec returns the window's extent specification.
+func (w *Store) Spec() Spec { return w.spec }
+
+// Len reports the number of live tuples.
+func (w *Store) Len() int { return w.n }
+
+// Peak reports the maximum number of live tuples ever held.
+func (w *Store) Peak() int { return w.peak }
+
+// Inserted reports the total number of tuples ever inserted.
+func (w *Store) Inserted() uint64 { return w.inserted }
+
+// Expired reports the total number of tuples ever expired.
+func (w *Store) Expired() uint64 { return w.expired }
+
+// Insert adds t to the window and expires tuples that the insertion pushes
+// out (row bound) or that have aged out relative to t.Ts (time bound).
+// Punctuation tuples must not be inserted.
+func (w *Store) Insert(t *tuple.Tuple) {
+	if t.IsPunct() {
+		panic("window: Insert(punctuation)")
+	}
+	if w.n == len(w.buf) {
+		w.grow()
+	}
+	w.buf[(w.head+w.n)%len(w.buf)] = t
+	w.n++
+	w.inserted++
+	w.ExpireTo(t.Ts)
+	if w.spec.Rows > 0 {
+		for w.n > w.spec.Rows {
+			w.popFront()
+		}
+	}
+	if w.n > w.peak {
+		w.peak = w.n
+	}
+}
+
+// ExpireTo removes tuples that are no longer within the time extent relative
+// to the given timestamp: a tuple x expires when x.Ts < ts − Span. Window
+// joins call this both on insertion and when the opposite stream advances
+// (including via punctuation), which is how ETS propagation frees memory.
+func (w *Store) ExpireTo(ts tuple.Time) {
+	if w.spec.Span <= 0 {
+		return
+	}
+	limit := ts - w.spec.Span
+	for w.n > 0 && w.buf[w.head].Ts < limit {
+		w.popFront()
+	}
+}
+
+func (w *Store) popFront() {
+	w.buf[w.head] = nil
+	w.head = (w.head + 1) % len(w.buf)
+	w.n--
+	w.expired++
+}
+
+func (w *Store) grow() {
+	newCap := len(w.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]*tuple.Tuple, newCap)
+	for i := 0; i < w.n; i++ {
+		nb[i] = w.buf[(w.head+i)%len(w.buf)]
+	}
+	w.buf = nb
+	w.head = 0
+}
+
+// Each calls fn for every live tuple in insertion order. fn must not mutate
+// the store.
+func (w *Store) Each(fn func(*tuple.Tuple)) {
+	for i := 0; i < w.n; i++ {
+		fn(w.buf[(w.head+i)%len(w.buf)])
+	}
+}
+
+// Snapshot returns the live tuples in insertion order (a fresh slice).
+func (w *Store) Snapshot() []*tuple.Tuple {
+	out := make([]*tuple.Tuple, 0, w.n)
+	w.Each(func(t *tuple.Tuple) { out = append(out, t) })
+	return out
+}
+
+// Oldest returns the front (oldest) tuple, or nil when empty.
+func (w *Store) Oldest() *tuple.Tuple {
+	if w.n == 0 {
+		return nil
+	}
+	return w.buf[w.head]
+}
+
+// Newest returns the most recently inserted live tuple, or nil when empty.
+func (w *Store) Newest() *tuple.Tuple {
+	if w.n == 0 {
+		return nil
+	}
+	return w.buf[(w.head+w.n-1)%len(w.buf)]
+}
+
+func (w *Store) String() string {
+	return fmt.Sprintf("%v len=%d peak=%d", w.spec, w.n, w.peak)
+}

@@ -1,0 +1,180 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := TimeWindow(10).Validate(); err != nil {
+		t.Errorf("time window rejected: %v", err)
+	}
+	if err := RowWindow(5).Validate(); err != nil {
+		t.Errorf("row window rejected: %v", err)
+	}
+	if err := (Spec{Span: 10, Rows: 5}).Validate(); err != nil {
+		t.Errorf("combined window rejected: %v", err)
+	}
+	for _, bad := range []Spec{{}, {Span: -1}, {Rows: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("degenerate spec %v accepted", bad)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if s := TimeWindow(5).String(); s != "window[5µs]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := RowWindow(3).String(); s != "window[3 rows]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := (Spec{Span: 5, Rows: 3}).String(); s != "window[5µs, 3 rows]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTimeWindowExpiration(t *testing.T) {
+	w := NewStore(TimeWindow(10))
+	for _, ts := range []tuple.Time{0, 4, 8, 12} {
+		w.Insert(tuple.NewData(ts))
+	}
+	// After inserting ts=12 with span 10, limit is 2: ts=0 expires.
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	if w.Oldest().Ts != 4 || w.Newest().Ts != 12 {
+		t.Errorf("oldest/newest = %v/%v", w.Oldest().Ts, w.Newest().Ts)
+	}
+	if w.Expired() != 1 || w.Inserted() != 4 {
+		t.Errorf("counters: expired=%d inserted=%d", w.Expired(), w.Inserted())
+	}
+}
+
+func TestExpireToWithoutInsert(t *testing.T) {
+	// Punctuation-driven expiration: the opposite stream's ETS advances the
+	// clock and frees memory without any insertion.
+	w := NewStore(TimeWindow(10))
+	w.Insert(tuple.NewData(0))
+	w.Insert(tuple.NewData(5))
+	w.ExpireTo(14)
+	if w.Len() != 1 || w.Oldest().Ts != 5 {
+		t.Fatalf("after ExpireTo(14): len=%d oldest=%v", w.Len(), w.Oldest())
+	}
+	w.ExpireTo(100)
+	if w.Len() != 0 || w.Oldest() != nil || w.Newest() != nil {
+		t.Fatal("window should be empty")
+	}
+}
+
+func TestBoundaryTupleStaysInWindow(t *testing.T) {
+	// x expires only when x.Ts < ts − Span, so x.Ts == ts − Span stays.
+	w := NewStore(TimeWindow(10))
+	w.Insert(tuple.NewData(0))
+	w.ExpireTo(10)
+	if w.Len() != 1 {
+		t.Fatal("tuple exactly at boundary must remain")
+	}
+	w.ExpireTo(11)
+	if w.Len() != 0 {
+		t.Fatal("tuple past boundary must expire")
+	}
+}
+
+func TestRowWindow(t *testing.T) {
+	w := NewStore(RowWindow(3))
+	for i := 0; i < 10; i++ {
+		w.Insert(tuple.NewData(tuple.Time(i)))
+		if w.Len() > 3 {
+			t.Fatalf("row bound violated: len=%d", w.Len())
+		}
+	}
+	snap := w.Snapshot()
+	if len(snap) != 3 || snap[0].Ts != 7 || snap[2].Ts != 9 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if w.Peak() != 3 {
+		t.Errorf("peak = %d", w.Peak())
+	}
+}
+
+func TestCombinedWindow(t *testing.T) {
+	w := NewStore(Spec{Span: 100, Rows: 2})
+	w.Insert(tuple.NewData(0))
+	w.Insert(tuple.NewData(1))
+	w.Insert(tuple.NewData(2)) // row bound evicts ts=0
+	if w.Len() != 2 || w.Oldest().Ts != 1 {
+		t.Fatalf("row bound: len=%d oldest=%v", w.Len(), w.Oldest())
+	}
+	w.ExpireTo(200) // time bound evicts everything
+	if w.Len() != 0 {
+		t.Fatal("time bound should have emptied the window")
+	}
+}
+
+func TestInsertPunctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(punct) must panic")
+		}
+	}()
+	NewStore(RowWindow(1)).Insert(tuple.NewPunct(1))
+}
+
+func TestEachOrderAndWraparound(t *testing.T) {
+	w := NewStore(RowWindow(4))
+	for i := 0; i < 20; i++ { // forces ring wrap
+		w.Insert(tuple.NewData(tuple.Time(i)))
+	}
+	var got []tuple.Time
+	w.Each(func(tp *tuple.Tuple) { got = append(got, tp.Ts) })
+	want := []tuple.Time{16, 17, 18, 19}
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+// Property: after any monotone insertion sequence, every live tuple is
+// within the span of the newest, order is preserved, and no live tuple was
+// counted as expired.
+func TestWindowInvariantsProperty(t *testing.T) {
+	f := func(gaps []uint8, spanRaw uint8) bool {
+		span := tuple.Time(spanRaw%50 + 1)
+		w := NewStore(TimeWindow(span))
+		ts := tuple.Time(0)
+		total := 0
+		for _, g := range gaps {
+			ts += tuple.Time(g)
+			w.Insert(tuple.NewData(ts))
+			total++
+		}
+		if int(w.Inserted()) != total {
+			return false
+		}
+		if w.Len()+int(w.Expired()) != total {
+			return false
+		}
+		prev := tuple.MinTime
+		ok := true
+		w.Each(func(tp *tuple.Tuple) {
+			if tp.Ts < prev {
+				ok = false
+			}
+			prev = tp.Ts
+			if tp.Ts < ts-span {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

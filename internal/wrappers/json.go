@@ -1,0 +1,138 @@
+package wrappers
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/tuple"
+)
+
+// JSONScanner decodes JSON-lines input (one object per line) into tuples of
+// a schema. Field names map to object keys; an optional "ts_us" key carries
+// the external timestamp in microseconds.
+type JSONScanner struct {
+	sc     *bufio.Scanner
+	schema *tuple.Schema
+	line   int
+}
+
+// NewJSONScanner returns a scanner decoding objects from r.
+func NewJSONScanner(r io.Reader, schema *tuple.Schema) *JSONScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &JSONScanner{sc: sc, schema: schema}
+}
+
+// Next decodes the next object, returning io.EOF at end of input. Blank
+// lines are skipped.
+func (s *JSONScanner) Next() (*tuple.Tuple, error) {
+	for {
+		if !s.sc.Scan() {
+			if err := s.sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		s.line++
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(line, &obj); err != nil {
+			return nil, fmt.Errorf("wrappers: line %d: %v", s.line, err)
+		}
+		t := &tuple.Tuple{Kind: tuple.Data, Vals: make([]tuple.Value, s.schema.Arity())}
+		if raw, ok := obj["ts_us"]; ok {
+			var us int64
+			if err := json.Unmarshal(raw, &us); err != nil {
+				return nil, fmt.Errorf("wrappers: line %d: bad ts_us: %v", s.line, err)
+			}
+			t.Ts = tuple.Time(us)
+		}
+		for i, f := range s.schema.Fields {
+			raw, ok := obj[f.Name]
+			if !ok {
+				continue // missing fields stay Null
+			}
+			v, err := decodeJSONValue(f.Kind, raw)
+			if err != nil {
+				return nil, fmt.Errorf("wrappers: line %d, field %s: %v", s.line, f.Name, err)
+			}
+			t.Vals[i] = v
+		}
+		return t, nil
+	}
+}
+
+func decodeJSONValue(kind tuple.ValueKind, raw json.RawMessage) (tuple.Value, error) {
+	switch kind {
+	case tuple.IntKind:
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Int(v), nil
+	case tuple.FloatKind:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Float(v), nil
+	case tuple.StringKind:
+		var v string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.String_(v), nil
+	case tuple.BoolKind:
+		var v bool
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Bool(v), nil
+	case tuple.TimeKind:
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.TimeVal(tuple.Time(v)), nil
+	default:
+		return tuple.Value{}, fmt.Errorf("cannot decode kind %v", kind)
+	}
+}
+
+// WriteJSON encodes one tuple as a JSON line. Punctuation is skipped.
+func WriteJSON(w io.Writer, schema *tuple.Schema, t *tuple.Tuple) error {
+	if t.IsPunct() {
+		return nil
+	}
+	obj := make(map[string]interface{}, schema.Arity()+1)
+	obj["ts_us"] = int64(t.Ts)
+	for i, f := range schema.Fields {
+		if i >= len(t.Vals) || t.Vals[i].IsNull() {
+			continue
+		}
+		switch f.Kind {
+		case tuple.IntKind:
+			obj[f.Name] = t.Vals[i].AsInt()
+		case tuple.FloatKind:
+			obj[f.Name] = t.Vals[i].AsFloat()
+		case tuple.StringKind:
+			obj[f.Name] = t.Vals[i].AsString()
+		case tuple.BoolKind:
+			obj[f.Name] = t.Vals[i].AsBool()
+		case tuple.TimeKind:
+			obj[f.Name] = int64(t.Vals[i].AsTime())
+		}
+	}
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

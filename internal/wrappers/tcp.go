@@ -1,0 +1,129 @@
+package wrappers
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// TCPSource accepts TCP connections and decodes CSV lines from each into
+// tuples, delivering them to a callback. It is the network input wrapper
+// for the real-time runtime.
+type TCPSource struct {
+	ln      net.Listener
+	schema  *tuple.Schema
+	opts    CSVOptions
+	deliver func(*tuple.Tuple)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	received uint64
+	errs     uint64
+}
+
+// NewTCPSource listens on addr (e.g. "127.0.0.1:0") and delivers decoded
+// tuples to the callback from connection-handler goroutines. The callback
+// must be safe for concurrent use (ingesting into a runtime engine is).
+func NewTCPSource(addr string, schema *tuple.Schema, opts CSVOptions, deliver func(*tuple.Tuple)) (*TCPSource, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wrappers: listen %s: %w", addr, err)
+	}
+	s := &TCPSource{ln: ln, schema: schema, opts: opts, deliver: deliver}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the bound listen address.
+func (s *TCPSource) Addr() net.Addr { return s.ln.Addr() }
+
+// Received reports the number of tuples decoded so far.
+func (s *TCPSource) Received() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.received
+}
+
+// Close stops accepting and waits for connection handlers to finish.
+func (s *TCPSource) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPSource) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *TCPSource) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	sc := NewCSVScanner(conn, s.schema, s.opts)
+	for {
+		t, err := sc.Next()
+		if err != nil {
+			if err.Error() != "EOF" {
+				s.mu.Lock()
+				s.errs++
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.mu.Lock()
+		closed := s.closed
+		if !closed {
+			s.received++
+		}
+		s.mu.Unlock()
+		if closed {
+			return
+		}
+		s.deliver(t)
+	}
+}
+
+// TCPSink connects to addr and writes result tuples as CSV lines — the
+// network output wrapper.
+type TCPSink struct {
+	conn net.Conn
+	w    *CSVWriter
+	mu   sync.Mutex
+}
+
+// NewTCPSink dials addr and returns a sink writer.
+func NewTCPSink(addr string, schema *tuple.Schema, opts CSVOptions) (*TCPSink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wrappers: dial %s: %w", addr, err)
+	}
+	return &TCPSink{conn: conn, w: NewCSVWriter(conn, schema, opts)}, nil
+}
+
+// Write encodes one tuple (safe for concurrent use).
+func (s *TCPSink) Write(t *tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Write(t); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// Close closes the connection.
+func (s *TCPSink) Close() error { return s.conn.Close() }

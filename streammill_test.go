@@ -1,0 +1,85 @@
+package streammill_test
+
+import (
+	"testing"
+
+	streammill "repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade end-to-end the way the
+// README shows it: DDL + query + simulated execution.
+func TestPublicAPIQuickstart(t *testing.T) {
+	e := streammill.NewEngine()
+	e.MustExecute(`CREATE STREAM fast (v int)`, nil)
+	e.MustExecute(`CREATE STREAM slow (v int)`, nil)
+	var got []*streammill.Tuple
+	e.MustExecute(`SELECT * FROM fast UNION slow`,
+		func(tp *streammill.Tuple, _ streammill.Time) { got = append(got, tp) })
+
+	clock := streammill.Time(0)
+	ex, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := e.Source("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = 5 * streammill.Millisecond
+	src.Ingest(streammill.NewData(0, streammill.Int(42)), clock)
+	ex.Run(1000)
+	if len(got) != 1 || got[0].Vals[0].AsInt() != 42 {
+		t.Fatalf("got = %v", got)
+	}
+	if got[0].Ts != 5*streammill.Millisecond {
+		t.Errorf("internal stamp = %v", got[0].Ts)
+	}
+}
+
+// TestPublicAPIRuntime drives the concurrent runtime through the facade.
+func TestPublicAPIRuntime(t *testing.T) {
+	e := streammill.NewEngine()
+	e.MustExecute(`CREATE STREAM a (v int)`, nil)
+	e.MustExecute(`CREATE STREAM b (v int)`, nil)
+	done := make(chan int, 1)
+	count := 0
+	e.MustExecute(`SELECT * FROM a UNION b`,
+		func(*streammill.Tuple, streammill.Time) { count++ })
+	rt, err := streammill.NewRuntime(e, streammill.RuntimeOptions{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	srcA, _ := e.Source("a")
+	srcB, _ := e.Source("b")
+	go func() {
+		for i := 0; i < 100; i++ {
+			rt.Ingest(srcA, streammill.NewData(0, streammill.Int(int64(i))))
+		}
+		rt.CloseStream(srcA)
+		rt.CloseStream(srcB)
+		rt.Wait()
+		done <- count
+	}()
+	if n := <-done; n != 100 {
+		t.Fatalf("runtime delivered %d, want 100", n)
+	}
+}
+
+// TestPublicHelpers covers the small constructors.
+func TestPublicHelpers(t *testing.T) {
+	if streammill.Int(3).AsInt() != 3 ||
+		streammill.Float(2.5).AsFloat() != 2.5 ||
+		streammill.Str("x").AsString() != "x" ||
+		!streammill.Boolean(true).AsBool() ||
+		streammill.TimeValue(7).AsTime() != 7 {
+		t.Error("value constructors broken")
+	}
+	sch := streammill.NewSchema("s", streammill.Field{Name: "x", Kind: streammill.Int(0).Kind()})
+	if sch.Arity() != 1 {
+		t.Error("NewSchema broken")
+	}
+	if streammill.TimeWindow(5).Span != 5 || streammill.RowWindow(3).Rows != 3 {
+		t.Error("window helpers broken")
+	}
+}
