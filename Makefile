@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-runtime check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (the runtime's batched data plane and
+# the buffers under it).
+race:
+	$(GO) test -race ./internal/runtime/... ./internal/buffer/... ./internal/tuple/...
+
+# Smoke-run every benchmark once so bit-rot in bench code is caught by CI.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Full batched-vs-per-tuple measurement; writes BENCH_runtime.json.
+bench-runtime:
+	$(GO) run ./cmd/etsbench -runtime
+
+check: vet build test race bench

@@ -320,8 +320,10 @@ func BenchmarkCQLParse(b *testing.B) {
 	}
 }
 
-// BenchmarkRuntimeThroughput measures the concurrent engine end to end.
-func BenchmarkRuntimeThroughput(b *testing.B) {
+// buildRuntimeUnion assembles the union workload for the runtime throughput
+// benchmarks: two sources merging into a TSM union feeding a sink.
+func buildRuntimeUnion(b *testing.B, opts runtime.Options) (*runtime.Engine, *ops.Source, *ops.Source) {
+	b.Helper()
 	g := graph.New("bench")
 	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
 	s1 := ops.NewSource("s1", sch, 0)
@@ -330,18 +332,113 @@ func BenchmarkRuntimeThroughput(b *testing.B) {
 	c := g.AddNode(s2)
 	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, c)
 	g.AddNode(ops.NewSink("k", nil), u)
-	e, err := runtime.New(g, runtime.Options{OnDemandETS: true, ChannelDepth: 1024})
+	e, err := runtime.New(g, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	e.Start()
-	t := tuple.NewData(0, tuple.Int(1))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Ingest(s1, t.Clone())
-		e.Ingest(s2, t.Clone())
+	return e, s1, s2
+}
+
+// BenchmarkRuntimeThroughput measures the concurrent engine end to end:
+// PerTuple is the unbatched baseline (BatchSize 1, one channel send and one
+// heap tuple per arc hop); Batched64 is the pooled, micro-batched data plane
+// at the default batch size.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	b.Run("PerTuple", func(b *testing.B) {
+		e, s1, s2 := buildRuntimeUnion(b, runtime.Options{
+			OnDemandETS: true, ChannelDepth: 1024, BatchSize: 1,
+		})
+		e.Start()
+		t := tuple.NewData(0, tuple.Int(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Ingest(s1, t.Clone())
+			e.Ingest(s2, t.Clone())
+		}
+		e.CloseStream(s1)
+		e.CloseStream(s2)
+		e.Wait()
+	})
+	b.Run("Batched64", func(b *testing.B) {
+		e, s1, s2 := buildRuntimeUnion(b, runtime.Options{
+			OnDemandETS: true, ChannelDepth: 1024, BatchSize: 64, Recycle: true,
+		})
+		e.Start()
+		const span = 64
+		var mag tuple.Magazine
+		raws := make([]*tuple.Tuple, 0, span)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += span {
+			n := span
+			if rem := b.N - i; rem < n {
+				n = rem
+			}
+			raws = raws[:0]
+			for j := 0; j < n; j++ {
+				t := mag.Get()
+				t.Vals = append(t.Vals, tuple.Int(1))
+				raws = append(raws, t)
+			}
+			e.IngestBatch(s1, raws)
+			raws = raws[:0]
+			for j := 0; j < n; j++ {
+				t := mag.Get()
+				t.Vals = append(t.Vals, tuple.Int(1))
+				raws = append(raws, t)
+			}
+			e.IngestBatch(s2, raws)
+		}
+		e.CloseStream(s1)
+		e.CloseStream(s2)
+		e.Wait()
+	})
+}
+
+// BenchmarkQueueBatchOps compares per-tuple Push/Pop against the batched
+// PushAll/PopAll path the runtime's arc delivery uses.
+func BenchmarkQueueBatchOps(b *testing.B) {
+	const span = 64
+	batch := make([]*tuple.Tuple, span)
+	for i := range batch {
+		batch[i] = tuple.NewData(tuple.Time(i))
 	}
-	e.CloseStream(s1)
-	e.CloseStream(s2)
-	e.Wait()
+	b.Run("PushPop", func(b *testing.B) {
+		q := buffer.New("bench")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Push(batch[i%span])
+			q.Pop()
+		}
+	})
+	b.Run("PushAllPopAll", func(b *testing.B) {
+		q := buffer.New("bench")
+		dst := make([]*tuple.Tuple, 0, span)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += span {
+			q.PushAll(batch)
+			dst = q.PopAll(dst[:0])
+		}
+	})
+}
+
+// BenchmarkGroupObserve measures the Figure-8 sampling cost, which the
+// single-threaded engine pays on every execution step. The incremental
+// running total makes it O(1) in the number of arcs.
+func BenchmarkGroupObserve(b *testing.B) {
+	for _, arcs := range []int{4, 64} {
+		b.Run(fmt.Sprintf("arcs%d", arcs), func(b *testing.B) {
+			g := buffer.NewGroup()
+			for i := 0; i < arcs; i++ {
+				q := buffer.New(fmt.Sprintf("q%d", i))
+				q.Push(tuple.NewData(1))
+				g.Add(q)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Observe()
+			}
+		})
+	}
 }

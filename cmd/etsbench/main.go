@@ -7,6 +7,9 @@
 //	etsbench -fig fig7a        regenerate one figure
 //	etsbench -fig all          regenerate everything (takes a few minutes)
 //	etsbench -scenarios        quick A/B/C/D summary at default settings
+//	etsbench -runtime          benchmark the concurrent engine's batched
+//	                           data plane vs the per-tuple baseline and
+//	                           write BENCH_runtime.json
 package main
 
 import (
@@ -24,6 +27,9 @@ func main() {
 	scen := flag.Bool("scenarios", false, "print the A/B/C/D scenario summary")
 	hbRate := flag.Float64("hb", 10, "heartbeat rate for scenario B in the summary")
 	csv := flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+	rtBench := flag.Bool("runtime", false, "benchmark the concurrent engine's batched data plane")
+	rtTuples := flag.Int("runtime-tuples", 2_000_000, "tuples per configuration for -runtime")
+	rtOut := flag.String("runtime-out", "BENCH_runtime.json", "output file for -runtime results")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -37,6 +43,8 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+	case *rtBench:
+		runRuntimeBench(*rtTuples, *rtOut)
 	case *scen:
 		runScenarios(*hbRate)
 	case *fig == "all":

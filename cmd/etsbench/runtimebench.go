@@ -1,0 +1,209 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	rt "repro/internal/runtime"
+	"repro/internal/tuple"
+)
+
+// The runtime benchmark compares the concurrent engine's per-tuple baseline
+// against the batched, pooled data plane on the union workload (two sources
+// merging through a TSM union into one sink). Each configuration pushes the
+// same number of tuples through the graph and records throughput, allocation
+// rate, in-system latency, and the achieved batching factor; the results are
+// written to a JSON file so regressions are diffable.
+
+// rtConfig is one engine configuration under test.
+type rtConfig struct {
+	Name string `json:"name"`
+	// BatchSize 1 with per-tuple Ingest is the unbatched baseline.
+	BatchSize int  `json:"batch_size"`
+	Batch     bool `json:"ingest_batch"` // use IngestBatch + pooled tuples
+	Recycle   bool `json:"recycle"`
+}
+
+// rtResult is one configuration's measurement.
+type rtResult struct {
+	rtConfig
+	Tuples         uint64  `json:"tuples"`
+	Seconds        float64 `json:"seconds"`
+	TuplesPerSec   float64 `json:"tuples_per_sec"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	BytesPerTuple  float64 `json:"bytes_per_tuple"`
+	LatencyP50Us   float64 `json:"latency_p50_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	LatencyMeanUs  float64 `json:"latency_mean_us"`
+	BatchesSent    uint64  `json:"batches_sent"`
+	TuplesSent     uint64  `json:"tuples_sent"`
+	BatchingFactor float64 `json:"batching_factor"`
+	ETSGenerated   uint64  `json:"ets_generated"`
+}
+
+type rtReport struct {
+	Workload  string     `json:"workload"`
+	Tuples    int        `json:"tuples_per_config"`
+	GoVersion string     `json:"go_version"`
+	Date      string     `json:"date"`
+	Results   []rtResult `json:"results"`
+	SpeedupX  float64    `json:"batched_vs_per_tuple_speedup_x"`
+}
+
+// runRuntimeConfig pushes total tuples (split across two sources) through the
+// union graph under one configuration and measures it.
+func runRuntimeConfig(cfg rtConfig, total int) rtResult {
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	g := graph.New("rtbench")
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+
+	// The sink samples in-system latency: engine-clock delta between source
+	// arrival stamping and sink delivery. Sink callbacks run on the sink's
+	// goroutine, so the Latency accumulator needs no locking; with Recycle
+	// on, the callback must not retain the tuple — it only reads it.
+	lat := metrics.NewLatency()
+	sink := ops.NewSink("k", func(t *tuple.Tuple, now tuple.Time) {
+		lat.Observe(now - t.Arrived)
+	})
+	g.AddNode(sink, u)
+
+	// Equalize buffering in *tuples*, not batches: a batched arc at the same
+	// channel depth would hold BatchSize× more tuples in flight and its
+	// queueing latency would not be comparable.
+	depth := 1024 / cfg.BatchSize
+	if depth < 4 {
+		depth = 4
+	}
+	e, err := rt.New(g, rt.Options{
+		OnDemandETS:  true,
+		ChannelDepth: depth,
+		BatchSize:    cfg.BatchSize,
+		Recycle:      cfg.Recycle,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	e.Start()
+
+	per := total / 2
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if cfg.Batch {
+		const span = 64
+		var mag tuple.Magazine
+		raws := make([]*tuple.Tuple, 0, span)
+		fill := func(n int) {
+			raws = raws[:0]
+			for j := 0; j < n; j++ {
+				t := mag.Get()
+				t.Vals = append(t.Vals, tuple.Int(1))
+				raws = append(raws, t)
+			}
+		}
+		for i := 0; i < per; i += span {
+			n := span
+			if rem := per - i; rem < n {
+				n = rem
+			}
+			fill(n)
+			e.IngestBatch(s1, raws)
+			fill(n)
+			e.IngestBatch(s2, raws)
+		}
+	} else {
+		for i := 0; i < per; i++ {
+			e.Ingest(s1, tuple.NewData(0, tuple.Int(1)))
+			e.Ingest(s2, tuple.NewData(0, tuple.Int(1)))
+		}
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	e.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	n := uint64(2 * per)
+	res := rtResult{
+		rtConfig:       cfg,
+		Tuples:         n,
+		Seconds:        elapsed.Seconds(),
+		TuplesPerSec:   float64(n) / elapsed.Seconds(),
+		AllocsPerTuple: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerTuple:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		LatencyP50Us:   float64(lat.Percentile(50)),
+		LatencyP99Us:   float64(lat.Percentile(99)),
+		LatencyMeanUs:  float64(lat.Mean()),
+		BatchesSent:    e.BatchesSent(),
+		TuplesSent:     e.TuplesSent(),
+		ETSGenerated:   e.ETSGenerated(),
+	}
+	if res.BatchesSent > 0 {
+		res.BatchingFactor = float64(res.TuplesSent) / float64(res.BatchesSent)
+	}
+	return res
+}
+
+// runRuntimeBench runs every configuration and writes the JSON report.
+func runRuntimeBench(total int, out string) {
+	if total < 2 {
+		fmt.Fprintf(os.Stderr, "etsbench: -runtime-tuples must be ≥ 2 (got %d)\n", total)
+		os.Exit(2)
+	}
+	configs := []rtConfig{
+		{Name: "per-tuple", BatchSize: 1, Batch: false, Recycle: false},
+		{Name: "batched-64", BatchSize: 64, Batch: true, Recycle: true},
+		{Name: "batched-64-norecycle", BatchSize: 64, Batch: true, Recycle: false},
+		{Name: "batched-256", BatchSize: 256, Batch: true, Recycle: true},
+	}
+	rep := rtReport{
+		Workload:  "union: 2 sources -> TSM union -> sink, on-demand ETS",
+		Tuples:    total,
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	var base, batched float64
+	for _, cfg := range configs {
+		// One warmup pass primes pools and the scheduler; the measured pass
+		// follows.
+		runRuntimeConfig(cfg, total/10)
+		res := runRuntimeConfig(cfg, total)
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-22s %10.0f tuples/s  %5.2f allocs/tuple  p50 %4.0fµs  p99 %5.0fµs  batching %5.1f\n",
+			res.Name, res.TuplesPerSec, res.AllocsPerTuple,
+			res.LatencyP50Us, res.LatencyP99Us, res.BatchingFactor)
+		switch res.Name {
+		case "per-tuple":
+			base = res.TuplesPerSec
+		case "batched-64":
+			batched = res.TuplesPerSec
+		}
+	}
+	if base > 0 {
+		rep.SpeedupX = batched / base
+		fmt.Printf("batched-64 vs per-tuple: %.2fx\n", rep.SpeedupX)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

@@ -5,7 +5,10 @@
 //
 // Queues track occupancy statistics — in particular the peak size — because
 // peak total queue size is the memory metric reported in Figure 8 of the
-// paper.
+// paper. Group totals are maintained incrementally: every Push/Pop adjusts
+// the running sum of each group observing the queue, so sampling the
+// Figure-8 metric costs O(1) per execution step instead of a rescan of every
+// arc.
 package buffer
 
 import (
@@ -14,16 +17,22 @@ import (
 	"repro/internal/tuple"
 )
 
-// Queue is a growable ring-buffer FIFO of tuples. It is not safe for
-// concurrent use; the simulation engine is single-threaded and the
-// concurrent runtime uses channels instead.
+// Queue is a growable ring-buffer FIFO of tuples. Capacity is always a power
+// of two so positions reduce with a bitmask instead of a modulo. It is not
+// safe for concurrent use; the simulation engine is single-threaded and the
+// concurrent runtime gives each operator exclusive ownership of its input
+// queues.
 type Queue struct {
 	name string
 
 	buf   []*tuple.Tuple
 	head  int // index of front element
 	n     int // number of elements
+	mask  int // len(buf)-1; valid whenever buf is non-empty
 	nData int // number of buffered data (non-punctuation) tuples
+
+	// groups observing this queue for incremental total-occupancy tracking.
+	groups []*Group
 
 	// stats
 	peak      int
@@ -56,15 +65,17 @@ func (q *Queue) DataLen() int { return q.nData }
 // Empty reports whether the queue holds no tuples.
 func (q *Queue) Empty() bool { return q.n == 0 }
 
-// Push appends t at the tail of the queue.
-func (q *Queue) Push(t *tuple.Tuple) {
-	if t == nil {
-		panic("buffer: Push(nil)")
+// notifyGroups adjusts the running total of every observing group by d.
+func (q *Queue) notifyGroups(d int) {
+	for _, g := range q.groups {
+		g.total += d
 	}
-	if q.n == len(q.buf) {
-		q.grow()
-	}
-	q.buf[(q.head+q.n)%len(q.buf)] = t
+}
+
+// push is the unguarded tail append shared by Push and PushAll; capacity
+// must already be available.
+func (q *Queue) push(t *tuple.Tuple) {
+	q.buf[(q.head+q.n)&q.mask] = t
 	q.n++
 	q.pushes++
 	if t.IsPunct() {
@@ -76,6 +87,41 @@ func (q *Queue) Push(t *tuple.Tuple) {
 	q.hasLastTs = true
 	if q.n > q.peak {
 		q.peak = q.n
+	}
+}
+
+// Push appends t at the tail of the queue.
+func (q *Queue) Push(t *tuple.Tuple) {
+	if t == nil {
+		panic("buffer: Push(nil)")
+	}
+	if q.n == len(q.buf) {
+		q.grow(q.n + 1)
+	}
+	q.push(t)
+	if len(q.groups) != 0 {
+		q.notifyGroups(1)
+	}
+}
+
+// PushAll appends every tuple of batch in order, ensuring capacity once.
+// The batched runtime delivers whole arc batches through it so the per-tuple
+// cost is one masked store plus stats.
+func (q *Queue) PushAll(batch []*tuple.Tuple) {
+	if len(batch) == 0 {
+		return
+	}
+	if q.n+len(batch) > len(q.buf) {
+		q.grow(q.n + len(batch))
+	}
+	for _, t := range batch {
+		if t == nil {
+			panic("buffer: PushAll(nil tuple)")
+		}
+		q.push(t)
+	}
+	if len(q.groups) != 0 {
+		q.notifyGroups(len(batch))
 	}
 }
 
@@ -93,17 +139,15 @@ func (q *Queue) At(i int) *tuple.Tuple {
 	if i < 0 || i >= q.n {
 		panic(fmt.Sprintf("buffer %s: At(%d) with len %d", q.name, i, q.n))
 	}
-	return q.buf[(q.head+i)%len(q.buf)]
+	return q.buf[(q.head+i)&q.mask]
 }
 
-// Pop removes and returns the front tuple, or nil when empty.
-func (q *Queue) Pop() *tuple.Tuple {
-	if q.n == 0 {
-		return nil
-	}
+// pop is the unguarded front removal shared by Pop and PopAll; the queue
+// must be non-empty.
+func (q *Queue) pop() *tuple.Tuple {
 	t := q.buf[q.head]
 	q.buf[q.head] = nil // allow GC
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & q.mask
 	q.n--
 	q.pops++
 	if t.IsPunct() {
@@ -114,23 +158,67 @@ func (q *Queue) Pop() *tuple.Tuple {
 	return t
 }
 
-// Clear discards all buffered tuples (stats are preserved).
-func (q *Queue) Clear() {
+// Pop removes and returns the front tuple, or nil when empty.
+func (q *Queue) Pop() *tuple.Tuple {
+	if q.n == 0 {
+		return nil
+	}
+	t := q.pop()
+	if len(q.groups) != 0 {
+		q.notifyGroups(-1)
+	}
+	return t
+}
+
+// PopAll drains the queue front-to-back, appending every tuple to dst and
+// returning the extended slice.
+func (q *Queue) PopAll(dst []*tuple.Tuple) []*tuple.Tuple {
+	if q.n == 0 {
+		return dst
+	}
+	drained := q.n
 	for q.n > 0 {
-		q.Pop()
+		dst = append(dst, q.pop())
+	}
+	if len(q.groups) != 0 {
+		q.notifyGroups(-drained)
+	}
+	return dst
+}
+
+// Clear discards all buffered tuples (stats are preserved: cleared tuples
+// count as pops, punctuation as punctOut).
+func (q *Queue) Clear() {
+	drained := q.n
+	for q.n > 0 {
+		q.pop()
+	}
+	if drained != 0 && len(q.groups) != 0 {
+		q.notifyGroups(-drained)
 	}
 }
 
-func (q *Queue) grow() {
-	newCap := len(q.buf) * 2
+// grow resizes the ring to the smallest power of two ≥ need, unwrapping the
+// live region with at most two bulk copies.
+func (q *Queue) grow(need int) {
+	newCap := len(q.buf)
 	if newCap < minCap {
 		newCap = minCap
 	}
+	for newCap < need {
+		newCap <<= 1
+	}
 	nb := make([]*tuple.Tuple, newCap)
-	for i := 0; i < q.n; i++ {
-		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	if q.n > 0 {
+		if q.head+q.n <= len(q.buf) {
+			copy(nb, q.buf[q.head:q.head+q.n])
+		} else {
+			k := copy(nb, q.buf[q.head:])
+			copy(nb[k:], q.buf[:q.n-k])
+		}
 	}
 	q.buf = nb
+	q.mask = newCap - 1
 	q.head = 0
 }
 
@@ -184,40 +272,48 @@ func (q *Queue) String() string {
 // uses a Group over every arc of the query graph to track *peak total* queue
 // size, the metric of Figure 8 (which is a property of the instantaneous sum,
 // not the sum of per-queue peaks).
+//
+// The total is maintained incrementally: member queues adjust it on every
+// Push/Pop, so Total and Observe are O(1) regardless of how many arcs the
+// graph has. Like Queue, a Group is not safe for concurrent use and its
+// member queues must be mutated from a single goroutine.
 type Group struct {
 	queues []*Queue
+	total  int
 	peak   int
 }
 
 // NewGroup returns a Group observing the given queues.
 func NewGroup(queues ...*Queue) *Group {
-	return &Group{queues: queues}
+	g := &Group{}
+	for _, q := range queues {
+		g.Add(q)
+	}
+	return g
 }
 
-// Add registers another queue with the group.
-func (g *Group) Add(q *Queue) { g.queues = append(g.queues, q) }
+// Add registers another queue with the group; its current occupancy joins
+// the running total.
+func (g *Group) Add(q *Queue) {
+	g.queues = append(g.queues, q)
+	q.groups = append(q.groups, g)
+	g.total += q.n
+}
 
 // Total reports the current total occupancy across all queues.
-func (g *Group) Total() int {
-	total := 0
-	for _, q := range g.queues {
-		total += q.Len()
-	}
-	return total
-}
+func (g *Group) Total() int { return g.total }
 
 // Observe samples the current total occupancy and updates the peak. The
 // engine calls it after every production step.
 func (g *Group) Observe() int {
-	t := g.Total()
-	if t > g.peak {
-		g.peak = t
+	if g.total > g.peak {
+		g.peak = g.total
 	}
-	return t
+	return g.total
 }
 
 // Peak reports the maximum total occupancy observed so far.
 func (g *Group) Peak() int { return g.peak }
 
 // Reset zeroes the group peak (e.g. after warm-up).
-func (g *Group) Reset() { g.peak = g.Total() }
+func (g *Group) Reset() { g.peak = g.total }

@@ -180,6 +180,216 @@ func TestGroupPeakIsInstantaneousSum(t *testing.T) {
 	}
 }
 
+func TestQueueClearStatAccounting(t *testing.T) {
+	// Clear counts the discarded tuples as pops (and punctuation as
+	// punctOut) so push/pop ledgers stay balanced across a Clear.
+	q := New("cs")
+	q.Push(tuple.NewData(1))
+	q.Push(tuple.NewPunct(2))
+	q.Push(tuple.NewData(3))
+	q.Pop()
+	q.Clear()
+	st := q.Stats()
+	if st.Len != 0 || st.Pushes != 3 || st.Pops != 3 {
+		t.Errorf("stats after Clear = %+v", st)
+	}
+	if st.PunctIn != 1 || st.PunctOut != 1 {
+		t.Errorf("punct stats after Clear = %+v", st)
+	}
+	if q.DataLen() != 0 {
+		t.Errorf("DataLen after Clear = %d", q.DataLen())
+	}
+	q.Clear() // idempotent on empty
+	if got := q.Stats().Pops; got != 3 {
+		t.Errorf("Clear on empty queue changed pops: %d", got)
+	}
+}
+
+func TestQueueAtAfterHeadWrap(t *testing.T) {
+	// Drive head past the capacity boundary, then check At indexes the
+	// logical order, not the physical layout.
+	q := New("wrapAt")
+	for i := 0; i < minCap; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+	}
+	for i := 0; i < minCap-2; i++ {
+		q.Pop()
+	}
+	// head is near the end of the ring; these pushes wrap physically.
+	for i := minCap; i < minCap+4; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+	}
+	want := []tuple.Time{tuple.Time(minCap - 2), tuple.Time(minCap - 1),
+		tuple.Time(minCap), tuple.Time(minCap + 1), tuple.Time(minCap + 2), tuple.Time(minCap + 3)}
+	if q.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := q.At(i).Ts; got != w {
+			t.Fatalf("At(%d).Ts = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestQueueGrowPreservesOrderWithPunctuation(t *testing.T) {
+	// Wrap the ring, then force growth and verify FIFO order with data and
+	// punctuation interleaved across the copy.
+	q := New("growp")
+	mk := func(i int) *tuple.Tuple {
+		if i%3 == 0 {
+			return tuple.NewPunct(tuple.Time(i))
+		}
+		return tuple.NewData(tuple.Time(i))
+	}
+	next, want := 0, 0
+	for i := 0; i < 5; i++ {
+		q.Push(mk(next))
+		next++
+	}
+	for i := 0; i < 4; i++ { // move head so the live region wraps post-growth
+		q.Pop()
+		want++
+	}
+	for next < 40 { // forces several grow() calls while head ≠ 0
+		q.Push(mk(next))
+		next++
+	}
+	if q.Len()&(q.Len()-1) != 0 && len(q.buf)&(len(q.buf)-1) != 0 {
+		t.Fatalf("capacity %d not a power of two", len(q.buf))
+	}
+	for !q.Empty() {
+		got := q.Pop()
+		if got.Ts != tuple.Time(want) {
+			t.Fatalf("pop ts=%v want %d", got.Ts, want)
+		}
+		if wantPunct := want%3 == 0; got.IsPunct() != wantPunct {
+			t.Fatalf("tuple %d: punct=%v", want, got.IsPunct())
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d, pushed %d", want, next)
+	}
+}
+
+func TestQueueCapacityAlwaysPowerOfTwo(t *testing.T) {
+	q := New("pow2")
+	for i := 0; i < 1000; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+		if c := len(q.buf); c != 0 && c&(c-1) != 0 {
+			t.Fatalf("capacity %d not a power of two after %d pushes", c, i+1)
+		}
+	}
+	q2 := New("pow2batch")
+	batch := make([]*tuple.Tuple, 100)
+	for i := range batch {
+		batch[i] = tuple.NewData(tuple.Time(i))
+	}
+	q2.PushAll(batch)
+	if c := len(q2.buf); c&(c-1) != 0 || c < 100 {
+		t.Fatalf("PushAll capacity = %d", c)
+	}
+}
+
+func TestQueueLastTsMonotonicityAcrossWrap(t *testing.T) {
+	// LastTs tracks the most recent push — including punctuation — and is
+	// unaffected by pops, Clear, or ring growth.
+	q := New("lts")
+	for i := 0; i < 20; i++ {
+		q.Push(tuple.NewData(tuple.Time(i * 10)))
+		if ts, ok := q.LastTs(); !ok || ts != tuple.Time(i*10) {
+			t.Fatalf("LastTs after push %d = %v, %v", i, ts, ok)
+		}
+		if i%2 == 0 {
+			q.Pop()
+			if ts, _ := q.LastTs(); ts != tuple.Time(i*10) {
+				t.Fatalf("Pop moved LastTs to %v", ts)
+			}
+		}
+	}
+	q.Push(tuple.NewPunct(500))
+	if ts, _ := q.LastTs(); ts != 500 {
+		t.Fatalf("punct push must advance LastTs, got %v", ts)
+	}
+	q.Clear()
+	if ts, ok := q.LastTs(); !ok || ts != 500 {
+		t.Fatalf("LastTs after Clear = %v, %v", ts, ok)
+	}
+}
+
+func TestQueuePushAllPopAll(t *testing.T) {
+	q := New("batch")
+	var batch []*tuple.Tuple
+	for i := 0; i < 200; i++ {
+		batch = append(batch, tuple.NewData(tuple.Time(i)))
+	}
+	q.PushAll(batch[:50])
+	q.PushAll(nil) // no-op
+	for i := 0; i < 20; i++ {
+		q.Pop() // move head so PushAll spans a wrap
+	}
+	q.PushAll(batch[50:])
+	if q.Len() != 180 {
+		t.Fatalf("Len = %d, want 180", q.Len())
+	}
+	out := q.PopAll(nil)
+	if len(out) != 180 || !q.Empty() {
+		t.Fatalf("PopAll returned %d, queue len %d", len(out), q.Len())
+	}
+	for i, tp := range out {
+		if tp.Ts != tuple.Time(i+20) {
+			t.Fatalf("PopAll[%d].Ts = %v", i, tp.Ts)
+		}
+	}
+	if got := q.PopAll(out[:0]); len(got) != 0 {
+		t.Fatal("PopAll on empty queue must return dst unchanged")
+	}
+	st := q.Stats()
+	if st.Pushes != 200 || st.Pops != 200 {
+		t.Fatalf("batch stats = %+v", st)
+	}
+}
+
+func TestGroupIncrementalTotal(t *testing.T) {
+	a, b := New("a"), New("b")
+	a.Push(tuple.NewData(1)) // pre-Add occupancy must join the total
+	g := NewGroup(a, b)
+	if g.Total() != 1 {
+		t.Fatalf("initial total = %d", g.Total())
+	}
+	var batch []*tuple.Tuple
+	for i := 0; i < 10; i++ {
+		batch = append(batch, tuple.NewData(tuple.Time(i)))
+	}
+	b.PushAll(batch)
+	if g.Total() != 11 {
+		t.Fatalf("total after PushAll = %d", g.Total())
+	}
+	g.Observe()
+	if g.Peak() != 11 {
+		t.Fatalf("peak = %d", g.Peak())
+	}
+	a.Pop()
+	b.PopAll(nil)
+	if g.Total() != 0 {
+		t.Fatalf("total after drain = %d", g.Total())
+	}
+	b.Push(tuple.NewData(1))
+	b.Clear()
+	if g.Total() != 0 {
+		t.Fatalf("total after Clear = %d", g.Total())
+	}
+	if g.Peak() != 11 {
+		t.Fatalf("peak after drain = %d", g.Peak())
+	}
+	// A queue may feed several groups.
+	g2 := NewGroup(b)
+	b.Push(tuple.NewData(2))
+	if g.Total() != 1 || g2.Total() != 1 {
+		t.Fatalf("multi-group totals = %d, %d", g.Total(), g2.Total())
+	}
+}
+
 // Property: for any sequence of pushes and pops, the queue behaves exactly
 // like a slice-based FIFO.
 func TestQueueMatchesReferenceModel(t *testing.T) {

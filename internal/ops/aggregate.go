@@ -211,6 +211,7 @@ func (a *Aggregate) Exec(ctx *Ctx) bool {
 	for w := first; w <= last; w++ {
 		a.accumulate(w, t)
 	}
+	ctx.free(t) // values were copied into the accumulators
 	return yield
 }
 

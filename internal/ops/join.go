@@ -197,6 +197,7 @@ func (j *WindowJoin) execBasic(ctx *Ctx) bool {
 	}
 	t := ctx.Ins[side].Pop()
 	if t.IsPunct() {
+		ctx.free(t)
 		return false
 	}
 	return j.produce(ctx, side, t)
@@ -229,14 +230,17 @@ func (j *WindowJoin) execTSM(ctx *Ctx) bool {
 	if bound > j.watermark && bound != tuple.MaxTime {
 		j.watermark = bound
 		j.punctOut++
-		ctx.Emit(tuple.NewPunct(bound))
+		ctx.free(t)
+		ctx.Emit(tuple.GetPunct(bound))
 		return true
 	}
 	if t.IsEOS() && j.regs.Get(0) == tuple.MaxTime && j.regs.Get(1) == tuple.MaxTime {
 		j.punctOut++
+		ctx.free(t)
 		ctx.Emit(tuple.EOS())
 		return true
 	}
+	ctx.free(t) // absorbed: the bound did not advance
 	return false
 }
 
@@ -247,6 +251,7 @@ func (j *WindowJoin) execLatent(ctx *Ctx) bool {
 	}
 	t := ctx.Ins[side].Pop()
 	if t.IsPunct() {
+		ctx.free(t)
 		return false
 	}
 	// Latent tuples are stamped on the fly by operators that need

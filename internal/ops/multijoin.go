@@ -126,14 +126,17 @@ func (j *MultiJoin) Exec(ctx *Ctx) bool {
 	if bound > j.watermark && bound != tuple.MaxTime {
 		j.watermark = bound
 		j.punctOut++
-		ctx.Emit(tuple.NewPunct(bound))
+		ctx.free(t)
+		ctx.Emit(tuple.GetPunct(bound))
 		return true
 	}
 	if t.IsEOS() && j.allEOS() {
 		j.punctOut++
+		ctx.free(t)
 		ctx.Emit(tuple.EOS())
 		return true
 	}
+	ctx.free(t) // absorbed: the bound did not advance
 	return false
 }
 

@@ -32,6 +32,19 @@ type Ctx struct {
 	Emit func(*tuple.Tuple)
 	// Now returns the current virtual time.
 	Now func() tuple.Time
+	// Release, when non-nil, recycles a tuple the operator consumed
+	// without forwarding (an absorbed punctuation, a filtered-out data
+	// tuple, a sink-delivered result). The engine sets it only when it can
+	// prove exclusive ownership — e.g. the concurrent runtime enables it
+	// for fan-out-free graphs with Options.Recycle.
+	Release func(*tuple.Tuple)
+}
+
+// free recycles t through the engine's release hook, when one is installed.
+func (c *Ctx) free(t *tuple.Tuple) {
+	if c.Release != nil && t != nil {
+		c.Release(t)
+	}
 }
 
 // Operator is one node's behaviour in the query graph. Implementations are

@@ -70,18 +70,19 @@ func (s *Source) Offer(t *tuple.Tuple) { s.inbox.Push(t) }
 // clock now — the moment it enters the DSMS (§5) — and deposits it into the
 // inbox. Timestamping happens here rather than when the source operator
 // runs, so queueing delay inside the system is visible to latency metrics.
+// Ingest takes ownership of raw and stamps it in place; callers must not
+// touch the tuple afterwards.
 func (s *Source) Ingest(raw *tuple.Tuple, now tuple.Time) {
-	t := raw
 	switch s.tsKind {
 	case tuple.Internal:
-		t = raw.WithTs(now)
+		raw.Ts = now
 	case tuple.Latent:
-		t = raw.WithTs(tuple.MinTime)
+		raw.Ts = tuple.MinTime
 	case tuple.External:
 		// keep the application timestamp
 	}
-	t.Arrived = now
-	s.inbox.Push(t)
+	raw.Arrived = now
+	s.inbox.Push(raw)
 }
 
 // Emitted reports the number of data tuples the source has emitted.
@@ -140,7 +141,7 @@ func (s *Source) OnDemandETS(now tuple.Time) (*tuple.Tuple, bool) {
 		return nil, false
 	}
 	s.est.Emit(ets)
-	return tuple.NewPunct(ets), true
+	return tuple.GetPunct(ets), true
 }
 
 // InjectETS pushes a heartbeat punctuation into the inbox; the periodic
@@ -215,11 +216,13 @@ func (s *Sink) Exec(ctx *Ctx) bool {
 	}
 	if t.IsPunct() {
 		s.punct++
+		ctx.free(t)
 		return false
 	}
 	s.received++
 	if s.onTuple != nil {
 		s.onTuple(t, ctx.Now())
 	}
+	ctx.free(t) // delivered; with Release installed, callbacks must not retain t
 	return false
 }

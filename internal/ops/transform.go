@@ -72,6 +72,7 @@ func NewSelect(name string, schema *tuple.Schema, pred Predicate) *Select {
 			ctx.Emit(t)
 			return true
 		}
+		ctx.free(t) // filtered out
 		return false
 	}
 	return s
@@ -91,6 +92,7 @@ func NewProject(name string, schema *tuple.Schema, idx []int) *Project {
 			vals[i] = t.Vals[j]
 		}
 		out := &tuple.Tuple{Ts: t.Ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived, Seq: t.Seq}
+		ctx.free(t) // values were copied into out
 		ctx.Emit(out)
 		return true
 	}

@@ -124,6 +124,7 @@ func (u *Union) execBasic(ctx *Ctx) bool {
 	}
 	t := ctx.Ins[arg].Pop()
 	if t.IsPunct() {
+		ctx.free(t)
 		return false
 	}
 	u.dataOut++
@@ -159,14 +160,17 @@ func (u *Union) execTSM(ctx *Ctx) bool {
 	if bound > u.watermark && bound != tuple.MaxTime {
 		u.watermark = bound
 		u.punctOut++
-		ctx.Emit(tuple.NewPunct(bound))
+		ctx.free(t)
+		ctx.Emit(tuple.GetPunct(bound))
 		return true
 	}
 	if t.IsEOS() && u.allEOS(ctx) {
 		u.punctOut++
+		ctx.free(t)
 		ctx.Emit(tuple.EOS())
 		return true
 	}
+	ctx.free(t) // absorbed: the bound did not advance
 	return false
 }
 
@@ -191,6 +195,7 @@ func (u *Union) execLatent(ctx *Ctx) bool {
 		u.rr = (i + 1) % n
 		t := ctx.Ins[i].Pop()
 		if t.IsPunct() {
+			ctx.free(t)
 			return false // latent streams need no punctuation
 		}
 		u.dataOut++

@@ -9,6 +9,28 @@
 // blocking and dropped when a node is busy, which keeps the engine
 // deadlock-free (data flows strictly downstream, demand strictly upstream,
 // and only data sends may block).
+//
+// # Batched data plane
+//
+// Arcs carry batches ([]*tuple.Tuple) rather than single tuples, amortizing
+// the channel synchronization that otherwise dominates the hot path. A node
+// accumulates up to Options.BatchSize output tuples per arc before sending;
+// batch slices are recycled through a sync.Pool so the steady state is
+// allocation-free. Batching must not reintroduce the latency the paper's
+// on-demand ETS design eliminates, so four flush triggers bound how long a
+// tuple can sit in a pending batch:
+//
+//   - punctuation: a batch is flushed the moment an ETS (or EOS) is emitted
+//     into it — a bound that waits is a bound that lies, and the Figure-7
+//     on-demand latency result depends on punctuation arriving immediately;
+//   - demand: a demand signal from downstream flushes pending output before
+//     any ETS machinery runs — the tuples downstream idle-waits for may
+//     already be here;
+//   - idle: a node flushes everything pending before it blocks, so batches
+//     never outlive their producer's attention;
+//   - delay: while a node stays busy, batches older than
+//     Options.MaxBatchDelay are flushed so continuous low-yield operators
+//     still bound latency.
 package runtime
 
 import (
@@ -23,12 +45,35 @@ import (
 	"repro/internal/tuple"
 )
 
+// DefaultBatchSize is the per-arc batch capacity used when Options.BatchSize
+// is zero.
+const DefaultBatchSize = 64
+
+// DefaultMaxBatchDelay bounds how long a busy node may hold a partial batch
+// when Options.MaxBatchDelay is zero.
+const DefaultMaxBatchDelay = 500 * time.Microsecond
+
 // Options configures a runtime engine.
 type Options struct {
 	// OnDemandETS enables demand-driven ETS generation at sources.
 	OnDemandETS bool
-	// ChannelDepth sets per-arc channel capacity (default 256).
+	// ChannelDepth sets per-arc channel capacity in batches (default 256).
 	ChannelDepth int
+	// BatchSize caps the tuples accumulated per output arc before the
+	// batch is sent downstream (default DefaultBatchSize). 1 restores
+	// per-tuple sends — the unbatched baseline.
+	BatchSize int
+	// MaxBatchDelay bounds how long a continuously-busy node may hold a
+	// partial batch (default DefaultMaxBatchDelay). Idle nodes always
+	// flush before blocking, so the bound only matters under sustained
+	// load.
+	MaxBatchDelay time.Duration
+	// Recycle returns sink-consumed tuples and absorbed punctuation to the
+	// tuple pool (tuple.Put). It requires that sink callbacks do not
+	// retain tuples beyond the call; it is ignored (stays off) when the
+	// graph has fan-out, where a tuple pointer is shared across arcs and
+	// single ownership cannot be proven.
+	Recycle bool
 	// Now supplies the clock; defaults to wall time in µs since engine
 	// start.
 	Now func() tuple.Time
@@ -40,23 +85,35 @@ type Engine struct {
 	opts Options
 	now  func() tuple.Time
 
+	batchSize int
+	maxDelay  time.Duration
+	pool      *tuple.BatchPool
+	recycle   bool
+
 	nodes   []*node
+	srcNode map[*ops.Source]*node
 	wg      sync.WaitGroup
 	started bool
 	stop    chan struct{}
 	mu      sync.Mutex
 
 	etsGenerated atomic.Uint64
+	batchesSent  atomic.Uint64
+	tuplesSent   atomic.Uint64
 }
 
-type portTuple struct {
+// portBatch is one arc delivery: either a single tuple (the Ingest fast
+// path, no slice involved) or a pooled batch whose slice the receiver
+// returns to the engine's BatchPool.
+type portBatch struct {
 	port int
-	t    *tuple.Tuple
+	one  *tuple.Tuple
+	many []*tuple.Tuple
 }
 
 type node struct {
 	gn  *graph.Node
-	in  chan portTuple // fan-in of all input arcs
+	in  chan portBatch // fan-in of all input arcs
 	dem chan struct{}  // demand signals from downstream
 
 	outs     []*node // per out-arc consumer
@@ -64,6 +121,12 @@ type node struct {
 
 	eosSeen []bool
 	ins     []*buffer.Queue
+
+	// Pending output batches, one per out arc. Owned exclusively by the
+	// node's goroutine.
+	pend      [][]*tuple.Tuple
+	pendCount int
+	pendSince time.Time // when pendCount last left zero
 }
 
 // New builds a runtime engine over a validated graph.
@@ -76,17 +139,35 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		depth = 256
 	}
 	e := &Engine{g: g, opts: opts, stop: make(chan struct{})}
+	e.batchSize = opts.BatchSize
+	if e.batchSize <= 0 {
+		e.batchSize = DefaultBatchSize
+	}
+	e.maxDelay = opts.MaxBatchDelay
+	if e.maxDelay <= 0 {
+		e.maxDelay = DefaultMaxBatchDelay
+	}
+	e.pool = tuple.NewBatchPool(e.batchSize)
 	if opts.Now != nil {
 		e.now = opts.Now
 	} else {
 		start := time.Now()
 		e.now = func() tuple.Time { return tuple.FromDuration(time.Since(start)) }
 	}
+	// Tuple recycling is sound only when every tuple pointer lives on at
+	// most one arc at a time: fan-out shares pointers across arcs.
+	e.recycle = opts.Recycle
+	for _, gn := range g.Nodes() {
+		if len(gn.Out) > 1 {
+			e.recycle = false
+		}
+	}
 	e.nodes = make([]*node, g.Len())
+	e.srcNode = make(map[*ops.Source]*node)
 	for _, gn := range g.Nodes() {
 		n := &node{
 			gn:      gn,
-			in:      make(chan portTuple, depth),
+			in:      make(chan portBatch, depth),
 			dem:     make(chan struct{}, 1),
 			eosSeen: make([]bool, gn.Op.NumInputs()),
 		}
@@ -95,6 +176,9 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			n.ins[i] = buffer.New(fmt.Sprintf("%s.in%d", gn.Op.Name(), i))
 		}
 		e.nodes[gn.ID] = n
+		if s := gn.Source(); s != nil {
+			e.srcNode[s] = n
+		}
 	}
 	for _, gn := range g.Nodes() {
 		n := e.nodes[gn.ID]
@@ -102,12 +186,20 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			n.outs = append(n.outs, e.nodes[a.To])
 			n.outPorts = append(n.outPorts, a.Port)
 		}
+		n.pend = make([][]*tuple.Tuple, len(n.outs))
 	}
 	return e, nil
 }
 
 // ETSGenerated reports the number of demand-driven ETS punctuations emitted.
 func (e *Engine) ETSGenerated() uint64 { return e.etsGenerated.Load() }
+
+// BatchesSent reports the number of arc deliveries (batch sends) performed;
+// TuplesSent / BatchesSent is the achieved batching factor.
+func (e *Engine) BatchesSent() uint64 { return e.batchesSent.Load() }
+
+// TuplesSent reports the number of tuples moved across arcs.
+func (e *Engine) TuplesSent() uint64 { return e.tuplesSent.Load() }
 
 // Start launches one goroutine per node.
 func (e *Engine) Start() {
@@ -129,11 +221,27 @@ func (e *Engine) Start() {
 // an in-flight tuple stamped before an ETS but delivered after it would
 // break the arc's timestamp order. Safe for concurrent use.
 func (e *Engine) Ingest(src *ops.Source, raw *tuple.Tuple) {
-	n := e.nodeOf(src)
+	n := e.srcNode[src]
 	if n == nil {
 		panic("runtime: Ingest on a source not in this graph")
 	}
-	n.in <- portTuple{port: 0, t: raw}
+	n.in <- portBatch{port: 0, one: raw}
+}
+
+// IngestBatch delivers a batch of raw tuples to the given source node in one
+// channel operation — the producer-side analogue of arc batching. The slice
+// is copied into a pooled batch; the caller keeps ownership of raws (but not
+// of the tuples, which now belong to the stream). Safe for concurrent use.
+func (e *Engine) IngestBatch(src *ops.Source, raws []*tuple.Tuple) {
+	if len(raws) == 0 {
+		return
+	}
+	n := e.srcNode[src]
+	if n == nil {
+		panic("runtime: IngestBatch on a source not in this graph")
+	}
+	b := append(e.pool.Get(), raws...)
+	n.in <- portBatch{port: 0, many: b}
 }
 
 // CloseStream sends end-of-stream into the named source; once every source
@@ -159,13 +267,56 @@ func (e *Engine) Stop() {
 	}
 }
 
-func (e *Engine) nodeOf(src *ops.Source) *node {
-	for _, n := range e.nodes {
-		if n.gn.Op == src {
-			return n
+// flushArc sends out arc i's pending batch downstream.
+func (e *Engine) flushArc(n *node, i int) {
+	b := n.pend[i]
+	if len(b) == 0 {
+		return
+	}
+	n.pend[i] = nil
+	n.pendCount -= len(b)
+	e.batchesSent.Add(1)
+	e.tuplesSent.Add(uint64(len(b)))
+	n.outs[i].in <- portBatch{port: n.outPorts[i], many: b}
+}
+
+// flushPending sends every non-empty pending batch downstream.
+func (e *Engine) flushPending(n *node) {
+	if n.pendCount == 0 {
+		return
+	}
+	for i := range n.pend {
+		e.flushArc(n, i)
+	}
+}
+
+// emit appends t to every out arc's pending batch, applying the flush rules:
+// punctuation flushes immediately, full batches flush their arc.
+func (e *Engine) emit(n *node, t *tuple.Tuple) {
+	if len(n.outs) == 0 {
+		return
+	}
+	if n.pendCount == 0 {
+		n.pendSince = time.Now()
+	}
+	punct := t.IsPunct()
+	for i := range n.outs {
+		b := n.pend[i]
+		if b == nil {
+			b = e.pool.Get()
+		}
+		b = append(b, t)
+		n.pend[i] = b
+		n.pendCount++
+		if !punct && len(b) >= e.batchSize {
+			e.flushArc(n, i)
 		}
 	}
-	return nil
+	if punct {
+		// An ETS that waits in a batch delays exactly the reactivation
+		// it exists to provide (and EOS gates termination): flush now.
+		e.flushPending(n)
+	}
 }
 
 // runNode is the per-operator goroutine loop.
@@ -173,32 +324,66 @@ func (e *Engine) runNode(n *node) {
 	defer e.wg.Done()
 	op := n.gn.Op
 	src := n.gn.Source()
+	sourceDone := false
 
-	emit := func(t *tuple.Tuple) {
-		for i, out := range n.outs {
-			out.in <- portTuple{port: n.outPorts[i], t: t}
-		}
+	ctx := &ops.Ctx{Ins: n.ins, Emit: func(t *tuple.Tuple) { e.emit(n, t) }, Now: e.now}
+	if e.recycle {
+		// Each node goroutine recycles through its own magazine so the
+		// per-tuple release costs a stack push, not a shared-pool access.
+		var mag tuple.Magazine
+		ctx.Release = mag.Put
 	}
-	ctx := &ops.Ctx{Ins: n.ins, Emit: emit, Now: e.now}
 	if src != nil {
 		// Source nodes pull from their inbox; route the engine's fan-in
 		// channel into it.
 		ctx.Ins = nil
 	}
 
-	deliver := func(pt portTuple) {
+	deliverOne := func(port int, t *tuple.Tuple) {
 		if src != nil {
-			if pt.t.IsPunct() {
-				src.Offer(pt.t)
+			if t.IsEOS() {
+				sourceDone = true
+			}
+			if t.IsPunct() {
+				src.Offer(t)
 			} else {
-				src.Ingest(pt.t, e.now())
+				src.Ingest(t, e.now())
 			}
 			return
 		}
-		n.ins[pt.port].Push(pt.t)
-		if pt.t.IsEOS() {
-			n.eosSeen[pt.port] = true
+		n.ins[port].Push(t)
+		if t.IsEOS() {
+			n.eosSeen[port] = true
 		}
+	}
+	deliver := func(pb portBatch) {
+		if pb.one != nil {
+			deliverOne(pb.port, pb.one)
+			return
+		}
+		if src != nil {
+			// One clock read for the whole batch: the tuples arrived in the
+			// same channel delivery, so they share an arrival instant.
+			now := e.now()
+			for _, t := range pb.many {
+				if t.IsPunct() {
+					if t.IsEOS() {
+						sourceDone = true
+					}
+					src.Offer(t)
+				} else {
+					src.Ingest(t, now)
+				}
+			}
+		} else {
+			n.ins[pb.port].PushAll(pb.many)
+			// Punctuation flushes its batch the moment it is emitted, so a
+			// punct — EOS included — can only be a batch's last element.
+			if pb.many[len(pb.many)-1].IsEOS() {
+				n.eosSeen[pb.port] = true
+			}
+		}
+		e.pool.Put(pb.many)
 	}
 	allEOS := func() bool {
 		if src != nil {
@@ -223,16 +408,12 @@ func (e *Engine) runNode(n *node) {
 		return true
 	}
 
-	sourceDone := false
 	for {
 		// Drain pending channel input without blocking.
 		for {
 			select {
-			case pt := <-n.in:
-				if src != nil && pt.t.IsEOS() {
-					sourceDone = true
-				}
-				deliver(pt)
+			case pb := <-n.in:
+				deliver(pb)
 				continue
 			default:
 			}
@@ -245,8 +426,17 @@ func (e *Engine) runNode(n *node) {
 			ran = true
 		}
 		if ran {
+			// Still busy: only stale batches flush (the delay rule);
+			// full batches and punctuation already flushed inside emit.
+			if n.pendCount > 0 && time.Since(n.pendSince) >= e.maxDelay {
+				e.flushPending(n)
+			}
 			continue
 		}
+		// Going idle: nothing pending may outlive the producer's
+		// attention (the idle rule), and the exit paths below rely on
+		// downstream having seen everything emitted so far.
+		e.flushPending(n)
 		// Exit conditions: source got EOS and drained its inbox (EOS
 		// itself was forwarded by Source.Exec); non-source saw EOS on
 		// every input and drained.
@@ -260,10 +450,10 @@ func (e *Engine) runNode(n *node) {
 				// latent-mode IWP op swallows punctuation, so emit
 				// EOS explicitly for downstream termination.
 				if u, ok := op.(*ops.Union); ok && u.Mode() == ops.LatentMode {
-					emit(tuple.EOS())
+					e.emit(n, tuple.EOS())
 				}
 				if j, ok := op.(*ops.WindowJoin); ok && j.Mode() == ops.LatentMode {
-					emit(tuple.EOS())
+					e.emit(n, tuple.EOS())
 				}
 			}
 			return
@@ -284,8 +474,8 @@ func (e *Engine) runNode(n *node) {
 		}
 		if demanding {
 			select {
-			case pt := <-n.in:
-				deliver(pt)
+			case pb := <-n.in:
+				deliver(pb)
 			case <-n.dem:
 				e.handleDemand(n, ctx)
 			case <-time.After(200 * time.Microsecond):
@@ -297,11 +487,8 @@ func (e *Engine) runNode(n *node) {
 		}
 		// Block until input or demand arrives.
 		select {
-		case pt := <-n.in:
-			if src != nil && pt.t.IsEOS() {
-				sourceDone = true
-			}
-			deliver(pt)
+		case pb := <-n.in:
+			deliver(pb)
 		case <-n.dem:
 			e.handleDemand(n, ctx)
 		case <-e.stop:
@@ -327,10 +514,16 @@ func (e *Engine) signalDemand(n *node) {
 	}
 }
 
-// handleDemand reacts to a demand signal: sources answer with an ETS (if
-// the estimator allows); interior nodes forward the demand upstream along
+// handleDemand reacts to a demand signal. A node holding pending output
+// flushes it — the tuples downstream idle-waits for may already be batched
+// here (the demand flush rule). Otherwise sources answer with an ETS (if the
+// estimator allows) and interior nodes forward the demand upstream along
 // their (blocking) input.
 func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
+	if n.pendCount > 0 {
+		e.flushPending(n)
+		return
+	}
 	if src := n.gn.Source(); src != nil {
 		if !src.Inbox().Empty() {
 			return // data is already on the way

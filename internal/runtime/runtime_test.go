@@ -354,6 +354,186 @@ func TestRuntimeLatentJoinEOS(t *testing.T) {
 	}
 }
 
+func TestRuntimeIngestBatch(t *testing.T) {
+	g := graph.New("ib")
+	sch := intSchema("s", tuple.Internal)
+	src := ops.NewSource("src", sch, 0)
+	n := g.AddNode(src)
+	col := &collector{}
+	g.AddNode(ops.NewSink("sink", col.add), n)
+
+	e, err := New(g, Options{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	var batch []*tuple.Tuple
+	for i := 0; i < 1000; i++ {
+		batch = append(batch, tuple.NewData(0, tuple.Int(int64(i))))
+		if len(batch) == 100 {
+			e.IngestBatch(src, batch)
+			batch = batch[:0]
+		}
+	}
+	e.IngestBatch(src, nil) // no-op
+	e.CloseStream(src)
+	e.Wait()
+	got := col.snapshot()
+	if len(got) != 1000 {
+		t.Fatalf("delivered %d, want 1000", len(got))
+	}
+	for i, tp := range got {
+		if tp.Vals[0].AsInt() != int64(i) {
+			t.Fatalf("tuple %d out of order: %v", i, tp)
+		}
+	}
+	if e.BatchesSent() == 0 || e.TuplesSent() != 1001 { // 1000 data + EOS
+		t.Fatalf("batch metrics: batches=%d tuples=%d", e.BatchesSent(), e.TuplesSent())
+	}
+	if factor := float64(e.TuplesSent()) / float64(e.BatchesSent()); factor < 2 {
+		t.Errorf("batching factor %.1f; bulk ingest should amortize sends", factor)
+	}
+}
+
+// TestRuntimeBatchingPreservesPunctuationLatency is the latency-preservation
+// regression test for the batched data plane: an ETS/punctuation tuple must
+// reach the sink immediately — flushed out of any partial batch — rather
+// than waiting for the batch to fill or for MaxBatchDelay to expire. With
+// BatchSize larger than the whole input and MaxBatchDelay of a minute, any
+// delivery within the deadline proves flush-on-punctuation works.
+func TestRuntimeBatchingPreservesPunctuationLatency(t *testing.T) {
+	g, s1, _, col := buildUnion(t, ops.TSM, tuple.Internal)
+	e, err := New(g, Options{
+		OnDemandETS:   true,
+		BatchSize:     1 << 16, // never fills
+		MaxBatchDelay: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+
+	start := time.Now()
+	e.Ingest(s1, tuple.NewData(0, tuple.Int(1)))
+	// The tuple can only reach the sink if (a) the source's batch flushed
+	// without filling and (b) the on-demand ETS for the sparse stream
+	// flushed through the union without filling its batch either.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batching delayed punctuation: tuple never reached the sink")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("delivery took %v; punctuation must flush immediately", elapsed)
+	}
+	if e.ETSGenerated() == 0 {
+		t.Error("no ETS generated")
+	}
+}
+
+// TestRuntimeBatchedEOSDrains covers EOS riding in a partially-filled batch:
+// termination must not wait for batch fill or delay expiry.
+func TestRuntimeBatchedEOSDrains(t *testing.T) {
+	g, s1, s2, col := buildUnion(t, ops.TSM, tuple.Internal)
+	e, err := New(g, Options{
+		OnDemandETS:   true,
+		BatchSize:     1 << 16,
+		MaxBatchDelay: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for i := 0; i < 17; i++ { // deliberately not a multiple of any batch size
+		e.Ingest(s1, tuple.NewData(0, tuple.Int(int64(i))))
+		e.Ingest(s2, tuple.NewData(0, tuple.Int(int64(i))))
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	done := make(chan struct{})
+	go func() { e.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("batched pipeline failed to drain on EOS")
+	}
+	if n := len(col.snapshot()); n != 34 {
+		t.Fatalf("delivered %d, want 34", n)
+	}
+}
+
+// TestRuntimeBatchSizesAgree runs the union workload across batch sizes and
+// checks the results are identical — batching is a transport optimization,
+// not a semantic change.
+func TestRuntimeBatchSizesAgree(t *testing.T) {
+	run := func(batch int, recycle bool) int {
+		g, s1, s2, col := buildUnion(t, ops.TSM, tuple.Internal)
+		e, err := New(g, Options{
+			OnDemandETS: true,
+			BatchSize:   batch,
+			Recycle:     recycle,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		var raws []*tuple.Tuple
+		for i := 0; i < 500; i++ {
+			raws = append(raws, tuple.NewData(0, tuple.Int(int64(i))))
+			if len(raws) == 50 {
+				e.IngestBatch(s1, raws[:25])
+				e.IngestBatch(s2, raws[25:])
+				raws = raws[:0]
+			}
+		}
+		e.CloseStream(s1)
+		e.CloseStream(s2)
+		e.Wait()
+		return len(col.snapshot())
+	}
+	want := run(1, false)
+	for _, bs := range []int{2, 64, 4096} {
+		if got := run(bs, false); got != want {
+			t.Errorf("BatchSize=%d delivered %d, BatchSize=1 delivered %d", bs, got, want)
+		}
+	}
+	if got := run(64, true); got != want {
+		t.Errorf("Recycle delivered %d, want %d", got, want)
+	}
+}
+
+// TestRuntimeRecycleIgnoredOnFanOut ensures the engine refuses to install
+// the release hook when a tuple pointer can live on two arcs at once.
+func TestRuntimeRecycleIgnoredOnFanOut(t *testing.T) {
+	g := graph.New("fan")
+	sch := intSchema("s", tuple.Internal)
+	src := ops.NewSource("src", sch, 0)
+	n := g.AddNode(src)
+	c1 := &collector{}
+	c2 := &collector{}
+	g.AddNode(ops.NewSink("k1", c1.add), n)
+	g.AddNode(ops.NewSink("k2", c2.add), n)
+	e, err := New(g, Options{Recycle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.recycle {
+		t.Fatal("recycle must be disabled on fan-out graphs")
+	}
+	e.Start()
+	for i := 0; i < 10; i++ {
+		e.Ingest(src, tuple.NewData(0, tuple.Int(int64(i))))
+	}
+	e.CloseStream(src)
+	e.Wait()
+	if len(c1.snapshot()) != 10 || len(c2.snapshot()) != 10 {
+		t.Fatalf("fan-out delivered %d/%d, want 10/10", len(c1.snapshot()), len(c2.snapshot()))
+	}
+}
+
 func TestRuntimeDemandForwardsThroughInteriorNodes(t *testing.T) {
 	// union ← select ← source on the sparse side: the demand signal must
 	// be forwarded through the interior select to reach the source.

@@ -1,0 +1,177 @@
+package tuple
+
+import "sync"
+
+// Allocation pooling for the hot path. The concurrent runtime moves millions
+// of tuples per second; allocating every Tuple (and every batch slice that
+// carries tuples along an arc) from the heap makes the garbage collector the
+// bottleneck long before the operators are. The pools below let the steady
+// state recycle both.
+//
+// Ownership discipline: a tuple obtained from Get/GetPunct is owned by
+// whoever holds the pointer; Put hands it back and the caller must not touch
+// it afterwards. Recycling is always optional — a tuple that is never Put is
+// simply collected by the GC, so code that cannot prove ownership (fan-out
+// graphs, callbacks that retain tuples) just skips the Put.
+
+var tuplePool = sync.Pool{New: func() interface{} { return new(Tuple) }}
+
+// Get returns a cleared data tuple from the pool. Vals has length zero but
+// retains the capacity of its previous life, so refilling it with append is
+// allocation-free in the steady state.
+func Get() *Tuple {
+	t := tuplePool.Get().(*Tuple)
+	t.Kind = Data
+	return t
+}
+
+// GetData returns a pooled data tuple stamped ts whose Vals slice has been
+// grown to n null values, ready for indexed assignment.
+func GetData(ts Time, n int) *Tuple { return asData(Get(), ts, n) }
+
+func asData(t *Tuple, ts Time, n int) *Tuple {
+	t.Ts = ts
+	if cap(t.Vals) < n {
+		t.Vals = make([]Value, n)
+	} else {
+		t.Vals = t.Vals[:n]
+		for i := range t.Vals {
+			t.Vals[i] = Value{}
+		}
+	}
+	return t
+}
+
+// GetPunct returns a pooled punctuation tuple carrying the ETS value ts.
+func GetPunct(ts Time) *Tuple {
+	t := tuplePool.Get().(*Tuple)
+	t.Ts = ts
+	t.Kind = Punct
+	t.Vals = t.Vals[:0]
+	return t
+}
+
+// Put recycles t. The caller must own t exclusively: no other goroutine,
+// queue, window store or downstream operator may still reference it. Put is
+// nil-safe so release paths need no guard.
+func Put(t *Tuple) {
+	if t == nil {
+		return
+	}
+	t.Ts = 0
+	t.Kind = Data
+	t.Vals = t.Vals[:0]
+	t.Arrived = 0
+	t.Seq = 0
+	tuplePool.Put(t)
+}
+
+// MagazineSize is the number of tuples a Magazine exchanges with the shared
+// depot in one refill or spill.
+const MagazineSize = 64
+
+// magazineDepot holds full magazines: slabs of MagazineSize recycled tuples.
+var magazineDepot sync.Pool
+
+// Magazine is a goroutine-local tuple cache layered over the shared pool.
+// Get and Put work on a plain local stack; only when the stack runs dry (or
+// overflows) does the magazine exchange a whole MagazineSize slab with the
+// shared depot — one synchronized operation per MagazineSize tuples instead
+// of one per tuple, which matters when the getter and the putter live on
+// different goroutines (a wrapper allocating tuples that a sink recycles)
+// and every per-tuple pool access would cross CPUs. The zero Magazine is
+// ready to use. A Magazine must not be shared between goroutines.
+type Magazine struct {
+	stack []*Tuple
+}
+
+// Get returns a cleared data tuple, refilling from the shared depot (or the
+// per-tuple pool, or the heap) when the local stack is empty. The tuple has
+// the same state as one from the package-level Get.
+func (m *Magazine) Get() *Tuple {
+	n := len(m.stack)
+	if n == 0 {
+		if bb, _ := magazineDepot.Get().(*batchBox); bb != nil {
+			m.stack = bb.s
+			n = len(m.stack)
+		}
+		if n == 0 {
+			return Get()
+		}
+	}
+	t := m.stack[n-1]
+	m.stack[n-1] = nil
+	m.stack = m.stack[:n-1]
+	t.Kind = Data
+	return t
+}
+
+// GetData is the magazine form of the package-level GetData: a data tuple
+// stamped ts with n null values ready for indexed assignment.
+func (m *Magazine) GetData(ts Time, n int) *Tuple { return asData(m.Get(), ts, n) }
+
+// Put recycles t into the local stack, spilling a full magazine to the
+// shared depot once the stack holds two magazines' worth. Put is nil-safe
+// and requires the same exclusive ownership as the package-level Put.
+func (m *Magazine) Put(t *Tuple) {
+	if t == nil {
+		return
+	}
+	t.Ts = 0
+	t.Kind = Data
+	t.Vals = t.Vals[:0]
+	t.Arrived = 0
+	t.Seq = 0
+	if len(m.stack) >= 2*MagazineSize {
+		top := len(m.stack) - MagazineSize
+		spill := make([]*Tuple, MagazineSize)
+		copy(spill, m.stack[top:])
+		for i := top; i < len(m.stack); i++ {
+			m.stack[i] = nil
+		}
+		m.stack = m.stack[:top]
+		magazineDepot.Put(&batchBox{s: spill})
+	}
+	m.stack = append(m.stack, t)
+}
+
+// batchBox wraps a batch slice so the pool can hold it without re-boxing the
+// slice header on every round trip.
+type batchBox struct{ s []*Tuple }
+
+// BatchPool recycles the []*Tuple slices the runtime's arcs carry. Slices
+// come back with length zero and at least the pool's configured capacity.
+type BatchPool struct {
+	capacity int
+	p        sync.Pool
+}
+
+// NewBatchPool returns a pool of batch slices with the given capacity hint.
+func NewBatchPool(capacity int) *BatchPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	bp := &BatchPool{capacity: capacity}
+	bp.p.New = func() interface{} {
+		return &batchBox{s: make([]*Tuple, 0, capacity)}
+	}
+	return bp
+}
+
+// Get returns an empty batch slice with capacity ≥ the pool's hint.
+func (bp *BatchPool) Get() []*Tuple {
+	return bp.p.Get().(*batchBox).s[:0]
+}
+
+// Put recycles a batch slice. Entries are cleared so recycled slices do not
+// pin tuples against the GC; the tuples themselves are not Put — their
+// ownership moved to whoever consumed the batch.
+func (bp *BatchPool) Put(b []*Tuple) {
+	if b == nil {
+		return
+	}
+	for i := range b {
+		b[i] = nil
+	}
+	bp.p.Put(&batchBox{s: b[:0]})
+}

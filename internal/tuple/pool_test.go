@@ -1,0 +1,155 @@
+package tuple
+
+import "testing"
+
+func TestPoolGetPutRoundTrip(t *testing.T) {
+	tp := Get()
+	tp.Ts = 42
+	tp.Vals = append(tp.Vals, Int(1), Int(2))
+	tp.Seq = 7
+	tp.Arrived = 9
+	Put(tp)
+
+	got := Get()
+	if got.Kind != Data || got.Ts != 0 || len(got.Vals) != 0 || got.Seq != 0 || got.Arrived != 0 {
+		t.Fatalf("pooled tuple not cleared: %+v", got)
+	}
+	Put(got)
+	Put(nil) // nil-safe
+}
+
+func TestPoolGetPunct(t *testing.T) {
+	p := GetPunct(99)
+	if !p.IsPunct() || p.Ts != 99 || len(p.Vals) != 0 {
+		t.Fatalf("GetPunct = %+v", p)
+	}
+	Put(p)
+	if e := GetPunct(MaxTime); !e.IsEOS() {
+		t.Fatal("GetPunct(MaxTime) must be EOS")
+	}
+}
+
+func TestPoolGetData(t *testing.T) {
+	tp := Get()
+	tp.Vals = append(tp.Vals, Int(1), Int(2), Int(3), Int(4))
+	Put(tp)
+
+	d := GetData(5, 2)
+	if d.Ts != 5 || len(d.Vals) != 2 {
+		t.Fatalf("GetData = %+v", d)
+	}
+	for i, v := range d.Vals {
+		if !v.IsNull() {
+			t.Fatalf("Vals[%d] not null after recycle: %v", i, v)
+		}
+	}
+	big := GetData(1, 8)
+	if len(big.Vals) != 8 {
+		t.Fatalf("GetData growth: len=%d", len(big.Vals))
+	}
+}
+
+func TestBatchPool(t *testing.T) {
+	bp := NewBatchPool(16)
+	b := bp.Get()
+	if len(b) != 0 || cap(b) < 16 {
+		t.Fatalf("batch len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, NewData(1), NewData(2))
+	bp.Put(b)
+	b2 := bp.Get()
+	if len(b2) != 0 {
+		t.Fatalf("recycled batch not empty: len=%d", len(b2))
+	}
+	// Entries must have been cleared (no tuple pinning).
+	b2 = b2[:cap(b2)]
+	for i, e := range b2 {
+		if e != nil {
+			t.Fatalf("recycled batch entry %d not nil", i)
+		}
+	}
+	bp.Put(nil) // nil-safe
+}
+
+func TestMagazineRoundTrip(t *testing.T) {
+	var m Magazine
+	tp := m.Get()
+	if tp.Kind != Data || tp.Ts != 0 || len(tp.Vals) != 0 {
+		t.Fatalf("magazine tuple not cleared: %+v", tp)
+	}
+	tp.Ts = 42
+	tp.Vals = append(tp.Vals, Int(1))
+	tp.Seq = 3
+	tp.Arrived = 9
+	m.Put(tp)
+	got := m.Get()
+	if got != tp {
+		t.Fatal("magazine must reuse the local stack before the depot")
+	}
+	if got.Kind != Data || got.Ts != 0 || len(got.Vals) != 0 || got.Seq != 0 || got.Arrived != 0 {
+		t.Fatalf("recycled tuple not cleared: %+v", got)
+	}
+	m.Put(nil) // nil-safe
+}
+
+func TestMagazineGetData(t *testing.T) {
+	var m Magazine
+	tp := m.Get()
+	tp.Vals = append(tp.Vals, Int(1), Int(2), Int(3))
+	m.Put(tp)
+	d := m.GetData(5, 2)
+	if d.Ts != 5 || len(d.Vals) != 2 || !d.Vals[0].IsNull() || !d.Vals[1].IsNull() {
+		t.Fatalf("Magazine.GetData = %+v", d)
+	}
+}
+
+func TestMagazineSpill(t *testing.T) {
+	// Drive the stack past two magazines' worth so the spill path runs, then
+	// drain everything back out: every tuple must come back cleared and
+	// distinct.
+	var m Magazine
+	const n = 3*MagazineSize + 5
+	tuples := make([]*Tuple, n)
+	for i := range tuples {
+		tuples[i] = m.Get()
+	}
+	for _, tp := range tuples {
+		tp.Ts = 7
+		m.Put(tp)
+	}
+	if len(m.stack) > 2*MagazineSize {
+		t.Fatalf("stack holds %d tuples, want ≤ %d after spills", len(m.stack), 2*MagazineSize)
+	}
+	seen := make(map[*Tuple]bool)
+	for i := 0; i < n; i++ {
+		tp := m.Get()
+		if tp.Ts != 0 || tp.Kind != Data {
+			t.Fatalf("tuple %d not cleared: %+v", i, tp)
+		}
+		if seen[tp] {
+			t.Fatalf("tuple %d handed out twice", i)
+		}
+		seen[tp] = true
+	}
+}
+
+func BenchmarkTupleMagazine(b *testing.B) {
+	var m Magazine
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := m.Get()
+		t.Ts = Time(i)
+		t.Vals = append(t.Vals, Int(int64(i)))
+		m.Put(t)
+	}
+}
+
+func BenchmarkTuplePool(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := Get()
+		t.Ts = Time(i)
+		t.Vals = append(t.Vals, Int(int64(i)))
+		Put(t)
+	}
+}

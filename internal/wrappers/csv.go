@@ -33,6 +33,7 @@ type CSVScanner struct {
 	opts   CSVOptions
 	line   int
 	did    bool
+	mag    tuple.Magazine
 }
 
 // NewCSVScanner returns a scanner decoding records from r against the
@@ -66,12 +67,17 @@ func (s *CSVScanner) Next() (*tuple.Tuple, error) {
 	if len(rec) != wantLen {
 		return nil, fmt.Errorf("wrappers: record %d has %d fields, want %d", s.line, len(rec), wantLen)
 	}
-	t := &tuple.Tuple{Kind: tuple.Data, Vals: make([]tuple.Value, 0, s.schema.Arity())}
+	// Tuples come from the scanner's magazine: once the pipeline recycles
+	// sink-consumed tuples (runtime Options.Recycle), a steady-state ingest
+	// loop reuses the same backing storage instead of allocating per record,
+	// and the magazine refills from the shared depot a slab at a time.
+	t := s.mag.Get()
 	fi := 0
 	for i, cell := range rec {
 		if i == s.opts.TsColumn {
 			us, err := strconv.ParseInt(cell, 10, 64)
 			if err != nil {
+				s.mag.Put(t)
 				return nil, fmt.Errorf("wrappers: record %d: bad timestamp %q: %v", s.line, cell, err)
 			}
 			t.Ts = tuple.Time(us)
@@ -80,6 +86,7 @@ func (s *CSVScanner) Next() (*tuple.Tuple, error) {
 		f := s.schema.Field(fi)
 		v, err := tuple.ParseValue(f.Kind, cell)
 		if err != nil {
+			s.mag.Put(t)
 			return nil, fmt.Errorf("wrappers: record %d, field %s: %v", s.line, f.Name, err)
 		}
 		t.Vals = append(t.Vals, v)

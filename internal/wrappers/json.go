@@ -16,6 +16,7 @@ type JSONScanner struct {
 	sc     *bufio.Scanner
 	schema *tuple.Schema
 	line   int
+	mag    tuple.Magazine
 }
 
 // NewJSONScanner returns a scanner decoding objects from r.
@@ -44,10 +45,11 @@ func (s *JSONScanner) Next() (*tuple.Tuple, error) {
 		if err := json.Unmarshal(line, &obj); err != nil {
 			return nil, fmt.Errorf("wrappers: line %d: %v", s.line, err)
 		}
-		t := &tuple.Tuple{Kind: tuple.Data, Vals: make([]tuple.Value, s.schema.Arity())}
+		t := s.mag.GetData(0, s.schema.Arity())
 		if raw, ok := obj["ts_us"]; ok {
 			var us int64
 			if err := json.Unmarshal(raw, &us); err != nil {
+				s.mag.Put(t)
 				return nil, fmt.Errorf("wrappers: line %d: bad ts_us: %v", s.line, err)
 			}
 			t.Ts = tuple.Time(us)
@@ -59,6 +61,7 @@ func (s *JSONScanner) Next() (*tuple.Tuple, error) {
 			}
 			v, err := decodeJSONValue(f.Kind, raw)
 			if err != nil {
+				s.mag.Put(t)
 				return nil, fmt.Errorf("wrappers: line %d, field %s: %v", s.line, f.Name, err)
 			}
 			t.Vals[i] = v
