@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime check
+.PHONY: all build vet test race bench bench-runtime bench-shard check
 
 all: check
 
@@ -13,10 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages (the runtime's batched data plane and
-# the buffers under it).
+# Race-check everything: the partition rewrite touches the runtime, the
+# operators, and the metrics counters, so the whole tree runs under -race.
 race:
-	$(GO) test -race ./internal/runtime/... ./internal/buffer/... ./internal/tuple/...
+	$(GO) test -race ./...
 
 # Smoke-run every benchmark once so bit-rot in bench code is caught by CI.
 bench:
@@ -25,5 +25,10 @@ bench:
 # Full batched-vs-per-tuple measurement; writes BENCH_runtime.json.
 bench-runtime:
 	$(GO) run ./cmd/etsbench -runtime
+
+# Partition-rewrite shard sweep (1/2/4/8) on the union+join workload;
+# writes BENCH_shard.json.
+bench-shard:
+	$(GO) run ./cmd/etsbench -shards
 
 check: vet build test race bench

@@ -10,6 +10,9 @@
 //	etsbench -runtime          benchmark the concurrent engine's batched
 //	                           data plane vs the per-tuple baseline and
 //	                           write BENCH_runtime.json
+//	etsbench -shards           sweep the partition rewrite over 1/2/4/8
+//	                           shards on the union+join workload and
+//	                           write BENCH_shard.json
 package main
 
 import (
@@ -30,6 +33,9 @@ func main() {
 	rtBench := flag.Bool("runtime", false, "benchmark the concurrent engine's batched data plane")
 	rtTuples := flag.Int("runtime-tuples", 2_000_000, "tuples per configuration for -runtime")
 	rtOut := flag.String("runtime-out", "BENCH_runtime.json", "output file for -runtime results")
+	shBench := flag.Bool("shards", false, "benchmark the partition rewrite (1/2/4/8 shards)")
+	shTuples := flag.Int("shards-tuples", 150_000, "tuples per configuration for -shards")
+	shOut := flag.String("shards-out", "BENCH_shard.json", "output file for -shards results")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -45,6 +51,8 @@ func main() {
 		}
 	case *rtBench:
 		runRuntimeBench(*rtTuples, *rtOut)
+	case *shBench:
+		runShardBench(*shTuples, *shOut)
 	case *scen:
 		runScenarios(*hbRate)
 	case *fig == "all":

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	rt "repro/internal/runtime"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+// The shard benchmark measures the partition rewrite on the union+join
+// workload: two sources merge through a TSM union into the left input of a
+// window equi-join; a third source feeds the right input. Both IWP operators
+// are partitionable, so Options.Shards = P replicates each into P
+// hash-partitioned replicas behind splitters and a min-watermark merge.
+//
+// The join is the nested-loop equi-join, whose probe scans the opposite
+// window — the classic scan-bound stream join. Sharding P ways cuts each
+// shard's window occupancy to ~1/P of the keys, so total probe work drops
+// ~P× regardless of core count; on this repo's single-core reference
+// machine, that state pruning — not thread parallelism — is where the
+// speedup comes from (GOMAXPROCS is recorded in the report).
+//
+// The workload is built so the output size is sharding-invariant: right
+// tuple i carries (ts=i, key=i); left tuple i carries (ts=i+lead, key=i)
+// with lead < span, so each left tuple matches exactly its right twin and
+// right probes never match. join_rows must equal the left-tuple count under
+// every configuration — a built-in correctness check.
+//
+// Latency is reported two ways. The sustained phase records in-system p50
+// (arrival to sink, on-demand ETS enabled) under full load — the headline
+// comparison, where sharding shortens queues and improves latency. A second,
+// sleep-paced phase isolates the idle-stream ETS round trip: each iteration
+// ingests one matching pair whose left tuple can only be released by a
+// demanded ETS from the right source, so sink latency ≈ the demand round
+// trip — through splitters, every shard, and the min-watermark merge in the
+// sharded configurations, which is why it grows with the shard count.
+
+const (
+	shardSpan = 2048 // join window span (virtual time units)
+	shardLead = 1000 // left stream timestamp lead; must stay below shardSpan
+)
+
+type shardConfig struct {
+	Name   string `json:"name"`
+	Shards int    `json:"shards"`
+}
+
+type shardResult struct {
+	shardConfig
+	Tuples         uint64   `json:"tuples"`
+	Seconds        float64  `json:"seconds"`
+	TuplesPerSec   float64  `json:"tuples_per_sec"`
+	JoinRows       uint64   `json:"join_rows"`
+	ShardTuples    []uint64 `json:"shard_tuples,omitempty"`
+	ETSGenerated   uint64   `json:"ets_generated"`
+	LoadedP50Us    float64  `json:"loaded_latency_p50_us"`
+	LatencyP50Us   float64  `json:"ets_latency_p50_us"`
+	LatencyP95Us   float64  `json:"ets_latency_p95_us"`
+	LatencySamples int      `json:"ets_latency_samples"`
+}
+
+type shardReport struct {
+	Workload   string        `json:"workload"`
+	Tuples     int           `json:"tuples_per_config"`
+	WindowSpan int           `json:"window_span"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Date       string        `json:"date"`
+	Results    []shardResult `json:"results"`
+	// SpeedupX4 is 4-shard vs 1-shard throughput (acceptance: ≥ 2.5).
+	SpeedupX4 float64 `json:"four_shard_speedup_x"`
+	// LatencyRatioX4 is 4-shard vs 1-shard p50 output latency under the
+	// sustained workload with on-demand ETS enabled (acceptance: within
+	// 10%, i.e. ≤ 1.10; below 1.0 means sharding improved latency). The
+	// idle-stream ETS round trip is reported per-config separately — it
+	// grows with shard count because a release must traverse splitter,
+	// every shard, and the merge sequentially on one core, but it stays
+	// sub-millisecond and only occurs when the system is otherwise idle.
+	LatencyRatioX4 float64 `json:"four_shard_latency_ratio"`
+}
+
+// buildShardGraph assembles the union+join workload. ts selects external
+// timestamps (throughput phase, deterministic output) or internal stamping
+// (latency phase, arrival-time semantics).
+func buildShardGraph(ts tuple.TSKind, cb func(*tuple.Tuple, tuple.Time)) (*graph.Graph, [3]*ops.Source) {
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "key", Kind: tuple.IntKind},
+		tuple.Field{Name: "seq", Kind: tuple.IntKind},
+	).WithTS(ts)
+	// The throughput phase drives virtual external timestamps far slower
+	// than the wall clock the external ETS estimator extrapolates with, so
+	// δ must cover the whole virtual horizon: otherwise a demanded ETS
+	// overshoots data the driver has not ingested yet and the join-row
+	// count stops being deterministic (expiry would depend on timing).
+	const δ = 1 << 40
+	g := graph.New("shardbench")
+	s1 := ops.NewSource("s1", sch, δ)
+	s2 := ops.NewSource("s2", sch, δ)
+	s3 := ops.NewSource("s3", sch, δ)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	c := g.AddNode(s3)
+	u := g.AddNode(ops.NewUnion("u", sch, 2, ops.TSM), a, b)
+	j := g.AddNode(ops.NewEquiWindowJoin("j", nil,
+		window.TimeWindow(shardSpan), window.TimeWindow(shardSpan), 0, 0, ops.TSM), u, c)
+	g.AddNode(ops.NewSink("k", cb), j)
+	return g, [3]*ops.Source{s1, s2, s3}
+}
+
+// runShardThroughput pushes total tuples (half left, half right) through the
+// workload at the given shard count and measures it.
+func runShardThroughput(shards, total int) shardResult {
+	var rows atomic.Uint64
+	lat := metrics.NewLatency()
+	g, srcs := buildShardGraph(tuple.External, func(t *tuple.Tuple, now tuple.Time) {
+		rows.Add(1)
+		lat.Observe(now - t.Arrived) // sink goroutine only: no locking needed
+	})
+	e, err := rt.New(g, rt.Options{
+		OnDemandETS: true,
+		Shards:      shards,
+		Recycle:     true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	e.Start()
+
+	per := total / 2 // tuples per side
+	const span = 64
+	var magL, magR tuple.Magazine
+	mk := func(mag *tuple.Magazine, ts tuple.Time, key, seq int64) *tuple.Tuple {
+		t := mag.Get()
+		t.Ts = ts
+		t.Kind = tuple.Data
+		t.Vals = append(t.Vals, tuple.Int(key), tuple.Int(seq))
+		return t
+	}
+	start := time.Now()
+	rawsL := make([]*tuple.Tuple, 0, span)
+	rawsR := make([]*tuple.Tuple, 0, span)
+	for i := 0; i < per; i += span {
+		n := span
+		if rem := per - i; rem < n {
+			n = rem
+		}
+		rawsR = rawsR[:0]
+		rawsL = rawsL[:0]
+		for k := 0; k < n; k++ {
+			seq := int64(i + k)
+			rawsR = append(rawsR, mk(&magR, tuple.Time(seq), seq, seq))
+			rawsL = append(rawsL, mk(&magL, tuple.Time(seq+shardLead), seq, seq))
+		}
+		// Right stream leads in ingestion as it does in timestamps.
+		e.IngestBatch(srcs[2], rawsR)
+		if (i/span)%2 == 0 {
+			e.IngestBatch(srcs[0], rawsL)
+		} else {
+			e.IngestBatch(srcs[1], rawsL)
+		}
+	}
+	for _, s := range srcs {
+		e.CloseStream(s)
+	}
+	e.Wait()
+	elapsed := time.Since(start)
+
+	n := uint64(2 * per)
+	res := shardResult{
+		shardConfig:  shardConfig{Name: fmt.Sprintf("shards-%d", shards), Shards: shards},
+		Tuples:       n,
+		Seconds:      elapsed.Seconds(),
+		TuplesPerSec: float64(n) / elapsed.Seconds(),
+		JoinRows:     rows.Load(),
+		ShardTuples:  e.ShardTuples(),
+		ETSGenerated: e.ETSGenerated(),
+		LoadedP50Us:  float64(lat.Percentile(50)),
+	}
+	if res.JoinRows != uint64(per) {
+		fmt.Fprintf(os.Stderr, "etsbench: shards=%d produced %d join rows, want %d — sharding changed the result!\n",
+			shards, res.JoinRows, per)
+		os.Exit(1)
+	}
+	return res
+}
+
+// runShardLatency measures on-demand ETS output latency on the same graph
+// with internal timestamps, sleep-paced far below capacity. Each iteration's
+// left tuple blocks until a demanded ETS from the right source releases it.
+func runShardLatency(shards, iters int) *metrics.Latency {
+	lat := metrics.NewLatency()
+	g, srcs := buildShardGraph(tuple.Internal, func(t *tuple.Tuple, now tuple.Time) {
+		lat.Observe(now - t.Arrived) // sink goroutine only: no locking needed
+	})
+	e, err := rt.New(g, rt.Options{
+		OnDemandETS: true,
+		Shards:      shards,
+		Recycle:     false, // keep the latency path identical across configs
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	e.Start()
+	for i := 0; i < iters; i++ {
+		seq := int64(i)
+		e.Ingest(srcs[2], tuple.NewData(0, tuple.Int(seq), tuple.Int(seq)))
+		left := srcs[0]
+		if i%2 == 1 {
+			left = srcs[1]
+		}
+		e.Ingest(left, tuple.NewData(0, tuple.Int(seq), tuple.Int(seq)))
+		time.Sleep(time.Millisecond)
+	}
+	for _, s := range srcs {
+		e.CloseStream(s)
+	}
+	e.Wait()
+	return lat
+}
+
+// runShardBench runs the 1/2/4/8 sweep and writes the JSON report.
+func runShardBench(total int, out string) {
+	if total < 4 {
+		fmt.Fprintf(os.Stderr, "etsbench: -shards-tuples must be ≥ 4 (got %d)\n", total)
+		os.Exit(2)
+	}
+	rep := shardReport{
+		Workload:   "union+join: (s1 ∪ s2) ⋈[key, nested-loop] s3, on-demand ETS, partition rewrite",
+		Tuples:     total,
+		WindowSpan: shardSpan,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:       time.Now().UTC().Format(time.RFC3339),
+	}
+	const latIters = 150
+	var base, four shardResult
+	for _, shards := range []int{1, 2, 4, 8} {
+		runShardThroughput(shards, total/10) // warmup: pools, scheduler
+		res := runShardThroughput(shards, total)
+		lat := runShardLatency(shards, latIters)
+		res.LatencyP50Us = float64(lat.Percentile(50))
+		res.LatencyP95Us = float64(lat.Percentile(95))
+		res.LatencySamples = lat.Count()
+		rep.Results = append(rep.Results, res)
+		fmt.Printf("%-10s %10.0f tuples/s  %8d rows  loaded p50 %6.0fµs  ets-lat p50 %5.0fµs p95 %5.0fµs  shard-tuples %v\n",
+			res.Name, res.TuplesPerSec, res.JoinRows, res.LoadedP50Us,
+			res.LatencyP50Us, res.LatencyP95Us, res.ShardTuples)
+		switch shards {
+		case 1:
+			base = res
+		case 4:
+			four = res
+		}
+	}
+	if base.TuplesPerSec > 0 {
+		rep.SpeedupX4 = four.TuplesPerSec / base.TuplesPerSec
+		fmt.Printf("4 shards vs 1: %.2fx throughput", rep.SpeedupX4)
+		if base.LoadedP50Us > 0 {
+			rep.LatencyRatioX4 = four.LoadedP50Us / base.LoadedP50Us
+			fmt.Printf(", %.2fx loaded p50 latency", rep.LatencyRatioX4)
+		}
+		fmt.Println()
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+}

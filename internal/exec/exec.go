@@ -120,6 +120,9 @@ func New(g *graph.Graph, policy SourcePolicy, now func() tuple.Time) (*Engine, e
 					a.Buf.Push(t)
 				}
 			},
+			EmitTo: func(i int, t *tuple.Tuple) {
+				n.Out[i].Buf.Push(t)
+			},
 			Now: now,
 		}
 	}

@@ -1,0 +1,63 @@
+package graph
+
+import "repro/internal/ops"
+
+// Rewriter incrementally builds a new graph from an existing one, carrying an
+// old-id → new-id mapping so rewritten nodes can be wired to the images of
+// their old predecessors. Rewrite passes (internal/partition) walk the source
+// graph in topological order, Keep-ing nodes that pass through unchanged and
+// Add-ing replacement subgraphs for nodes they expand; SetMap records which
+// new node stands in for an old one so downstream consumers attach to it.
+type Rewriter struct {
+	src *Graph
+	dst *Graph
+	m   map[NodeID]NodeID // old id -> new id standing in for it
+}
+
+// NewRewriter starts a rewrite of src into a fresh graph with the given name.
+func NewRewriter(src *Graph, name string) *Rewriter {
+	return &Rewriter{src: src, dst: New(name), m: make(map[NodeID]NodeID)}
+}
+
+// Map returns the new id standing in for old, panicking if old has not been
+// mapped yet — rewrites must proceed in topological order.
+func (r *Rewriter) Map(old NodeID) NodeID {
+	id, ok := r.m[old]
+	if !ok {
+		panic("graph: rewrite out of topological order: predecessor not mapped")
+	}
+	return id
+}
+
+// MappedPreds returns the images of old's predecessors, in port order.
+func (r *Rewriter) MappedPreds(old NodeID) []NodeID {
+	preds := r.src.Node(old).Preds
+	out := make([]NodeID, len(preds))
+	for i, p := range preds {
+		out[i] = r.Map(p)
+	}
+	return out
+}
+
+// Keep copies old's operator into the new graph unchanged, wired to the
+// images of its predecessors, and maps old to the copy. The operator instance
+// is shared, not cloned — a rewrite consumes its source graph.
+func (r *Rewriter) Keep(old NodeID) NodeID {
+	n := r.src.Node(old)
+	id := r.dst.AddNode(n.Op, r.MappedPreds(old)...)
+	r.m[old] = id
+	return id
+}
+
+// Add inserts a new node into the destination graph without mapping any old
+// node to it (splitters, shards).
+func (r *Rewriter) Add(op ops.Operator, preds ...NodeID) NodeID {
+	return r.dst.AddNode(op, preds...)
+}
+
+// Graph returns the destination graph.
+func (r *Rewriter) Graph() *Graph { return r.dst }
+
+// SetMap records that new stands in for old: downstream consumers of old
+// attach to new.
+func (r *Rewriter) SetMap(old, new NodeID) { r.m[old] = new }

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+func TestRewriterKeepPreservesShape(t *testing.T) {
+	g := New("g")
+	s := g.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	sel := g.AddNode(ops.NewSelect("σ", nil, func(*tuple.Tuple) bool { return true }), s)
+	g.AddNode(ops.NewSink("k", func(*tuple.Tuple, tuple.Time) {}), sel)
+
+	r := NewRewriter(g, "g2")
+	for _, id := range g.TopoOrder() {
+		r.Keep(id)
+	}
+	g2 := r.Graph()
+	if g2.Name() != "g2" || g2.Len() != g.Len() {
+		t.Fatalf("copy: name=%q len=%d", g2.Name(), g2.Len())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g2.Node(NodeID(i)).Op != g.Node(NodeID(i)).Op {
+			t.Errorf("node %d: operator not shared", i)
+		}
+	}
+}
+
+func TestRewriterSetMapRedirectsConsumers(t *testing.T) {
+	g := New("g")
+	s := g.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	sel := g.AddNode(ops.NewSelect("σ", nil, func(*tuple.Tuple) bool { return true }), s)
+	g.AddNode(ops.NewSink("k", func(*tuple.Tuple, tuple.Time) {}), sel)
+
+	// Replace the select with a two-node chain; the sink must attach to the
+	// replacement's tail.
+	r := NewRewriter(g, "g2")
+	r.Keep(s)
+	m1 := r.Add(ops.NewSelect("σa", nil, func(*tuple.Tuple) bool { return true }), r.Map(s))
+	m2 := r.Add(ops.NewSelect("σb", nil, func(*tuple.Tuple) bool { return true }), m1)
+	r.SetMap(sel, m2)
+	r.Keep(NodeID(2)) // the sink
+	g2 := r.Graph()
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sink := g2.Node(NodeID(3))
+	if sink.Op.Name() != "k" || sink.Preds[0] != m2 {
+		t.Fatalf("sink wired to %v, want %v", sink.Preds, m2)
+	}
+}
+
+func TestRewriterOutOfOrderPanics(t *testing.T) {
+	g := New("g")
+	s := g.AddNode(ops.NewSource("s", tuple.NewSchema("s"), 0))
+	sel := g.AddNode(ops.NewSelect("σ", nil, func(*tuple.Tuple) bool { return true }), s)
+	_ = sel
+	r := NewRewriter(g, "g2")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Keep of a node with unmapped predecessor must panic")
+		}
+	}()
+	r.Keep(sel)
+}

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/tuple"
 )
@@ -172,9 +174,12 @@ func (a *IdleAccount) Fraction() float64 {
 // Reset zeroes the account (e.g. at the end of a warm-up period).
 func (a *IdleAccount) Reset() { a.idle, a.total = 0, 0 }
 
-// Counter is a simple named counter set, used for ad-hoc experiment
-// accounting (tuples seen, ETS generated, steps executed, ...).
+// Counter is a named counter set, used for ad-hoc experiment accounting
+// (tuples seen, ETS generated, steps executed, ...). It is safe for
+// concurrent use: the concurrent runtime's node goroutines may account into
+// one shared Counter.
 type Counter struct {
+	mu     sync.Mutex
 	counts map[string]int64
 }
 
@@ -182,17 +187,27 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
 
 // Add increments the named counter by delta.
-func (c *Counter) Add(name string, delta int64) { c.counts[name] += delta }
+func (c *Counter) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.counts[name] += delta
+	c.mu.Unlock()
+}
 
 // Get reads the named counter.
-func (c *Counter) Get(name string) int64 { return c.counts[name] }
+func (c *Counter) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
 
 // Names returns the counter names in sorted order.
 func (c *Counter) Names() []string {
+	c.mu.Lock()
 	names := make([]string, 0, len(c.counts))
 	for n := range c.counts {
 		names = append(names, n)
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
@@ -200,7 +215,74 @@ func (c *Counter) Names() []string {
 func (c *Counter) String() string {
 	var b strings.Builder
 	for _, n := range c.Names() {
-		fmt.Fprintf(&b, "%s=%d ", n, c.counts[n])
+		fmt.Fprintf(&b, "%s=%d ", n, c.Get(n))
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// PerShard is a fixed-size vector of atomic counters, one per shard of a
+// partitioned operator. Writers (splitter goroutines, shard goroutines) add
+// lock-free on their own index; readers snapshot at any time without
+// stopping the engine. The zero-allocation path matters: a splitter accounts
+// one Add per routed tuple.
+type PerShard struct {
+	counts []atomic.Uint64
+}
+
+// NewPerShard returns a counter vector for n shards.
+func NewPerShard(n int) *PerShard {
+	return &PerShard{counts: make([]atomic.Uint64, n)}
+}
+
+// Len reports the number of shards.
+func (p *PerShard) Len() int { return len(p.counts) }
+
+// Add adds d to shard s's counter.
+func (p *PerShard) Add(s int, d uint64) { p.counts[s].Add(d) }
+
+// Get reads shard s's counter.
+func (p *PerShard) Get(s int) uint64 { return p.counts[s].Load() }
+
+// Total sums all shard counters.
+func (p *PerShard) Total() uint64 {
+	var t uint64
+	for i := range p.counts {
+		t += p.counts[i].Load()
+	}
+	return t
+}
+
+// Snapshot copies the current per-shard values.
+func (p *PerShard) Snapshot() []uint64 {
+	out := make([]uint64, len(p.counts))
+	for i := range p.counts {
+		out[i] = p.counts[i].Load()
+	}
+	return out
+}
+
+// AddTo accumulates the current values into dst (growing it as needed) and
+// returns dst — the rollup primitive: summing every splitter's PerShard gives
+// the per-shard tuple totals of the whole partition.
+func (p *PerShard) AddTo(dst []uint64) []uint64 {
+	for len(dst) < len(p.counts) {
+		dst = append(dst, 0)
+	}
+	for i := range p.counts {
+		dst[i] += p.counts[i].Load()
+	}
+	return dst
+}
+
+func (p *PerShard) String() string {
+	var b strings.Builder
+	b.WriteString("shards[")
+	for i := range p.counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", p.counts[i].Load())
+	}
+	b.WriteByte(']')
+	return b.String()
 }

@@ -205,10 +205,18 @@ func (a *Aggregate) Exec(ctx *Ctx) bool {
 		return true
 	}
 	// The tuple contributes to every window k with
-	// k·slide ≤ ts < k·slide + width.
+	// k·slide ≤ ts < k·slide + width — except windows already closed. A
+	// window that was closed under an over-estimated ETS bound (the
+	// estimator promises, it does not guarantee, §5) has emitted its row;
+	// re-opening it would emit a duplicate, so a late tuple's contribution
+	// to it is dropped instead. On-time tuples are unaffected: every
+	// window covering ts ends after ts ≥ bound.
 	last := floorDiv(int64(t.Ts), int64(a.slide))
 	first := floorDiv(int64(t.Ts)-int64(a.width), int64(a.slide)) + 1
 	for w := first; w <= last; w++ {
+		if tuple.Time(w*int64(a.slide)+int64(a.width)) <= a.bound {
+			continue
+		}
 		a.accumulate(w, t)
 	}
 	ctx.free(t) // values were copied into the accumulators

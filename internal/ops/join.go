@@ -38,8 +38,11 @@ type WindowJoin struct {
 	win  [2]*window.Store
 
 	// hashed equi-join state: when keyCols is set, hwin replaces win and
-	// probes are O(matches) instead of a window scan.
+	// probes are O(matches) instead of a window scan. hasKeys records that
+	// keyCols is meaningful (hash joins and explicit equi-joins); it is what
+	// makes the join partitionable.
 	hashed  bool
+	hasKeys bool
 	keyCols [2]int
 	hwin    [2]*window.HashStore
 
@@ -89,12 +92,43 @@ func NewHashWindowJoin(name string, schema *tuple.Schema, specL, specR window.Sp
 		mode:       mode,
 		pred:       EquiJoin(leftCol, rightCol),
 		hashed:     true,
+		hasKeys:    true,
 		keyCols:    [2]int{leftCol, rightCol},
 		DedupPunct: true,
 		watermark:  tuple.MinTime,
 	}
 	j.hwin[0] = window.NewHashStore(specL, leftCol)
 	j.hwin[1] = window.NewHashStore(specR, rightCol)
+	if mode == TSM {
+		j.regs = tsm.New(2)
+	}
+	return j
+}
+
+// NewEquiWindowJoin builds a binary symmetric window equi-join with a
+// nested-loop probe (every probe scans the opposite window, testing the key
+// columns per pair). It trades probe cost for insert cost versus
+// NewHashWindowJoin — but unlike NewWindowJoin's opaque predicate, the known
+// key columns make the join partitionable, and hash-sharding it P ways cuts
+// every scan to the shard's 1/P slice of the window.
+func NewEquiWindowJoin(name string, schema *tuple.Schema, specL, specR window.Spec, leftCol, rightCol int, mode IWPMode) *WindowJoin {
+	if err := specL.Validate(); err != nil {
+		panic(fmt.Sprintf("join %s: left %v", name, err))
+	}
+	if err := specR.Validate(); err != nil {
+		panic(fmt.Sprintf("join %s: right %v", name, err))
+	}
+	j := &WindowJoin{
+		base:       base{name: name, inputs: 2, schema: schema},
+		mode:       mode,
+		pred:       EquiJoin(leftCol, rightCol),
+		hasKeys:    true,
+		keyCols:    [2]int{leftCol, rightCol},
+		DedupPunct: true,
+		watermark:  tuple.MinTime,
+	}
+	j.win[0] = window.NewStore(specL)
+	j.win[1] = window.NewStore(specR)
 	if mode == TSM {
 		j.regs = tsm.New(2)
 	}
@@ -263,8 +297,12 @@ func (j *WindowJoin) execLatent(ctx *Ctx) bool {
 }
 
 // produce implements the production+consumption pair of Figure 1/6: join t
-// (arriving on side) against the opposite window, emit matches with t's
-// timestamp, then move t into its own window.
+// (arriving on side) against the opposite window, emit matches, then move t
+// into its own window. A match carries the larger of the two participants'
+// timestamps: with ordered arcs that is always t's own (the opposite window
+// holds nothing newer than the arriving tuple under TSM ordering), but when
+// an over-estimated ETS let a late tuple through, the max keeps the output
+// identical to what ordered execution would have emitted.
 func (j *WindowJoin) produce(ctx *Ctx, side int, t *tuple.Tuple) bool {
 	j.expireSide(1-side, t.Ts)
 	yield := false
@@ -281,7 +319,11 @@ func (j *WindowJoin) produce(ctx *Ctx, side int, t *tuple.Tuple) bool {
 		vals := make([]tuple.Value, 0, len(l.Vals)+len(r.Vals))
 		vals = append(vals, l.Vals...)
 		vals = append(vals, r.Vals...)
-		out := &tuple.Tuple{Ts: t.Ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived}
+		ts := t.Ts
+		if o.Ts > ts {
+			ts = o.Ts
+		}
+		out := &tuple.Tuple{Ts: ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived}
 		j.dataOut++
 		yield = true
 		ctx.Emit(out)

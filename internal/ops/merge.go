@@ -1,0 +1,26 @@
+package ops
+
+import "repro/internal/tuple"
+
+// Merge is the min-watermark fan-in of a partitioned operator: it combines
+// the P shard output streams back into one timestamp-ordered stream, and
+// forwards a punctuation only when *every* shard's TSM register has advanced
+// past it — i.e. the merged bound is min over shards, governed by the slowest
+// one. That is exactly the TSM union's production rule (Figure 6): data pops
+// in global timestamp order via the relaxed `more` condition, and output
+// punctuation is emitted at min(registers) when it advances the watermark.
+//
+// Merge is therefore a thin wrapper over a TSM-mode Union; the distinct type
+// lets the partition rewrite (and diagnostics) identify merge nodes without
+// duplicating the union's carefully tested blocking rules. Equal-timestamp
+// tuples across shards cannot deadlock it for the same reason they cannot
+// deadlock the union: the relaxed `more` condition (§4.1) runs whenever any
+// input holds a tuple at the minimal register timestamp.
+type Merge struct {
+	Union
+}
+
+// NewMerge builds a min-watermark merge over n shard streams.
+func NewMerge(name string, schema *tuple.Schema, n int) *Merge {
+	return &Merge{Union: *NewUnion(name, schema, n, TSM)}
+}

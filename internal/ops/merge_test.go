@@ -1,0 +1,99 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// The min-watermark property: a punctuation entering the merge on some
+// shards must not pass downstream until the slowest shard's register has
+// advanced past it.
+func TestMergeHoldsPunctUntilSlowestShard(t *testing.T) {
+	m := NewMerge("m", nil, 3)
+	h := newHarness(m)
+	h.ins[0].Push(tuple.NewPunct(10))
+	h.ins[1].Push(tuple.NewPunct(10))
+	h.run()
+	if len(h.out) != 0 {
+		t.Fatalf("punct passed with shard 2 unheard: %v", h.out)
+	}
+	// The slowest shard advances: the bound min(registers)=10 may now pass.
+	h.ins[2].Push(tuple.NewPunct(10))
+	h.run()
+	p := h.puncts()
+	if len(p) != 1 || p[0].Ts != 10 {
+		t.Fatalf("want one punct at 10, got %v", h.out)
+	}
+	// A later bound on a single shard is again held back.
+	h.ins[0].Push(tuple.NewPunct(20))
+	h.run()
+	if len(h.puncts()) != 1 {
+		t.Fatalf("punct 20 passed while shards 1,2 sit at 10: %v", h.out)
+	}
+}
+
+// Data outpaces punctuation: the merge must deliver shard data in global
+// timestamp order, governed by the slowest shard's bound.
+func TestMergeOrdersShardData(t *testing.T) {
+	m := NewMerge("m", nil, 2)
+	h := newHarness(m)
+	// Shard 0 runs ahead; shard 1 lags.
+	h.ins[0].PushAll(tsOf(1, 4, 7))
+	h.ins[1].PushAll(tsOf(2, 3))
+	h.run()
+	// regs = (1→4→7 as consumed, 2→3): pops 1,2,3 then blocks — shard 1's
+	// register (3) bounds the merge; 4 and 7 must wait.
+	wantTs(t, h.data(), 1, 2, 3)
+	h.ins[1].Push(tuple.NewPunct(9))
+	h.run()
+	wantTs(t, h.data(), 1, 2, 3, 4, 7)
+}
+
+// Equal-timestamp tuples across shards must not deadlock the merge: the
+// relaxed more condition (§4.1) runs whenever any input holds a tuple at the
+// minimal register timestamp, and data is preferred over punctuation at the
+// same timestamp.
+func TestMergeSimultaneousTuplesNoDeadlock(t *testing.T) {
+	m := NewMerge("m", nil, 2)
+	h := newHarness(m)
+	h.ins[0].Push(tuple.NewData(5, tuple.Int(0)))
+	h.ins[0].Push(tuple.NewPunct(5))
+	h.ins[1].Push(tuple.NewData(5, tuple.Int(1)))
+	h.ins[1].Push(tuple.NewPunct(5))
+	steps := h.run()
+	if steps == 0 {
+		t.Fatal("merge deadlocked on simultaneous tuples")
+	}
+	wantTs(t, h.data(), 5, 5)
+	// Both inputs drained: nothing may remain buffered.
+	if !h.ins[0].Empty() || !h.ins[1].Empty() {
+		t.Fatalf("inputs not drained: %d/%d", h.ins[0].Len(), h.ins[1].Len())
+	}
+}
+
+// EOS passes only after every shard has ended.
+func TestMergeEOSAfterAllShards(t *testing.T) {
+	m := NewMerge("m", nil, 2)
+	h := newHarness(m)
+	h.ins[0].Push(tuple.EOS())
+	h.run()
+	if len(h.out) != 0 {
+		t.Fatalf("EOS passed with shard 1 open: %v", h.out)
+	}
+	h.ins[1].Push(tuple.NewData(3, tuple.Int(0)))
+	h.ins[1].Push(tuple.EOS())
+	h.run()
+	wantTs(t, h.data(), 3)
+	// Once every shard has ended, EOS propagates (one per consumed input
+	// EOS, as for the plain TSM union).
+	p := h.puncts()
+	if len(p) == 0 {
+		t.Fatal("no EOS after all shards ended")
+	}
+	for _, q := range p {
+		if !q.IsEOS() {
+			t.Fatalf("non-EOS punct escaped: %v", p)
+		}
+	}
+}

@@ -40,6 +40,11 @@ type MultiJoin struct {
 	regs *tsm.Registers
 	wins []*window.Store
 
+	// keyCols are the equi-join columns (one per input) when the join was
+	// built with NewMultiEquiJoin; nil for an opaque predicate. Known
+	// columns make the join partitionable.
+	keyCols []int
+
 	// DedupPunct is as for Union and WindowJoin.
 	DedupPunct bool
 	watermark  tuple.Time
@@ -67,6 +72,15 @@ func NewMultiJoin(name string, schema *tuple.Schema, n int, spec window.Spec, pr
 	for i := range j.wins {
 		j.wins[i] = window.NewStore(spec)
 	}
+	return j
+}
+
+// NewMultiEquiJoin builds an n-way symmetric window equi-join over one key
+// column per input (n = len(cols) ≥ 2). Equivalent to NewMultiJoin with
+// MultiEquiJoin(cols...), but the recorded columns make it partitionable.
+func NewMultiEquiJoin(name string, schema *tuple.Schema, spec window.Spec, cols ...int) *MultiJoin {
+	j := NewMultiJoin(name, schema, len(cols), spec, MultiEquiJoin(cols...))
+	j.keyCols = append([]int(nil), cols...)
 	return j
 }
 
@@ -151,8 +165,10 @@ func (j *MultiJoin) allEOS() bool {
 
 // produce joins the arriving tuple against the cross product of the other
 // windows, emits qualifying combinations (values concatenated in input
-// order, timestamp τ of the arriving tuple), and inserts the tuple into its
-// own window.
+// order, timestamp the maximum across the combination — with ordered arcs
+// that is the arriving tuple's own; after an over-estimated ETS admits a
+// late tuple it keeps the output identical to ordered execution), and
+// inserts the tuple into its own window.
 func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 	n := len(j.wins)
 	for i, w := range j.wins {
@@ -170,8 +186,12 @@ func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 				return
 			}
 			size := 0
+			ts := t.Ts
 			for _, c := range combo {
 				size += len(c.Vals)
+				if c.Ts > ts {
+					ts = c.Ts
+				}
 			}
 			vals := make([]tuple.Value, 0, size)
 			for _, c := range combo {
@@ -179,7 +199,7 @@ func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 			}
 			j.dataOut++
 			yield = true
-			ctx.Emit(&tuple.Tuple{Ts: t.Ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived})
+			ctx.Emit(&tuple.Tuple{Ts: ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived})
 			return
 		}
 		if i == input {

@@ -30,6 +30,11 @@ type Ctx struct {
 	Ins []*buffer.Queue
 	// Emit appends a tuple to every output arc of the node.
 	Emit func(*tuple.Tuple)
+	// EmitTo appends a tuple to out arc i only (arcs are indexed in the
+	// order their consumers were attached). Routing operators — the hash
+	// splitter of a partitioned subgraph — use it to send a tuple to one
+	// shard instead of broadcasting; both engines provide it.
+	EmitTo func(i int, t *tuple.Tuple)
 	// Now returns the current virtual time.
 	Now func() tuple.Time
 	// Release, when non-nil, recycles a tuple the operator consumed

@@ -1,0 +1,89 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// Split is the hash-partitioning router inserted on each input arc of a
+// partitioned operator. It consumes one stream and routes every data tuple to
+// exactly one of its shard out-arcs — by hashing the key column, or
+// round-robin when the operator has no key for this input — while
+// *broadcasting* every punctuation tuple to all shards so each shard's TSM
+// registers keep advancing.
+//
+// Punctuation is broadcast as fresh copies (one GetPunct per arc), never as a
+// shared pointer: every tuple leaving the splitter has exactly one owner, so
+// the runtime's recycling stays sound even though the node fans out.
+type Split struct {
+	base
+	shards int
+	key    int // key column, or -1 for round-robin routing
+	rr     int
+	routed *metrics.PerShard
+}
+
+// NewSplit builds a splitter routing one input stream to shards out-arcs.
+// key is the column index hashed to pick a shard, or -1 to route data tuples
+// round-robin (used when the downstream operator is key-agnostic on this
+// input, e.g. a sharded union).
+func NewSplit(name string, schema *tuple.Schema, shards, key int) *Split {
+	if shards < 2 {
+		panic(fmt.Sprintf("split %s: need at least 2 shards, got %d", name, shards))
+	}
+	return &Split{
+		base:   base{name: name, inputs: 1, schema: schema},
+		shards: shards,
+		key:    key,
+		routed: metrics.NewPerShard(shards),
+	}
+}
+
+// Shards reports the splitter's fan-out.
+func (s *Split) Shards() int { return s.shards }
+
+// Key reports the routing column, or -1 for round-robin.
+func (s *Split) Key() int { return s.key }
+
+// Routed exposes the per-shard routed-tuple counters (data tuples only).
+func (s *Split) Routed() *metrics.PerShard { return s.routed }
+
+// More reports whether the input holds a tuple.
+func (s *Split) More(ctx *Ctx) bool { return !ctx.Ins[0].Empty() }
+
+// BlockingInput returns 0 when the input is empty.
+func (s *Split) BlockingInput(ctx *Ctx) int {
+	if ctx.Ins[0].Empty() {
+		return 0
+	}
+	return -1
+}
+
+// Exec routes one tuple: data to its shard, punctuation to every shard.
+func (s *Split) Exec(ctx *Ctx) bool {
+	t := ctx.Ins[0].Pop()
+	if t == nil {
+		return false
+	}
+	if t.IsPunct() {
+		// Each shard gets its own copy so ownership stays single; EOS
+		// (a punctuation at MaxTime) broadcasts the same way.
+		for k := 0; k < s.shards; k++ {
+			ctx.EmitTo(k, tuple.GetPunct(t.Ts))
+		}
+		ctx.free(t)
+		return true
+	}
+	var k int
+	if s.key < 0 || s.key >= len(t.Vals) {
+		k = s.rr
+		s.rr = (s.rr + 1) % s.shards
+	} else {
+		k = int(t.Vals[s.key].Hash() % uint64(s.shards))
+	}
+	s.routed.Add(k, 1)
+	ctx.EmitTo(k, t)
+	return true
+}

@@ -1,0 +1,249 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func noopSink() *ops.Sink {
+	return ops.NewSink("k", func(*tuple.Tuple, tuple.Time) {})
+}
+
+func joinGraph() (*graph.Graph, *ops.Source, *ops.Source) {
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "key", Kind: tuple.IntKind},
+		tuple.Field{Name: "seq", Kind: tuple.IntKind},
+	).WithTS(tuple.External)
+	g := graph.New("q")
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	j := g.AddNode(ops.NewHashWindowJoin("j", nil,
+		window.TimeWindow(1<<40), window.TimeWindow(1<<40), 0, 0, ops.TSM), a, b)
+	g.AddNode(noopSink(), j)
+	return g, s1, s2
+}
+
+func TestRewriteNoopCases(t *testing.T) {
+	g, _, _ := joinGraph()
+	if g2, plan := Rewrite(g, 1); g2 != g || plan != nil {
+		t.Fatal("shards=1 must return the graph unchanged")
+	}
+	// Nothing partitionable: an opaque-predicate join.
+	g3 := graph.New("q")
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind})
+	a := g3.AddNode(ops.NewSource("s1", sch, 0))
+	b := g3.AddNode(ops.NewSource("s2", sch, 0))
+	j := g3.AddNode(ops.NewWindowJoin("j", nil, window.TimeWindow(100), ops.CrossJoin(), ops.TSM), a, b)
+	g3.AddNode(noopSink(), j)
+	if g4, plan := Rewrite(g3, 4); g4 != g3 || plan != nil {
+		t.Fatal("graph without partitionable ops must pass through unchanged")
+	}
+}
+
+func TestRewriteStructure(t *testing.T) {
+	g, _, _ := joinGraph()
+	const P = 3
+	g2, plan := Rewrite(g, P)
+	if g2 == g || plan == nil {
+		t.Fatal("rewrite did not expand the graph")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 sources + 2 splitters + P shards + 1 merge + 1 sink.
+	if want := 2 + 2 + P + 1 + 1; g2.Len() != want {
+		t.Fatalf("rewritten graph has %d nodes, want %d\n%s", g2.Len(), want, g2.Dot())
+	}
+	if len(plan.Ops) != 1 || plan.Shards != P {
+		t.Fatalf("plan = %+v", plan)
+	}
+	sh := plan.Ops[0]
+	if sh.Name != "j" || len(sh.Splitters) != 2 || len(sh.ShardIDs) != P {
+		t.Fatalf("sharded op = %+v", sh)
+	}
+	// The arc-order invariant Split.Exec relies on: splitter i's out-arc s
+	// leads to shard s, on input port i.
+	for i, sid := range sh.Splitters {
+		sp := g2.Node(sid)
+		if _, ok := sp.Op.(*ops.Split); !ok {
+			t.Fatalf("splitter %d is %T", i, sp.Op)
+		}
+		if len(sp.Out) != P {
+			t.Fatalf("splitter %d has %d out arcs", i, len(sp.Out))
+		}
+		for s, arc := range sp.Out {
+			if arc.To != sh.ShardIDs[s] || arc.Port != i {
+				t.Fatalf("splitter %d arc %d -> node %d port %d; want shard %d port %d",
+					i, s, arc.To, arc.Port, sh.ShardIDs[s], i)
+			}
+		}
+	}
+	for s, sid := range sh.ShardIDs {
+		op := g2.Node(sid).Op
+		if op.Name() != fmt.Sprintf("j#%d", s) {
+			t.Errorf("shard %d name %q", s, op.Name())
+		}
+	}
+	merge := g2.Node(sh.Merge)
+	if _, ok := merge.Op.(*ops.Merge); !ok {
+		t.Fatalf("merge is %T", merge.Op)
+	}
+	for s, p := range merge.Preds {
+		if p != sh.ShardIDs[s] {
+			t.Fatalf("merge pred %d = %d, want %d", s, p, sh.ShardIDs[s])
+		}
+	}
+	// The sink follows the merge, not the vanished original join node.
+	sink := g2.Node(graph.NodeID(g2.Len() - 1))
+	if _, ok := sink.Op.(*ops.Sink); !ok || sink.Preds[0] != sh.Merge {
+		t.Fatalf("sink wiring: %T preds %v", sink.Op, sink.Preds)
+	}
+}
+
+// driveJoin pushes a deterministic two-stream workload through g on the
+// cooperative engine and returns the sink's data output as sorted strings.
+func driveJoin(t *testing.T, g *graph.Graph, s1, s2 *ops.Source, collected *[]string) []string {
+	t.Helper()
+	*collected = (*collected)[:0]
+	e := exec.MustNew(g, nil, func() tuple.Time { return 1 << 41 })
+	const n = 200
+	for i := 0; i < n; i++ {
+		key := tuple.Int(int64(i % 8))
+		s1.Ingest(tuple.NewData(tuple.Time(2*i), key, tuple.Int(int64(i))), 0)
+		s2.Ingest(tuple.NewData(tuple.Time(2*i+1), key, tuple.Int(int64(i))), 0)
+		for e.Step() {
+		}
+	}
+	// Flush the tail with punctuation: unlike a data tuple — which routes
+	// to a single shard — a punctuation broadcasts through the splitters
+	// and bounds every shard's registers.
+	s1.Offer(tuple.NewPunct(1 << 30))
+	s2.Offer(tuple.NewPunct(1 << 30))
+	for e.Step() {
+	}
+	out := append([]string(nil), *collected...)
+	sort.Strings(out)
+	return out
+}
+
+// The equivalence property: the sharded graph must produce exactly the
+// unsharded graph's output (as a multiset — equal-timestamp interleaving at
+// the merge is the only permitted difference).
+func TestShardedJoinEquivalence(t *testing.T) {
+	var got []string
+	collect := func(tp *tuple.Tuple, _ tuple.Time) {
+		if !tp.IsPunct() {
+			got = append(got, fmt.Sprintf("%v|%v", tp.Ts, tp.Vals))
+		}
+	}
+	g, s1, s2 := joinGraphWithSink(collect)
+	want := driveJoin(t, g, s1, s2, &got)
+	if len(want) == 0 {
+		t.Fatal("unsharded join produced no output")
+	}
+
+	for _, P := range []int{2, 4} {
+		gs, s1s, s2s := joinGraphWithSink(collect)
+		g2, plan := Rewrite(gs, P)
+		if plan == nil {
+			t.Fatalf("P=%d: join not partitioned", P)
+		}
+		if have := driveJoin(t, g2, s1s, s2s, &got); !equalStrings(have, want) {
+			t.Fatalf("P=%d: sharded output differs: %d vs %d rows", P, len(have), len(want))
+		}
+	}
+}
+
+func joinGraphWithSink(cb func(*tuple.Tuple, tuple.Time)) (*graph.Graph, *ops.Source, *ops.Source) {
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "key", Kind: tuple.IntKind},
+		tuple.Field{Name: "seq", Kind: tuple.IntKind},
+	).WithTS(tuple.External)
+	g := graph.New("q")
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	j := g.AddNode(ops.NewHashWindowJoin("j", nil,
+		window.TimeWindow(1<<40), window.TimeWindow(1<<40), 0, 0, ops.TSM), a, b)
+	g.AddNode(ops.NewSink("k", cb), j)
+	return g, s1, s2
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Round-robin sharding of a union must also reproduce the unsharded output:
+// the merge restores global timestamp order.
+func TestShardedUnionEquivalence(t *testing.T) {
+	var got []tuple.Time
+	build := func() (*graph.Graph, *ops.Source, *ops.Source) {
+		sch := tuple.NewSchema("s",
+			tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tuple.External)
+		g := graph.New("u")
+		s1 := ops.NewSource("s1", sch, 0)
+		s2 := ops.NewSource("s2", sch, 0)
+		a := g.AddNode(s1)
+		b := g.AddNode(s2)
+		u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+		g.AddNode(ops.NewSink("k", func(tp *tuple.Tuple, _ tuple.Time) {
+			if !tp.IsPunct() {
+				got = append(got, tp.Ts)
+			}
+		}), u)
+		return g, s1, s2
+	}
+	drive := func(g *graph.Graph, s1, s2 *ops.Source) []tuple.Time {
+		got = got[:0]
+		e := exec.MustNew(g, nil, func() tuple.Time { return 1 << 41 })
+		for i := 0; i < 100; i++ {
+			s1.Ingest(tuple.NewData(tuple.Time(2*i), tuple.Int(int64(i))), 0)
+			s2.Ingest(tuple.NewData(tuple.Time(2*i+1), tuple.Int(int64(i))), 0)
+			for e.Step() {
+			}
+		}
+		s1.Offer(tuple.NewPunct(1 << 30))
+		s2.Offer(tuple.NewPunct(1 << 30))
+		for e.Step() {
+		}
+		return append([]tuple.Time(nil), got...)
+	}
+
+	g, s1, s2 := build()
+	want := drive(g, s1, s2)
+	if len(want) != 200 {
+		t.Fatalf("unsharded union emitted %d tuples", len(want))
+	}
+	gs, s1s, s2s := build()
+	g2, plan := Rewrite(gs, 4)
+	if plan == nil {
+		t.Fatal("union not partitioned")
+	}
+	have := drive(g2, s1s, s2s)
+	if len(have) != len(want) {
+		t.Fatalf("sharded union emitted %d tuples, want %d", len(have), len(want))
+	}
+	for i := range want {
+		if have[i] != want[i] {
+			t.Fatalf("order diverges at %d: %v vs %v", i, have[i], want[i])
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/partition"
 	"repro/internal/tuple"
 )
 
@@ -72,8 +73,17 @@ type Options struct {
 	// tuple pool (tuple.Put). It requires that sink callbacks do not
 	// retain tuples beyond the call; it is ignored (stays off) when the
 	// graph has fan-out, where a tuple pointer is shared across arcs and
-	// single ownership cannot be proven.
+	// single ownership cannot be proven. Splitters are exempt: they route
+	// each data tuple to exactly one arc and broadcast punctuation as
+	// fresh copies, so their fan-out preserves single ownership.
 	Recycle bool
+	// Shards, when ≥ 2, applies the partition rewrite before the graph is
+	// built: every partitionable operator (ops.Partitionable — hash/equi
+	// joins, grouped aggregates, TSM unions) is replicated into Shards
+	// hash-partitioned replicas behind a splitter per input and a
+	// min-watermark merge, each replica running on its own goroutine with
+	// its own state slice, pending batches, and recycle magazine.
+	Shards int
 	// Now supplies the clock; defaults to wall time in µs since engine
 	// start.
 	Now func() tuple.Time
@@ -84,6 +94,7 @@ type Engine struct {
 	g    *graph.Graph
 	opts Options
 	now  func() tuple.Time
+	plan *partition.Plan
 
 	batchSize int
 	maxDelay  time.Duration
@@ -129,8 +140,11 @@ type node struct {
 	pendSince time.Time // when pendCount last left zero
 }
 
-// New builds a runtime engine over a validated graph.
+// New builds a runtime engine over a validated graph. With Options.Shards
+// ≥ 2 the graph is first expanded by the partition rewrite; the input graph
+// is consumed either way.
 func New(g *graph.Graph, opts Options) (*Engine, error) {
+	g, plan := partition.Rewrite(g, opts.Shards)
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,7 +152,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	if depth <= 0 {
 		depth = 256
 	}
-	e := &Engine{g: g, opts: opts, stop: make(chan struct{})}
+	e := &Engine{g: g, opts: opts, plan: plan, stop: make(chan struct{})}
 	e.batchSize = opts.BatchSize
 	if e.batchSize <= 0 {
 		e.batchSize = DefaultBatchSize
@@ -155,9 +169,15 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		e.now = func() tuple.Time { return tuple.FromDuration(time.Since(start)) }
 	}
 	// Tuple recycling is sound only when every tuple pointer lives on at
-	// most one arc at a time: fan-out shares pointers across arcs.
+	// most one arc at a time: fan-out shares pointers across arcs. A
+	// splitter's fan-out is routing, not broadcast — each data tuple goes
+	// to exactly one shard arc and punctuation is copied per arc — so it
+	// keeps single ownership and recycling stays on.
 	e.recycle = opts.Recycle
 	for _, gn := range g.Nodes() {
+		if _, isSplit := gn.Op.(*ops.Split); isSplit {
+			continue
+		}
 		if len(gn.Out) > 1 {
 			e.recycle = false
 		}
@@ -200,6 +220,29 @@ func (e *Engine) BatchesSent() uint64 { return e.batchesSent.Load() }
 
 // TuplesSent reports the number of tuples moved across arcs.
 func (e *Engine) TuplesSent() uint64 { return e.tuplesSent.Load() }
+
+// ShardPlan reports how the partition rewrite expanded the graph, or nil
+// when Options.Shards < 2 or nothing was partitionable.
+func (e *Engine) ShardPlan() *partition.Plan { return e.plan }
+
+// ShardTuples rolls up the per-shard routed-tuple counters of every splitter
+// in the plan into one vector (index = shard), the engine-level view of
+// partition balance. It returns nil for an unsharded engine and may be read
+// while the engine runs.
+func (e *Engine) ShardTuples() []uint64 {
+	if e.plan == nil {
+		return nil
+	}
+	var dst []uint64
+	for _, sh := range e.plan.Ops {
+		for _, id := range sh.Splitters {
+			if s, ok := e.g.Node(id).Op.(*ops.Split); ok {
+				dst = s.Routed().AddTo(dst)
+			}
+		}
+	}
+	return dst
+}
 
 // Start launches one goroutine per node.
 func (e *Engine) Start() {
@@ -319,6 +362,25 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 	}
 }
 
+// emitTo appends t to out arc i's pending batch only — the routed-emit path
+// splitters use. The punctuation flush rule applies per arc, preserving the
+// invariant that a punct (EOS included) is always its batch's last element.
+func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
+	if n.pendCount == 0 {
+		n.pendSince = time.Now()
+	}
+	b := n.pend[i]
+	if b == nil {
+		b = e.pool.Get()
+	}
+	b = append(b, t)
+	n.pend[i] = b
+	n.pendCount++
+	if t.IsPunct() || len(b) >= e.batchSize {
+		e.flushArc(n, i)
+	}
+}
+
 // runNode is the per-operator goroutine loop.
 func (e *Engine) runNode(n *node) {
 	defer e.wg.Done()
@@ -326,7 +388,12 @@ func (e *Engine) runNode(n *node) {
 	src := n.gn.Source()
 	sourceDone := false
 
-	ctx := &ops.Ctx{Ins: n.ins, Emit: func(t *tuple.Tuple) { e.emit(n, t) }, Now: e.now}
+	ctx := &ops.Ctx{
+		Ins:    n.ins,
+		Emit:   func(t *tuple.Tuple) { e.emit(n, t) },
+		EmitTo: func(i int, t *tuple.Tuple) { e.emitTo(n, i, t) },
+		Now:    e.now,
+	}
 	if e.recycle {
 		// Each node goroutine recycles through its own magazine so the
 		// per-tuple release costs a stack push, not a shared-pool access.
@@ -465,11 +532,7 @@ func (e *Engine) runNode(n *node) {
 		// the hint must then be re-issued.
 		demanding := false
 		if e.opts.OnDemandETS && src == nil && e.hasData(n) {
-			j := op.BlockingInput(ctx)
-			if j < 0 {
-				j = 0
-			}
-			e.signalDemand(e.nodes[n.gn.Preds[j]])
+			e.demandUpstream(n, ctx)
 			demanding = true
 		}
 		if demanding {
@@ -514,6 +577,31 @@ func (e *Engine) signalDemand(n *node) {
 	}
 }
 
+// demandUpstream signals demand toward every predecessor that could be
+// withholding the bound this node idle-waits for: the blocking input's
+// producer, plus the producer of every other input whose queue is empty. The
+// fan-out matters in a partitioned graph — a starving shard's inputs come
+// from different splitters, each rooted at a different source, and waking
+// only the first would leave the shard's other register stuck until the
+// retry timer fires. Over-signalling is safe: a demand is a coalescing hint,
+// and a source declines it unless its ETS estimator can actually advance the
+// bound.
+func (e *Engine) demandUpstream(n *node, ctx *ops.Ctx) {
+	if len(n.gn.Preds) == 0 {
+		return
+	}
+	j := n.gn.Op.BlockingInput(ctx)
+	if j < 0 {
+		j = 0
+	}
+	e.signalDemand(e.nodes[n.gn.Preds[j]])
+	for i, p := range n.gn.Preds {
+		if i != j && n.ins[i].Empty() {
+			e.signalDemand(e.nodes[p])
+		}
+	}
+}
+
 // handleDemand reacts to a demand signal. A node holding pending output
 // flushes it — the tuples downstream idle-waits for may already be batched
 // here (the demand flush rule). Otherwise sources answer with an ETS (if the
@@ -522,7 +610,13 @@ func (e *Engine) signalDemand(n *node) {
 func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
 	if n.pendCount > 0 {
 		e.flushPending(n)
-		return
+		if e.hasData(n) || n.gn.Source() != nil {
+			return
+		}
+		// The flushed batches may not contain what downstream starves
+		// for — a splitter can hold output for shard A while shard B is
+		// the one demanding — and with our own inputs drained nothing
+		// else is coming. Keep the demand moving upstream.
 	}
 	if src := n.gn.Source(); src != nil {
 		if !src.Inbox().Empty() {
@@ -534,11 +628,5 @@ func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
 		}
 		return
 	}
-	j := n.gn.Op.BlockingInput(ctx)
-	if j < 0 {
-		j = 0
-	}
-	if len(n.gn.Preds) > 0 {
-		e.signalDemand(e.nodes[n.gn.Preds[j]])
-	}
+	e.demandUpstream(n, ctx)
 }

@@ -79,13 +79,24 @@ func (r *Registers) Min() (tuple.Time, int) {
 
 // More evaluates the relaxed more condition of Figure 5 against the input
 // buffers: more holds iff at least one input buffer holds a head tuple whose
-// timestamp equals τ, the minimum across the registers. Callers must invoke
-// Observe first so the registers reflect the current buffer heads.
+// timestamp does not exceed τ, the minimum across the registers. Callers
+// must invoke Observe first so the registers reflect the current buffer
+// heads.
 //
-// The returned index identifies an input whose head carries τ and that can
-// therefore be consumed; inputs holding data tuples are preferred over ones
-// holding only punctuation, so that punctuation is consumed last at a given
-// timestamp and data is never held back behind it.
+// With ordered arcs a head timestamp below τ cannot occur (Observe raises
+// the input's own register to its head, and τ is the minimum). It does
+// occur when an ETS over-estimated a bound — the paper's estimators promise,
+// they do not guarantee (§5) — and a data tuple below the promised bound
+// arrives afterwards. Such a late tuple is matched by ≤ rather than ==, so
+// it is consumed immediately (it cannot get less late) instead of wedging
+// the operator: a register can never move back down to meet an exact-match
+// head, and an operator that holds data it can never process demands
+// upstream forever.
+//
+// The returned index identifies an input whose head is consumable; inputs
+// holding data tuples are preferred over ones holding only punctuation, so
+// that punctuation is consumed last at a given timestamp and data is never
+// held back behind it.
 func (r *Registers) More(ins []*buffer.Queue) (ok bool, input int, τ tuple.Time) {
 	τ, _ = r.Min()
 	if τ == tuple.MinTime {
@@ -95,7 +106,7 @@ func (r *Registers) More(ins []*buffer.Queue) (ok bool, input int, τ tuple.Time
 	input = -1
 	for i, q := range ins {
 		head := q.Peek()
-		if head == nil || head.Ts != τ {
+		if head == nil || head.Ts > τ {
 			continue
 		}
 		if !head.IsPunct() {

@@ -280,3 +280,34 @@ func TestInternalEstimatorMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A data tuple below τ — possible after an ETS over-estimated the stream's
+// bound and a later tuple undercut the promise — must be consumable
+// immediately. Requiring an exact head == τ match here wedges the operator:
+// the register can never come back down, so it would hold the tuple and
+// demand upstream forever.
+func TestRelaxedMoreConsumesLateTuple(t *testing.T) {
+	r := New(2)
+	qs := queues("l", "r")
+	// Input 0 promised ts 520 via ETS; input 1 stands at 600.
+	r.Update(0, 520)
+	r.Update(1, 600)
+	// A late data tuple (ts 515 < promised 520) arrives on input 0.
+	qs[0].Push(tuple.NewData(515, tuple.Int(1)))
+	r.Observe(qs)
+	if τ, _ := r.Min(); τ != 520 {
+		t.Fatalf("τ = %v, want 520 (Observe must not lower the register)", τ)
+	}
+	ok, input, τ := r.More(qs)
+	if !ok || input != 0 {
+		t.Fatalf("More = %v, %d (τ=%v); late tuple must be consumable", ok, input, τ)
+	}
+	// Late punctuation is likewise consumed (and simply absorbed by the
+	// operator, since it advances nothing) rather than blocking the queue.
+	qs[0].Pop()
+	qs[0].Push(tuple.NewPunct(400))
+	ok, input, _ = r.More(qs)
+	if !ok || input != 0 {
+		t.Fatal("late punctuation must be consumable")
+	}
+}

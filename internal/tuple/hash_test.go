@@ -1,0 +1,50 @@
+package tuple
+
+import "testing"
+
+// Hash must be consistent with Equal: values that compare equal (including
+// cross-kind numeric equality) must hash equally — the hash partitioner
+// routes both join inputs by value.
+func TestHashConsistentWithEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(7), Int(7)},
+		{Int(7), Float(7)},
+		{Int(0), Float(-0.0)}, // -0.0 == +0, must co-locate
+		{TimeVal(42), Int(42)},
+		{String_("abc"), String_("abc")},
+		{Bool(true), Bool(true)},
+		{Value{}, Value{}},
+	}
+	for _, p := range pairs {
+		if !p[0].Equal(p[1]) {
+			t.Fatalf("%v and %v should be Equal", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Hash(%v) != Hash(%v)", p[0], p[1])
+		}
+	}
+}
+
+func TestHashSpreadsDistinctValues(t *testing.T) {
+	seen := make(map[uint64]Value)
+	add := func(v Value) {
+		h := v.Hash()
+		if prev, dup := seen[h]; dup && !prev.Equal(v) {
+			t.Errorf("collision: %v and %v -> %#x", prev, v, h)
+		}
+		seen[h] = v
+	}
+	for i := int64(0); i < 1000; i++ {
+		add(Int(i))
+	}
+	add(String_("a"))
+	add(String_("b"))
+	add(String_("ab"))
+	add(Bool(true))
+	add(Bool(false))
+	// Distinct kinds with disjoint payload spaces must not all collapse
+	// onto one bucket: int 1 vs string "1" vs bool true.
+	if Int(1).Hash() == String_("1").Hash() && Int(1).Hash() == Bool(true).Hash() {
+		t.Error("kind tag not mixed into hash")
+	}
+}

@@ -2,6 +2,7 @@ package tuple
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -200,6 +201,50 @@ func (v Value) Compare(o Value) int {
 	default:
 		return 0
 	}
+}
+
+// FNV-1a constants for Hash.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvWord(h uint64, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(w>>(8*i)))
+	}
+	return h
+}
+
+// Hash returns a 64-bit hash of v, consistent with Equal: values that compare
+// equal hash equally. Numeric kinds (int, float, time) are equal by numeric
+// value, so they hash through their float64 widening (with -0 normalized to
+// +0); the hash partitioner relies on this so that an int key on one join
+// input co-locates with a float key on the other.
+func (v Value) Hash() uint64 {
+	h := fnvOffset64
+	switch {
+	case v.isNumeric():
+		f := v.AsFloat()
+		if f == 0 {
+			f = 0 // normalize -0.0: it compares equal to +0.0
+		}
+		h = fnvByte(h, 1)
+		h = fnvWord(h, math.Float64bits(f))
+	case v.kind == StringKind:
+		h = fnvByte(h, 2)
+		for i := 0; i < len(v.s); i++ {
+			h = fnvByte(h, v.s[i])
+		}
+	case v.kind == BoolKind:
+		h = fnvByte(h, 3)
+		h = fnvByte(h, byte(v.i))
+	default: // Null
+		h = fnvByte(h, 0)
+	}
+	return h
 }
 
 // String renders v for debugging and CSV output.
