@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard check
+.PHONY: all build vet test race bench bench-runtime bench-shard obs-smoke check
 
 all: check
 
@@ -31,4 +31,9 @@ bench-runtime:
 bench-shard:
 	$(GO) run ./cmd/etsbench -shards
 
-check: vet build test race bench
+# End-to-end observability check: streamd with the live metrics endpoint,
+# one scrape, required metric families present (scripts/obs_smoke.sh).
+obs-smoke:
+	sh scripts/obs_smoke.sh
+
+check: vet build test race bench obs-smoke

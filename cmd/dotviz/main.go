@@ -5,18 +5,32 @@
 //
 //	dotviz -ddl 'CREATE STREAM a (v int); CREATE STREAM b (v int)' \
 //	       -q 'SELECT * FROM a UNION b' | dot -Tpng > graph.png
+//
+// With -overlay, dotviz annotates each node with the live counters a
+// running engine exported: the argument is either a file holding a /vars
+// JSON dump or the URL of a live metrics endpoint (streamd -metrics), e.g.
+//
+//	dotviz -ddl ... -q ... -overlay http://127.0.0.1:9151/vars
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 func main() {
 	ddl := flag.String("ddl", "", "semicolon-separated CREATE STREAM statements")
+	overlay := flag.String("overlay", "", "annotate nodes with live metrics from a /vars JSON file or URL")
 	var queries []string
 	flag.Func("q", "SELECT query (repeatable)", func(v string) error {
 		queries = append(queries, v)
@@ -38,5 +52,89 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Print(e.Graph().Dot())
+	if *overlay == "" {
+		fmt.Print(e.Graph().Dot())
+		return
+	}
+	vars, err := loadVars(*overlay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dotviz: overlay:", err)
+		os.Exit(1)
+	}
+	fmt.Print(e.Graph().DotAnnotated(func(n *graph.Node) string {
+		return annotation(vars, n.Op.Name())
+	}))
+}
+
+// loadVars reads a flat name→value JSON map from a file or an HTTP URL.
+func loadVars(src string) (map[string]float64, error) {
+	var r io.ReadCloser
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: %s", src, resp.Status)
+		}
+		r = resp.Body
+	} else {
+		f, err := os.Open(src)
+		if err != nil {
+			return nil, err
+		}
+		r = f
+	}
+	defer r.Close()
+	raw := map[string]any{}
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, err
+	}
+	// Scalars stay as-is; reservoir objects ({count, mean, p50, ...})
+	// flatten to name.field entries.
+	vars := map[string]float64{}
+	for name, v := range raw {
+		switch x := v.(type) {
+		case float64:
+			vars[name] = x
+		case map[string]any:
+			for k, f := range x {
+				if fv, ok := f.(float64); ok {
+					vars[name+"."+k] = fv
+				}
+			}
+		}
+	}
+	return vars, nil
+}
+
+// annotation collects every metric labelled node="name" into short
+// `key=value` lines, sorted for a stable rendering.
+func annotation(vars map[string]float64, name string) string {
+	var lines []string
+	for metric, v := range vars {
+		family, labels := metrics.SplitName(metric)
+		if metrics.LabelValue(labels, "node") != name {
+			continue
+		}
+		short := strings.TrimSuffix(family, "_total")
+		for _, p := range []string{"sm_sim_node_", "sm_node_", "sm_sim_", "sm_"} {
+			if strings.HasPrefix(short, p) {
+				short = short[len(p):]
+				break
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s=%s", short, trimFloat(v)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// trimFloat renders v without a trailing ".000000" for integral values.
+func trimFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
 }

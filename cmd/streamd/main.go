@@ -10,16 +10,27 @@
 //	  -ddl 'CREATE STREAM fast (v int); CREATE STREAM slow (v int)' \
 //	  -q   'SELECT * FROM fast UNION slow' \
 //	  -in  fast=fast.csv -in slow=slow.csv
+//
+// Observability: -metrics ADDR serves the live registry over HTTP
+// (/metrics Prometheus text, /vars JSON, /trace recent events); -trace
+// records engine trace events and dumps the tail to stderr at exit; -stats
+// prints the full registry snapshot (name value lines) to stderr; -linger
+// keeps the process (and the endpoint) alive after the replay finishes so
+// scrapers can collect final values.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/tuple"
 	"repro/internal/wrappers"
@@ -30,11 +41,23 @@ type input struct {
 	path   string
 }
 
+type options struct {
+	noETS   bool
+	stats   bool
+	trace   bool
+	metrics string
+	linger  time.Duration
+}
+
 func main() {
 	ddl := flag.String("ddl", "", "semicolon-separated CREATE STREAM statements")
 	q := flag.String("q", "", "SELECT query to run")
-	noETS := flag.Bool("no-ets", false, "disable on-demand ETS (scenario A semantics)")
-	stats := flag.Bool("stats", false, "print per-operator execution statistics to stderr")
+	var opts options
+	flag.BoolVar(&opts.noETS, "no-ets", false, "disable on-demand ETS (scenario A semantics)")
+	flag.BoolVar(&opts.stats, "stats", false, "print the metrics registry snapshot to stderr")
+	flag.BoolVar(&opts.trace, "trace", false, "record engine trace events; dump the tail to stderr at exit")
+	flag.StringVar(&opts.metrics, "metrics", "", "serve live metrics over HTTP on this address (e.g. 127.0.0.1:9151, :0 for ephemeral)")
+	flag.DurationVar(&opts.linger, "linger", 0, "keep running this long after the replay ends (lets scrapers collect)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -49,24 +72,31 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*ddl, *q, ins, *noETS, *stats); err != nil {
+	if err := run(*ddl, *q, ins, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "streamd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ddl, q string, ins []input, noETS, stats bool) error {
+func run(ddl, q string, ins []input, opts options) error {
 	e := core.NewEngine()
 	if _, err := e.ExecuteScript(ddl, nil); err != nil {
 		return err
 	}
+	reg := metrics.NewRegistry()
+	resultsC := reg.Counter("sm_results_total")
+	outLat := reg.Reservoir("sm_output_latency_us", 8192)
 	var out *wrappers.CSVWriter
 	var results uint64
-	query, err := e.Execute(q, func(t *tuple.Tuple, _ tuple.Time) {
+	query, err := e.Execute(q, func(t *tuple.Tuple, now tuple.Time) {
 		if out == nil {
 			return
 		}
 		results++
+		resultsC.Inc()
+		if d := now - t.Ts; d >= 0 {
+			outLat.Observe(int64(d))
+		}
 		if err := out.Write(t); err != nil {
 			fmt.Fprintln(os.Stderr, "streamd: write:", err)
 		}
@@ -107,7 +137,7 @@ func run(ddl, q string, ins []input, noETS, stats bool) error {
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].t.Ts < arrivals[j].t.Ts })
 
 	policy := core.OnDemandETS
-	if noETS {
+	if opts.noETS {
 		policy = core.NoETS
 	}
 	clock := tuple.Time(0)
@@ -115,6 +145,27 @@ func run(ddl, q string, ins []input, noETS, stats bool) error {
 	if err != nil {
 		return err
 	}
+	ex.InstrumentInto(reg)
+	var tr *metrics.Tracer
+	if opts.trace {
+		tr = metrics.NewTracer(4096)
+		ex.SetTracer(tr)
+	}
+	if opts.metrics != "" {
+		ln, err := net.Listen("tcp", opts.metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		// Print the bound address (supports :0) so scrapers can find us.
+		fmt.Fprintf(os.Stderr, "streamd: metrics listening on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, metrics.Handler(reg, tr)); err != nil && !strings.Contains(err.Error(), "use of closed") {
+				fmt.Fprintln(os.Stderr, "streamd: metrics server:", err)
+			}
+		}()
+	}
+
 	// Replay in timestamp order: each arrival advances the clock, then the
 	// engine runs to quiescence (generating ETS on demand).
 	for _, a := range arrivals {
@@ -136,11 +187,21 @@ func run(ddl, q string, ins []input, noETS, stats bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "streamd: %d input tuples, %d results, %d steps\n",
 		len(arrivals), results, ex.Steps())
-	if stats {
-		for _, st := range ex.NodeStats() {
-			fmt.Fprintf(os.Stderr, "  unit %d  %-16s steps=%-8d buffered=%d\n",
-				st.Comp, st.Name, st.Steps, st.Buffered)
+	if opts.stats {
+		// The registry snapshot is the single source of stats: one
+		// `name value` line per metric (see README).
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
 		}
+	}
+	if tr != nil {
+		fmt.Fprintf(os.Stderr, "streamd: trace: %d events recorded\n", tr.Total())
+		if err := tr.WriteText(os.Stderr, 64); err != nil {
+			return err
+		}
+	}
+	if opts.linger > 0 {
+		time.Sleep(opts.linger)
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/tuple"
 )
@@ -92,6 +93,10 @@ type Engine struct {
 	steps        uint64
 	stepsPerNode []uint64
 	etsInjected  uint64
+
+	// live observability hooks (obs.go); nil until InstrumentInto/SetTracer.
+	obs   *execObs
+	trace *metrics.Tracer
 }
 
 // New builds an engine over a validated graph. policy may be nil (never
@@ -199,6 +204,7 @@ func (e *Engine) stepGreedy() bool {
 		e.steps++
 		e.stepsPerNode[best.ID]++
 		e.queues.Observe()
+		e.account(int(best.ID))
 		return true
 	}
 	// Nothing runnable: probe every source (no backtracking exists).
@@ -212,7 +218,7 @@ func (e *Engine) stepGreedy() bool {
 		}
 		n := e.g.Node(id)
 		if n.Source().Inbox().Empty() && e.policy.OnBacktrack(n.Source(), e.now()) {
-			e.etsInjected++
+			e.noteETS(n.Source())
 			injected = true
 		}
 	}
@@ -284,7 +290,7 @@ func (e *Engine) tryPath(id graph.NodeID) bool {
 			if !demand || e.policy == nil || !e.policy.OnBacktrack(src, e.now()) {
 				return false
 			}
-			e.etsInjected++
+			e.noteETS(src)
 			if !n.Op.More(ctx) {
 				return false
 			}
@@ -309,6 +315,7 @@ func (e *Engine) execute(n *graph.Node) {
 	e.steps++
 	e.stepsPerNode[n.ID]++
 	e.queues.Observe()
+	e.account(int(n.ID))
 	if yield && len(n.Out) > 0 {
 		e.cur = n.Out[0].To // Forward
 	}
@@ -330,6 +337,7 @@ func (e *Engine) stepRoundRobin() bool {
 			e.steps++
 			e.stepsPerNode[n.ID]++
 			e.queues.Observe()
+			e.account(int(n.ID))
 			return true
 		}
 	}
@@ -345,7 +353,7 @@ func (e *Engine) stepRoundRobin() bool {
 		}
 		n := e.g.Node(id)
 		if n.Source().Inbox().Empty() && e.policy.OnBacktrack(n.Source(), e.now()) {
-			e.etsInjected++
+			e.noteETS(n.Source())
 			injected = true
 		}
 	}

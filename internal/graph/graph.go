@@ -299,7 +299,13 @@ func (g *Graph) Components() [][]NodeID {
 }
 
 // Dot renders the graph in Graphviz DOT format for inspection.
-func (g *Graph) Dot() string {
+func (g *Graph) Dot() string { return g.DotAnnotated(nil) }
+
+// DotAnnotated renders the graph in DOT format with an optional per-node
+// annotation: when annot returns a non-empty string for a node, it is
+// appended to the node's label on its own lines — the hook the live metrics
+// overlay uses to stamp counters onto the picture.
+func (g *Graph) DotAnnotated(annot func(*Node) string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", g.name)
 	for _, n := range g.nodes {
@@ -310,7 +316,13 @@ func (g *Graph) Dot() string {
 		case n.IsSink():
 			shape = "doublecircle"
 		}
-		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Op.Name(), shape)
+		label := n.Op.Name()
+		if annot != nil {
+			if extra := annot(n); extra != "" {
+				label += "\n" + extra
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, label, shape)
 	}
 	for _, a := range g.arcs {
 		fmt.Fprintf(&b, "  n%d -> n%d [label=\"port %d\"];\n", a.From, a.To, a.Port)

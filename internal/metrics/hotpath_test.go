@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// Interleaved Observe/Percentile must stay correct across the sort cache:
+// a Percentile call sorts in place, later Observes must invalidate.
+func TestPercentileInterleaved(t *testing.T) {
+	l := NewLatency()
+	for _, v := range []tuple.Time{50, 10, 40} {
+		l.Observe(v)
+	}
+	if got := l.Percentile(100); got != 50 {
+		t.Fatalf("p100 = %v, want 50", got)
+	}
+	l.Observe(5) // smaller than the sorted tail: must re-sort
+	if got := l.Percentile(1); got != 5 {
+		t.Errorf("p1 after late small sample = %v, want 5", got)
+	}
+	if got := l.Percentile(100); got != 50 {
+		t.Errorf("p100 = %v, want 50", got)
+	}
+	l.Observe(60) // ≥ tail keeps sortedness
+	if got := l.Percentile(100); got != 60 {
+		t.Errorf("p100 = %v, want 60", got)
+	}
+	if got, want := l.Mean(), tuple.Time((50+10+40+5+60)/5); got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	l.Reset()
+	l.Observe(3)
+	if got := l.Percentile(50); got != 3 {
+		t.Errorf("p50 after reset = %v", got)
+	}
+}
+
+// Guard the Percentile fix: repeated percentile queries over a static
+// accumulator must not re-sort (previously every call copied and sorted).
+func BenchmarkLatencyPercentile(b *testing.B) {
+	l := NewLatency()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100_000; i++ {
+		l.Observe(tuple.Time(rng.Int63n(1_000_000)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.Percentile(50)
+		_ = l.Percentile(95)
+		_ = l.Percentile(99)
+	}
+}
+
+// Race-test the sharded/atomic Counter satellite: parallel adders on shared
+// and private names, concurrent readers.
+func TestCounterConcurrentSharded(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add("shared", 1)
+				c.Add(string(rune('a'+w)), 2)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = c.Get("shared")
+			_ = c.Names()
+			_ = c.String()
+		}
+	}()
+	wg.Wait()
+	if got := c.Get("shared"); got != workers*perWorker {
+		t.Errorf("shared = %d, want %d", got, workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := c.Get(string(rune('a' + w))); got != 2*perWorker {
+			t.Errorf("worker %d = %d, want %d", w, got, 2*perWorker)
+		}
+	}
+	if got := len(c.Names()); got != workers+1 {
+		t.Errorf("Names = %d entries, want %d", got, workers+1)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewCounter()
+	c.Add("hot", 0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Add("hot", 1)
+		}
+	})
+}

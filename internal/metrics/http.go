@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves a registry (and optionally a tracer) over HTTP:
+//
+//	/metrics  Prometheus text exposition
+//	/vars     flat JSON object, name → value (expvar-style)
+//	/trace    recent trace events as JSON (?n=K limits the count),
+//	          404 when tracing is disabled
+//
+// Every path reads live atomics; scraping never stops the engine.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		max := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				max = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total  uint64            `json:"total"`
+			Counts map[string]uint64 `json:"counts"`
+			Events []Event           `json:"events"`
+		}{
+			Total:  tr.Total(),
+			Counts: countsByName(tr),
+			Events: tr.Recent(max),
+		})
+	})
+	return mux
+}
+
+func countsByName(tr *Tracer) map[string]uint64 {
+	out := make(map[string]uint64, int(numEventKinds))
+	for k := EventKind(0); k < numEventKinds; k++ {
+		if c := tr.Count(k); c > 0 {
+			out[k.String()] = c
+		}
+	}
+	return out
+}

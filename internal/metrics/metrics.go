@@ -22,6 +22,12 @@ type Latency struct {
 	sum     float64
 	max     tuple.Time
 	min     tuple.Time
+	// unsorted marks that samples has been appended to since the last
+	// Percentile call. Sample order is otherwise meaningless (sum/min/max
+	// are tracked incrementally), so Percentile sorts in place once and
+	// reuses the order until the next Observe instead of copying and
+	// re-sorting per call.
+	unsorted bool
 }
 
 // NewLatency returns an empty accumulator.
@@ -35,10 +41,16 @@ func (l *Latency) Reset() {
 	l.sum = 0
 	l.min = tuple.MaxTime
 	l.max = tuple.MinTime
+	l.unsorted = false
 }
 
 // Observe records one latency sample.
 func (l *Latency) Observe(d tuple.Time) {
+	// Appending a sample ≥ the current tail keeps a sorted slice sorted —
+	// the common case for monotone latency sweeps — so only flag otherwise.
+	if n := len(l.samples); n > 0 && d < l.samples[n-1] {
+		l.unsorted = true
+	}
 	l.samples = append(l.samples, d)
 	l.sum += float64(d)
 	if d > l.max {
@@ -77,13 +89,19 @@ func (l *Latency) Min() tuple.Time {
 }
 
 // Percentile reports the p-th percentile (0 < p ≤ 100) by nearest-rank, or
-// 0 with no samples.
+// 0 with no samples. The samples are sorted in place at most once per batch
+// of Observe calls: repeated Percentile queries between observations reuse
+// the cached order (the experiment harness asks for p50/p95/p99 of the same
+// accumulator back to back).
 func (l *Latency) Percentile(p float64) tuple.Time {
 	if len(l.samples) == 0 {
 		return 0
 	}
-	s := append([]tuple.Time(nil), l.samples...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if l.unsorted {
+		sort.Slice(l.samples, func(i, j int) bool { return l.samples[i] < l.samples[j] })
+		l.unsorted = false
+	}
+	s := l.samples
 	rank := int(math.Ceil(p/100*float64(len(s)))) - 1
 	if rank < 0 {
 		rank = 0
@@ -177,37 +195,45 @@ func (a *IdleAccount) Reset() { a.idle, a.total = 0, 0 }
 // Counter is a named counter set, used for ad-hoc experiment accounting
 // (tuples seen, ETS generated, steps executed, ...). It is safe for
 // concurrent use: the concurrent runtime's node goroutines may account into
-// one shared Counter.
+// one shared Counter. The hot path (Add on an existing name) is lock-free —
+// one sync.Map read plus one atomic add; a mutex is taken only the first
+// time a name appears.
 type Counter struct {
-	mu     sync.Mutex
-	counts map[string]int64
+	counts sync.Map // string → *atomic.Int64
 }
 
 // NewCounter returns an empty counter set.
-func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+func NewCounter() *Counter { return &Counter{} }
+
+// cell returns the atomic cell for name, creating it on first use.
+func (c *Counter) cell(name string) *atomic.Int64 {
+	if v, ok := c.counts.Load(name); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := c.counts.LoadOrStore(name, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
 
 // Add increments the named counter by delta.
 func (c *Counter) Add(name string, delta int64) {
-	c.mu.Lock()
-	c.counts[name] += delta
-	c.mu.Unlock()
+	c.cell(name).Add(delta)
 }
 
 // Get reads the named counter.
 func (c *Counter) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[name]
+	if v, ok := c.counts.Load(name); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // Names returns the counter names in sorted order.
 func (c *Counter) Names() []string {
-	c.mu.Lock()
-	names := make([]string, 0, len(c.counts))
-	for n := range c.counts {
-		names = append(names, n)
-	}
-	c.mu.Unlock()
+	var names []string
+	c.counts.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
 	sort.Strings(names)
 	return names
 }

@@ -65,7 +65,7 @@ func TestPerShardConcurrent(t *testing.T) {
 	}
 }
 
-// Counter must be safe for concurrent node goroutines (mutex-protected).
+// Counter must be safe for concurrent node goroutines (atomic cells).
 func TestCounterConcurrent(t *testing.T) {
 	c := NewCounter()
 	var wg sync.WaitGroup

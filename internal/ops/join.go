@@ -176,6 +176,10 @@ func (j *WindowJoin) PunctEmitted() uint64 { return j.punctOut }
 // Consumed reports the number of data tuples consumed from side i.
 func (j *WindowJoin) Consumed(i int) uint64 { return j.consumed[i] }
 
+// Watermark reports the highest bound the join has conveyed downstream
+// (MinTime before the first punctuation) — the overlay's live progress mark.
+func (j *WindowJoin) Watermark() tuple.Time { return j.watermark }
+
 // More implements the mode's `more` condition.
 func (j *WindowJoin) More(ctx *Ctx) bool {
 	switch j.mode {

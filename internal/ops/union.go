@@ -68,6 +68,10 @@ func (u *Union) DataEmitted() uint64 { return u.dataOut }
 // PunctEmitted reports the number of punctuation tuples emitted.
 func (u *Union) PunctEmitted() uint64 { return u.punctOut }
 
+// Watermark reports the highest output bound conveyed downstream so far
+// (MinTime before the first punctuation) — the overlay's live progress mark.
+func (u *Union) Watermark() tuple.Time { return u.watermark }
+
 // More implements the mode's `more` condition.
 func (u *Union) More(ctx *Ctx) bool {
 	switch u.mode {

@@ -139,3 +139,25 @@ func Rewrite(g *graph.Graph, shards int) (*graph.Graph, *Plan) {
 	}
 	return r.Graph(), plan
 }
+
+// Skew summarizes routing imbalance over a per-shard tuple vector (the
+// rollup Engine.ShardTuples produces): (max − mean) / mean, so 0 means
+// perfectly balanced and 1 means the hottest shard carries twice the mean.
+// The observability snapshot reports it as the one-number skew diagnostic.
+func Skew(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return (float64(max) - mean) / mean
+}

@@ -1,0 +1,314 @@
+// Live observability for the concurrent runtime. Every node gets a set of
+// registry-backed atomic instruments at graph-build time (nodeObs); the hot
+// path updates them per batch — never per tuple — so the engine stays within
+// its throughput budget, and scrapers read them at any moment without
+// stopping a goroutine. Engine.Snapshot() rolls the instruments into one
+// structured view: the live analogues of the paper's §6 metrics (output
+// latency lives at the sink callback, peak queue size per node here,
+// idle-waiting fraction per node here) plus the ETS/demand accounting the
+// on-demand design adds.
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/tuple"
+)
+
+// nodeObs holds one node's live instruments. All fields are registry-backed
+// atomics: the owning node goroutine is the only writer of the gauges, any
+// goroutine may read. idleSince is engine-local (not a registry metric)
+// because open idle spells are folded into idle time at snapshot time.
+type nodeObs struct {
+	tuplesIn   *metrics.Counter64
+	tuplesOut  *metrics.Counter64
+	punctIn    *metrics.Counter64
+	punctOut   *metrics.Counter64
+	batchesOut *metrics.Counter64
+
+	queueDepth *metrics.Gauge64
+	queueHWM   *metrics.Gauge64
+
+	wmIn  *metrics.Gauge64 // last punctuation bound received
+	wmOut *metrics.Gauge64 // last punctuation bound emitted
+
+	idleUs     *metrics.Counter64 // closed idle-waiting spells, µs
+	idleSpells *metrics.Counter64
+	idleSince  atomic.Int64 // engine clock µs when the open spell began; -1 when not idle
+
+	etsInternal *metrics.Counter64 // on-demand ETS generated (internal-ts source)
+	etsExternal *metrics.Counter64 // on-demand ETS generated (external-ts source)
+
+	demandSent *metrics.Counter64
+	demandRecv *metrics.Counter64
+}
+
+// instrument builds every node's instruments and the engine-level metrics,
+// registering them under sm_* names with {node=...,id=...} labels.
+func (e *Engine) instrument() {
+	reg := e.reg
+	for _, n := range e.nodes {
+		n := n
+		lbl := fmt.Sprintf("{node=%q,id=%q}", n.name, fmt.Sprint(n.gn.ID))
+		o := &nodeObs{
+			tuplesIn:    reg.Counter("sm_node_tuples_in_total" + lbl),
+			tuplesOut:   reg.Counter("sm_node_tuples_out_total" + lbl),
+			punctIn:     reg.Counter("sm_node_punct_in_total" + lbl),
+			punctOut:    reg.Counter("sm_node_punct_out_total" + lbl),
+			batchesOut:  reg.Counter("sm_node_batches_out_total" + lbl),
+			queueDepth:  reg.Gauge("sm_node_queue_depth" + lbl),
+			queueHWM:    reg.Gauge("sm_node_queue_hwm" + lbl),
+			wmIn:        reg.Gauge("sm_node_watermark_in_us" + lbl),
+			wmOut:       reg.Gauge("sm_node_watermark_us" + lbl),
+			idleUs:      reg.Counter("sm_node_idle_us_total" + lbl),
+			idleSpells:  reg.Counter("sm_node_idle_spells_total" + lbl),
+			demandSent:  reg.Counter("sm_node_demand_sent_total" + lbl),
+			demandRecv:  reg.Counter("sm_node_demand_recv_total" + lbl),
+			etsInternal: reg.Counter("sm_node_ets_internal_total" + lbl),
+			etsExternal: reg.Counter("sm_node_ets_external_total" + lbl),
+		}
+		o.idleSince.Store(-1)
+		o.wmIn.Set(int64(tuple.MinTime))
+		o.wmOut.Set(int64(tuple.MinTime))
+		n.obs = o
+		reg.GaugeFunc("sm_node_chan_backlog"+lbl, func() int64 { return int64(len(n.in)) })
+		reg.GaugeFunc("sm_node_idle"+lbl, func() int64 {
+			if o.idleSince.Load() >= 0 {
+				return 1
+			}
+			return 0
+		})
+	}
+	reg.CounterFunc("sm_engine_tuples_sent_total", func() int64 { return int64(e.tuplesSent.Load()) })
+	reg.CounterFunc("sm_engine_batches_sent_total", func() int64 { return int64(e.batchesSent.Load()) })
+	reg.CounterFunc("sm_engine_ets_generated_total", func() int64 { return int64(e.etsGenerated.Load()) })
+	reg.GaugeFunc("sm_engine_uptime_us", func() int64 {
+		start := e.startTs.Load()
+		if start < 0 {
+			return 0
+		}
+		return int64(e.now()) - start
+	})
+	if e.plan != nil {
+		for s := 0; s < e.plan.Shards; s++ {
+			s := s
+			reg.CounterFunc(fmt.Sprintf("sm_shard_tuples_total{shard=%q}", fmt.Sprint(s)), func() int64 {
+				counts := e.ShardTuples()
+				if s >= len(counts) {
+					return 0
+				}
+				return int64(counts[s])
+			})
+		}
+		reg.GaugeFunc("sm_shard_skew_ppm", func() int64 {
+			return int64(partition.Skew(e.ShardTuples()) * 1e6)
+		})
+	}
+}
+
+// publishQueues publishes the node's total input occupancy; called by the
+// owning goroutine once per scheduling iteration, right after the channel
+// drain, when queues are at their fullest.
+func (e *Engine) publishQueues(n *node) {
+	d := 0
+	if src := n.gn.Source(); src != nil {
+		d = src.Inbox().Len()
+	} else {
+		for _, q := range n.ins {
+			d += q.Len()
+		}
+	}
+	v := int64(d)
+	n.obs.queueDepth.Set(v)
+	if v > n.obs.queueHWM.Load() {
+		n.obs.queueHWM.Set(v) // single writer: load+store suffices
+	}
+}
+
+// enterIdle opens an idle-waiting spell if the node is about to block while
+// holding input data (the paper's idle-waiting condition) and no spell is
+// already open. Demand retries keep one spell open rather than opening a
+// new spell per retry.
+func (e *Engine) enterIdle(n *node) {
+	if n.obs.idleSince.Load() >= 0 || !e.hasData(n) {
+		return
+	}
+	now := int64(e.now())
+	n.obs.idleSince.Store(now)
+	n.obs.idleSpells.Inc()
+	if e.trace != nil {
+		e.trace.Emit(metrics.EvIdleEnter, n.name, tuple.Time(now), 0)
+	}
+}
+
+// exitIdle closes the open idle-waiting spell, if any, charging its
+// duration. Called when the operator actually makes progress again (or the
+// node terminates), matching the reactivation semantics of §4.
+func (e *Engine) exitIdle(n *node) {
+	since := n.obs.idleSince.Load()
+	if since < 0 {
+		return
+	}
+	n.obs.idleSince.Store(-1)
+	now := int64(e.now())
+	d := now - since
+	if d < 0 {
+		d = 0
+	}
+	n.obs.idleUs.Add(uint64(d))
+	if e.trace != nil {
+		e.trace.Emit(metrics.EvIdleExit, n.name, tuple.Time(now), d)
+	}
+}
+
+// notePunctOut accounts an emitted punctuation and advances the node's
+// output watermark, tracing the advance. Single writer per node.
+func (e *Engine) notePunctOut(n *node, t *tuple.Tuple) {
+	n.obs.punctOut.Inc()
+	if t.IsEOS() {
+		return
+	}
+	v := int64(t.Ts)
+	if v > n.obs.wmOut.Load() {
+		n.obs.wmOut.Set(v)
+		if e.trace != nil {
+			e.trace.Emit(metrics.EvWatermarkAdvance, n.name, e.now(), v)
+		}
+	}
+}
+
+// notePunctIn accounts a received punctuation and raises the node's input
+// watermark. Single writer per node.
+func (n *node) notePunctIn(t *tuple.Tuple) {
+	n.obs.punctIn.Inc()
+	if t.IsEOS() {
+		return
+	}
+	if v := int64(t.Ts); v > n.obs.wmIn.Load() {
+		n.obs.wmIn.Set(v)
+	}
+}
+
+// Registry exposes the engine's live metrics registry (the one passed via
+// Options.Metrics, or the engine's own); serve it with metrics.Handler or
+// render it with its Write* methods.
+func (e *Engine) Registry() *metrics.Registry { return e.reg }
+
+// NodeSnapshot is one node's instrument readings.
+type NodeSnapshot struct {
+	// Node is the operator name; ID its graph node id.
+	Node string
+	ID   int
+	// TuplesIn/TuplesOut count every tuple (data + punctuation) delivered
+	// to / sent from the node; PunctIn/PunctOut count the punctuation
+	// subset. BatchesOut counts arc deliveries.
+	TuplesIn, TuplesOut uint64
+	PunctIn, PunctOut   uint64
+	BatchesOut          uint64
+	// QueueDepth is the node's buffered input occupancy as last published
+	// by its goroutine; QueueHWM its high-water mark; ChanBacklog the
+	// undrained arc deliveries waiting in the node's inbox channel.
+	QueueDepth, QueueHWM, ChanBacklog int
+	// WatermarkIn/Watermark are the highest punctuation bounds received /
+	// emitted (MinTime until the first punctuation).
+	WatermarkIn, Watermark tuple.Time
+	// Idle reports whether an idle-waiting spell is open right now;
+	// IdleSpells how many spells ever opened; IdleTime the cumulative
+	// idle-waiting duration (open spell included); IdleFraction IdleTime
+	// over engine uptime — the paper's "% of time idle-waiting".
+	Idle         bool
+	IdleSpells   uint64
+	IdleTime     tuple.Time
+	IdleFraction float64
+	// ETSInternal/ETSExternal count on-demand ETS generated at this node
+	// (sources only), split by the stream's timestamp kind.
+	ETSInternal, ETSExternal uint64
+	// DemandSent counts demand signalling rounds this node initiated;
+	// DemandRecv demand signals it received.
+	DemandSent, DemandRecv uint64
+}
+
+// Snapshot is a consistent-enough point-in-time view of the whole engine:
+// every metric is read once from live atomics, without pausing any node.
+type Snapshot struct {
+	// Now is the engine clock at the snapshot; Uptime the time since
+	// Start (0 before).
+	Now, Uptime tuple.Time
+	// Engine-level data-plane totals.
+	TuplesSent, BatchesSent, ETSGenerated uint64
+	// Nodes holds one entry per graph node, in node-id order.
+	Nodes []NodeSnapshot
+	// ShardTuples is the per-shard routed-tuple rollup (nil unsharded);
+	// ShardSkew its (max−mean)/mean imbalance.
+	ShardTuples []uint64
+	ShardSkew   float64
+}
+
+// Node returns the snapshot entry for the named operator, or nil.
+func (s *Snapshot) Node(name string) *NodeSnapshot {
+	for i := range s.Nodes {
+		if s.Nodes[i].Node == name {
+			return &s.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// Snapshot reads every node's live instruments. Safe to call at any time,
+// including while the engine runs.
+func (e *Engine) Snapshot() Snapshot {
+	now := e.now()
+	s := Snapshot{
+		Now:          now,
+		TuplesSent:   e.tuplesSent.Load(),
+		BatchesSent:  e.batchesSent.Load(),
+		ETSGenerated: e.etsGenerated.Load(),
+	}
+	if start := e.startTs.Load(); start >= 0 {
+		s.Uptime = now - tuple.Time(start)
+	}
+	s.Nodes = make([]NodeSnapshot, 0, len(e.nodes))
+	for _, n := range e.nodes {
+		o := n.obs
+		ns := NodeSnapshot{
+			Node:        n.name,
+			ID:          int(n.gn.ID),
+			TuplesIn:    o.tuplesIn.Load(),
+			TuplesOut:   o.tuplesOut.Load(),
+			PunctIn:     o.punctIn.Load(),
+			PunctOut:    o.punctOut.Load(),
+			BatchesOut:  o.batchesOut.Load(),
+			QueueDepth:  int(o.queueDepth.Load()),
+			QueueHWM:    int(o.queueHWM.Load()),
+			ChanBacklog: len(n.in),
+			WatermarkIn: tuple.Time(o.wmIn.Load()),
+			Watermark:   tuple.Time(o.wmOut.Load()),
+			IdleSpells:  o.idleSpells.Load(),
+			ETSInternal: o.etsInternal.Load(),
+			ETSExternal: o.etsExternal.Load(),
+			DemandSent:  o.demandSent.Load(),
+			DemandRecv:  o.demandRecv.Load(),
+		}
+		idle := tuple.Time(o.idleUs.Load())
+		if since := o.idleSince.Load(); since >= 0 {
+			ns.Idle = true
+			if open := now - tuple.Time(since); open > 0 {
+				idle += open
+			}
+		}
+		ns.IdleTime = idle
+		if s.Uptime > 0 {
+			ns.IdleFraction = float64(idle) / float64(s.Uptime)
+			if ns.IdleFraction > 1 {
+				ns.IdleFraction = 1
+			}
+		}
+		s.Nodes = append(s.Nodes, ns)
+	}
+	s.ShardTuples = e.ShardTuples()
+	s.ShardSkew = partition.Skew(s.ShardTuples)
+	return s
+}

@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// A TSM union starved on one input is the paper's canonical idle-waiting
+// scenario: the snapshot must show the union idle, with a positive idle
+// fraction (the open spell is folded in) and the starving tuple visible in
+// its queue depth.
+func TestSnapshotStarvedUnionIdle(t *testing.T) {
+	g, s1, _, col := buildUnion(t, ops.TSM, tuple.Internal)
+	e, err := New(g, Options{OnDemandETS: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	e.Ingest(s1, tuple.NewData(0, tuple.Int(1)))
+
+	var ns *NodeSnapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := e.Snapshot()
+		ns = snap.Node("u")
+		if ns == nil {
+			t.Fatal("union missing from snapshot")
+		}
+		if ns.Idle {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("union never reported idle: %+v", ns)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the open spell accumulate
+	snap := e.Snapshot()
+	ns = snap.Node("u")
+	if !ns.Idle || ns.IdleSpells == 0 {
+		t.Fatalf("union not idle-waiting: %+v", ns)
+	}
+	if ns.IdleTime <= 0 || ns.IdleFraction <= 0 || ns.IdleFraction > 1 {
+		t.Errorf("idle accounting off: time=%v fraction=%v", ns.IdleTime, ns.IdleFraction)
+	}
+	if ns.QueueDepth < 1 || ns.QueueHWM < 1 {
+		t.Errorf("starving tuple not visible in queue: depth=%d hwm=%d", ns.QueueDepth, ns.QueueHWM)
+	}
+	if ns.TuplesIn == 0 {
+		t.Error("union tuplesIn = 0")
+	}
+	if n := len(col.snapshot()); n != 0 {
+		t.Fatalf("tuple released without a bound (%d)", n)
+	}
+
+	// The instruments must be registry-registered under sm_* names.
+	var sawDepth, sawIdle, sawUptime bool
+	for _, m := range e.Registry().Snapshot() {
+		name, labels := metrics.SplitName(m.Name)
+		if name == "sm_node_queue_depth" && strings.Contains(labels, `node="u"`) {
+			sawDepth = true
+		}
+		if name == "sm_node_idle" && strings.Contains(labels, `node="u"`) && m.Value == 1 {
+			sawIdle = true
+		}
+		if name == "sm_engine_uptime_us" && m.Value > 0 {
+			sawUptime = true
+		}
+	}
+	if !sawDepth || !sawIdle || !sawUptime {
+		t.Errorf("registry missing instruments: depth=%v idle=%v uptime=%v",
+			sawDepth, sawIdle, sawUptime)
+	}
+}
+
+// Every IdleEnter must be matched by an IdleExit once the engine drains to
+// completion, and no node may be left with an open spell. The per-kind
+// tracer counts survive ring eviction, so the invariant holds regardless of
+// ring capacity.
+func TestTraceIdlePairing(t *testing.T) {
+	g, s1, s2, col := buildUnion(t, ops.TSM, tuple.Internal)
+	tr := metrics.NewTracer(64) // small ring: force eviction
+	e, err := New(g, Options{OnDemandETS: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	for i := 0; i < 200; i++ {
+		e.Ingest(s1, tuple.NewData(0, tuple.Int(int64(i))))
+		if i%3 == 0 {
+			e.Ingest(s2, tuple.NewData(0, tuple.Int(int64(-i))))
+		}
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	e.Wait()
+
+	enters, exits := tr.Count(metrics.EvIdleEnter), tr.Count(metrics.EvIdleExit)
+	if enters != exits {
+		t.Errorf("idle spells unbalanced: %d enters, %d exits", enters, exits)
+	}
+	snap := e.Snapshot()
+	for _, ns := range snap.Nodes {
+		if ns.Idle {
+			t.Errorf("node %s left with an open idle spell", ns.Node)
+		}
+		if ns.IdleFraction < 0 || ns.IdleFraction > 1 {
+			t.Errorf("node %s idle fraction %v out of range", ns.Node, ns.IdleFraction)
+		}
+	}
+	if tr.Count(metrics.EvBatchFlush) == 0 {
+		t.Error("no BatchFlush events traced")
+	}
+	if tr.Total() == 0 || len(tr.Recent(10)) == 0 {
+		t.Error("trace ring empty after run")
+	}
+	if len(col.snapshot()) == 0 {
+		t.Fatal("no output delivered")
+	}
+}
+
+// The acceptance-criteria graph: a sharded union under on-demand ETS. The
+// snapshot must expose per-node watermarks, queue depths, idle-waiting
+// accounting, the per-shard routing rollup, and per-source ETS counts that
+// reconcile with the engine total.
+func TestSnapshotShardedGraph(t *testing.T) {
+	g, s1, _, col := buildUnion(t, ops.TSM, tuple.Internal)
+	tr := metrics.NewTracer(0)
+	e, err := New(g, Options{OnDemandETS: true, Shards: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ShardPlan() == nil {
+		t.Fatal("union was not sharded")
+	}
+	e.Start()
+	defer e.Stop()
+	for i := 0; i < 20; i++ {
+		e.Ingest(s1, tuple.NewData(0, tuple.Int(int64(i))))
+	}
+	// Stream 2 stays silent: releasing the tuples requires on-demand ETS.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(col.snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("on-demand ETS never released the tuples")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	snap := e.Snapshot()
+	if len(snap.ShardTuples) != 4 {
+		t.Fatalf("shard rollup = %v, want 4 entries", snap.ShardTuples)
+	}
+	if snap.ShardSkew < 0 {
+		t.Errorf("negative skew %v", snap.ShardSkew)
+	}
+	if snap.ETSGenerated == 0 {
+		t.Fatal("no on-demand ETS recorded")
+	}
+	var etsNodes, demandSent, demandRecv uint64
+	hwm := 0
+	for _, ns := range snap.Nodes {
+		etsNodes += ns.ETSInternal + ns.ETSExternal
+		demandSent += ns.DemandSent
+		demandRecv += ns.DemandRecv
+		if ns.QueueHWM > hwm {
+			hwm = ns.QueueHWM
+		}
+	}
+	if etsNodes != snap.ETSGenerated {
+		t.Errorf("per-node ETS %d != engine total %d", etsNodes, snap.ETSGenerated)
+	}
+	// Internal-timestamp sources must book their ETS as internal.
+	if s2n := snap.Node("s2"); s2n == nil || s2n.ETSInternal == 0 || s2n.ETSExternal != 0 {
+		t.Errorf("starved source ETS accounting: %+v", s2n)
+	}
+	if demandSent == 0 || demandRecv == 0 {
+		t.Errorf("demand accounting: sent=%d recv=%d", demandSent, demandRecv)
+	}
+	// The ETS punctuation advances the starved source's output watermark.
+	if s2n := snap.Node("s2"); s2n.Watermark == tuple.MinTime {
+		t.Error("s2 watermark never advanced past MinTime")
+	}
+	if hwm < 1 {
+		t.Error("no node recorded a queue high-water mark")
+	}
+	if tr.Count(metrics.EvETSGen) == 0 || tr.Count(metrics.EvDemandSent) == 0 {
+		t.Errorf("trace counts: ets=%d demand=%d",
+			tr.Count(metrics.EvETSGen), tr.Count(metrics.EvDemandSent))
+	}
+	if tr.Count(metrics.EvWatermarkAdvance) == 0 {
+		t.Error("no WatermarkAdvance events traced")
+	}
+	if snap.TuplesSent == 0 || snap.Uptime <= 0 {
+		t.Errorf("engine totals: sent=%d uptime=%v", snap.TuplesSent, snap.Uptime)
+	}
+}

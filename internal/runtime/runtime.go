@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/partition"
 	"repro/internal/tuple"
@@ -87,6 +88,16 @@ type Options struct {
 	// Now supplies the clock; defaults to wall time in µs since engine
 	// start.
 	Now func() tuple.Time
+	// Metrics, when non-nil, is the registry the engine's per-node
+	// instruments are registered into at build time; nil gives the engine
+	// its own registry (reachable via Engine.Registry). Sharing one
+	// registry across engines gives a single scrape surface.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives the engine's structured events
+	// (idle-waiting transitions, on-demand ETS, demand signals, watermark
+	// advances, batch flushes). nil disables tracing at the cost of one
+	// pointer check per event site.
+	Trace *metrics.Tracer
 }
 
 // Engine runs one query graph concurrently.
@@ -111,6 +122,10 @@ type Engine struct {
 	etsGenerated atomic.Uint64
 	batchesSent  atomic.Uint64
 	tuplesSent   atomic.Uint64
+
+	reg     *metrics.Registry
+	trace   *metrics.Tracer
+	startTs atomic.Int64 // engine clock at Start, µs; -1 before
 }
 
 // portBatch is one arc delivery: either a single tuple (the Ingest fast
@@ -123,9 +138,11 @@ type portBatch struct {
 }
 
 type node struct {
-	gn  *graph.Node
-	in  chan portBatch // fan-in of all input arcs
-	dem chan struct{}  // demand signals from downstream
+	gn   *graph.Node
+	name string
+	obs  *nodeObs
+	in   chan portBatch // fan-in of all input arcs
+	dem  chan struct{}  // demand signals from downstream
 
 	outs     []*node // per out-arc consumer
 	outPorts []int
@@ -153,6 +170,12 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		depth = 256
 	}
 	e := &Engine{g: g, opts: opts, plan: plan, stop: make(chan struct{})}
+	e.reg = opts.Metrics
+	if e.reg == nil {
+		e.reg = metrics.NewRegistry()
+	}
+	e.trace = opts.Trace
+	e.startTs.Store(-1)
 	e.batchSize = opts.BatchSize
 	if e.batchSize <= 0 {
 		e.batchSize = DefaultBatchSize
@@ -187,6 +210,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	for _, gn := range g.Nodes() {
 		n := &node{
 			gn:      gn,
+			name:    gn.Op.Name(),
 			in:      make(chan portBatch, depth),
 			dem:     make(chan struct{}, 1),
 			eosSeen: make([]bool, gn.Op.NumInputs()),
@@ -208,6 +232,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		}
 		n.pend = make([][]*tuple.Tuple, len(n.outs))
 	}
+	e.instrument()
 	return e, nil
 }
 
@@ -252,6 +277,7 @@ func (e *Engine) Start() {
 		return
 	}
 	e.started = true
+	e.startTs.Store(int64(e.now()))
 	for _, n := range e.nodes {
 		e.wg.Add(1)
 		go e.runNode(n)
@@ -320,6 +346,11 @@ func (e *Engine) flushArc(n *node, i int) {
 	n.pendCount -= len(b)
 	e.batchesSent.Add(1)
 	e.tuplesSent.Add(uint64(len(b)))
+	n.obs.batchesOut.Inc()
+	n.obs.tuplesOut.Add(uint64(len(b)))
+	if e.trace != nil {
+		e.trace.Emit(metrics.EvBatchFlush, n.name, e.now(), int64(len(b)))
+	}
 	n.outs[i].in <- portBatch{port: n.outPorts[i], many: b}
 }
 
@@ -356,6 +387,7 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		}
 	}
 	if punct {
+		e.notePunctOut(n, t)
 		// An ETS that waits in a batch delays exactly the reactivation
 		// it exists to provide (and EOS gates termination): flush now.
 		e.flushPending(n)
@@ -376,7 +408,10 @@ func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
 	b = append(b, t)
 	n.pend[i] = b
 	n.pendCount++
-	if t.IsPunct() || len(b) >= e.batchSize {
+	if t.IsPunct() {
+		e.notePunctOut(n, t)
+		e.flushArc(n, i)
+	} else if len(b) >= e.batchSize {
 		e.flushArc(n, i)
 	}
 }
@@ -407,6 +442,10 @@ func (e *Engine) runNode(n *node) {
 	}
 
 	deliverOne := func(port int, t *tuple.Tuple) {
+		n.obs.tuplesIn.Inc()
+		if t.IsPunct() {
+			n.notePunctIn(t)
+		}
 		if src != nil {
 			if t.IsEOS() {
 				sourceDone = true
@@ -427,6 +466,12 @@ func (e *Engine) runNode(n *node) {
 		if pb.one != nil {
 			deliverOne(pb.port, pb.one)
 			return
+		}
+		n.obs.tuplesIn.Add(uint64(len(pb.many)))
+		// Punctuation flushes its batch when emitted, so a punct can only
+		// be a batch's last element — one check accounts the whole batch.
+		if last := pb.many[len(pb.many)-1]; last.IsPunct() {
+			n.notePunctIn(last)
 		}
 		if src != nil {
 			// One clock read for the whole batch: the tuples arrived in the
@@ -486,6 +531,9 @@ func (e *Engine) runNode(n *node) {
 			}
 			break
 		}
+		// Queues are at their fullest right after the drain: publish depth
+		// and high-water mark (owner-goroutine write, scraper-safe read).
+		e.publishQueues(n)
 		// Run the operator while it can make progress.
 		ran := false
 		for op.More(ctx) {
@@ -493,6 +541,8 @@ func (e *Engine) runNode(n *node) {
 			ran = true
 		}
 		if ran {
+			// Progress ends an idle-waiting spell (reactivation, §4).
+			e.exitIdle(n)
 			// Still busy: only stale batches flush (the delay rule);
 			// full batches and punctuation already flushed inside emit.
 			if n.pendCount > 0 && time.Since(n.pendSince) >= e.maxDelay {
@@ -511,6 +561,7 @@ func (e *Engine) runNode(n *node) {
 			return
 		}
 		if allEOS() && drained() {
+			e.exitIdle(n)
 			if _, isSink := op.(*ops.Sink); !isSink && len(n.outs) > 0 {
 				// TSM operators forward EOS themselves; stateless
 				// ones forwarded it as ordinary punctuation. A
@@ -530,6 +581,10 @@ func (e *Engine) runNode(n *node) {
 		// Backtrack rule) and wait with a retry timeout — the source
 		// may decline a demand whose clock has not advanced yet, and
 		// the hint must then be re-issued.
+		// About to block while holding data: that is the paper's
+		// idle-waiting state — open a spell (a no-op if one is open; demand
+		// retries extend the same spell until the operator runs again).
+		e.enterIdle(n)
 		demanding := false
 		if e.opts.OnDemandETS && src == nil && e.hasData(n) {
 			e.demandUpstream(n, ctx)
@@ -544,6 +599,7 @@ func (e *Engine) runNode(n *node) {
 			case <-time.After(200 * time.Microsecond):
 				// retry the demand on the next iteration
 			case <-e.stop:
+				e.exitIdle(n)
 				return
 			}
 			continue
@@ -555,6 +611,7 @@ func (e *Engine) runNode(n *node) {
 		case <-n.dem:
 			e.handleDemand(n, ctx)
 		case <-e.stop:
+			e.exitIdle(n)
 			return
 		}
 	}
@@ -594,6 +651,10 @@ func (e *Engine) demandUpstream(n *node, ctx *ops.Ctx) {
 	if j < 0 {
 		j = 0
 	}
+	n.obs.demandSent.Inc()
+	if e.trace != nil {
+		e.trace.Emit(metrics.EvDemandSent, n.name, e.now(), int64(j))
+	}
 	e.signalDemand(e.nodes[n.gn.Preds[j]])
 	for i, p := range n.gn.Preds {
 		if i != j && n.ins[i].Empty() {
@@ -608,6 +669,7 @@ func (e *Engine) demandUpstream(n *node, ctx *ops.Ctx) {
 // estimator allows) and interior nodes forward the demand upstream along
 // their (blocking) input.
 func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
+	n.obs.demandRecv.Inc()
 	if n.pendCount > 0 {
 		e.flushPending(n)
 		if e.hasData(n) || n.gn.Source() != nil {
@@ -624,6 +686,14 @@ func (e *Engine) handleDemand(n *node, ctx *ops.Ctx) {
 		}
 		if p, ok := src.OnDemandETS(e.now()); ok {
 			e.etsGenerated.Add(1)
+			if src.TSKind() == tuple.Internal {
+				n.obs.etsInternal.Inc()
+			} else {
+				n.obs.etsExternal.Inc()
+			}
+			if e.trace != nil {
+				e.trace.Emit(metrics.EvETSGen, n.name, p.Ts, 0)
+			}
 			src.Offer(p)
 		}
 		return

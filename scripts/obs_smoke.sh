@@ -1,0 +1,90 @@
+#!/bin/sh
+# Observability smoke test: run streamd with the live metrics endpoint over a
+# two-stream union workload, scrape the endpoint once, and check that the
+# required metric families are exported. Exercises the registry, the HTTP
+# handler, on-demand ETS accounting, and the sink latency reservoir.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+go build -o "$workdir/streamd" ./cmd/streamd
+go build -o "$workdir/wlgen" ./cmd/wlgen
+
+"$workdir/wlgen" -rate 200 -dur 2s -seed 1 >"$workdir/fast.csv"
+"$workdir/wlgen" -rate 5 -dur 2s -seed 2 >"$workdir/slow.csv"
+
+"$workdir/streamd" \
+    -ddl 'CREATE STREAM fast (v int); CREATE STREAM slow (v int)' \
+    -q 'SELECT * FROM fast UNION slow' \
+    -in "fast=$workdir/fast.csv" -in "slow=$workdir/slow.csv" \
+    -metrics 127.0.0.1:0 -trace -linger 30s \
+    >"$workdir/out.csv" 2>"$workdir/stderr.log" &
+pid=$!
+
+# streamd prints the bound address ("metrics listening on http://HOST:PORT/metrics").
+url=""
+for _ in $(seq 1 100); do
+    url=$(sed -n 's#.*metrics listening on \(http://[^ ]*\)#\1#p' "$workdir/stderr.log" | head -1)
+    [ -n "$url" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: streamd exited early" >&2; cat "$workdir/stderr.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "obs-smoke: no metrics address printed" >&2; cat "$workdir/stderr.log" >&2; exit 1; }
+base=${url%/metrics}
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS "$1"
+    else
+        wget -qO- "$1"
+    fi
+}
+
+# The replay may still be running; poll until the results counter is live.
+scrape="$workdir/scrape.txt"
+for _ in $(seq 1 100); do
+    fetch "$base/metrics" >"$scrape" || true
+    if grep -q '^sm_results_total [1-9]' "$scrape"; then
+        break
+    fi
+    sleep 0.1
+done
+
+status=0
+for name in \
+    sm_results_total \
+    sm_output_latency_us \
+    sm_sim_steps_total \
+    sm_sim_ets_injected_total \
+    sm_sim_queue_peak \
+    sm_sim_node_steps_total \
+    sm_sim_node_buffered; do
+    if ! grep -q "^$name" "$scrape"; then
+        echo "obs-smoke: MISSING metric $name" >&2
+        status=1
+    fi
+done
+grep -q '^# TYPE sm_results_total counter' "$scrape" || {
+    echo "obs-smoke: missing Prometheus TYPE line" >&2
+    status=1
+}
+
+# /vars must be JSON with the same families; /trace must answer.
+fetch "$base/vars" >"$workdir/vars.json"
+grep -q '"sm_results_total"' "$workdir/vars.json" || {
+    echo "obs-smoke: /vars missing sm_results_total" >&2
+    status=1
+}
+fetch "$base/trace" >"$workdir/trace.json"
+grep -q '"total"' "$workdir/trace.json" || {
+    echo "obs-smoke: /trace missing total" >&2
+    status=1
+}
+
+if [ "$status" -ne 0 ]; then
+    echo "---- scrape ----" >&2
+    cat "$scrape" >&2
+    exit "$status"
+fi
+echo "obs-smoke: OK ($(grep -c '^sm_' "$scrape") metric lines)"
