@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard obs-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard obs-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -36,4 +36,15 @@ bench-shard:
 obs-smoke:
 	sh scripts/obs_smoke.sh
 
-check: vet build test race bench obs-smoke
+# Seeded chaos soak under the race detector: node panics, 1% source drops,
+# and a mid-run source stall on the union workload; exits non-zero if any
+# fault-tolerance invariant (clean finish, exact tuple accounting,
+# watchdog-forced ETS, watermark-ordered output) is violated.
+chaos:
+	$(GO) run -race ./cmd/etsbench -chaos -chaos-duration 2s
+
+# Short coverage-guided fuzz of the CQL parser (panic/hang/determinism).
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run '^$$' ./internal/cql
+
+check: vet build test race bench obs-smoke chaos

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	rt "repro/internal/runtime"
+	"repro/internal/tuple"
+)
+
+// The chaos soak drives the union workload (two external sources, a reorder
+// guard, a TSM union, one sink) under deterministic fault injection — node
+// panics, source drops, and a mid-run stall of one source — and then checks
+// the fault-tolerance invariants the runtime promises:
+//
+//   - the engine finishes cleanly (every injected panic recovered within the
+//     restart budget, no deadlock);
+//   - tuple accounting closes exactly: delivered = sent − injected drops −
+//     reorder late-drops (restarts neither lose nor duplicate tuples);
+//   - the watchdog force-injected ETS while the stalled source was silent,
+//     so idle-waiting operators kept running;
+//   - the sink's output is watermark-ordered: every inversion is a counted
+//     late tuple (the post-stall stragglers the harness sends on purpose).
+//
+// Any violated invariant is printed and the process exits non-zero, so the
+// soak doubles as a CI gate (`make chaos` runs it under -race).
+
+const (
+	chaosSendEvery  = 150 * time.Microsecond // per-source inter-arrival time
+	chaosJitterStep = 300                    // µs of backward jitter per step on s1
+	chaosJitterMod  = 7                      // jitter pattern period (max 1.8ms)
+	chaosSlack      = 2 * tuple.Millisecond  // reorder slack (covers the jitter)
+	chaosDelta      = 5 * tuple.Millisecond  // external skew bound δ
+	chaosStragglers = 16                     // late tuples sent after the stall
+)
+
+type chaosReport struct {
+	Spec       string   `json:"spec"`
+	Duration   string   `json:"duration"`
+	Sent       uint64   `json:"tuples_sent"`
+	Delivered  uint64   `json:"tuples_delivered"`
+	InjDrops   uint64   `json:"injected_drops"`
+	ReorderDrp uint64   `json:"reorder_dropped"`
+	InjPanics  uint64   `json:"injected_panics"`
+	Restarts   uint64   `json:"restarts"`
+	ForcedETS  uint64   `json:"forced_ets"`
+	LateTuples uint64   `json:"late_tuples"`
+	Inversions uint64   `json:"sink_inversions"`
+	Stragglers uint64   `json:"stragglers_sent"`
+	Violations []string `json:"violations"`
+}
+
+// runChaos builds the chaotic union graph, soaks it for dur, and validates.
+func runChaos(spec string, seed int64, dur time.Duration, out string) {
+	cfg, err := fault.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(2)
+	}
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	inj := fault.New(cfg)
+
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).
+		WithTS(tuple.External)
+	g := graph.New("chaos")
+	s1 := ops.NewSource("s1", sch, chaosDelta)
+	s2 := ops.NewSource("s2", sch, chaosDelta)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	reord := ops.NewReorder("r", sch, chaosSlack)
+	r := g.AddNode(reord, a)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), r, b)
+
+	// The sink checks watermark order: an inversion is a delivered tuple
+	// whose timestamp precedes its predecessor's. Under fault injection
+	// inversions are allowed only for counted late tuples (the stragglers).
+	var delivered, inversions uint64
+	prev := tuple.MinTime
+	sink := ops.NewSink("k", func(t *tuple.Tuple, _ tuple.Time) {
+		delivered++
+		if t.Ts < prev {
+			inversions++
+		} else {
+			prev = t.Ts
+		}
+	})
+	g.AddNode(sink, u)
+
+	tr := metrics.NewTracer(4096)
+	e, err := rt.New(g, rt.Options{
+		// On-demand ETS stays off so the liveness watchdog — not the
+		// demand path — is what unblocks idle-waiters during the stall.
+		OnDemandETS:    false,
+		BatchSize:      32,
+		MaxRestarts:    1 << 20,
+		RestartBackoff: 100 * time.Microsecond,
+		SourceTimeout:  50 * time.Millisecond,
+		Trace:          tr,
+		Fault:          inj,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	e.Start()
+	inj.Arm() // stall clock starts with the workload
+	start := time.Now()
+	nowTs := func() tuple.Time { return tuple.FromDuration(time.Since(start)) }
+
+	var sent, stragglers [2]uint64
+	var wg sync.WaitGroup
+	produce := func(idx int, src *ops.Source, name string, jitter bool) {
+		defer wg.Done()
+		i := 0
+		stalledAt := tuple.Time(-1)
+		for time.Since(start) < dur {
+			if inj.SourceStalled(name) {
+				if stalledAt < 0 {
+					stalledAt = nowTs()
+				}
+				time.Sleep(chaosSendEvery)
+				continue
+			}
+			if stalledAt >= 0 {
+				// The stall just ended: replay tuples that were "in
+				// flight" when the feed went silent. Their timestamps
+				// sit below the watchdog's forced ETS, so they arrive
+				// late on purpose and exercise the relaxed-more path.
+				for j := 0; j < chaosStragglers; j++ {
+					e.Ingest(src, tuple.NewData(stalledAt+tuple.Time(j), tuple.Int(-1)))
+				}
+				sent[idx] += chaosStragglers
+				stragglers[idx] += chaosStragglers
+				stalledAt = -1
+			}
+			ts := nowTs()
+			if jitter {
+				// Deterministic backward jitter bounded by the reorder
+				// slack: disorder for r to repair, never data loss.
+				ts -= tuple.Time((i % chaosJitterMod) * chaosJitterStep)
+				if ts < 0 {
+					ts = 0
+				}
+			}
+			e.Ingest(src, tuple.NewData(ts, tuple.Int(int64(i))))
+			sent[idx]++
+			i++
+			time.Sleep(chaosSendEvery)
+		}
+	}
+	wg.Add(2)
+	go produce(0, s1, "s1", true)
+	go produce(1, s2, "s2", false)
+	wg.Wait()
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	waitErr := e.Wait()
+
+	snap := e.Snapshot()
+	stats := inj.Stats()
+	var restarts, panics uint64
+	for _, n := range snap.Nodes {
+		restarts += n.Restarts
+		panics += n.Panics
+	}
+	rep := chaosReport{
+		Spec:       spec,
+		Duration:   dur.String(),
+		Sent:       sent[0] + sent[1],
+		Delivered:  delivered,
+		InjDrops:   stats.Drops,
+		ReorderDrp: reord.Dropped(),
+		InjPanics:  stats.Panics,
+		Restarts:   restarts,
+		ForcedETS:  snap.ForcedETS,
+		LateTuples: snap.LateTuples,
+		Inversions: inversions,
+		Stragglers: stragglers[0] + stragglers[1],
+	}
+	fail := func(format string, args ...interface{}) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+
+	if waitErr != nil {
+		fail("engine failed: %v", waitErr)
+	}
+	if want := rep.Sent - rep.InjDrops - rep.ReorderDrp; delivered != want {
+		fail("tuple accounting broken: delivered %d, want %d (sent %d − dropped %d − reorder-late %d)",
+			delivered, want, rep.Sent, rep.InjDrops, rep.ReorderDrp)
+	}
+	if restarts != stats.Panics || panics != stats.Panics {
+		fail("restart accounting broken: injected %d panics, recovered %d, restarted %d",
+			stats.Panics, panics, restarts)
+	}
+	if (cfg.PanicProb > 0 || cfg.PanicEvery > 0) && stats.Panics == 0 {
+		fail("no panics injected (probes %d): soak did not exercise the supervisor", stats.Probes)
+	}
+	if cfg.StallFor > 0 && cfg.StallAfter+cfg.StallFor < dur {
+		if rep.ForcedETS == 0 {
+			fail("source stalled %v but the watchdog never forced an ETS", cfg.StallFor)
+		}
+		if rep.ForcedETS > 0 && rep.Stragglers > 0 && rep.LateTuples == 0 {
+			fail("stragglers sent below a forced ETS were not counted late")
+		}
+	}
+	lateAtSink := uint64(0)
+	if k := snap.Node("k"); k != nil {
+		lateAtSink = k.LateTuples
+	}
+	if inversions > lateAtSink {
+		fail("output disordered beyond the late-tuple budget: %d inversions, %d counted late at sink",
+			inversions, lateAtSink)
+	}
+	if snap.TuplesShed != 0 {
+		fail("shedder dropped %d tuples with shedding disabled", snap.TuplesShed)
+	}
+
+	fmt.Printf("chaos soak: %v, spec %q\n", dur, spec)
+	fmt.Printf("  sent %d (stragglers %d)  delivered %d  injected-drops %d  reorder-late %d\n",
+		rep.Sent, rep.Stragglers, rep.Delivered, rep.InjDrops, rep.ReorderDrp)
+	fmt.Printf("  panics %d  restarts %d  forced-ets %d  late %d  inversions %d\n",
+		rep.InjPanics, rep.Restarts, rep.ForcedETS, rep.LateTuples, rep.Inversions)
+	fmt.Printf("  trace: panic %d  restart %d  ets-forced %d  late %d\n",
+		tr.Count(metrics.EvNodePanic), tr.Count(metrics.EvNodeRestart),
+		tr.Count(metrics.EvETSForced), tr.Count(metrics.EvLateTuple))
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "etsbench: chaos violation: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("  all fault-tolerance invariants held")
+}

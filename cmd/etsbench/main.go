@@ -13,6 +13,10 @@
 //	etsbench -shards           sweep the partition rewrite over 1/2/4/8
 //	                           shards on the union+join workload and
 //	                           write BENCH_shard.json
+//	etsbench -chaos            soak the concurrent engine under seeded
+//	                           fault injection (panics, drops, a source
+//	                           stall) and verify the fault-tolerance
+//	                           invariants; non-zero exit on violation
 package main
 
 import (
@@ -36,6 +40,12 @@ func main() {
 	shBench := flag.Bool("shards", false, "benchmark the partition rewrite (1/2/4/8 shards)")
 	shTuples := flag.Int("shards-tuples", 150_000, "tuples per configuration for -shards")
 	shOut := flag.String("shards-out", "BENCH_shard.json", "output file for -shards results")
+	chaos := flag.Bool("chaos", false, "soak the concurrent engine under fault injection and check invariants")
+	chaosSpec := flag.String("chaos-spec", "seed=1,panic=u+r+k:0.002,drop=0.01,stall=s2:600ms:400ms",
+		"fault spec for -chaos (see internal/fault.ParseSpec)")
+	chaosSeed := flag.Int64("chaos-seed", 0, "override the fault spec's PRNG seed (0 keeps the spec's)")
+	chaosDur := flag.Duration("chaos-duration", 2*time.Second, "how long -chaos feeds the workload")
+	chaosOut := flag.String("chaos-out", "", "optional JSON report file for -chaos")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -53,6 +63,8 @@ func main() {
 		runRuntimeBench(*rtTuples, *rtOut)
 	case *shBench:
 		runShardBench(*shTuples, *shOut)
+	case *chaos:
+		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut)
 	case *scen:
 		runScenarios(*hbRate)
 	case *fig == "all":

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/ops"
 	"repro/internal/tuple"
@@ -42,11 +43,13 @@ type input struct {
 }
 
 type options struct {
-	noETS   bool
-	stats   bool
-	trace   bool
-	metrics string
-	linger  time.Duration
+	noETS     bool
+	stats     bool
+	trace     bool
+	metrics   string
+	linger    time.Duration
+	chaos     string
+	chaosSeed int64
 }
 
 func main() {
@@ -58,6 +61,8 @@ func main() {
 	flag.BoolVar(&opts.trace, "trace", false, "record engine trace events; dump the tail to stderr at exit")
 	flag.StringVar(&opts.metrics, "metrics", "", "serve live metrics over HTTP on this address (e.g. 127.0.0.1:9151, :0 for ephemeral)")
 	flag.DurationVar(&opts.linger, "linger", 0, "keep running this long after the replay ends (lets scrapers collect)")
+	flag.StringVar(&opts.chaos, "chaos", "", "fault spec applied at replay ingestion — drop=P and skew=P:MAX faults (see internal/fault.ParseSpec)")
+	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 0, "override the -chaos spec's PRNG seed (0 keeps the spec's)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -106,10 +111,23 @@ func run(ddl, q string, ins []input, opts options) error {
 	}
 	out = wrappers.NewCSVWriter(os.Stdout, query.Out, wrappers.CSVOptions{TsColumn: 0, Header: true})
 
+	var inj *fault.Injector
+	if opts.chaos != "" {
+		cfg, err := fault.ParseSpec(opts.chaos)
+		if err != nil {
+			return err
+		}
+		if opts.chaosSeed != 0 {
+			cfg.Seed = opts.chaosSeed
+		}
+		inj = fault.New(cfg)
+	}
+
 	// Load every trace.
 	type arrival struct {
-		src *ops.Source
-		t   *tuple.Tuple
+		stream string
+		src    *ops.Source
+		t      *tuple.Tuple
 	}
 	var arrivals []arrival
 	for _, in := range ins {
@@ -131,7 +149,7 @@ func run(ddl, q string, ins []input, opts options) error {
 			return fmt.Errorf("%s: %w", in.path, err)
 		}
 		for _, t := range tuples {
-			arrivals = append(arrivals, arrival{src: src, t: t})
+			arrivals = append(arrivals, arrival{stream: in.stream, src: src, t: t})
 		}
 	}
 	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].t.Ts < arrivals[j].t.Ts })
@@ -167,11 +185,18 @@ func run(ddl, q string, ins []input, opts options) error {
 	}
 
 	// Replay in timestamp order: each arrival advances the clock, then the
-	// engine runs to quiescence (generating ETS on demand).
+	// engine runs to quiescence (generating ETS on demand). Under -chaos,
+	// drops lose the tuple before it reaches the source (a lossy feed) and
+	// skew perturbs the application timestamp while the arrival still
+	// drives the clock (a source clock drifting against the DSMS clock).
 	for _, a := range arrivals {
 		if a.t.Ts > clock {
 			clock = a.t.Ts
 		}
+		if inj.DropTuple(a.stream) {
+			continue
+		}
+		a.t.Ts = inj.SkewTs(a.t.Ts)
 		a.src.Ingest(a.t, clock)
 		ex.Run(1 << 20)
 	}
@@ -187,6 +212,11 @@ func run(ddl, q string, ins []input, opts options) error {
 	}
 	fmt.Fprintf(os.Stderr, "streamd: %d input tuples, %d results, %d steps\n",
 		len(arrivals), results, ex.Steps())
+	if inj != nil {
+		st := inj.Stats()
+		fmt.Fprintf(os.Stderr, "streamd: chaos: spec %q, %d dropped, %d skewed\n",
+			opts.chaos, st.Drops, st.Skews)
+	}
 	if opts.stats {
 		// The registry snapshot is the single source of stats: one
 		// `name value` line per metric (see README).

@@ -186,6 +186,61 @@ func (q *Queue) PopAll(dst []*tuple.Tuple) []*tuple.Tuple {
 	return dst
 }
 
+// pushFront re-inserts t at the head of the queue. It is the mechanism
+// ShedOldest uses to retain punctuation, so it deliberately skips the
+// push/punctIn counters — the tuple never left the queue's accounting.
+func (q *Queue) pushFront(t *tuple.Tuple) {
+	if q.n == len(q.buf) {
+		q.grow(q.n + 1)
+	}
+	q.head = (q.head - 1) & q.mask
+	q.buf[q.head] = t
+	if !t.IsPunct() {
+		q.nData++
+	}
+	q.n++
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+}
+
+// ShedOldest removes up to k of the oldest buffered *data* tuples — the
+// drop-oldest load-shedding policy — and reports how many were removed.
+// Punctuation is never shed: dropping data tuples cannot violate an ETS
+// promise (the promise bounds future timestamps, it does not guarantee
+// delivery), but dropping a bound would re-stall downstream IWP operators.
+// Retained punctuation keeps its position relative to the surviving tuples.
+// release, when non-nil, receives each shed tuple for recycling.
+func (q *Queue) ShedOldest(k int, release func(*tuple.Tuple)) int {
+	if k <= 0 || q.nData == 0 {
+		return 0
+	}
+	shed := 0
+	var keep []*tuple.Tuple
+	for shed < k && q.nData > 0 {
+		t := q.pop()
+		if t.IsPunct() {
+			// pop() charged a pop and a punctOut; the punct is going
+			// straight back in, so reverse both.
+			q.pops--
+			q.punctOut--
+			keep = append(keep, t)
+			continue
+		}
+		shed++
+		if release != nil {
+			release(t)
+		}
+	}
+	for i := len(keep) - 1; i >= 0; i-- {
+		q.pushFront(keep[i])
+	}
+	if shed != 0 && len(q.groups) != 0 {
+		q.notifyGroups(-shed)
+	}
+	return shed
+}
+
 // Clear discards all buffered tuples (stats are preserved: cleared tuples
 // count as pops, punctuation as punctOut).
 func (q *Queue) Clear() {

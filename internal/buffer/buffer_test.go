@@ -433,3 +433,64 @@ func TestQueueMatchesReferenceModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestQueueShedOldest(t *testing.T) {
+	q := New("shed")
+	// data(0) data(1) punct(5) data(10) data(11)
+	for _, ts := range []tuple.Time{0, 1} {
+		q.Push(tuple.NewData(ts))
+	}
+	q.Push(tuple.NewPunct(5))
+	for _, ts := range []tuple.Time{10, 11} {
+		q.Push(tuple.NewData(ts))
+	}
+	var released []*tuple.Tuple
+	if got := q.ShedOldest(3, func(tp *tuple.Tuple) { released = append(released, tp) }); got != 3 {
+		t.Fatalf("shed %d, want 3", got)
+	}
+	if len(released) != 3 {
+		t.Fatalf("release hook saw %d tuples", len(released))
+	}
+	// Punctuation survives at the front, ahead of the remaining data tuple.
+	if q.Len() != 2 || q.DataLen() != 1 {
+		t.Fatalf("len=%d data=%d after shed", q.Len(), q.DataLen())
+	}
+	if front := q.Pop(); !front.IsPunct() || front.Ts != 5 {
+		t.Fatalf("front after shed = %v, want punct(5)", front)
+	}
+	if rest := q.Pop(); rest.IsPunct() || rest.Ts != 11 {
+		t.Fatalf("second after shed = %v, want data(11)", rest)
+	}
+	// Shedding more than the data on hand stops at zero.
+	q.Push(tuple.NewData(20))
+	if got := q.ShedOldest(10, nil); got != 1 {
+		t.Errorf("over-shed removed %d, want 1", got)
+	}
+	if got := q.ShedOldest(1, nil); got != 0 {
+		t.Errorf("shedding an empty queue removed %d", got)
+	}
+}
+
+func TestQueueShedOldestGroupAccounting(t *testing.T) {
+	q := New("shedg")
+	g := NewGroup(q)
+	for i := 0; i < 6; i++ {
+		q.Push(tuple.NewData(tuple.Time(i)))
+	}
+	q.Push(tuple.NewPunct(100))
+	if g.Total() != 7 {
+		t.Fatalf("group total = %d", g.Total())
+	}
+	q.ShedOldest(4, nil)
+	if g.Total() != 3 {
+		t.Errorf("group total after shed = %d, want 3", g.Total())
+	}
+	// Stats: the retained punct must not inflate pop/punctOut counters.
+	st := q.Stats()
+	if st.PunctOut != 0 {
+		t.Errorf("punctOut = %d after shed kept the punct", st.PunctOut)
+	}
+	if st.Pops != 4 {
+		t.Errorf("pops = %d, want 4 (shed tuples only)", st.Pops)
+	}
+}

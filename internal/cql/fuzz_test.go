@@ -1,0 +1,66 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse drives the lexer, parser, and expression grammar with arbitrary
+// byte strings. The contract under fuzzing is total behaviour: every input —
+// valid, malformed, truncated mid-token, or non-UTF-8 — must produce either
+// statements or an error, never a panic or a hang, and parsing must be
+// deterministic (two passes over the same input agree).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"CREATE STREAM sensors (id int, temp float, loc string) TIMESTAMP INTERNAL",
+		"CREATE STREAM trades (sym string, px float) TIMESTAMP EXTERNAL SKEW 3ms",
+		"SELECT * FROM a UNION b UNION c",
+		"SELECT id, temp AS celsius FROM sensors WHERE temp > 30 AND NOT (loc = 'lab')",
+		"SELECT a.k, b.v FROM a JOIN b ON a.k = b.k WINDOW 2s",
+		"SELECT * FROM a JOIN b ON a.k = b.k WINDOW 100 ROWS",
+		"SELECT loc, avg(temp), count(*) AS n FROM sensors GROUP BY loc WINDOW 10s",
+		"SELECT * FROM s WHERE a + b * 2 > 10 OR c = 'x' AND d < 5",
+		"SELECT FROM s",
+		"SELECT * FROM",
+		"SELECT * FROM s WHERE",
+		"SELECT * FROM s; SELECT * FROM t;",
+		"select * from s where x = 'unterminated",
+		"SELECT * FROM s WINDOW 9999999999999999999s",
+		"SELECT ((((((((((x))))))))))",
+		"\x00\xff\xfe",
+		"SELECT *\tFROM\r\ns",
+		"SELECT * FROM a UNION b WHERE v % 2 = 0",
+		"CREATE STREAM s (a int, b float) TIMESTAMP EXTERNAL SKEW 10ms SLACK 5ms",
+		"SELECT loc, avg(t) FROM s GROUP BY loc WINDOW 10s SLIDE 2s",
+		"SELECT a.k FROM a JOIN b ON a.k = b.k WINDOW 2s, 5s",
+		"EXPLAIN SELECT * FROM s WHERE x = 'it''s'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseAll(input)
+		if err != nil {
+			if !utf8.ValidString(input) {
+				return // error text may quote garbage; nothing to check
+			}
+			if strings.TrimSpace(err.Error()) == "" {
+				t.Fatalf("empty error for %q", input)
+			}
+			return
+		}
+		for _, st := range stmts {
+			if st == nil {
+				t.Fatalf("ParseAll(%q) returned a nil statement without error", input)
+			}
+		}
+		again, err := ParseAll(input)
+		if err != nil || len(again) != len(stmts) {
+			t.Fatalf("ParseAll(%q) not deterministic: %d stmts then (%d, %v)",
+				input, len(stmts), len(again), err)
+		}
+	})
+}

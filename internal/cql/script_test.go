@@ -150,19 +150,5 @@ func TestParseNeverPanics(t *testing.T) {
 	}
 }
 
-// FuzzParse guards the parser against panics; `go test` runs the seed
-// corpus, `go test -fuzz=FuzzParse` explores further.
-func FuzzParse(f *testing.F) {
-	for _, seed := range []string{
-		"SELECT * FROM a UNION b WHERE v % 2 = 0",
-		"CREATE STREAM s (a int, b float) TIMESTAMP EXTERNAL SKEW 10ms SLACK 5ms",
-		"SELECT loc, avg(t) FROM s GROUP BY loc WINDOW 10s SLIDE 2s",
-		"SELECT a.k FROM a JOIN b ON a.k = b.k WINDOW 2s, 5s",
-		"EXPLAIN SELECT * FROM s WHERE x = 'it''s'",
-	} {
-		f.Add(seed)
-	}
-	f.Fuzz(func(t *testing.T, input string) {
-		Parse(input) // must not panic; errors are fine
-	})
-}
+// FuzzParse lives in fuzz_test.go: it covers ParseAll (multi-statement),
+// determinism, and error-quality invariants beyond the panic guard above.

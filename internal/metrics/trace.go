@@ -32,6 +32,27 @@ const (
 	EvWatermarkAdvance
 	// EvBatchFlush: a pending output batch was sent; Value is its length.
 	EvBatchFlush
+	// EvNodePanic: a node goroutine panicked and was caught by its
+	// supervisor; Value is the number of restarts already consumed.
+	EvNodePanic
+	// EvNodeRestart: the supervisor restarted a panicked node; Value is
+	// the restart attempt number (1-based).
+	EvNodeRestart
+	// EvETSForced: the source-liveness watchdog force-injected an ETS into
+	// a silent source.
+	EvETSForced
+	// EvSourceDead: a source silent past its dead threshold was declared
+	// dead and its stream closed so downstream bounds keep advancing.
+	EvSourceDead
+	// EvSourceRevive: a tuple arrived at a source previously declared dead.
+	EvSourceRevive
+	// EvLateTuple: data arrived below the node's input watermark (an ETS
+	// overshoot or a revived source); Value is how many tuples in the
+	// delivery were late.
+	EvLateTuple
+	// EvShed: the node dropped buffered tuples to stay within its queue
+	// bound; Value is how many were shed.
+	EvShed
 
 	numEventKinds
 )
@@ -50,6 +71,20 @@ func (k EventKind) String() string {
 		return "WatermarkAdvance"
 	case EvBatchFlush:
 		return "BatchFlush"
+	case EvNodePanic:
+		return "NodePanic"
+	case EvNodeRestart:
+		return "NodeRestart"
+	case EvETSForced:
+		return "ETSForced"
+	case EvSourceDead:
+		return "SourceDead"
+	case EvSourceRevive:
+		return "SourceRevive"
+	case EvLateTuple:
+		return "LateTuple"
+	case EvShed:
+		return "Shed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", k)
 	}

@@ -144,12 +144,22 @@ func (s *Source) OnDemandETS(now tuple.Time) (*tuple.Tuple, bool) {
 	return tuple.GetPunct(ets), true
 }
 
+// CanBound reports whether the source could currently promise any ETS —
+// false for latent streams and for external streams before their first
+// tuple. The concurrent runtime's source-liveness watchdog checks it before
+// forcing an ETS into a silent source, so a source with nothing to promise
+// is not signalled uselessly.
+func (s *Source) CanBound() bool { return s.est != nil && s.est.CanBound() }
+
 // InjectETS pushes a heartbeat punctuation into the inbox; the periodic
-// (Gigascope-style) driver calls this at fixed intervals. Internal streams
-// stamp the heartbeat with the injection clock; external streams use the
-// estimator's current bound if one exists. Unlike on-demand generation,
-// periodic injection happens regardless of whether anything downstream is
-// idle-waiting — that indiscriminateness is what the paper improves on.
+// (Gigascope-style) driver calls this at fixed intervals, and the concurrent
+// runtime's source-liveness watchdog reuses it (on the source's own
+// goroutine) to force a skew-bounded ETS out of a source that has gone
+// silent. Internal streams stamp the heartbeat with the injection clock;
+// external streams use the estimator's current bound if one exists. Unlike
+// on-demand generation, periodic injection happens regardless of whether
+// anything downstream is idle-waiting — that indiscriminateness is what the
+// paper improves on.
 func (s *Source) InjectETS(now tuple.Time) bool {
 	switch s.tsKind {
 	case tuple.Latent:

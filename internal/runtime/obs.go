@@ -44,6 +44,16 @@ type nodeObs struct {
 
 	demandSent *metrics.Counter64
 	demandRecv *metrics.Counter64
+
+	// Fault-tolerance instruments: supervisor events (panics, restarts),
+	// watchdog events (forcedETS, revived — sources only), and overload /
+	// lateness accounting (shedTuples, lateTuples).
+	panics     *metrics.Counter64
+	restarts   *metrics.Counter64
+	forcedETS  *metrics.Counter64
+	revived    *metrics.Counter64
+	shedTuples *metrics.Counter64
+	lateTuples *metrics.Counter64
 }
 
 // instrument builds every node's instruments and the engine-level metrics,
@@ -69,6 +79,12 @@ func (e *Engine) instrument() {
 			demandRecv:  reg.Counter("sm_node_demand_recv_total" + lbl),
 			etsInternal: reg.Counter("sm_node_ets_internal_total" + lbl),
 			etsExternal: reg.Counter("sm_node_ets_external_total" + lbl),
+			panics:      reg.Counter("sm_node_panics_total" + lbl),
+			restarts:    reg.Counter("sm_node_restarts_total" + lbl),
+			forcedETS:   reg.Counter("sm_node_forced_ets_total" + lbl),
+			revived:     reg.Counter("sm_node_revived_total" + lbl),
+			shedTuples:  reg.Counter("sm_node_shed_total" + lbl),
+			lateTuples:  reg.Counter("sm_node_late_tuples_total" + lbl),
 		}
 		o.idleSince.Store(-1)
 		o.wmIn.Set(int64(tuple.MinTime))
@@ -81,10 +97,22 @@ func (e *Engine) instrument() {
 			}
 			return 0
 		})
+		if n.gn.Source() != nil {
+			reg.GaugeFunc("sm_node_dead"+lbl, func() int64 {
+				if n.dead.Load() {
+					return 1
+				}
+				return 0
+			})
+		}
 	}
 	reg.CounterFunc("sm_engine_tuples_sent_total", func() int64 { return int64(e.tuplesSent.Load()) })
 	reg.CounterFunc("sm_engine_batches_sent_total", func() int64 { return int64(e.batchesSent.Load()) })
 	reg.CounterFunc("sm_engine_ets_generated_total", func() int64 { return int64(e.etsGenerated.Load()) })
+	reg.CounterFunc("sm_engine_forced_ets_total", func() int64 { return int64(e.forcedETS.Load()) })
+	reg.CounterFunc("sm_engine_shed_total", func() int64 { return int64(e.tuplesShed.Load()) })
+	reg.CounterFunc("sm_engine_late_tuples_total", func() int64 { return int64(e.lateTuples.Load()) })
+	reg.GaugeFunc("sm_engine_dead_sources", func() int64 { return e.deadSources.Load() })
 	reg.GaugeFunc("sm_engine_uptime_us", func() int64 {
 		start := e.startTs.Load()
 		if start < 0 {
@@ -229,6 +257,17 @@ type NodeSnapshot struct {
 	// DemandSent counts demand signalling rounds this node initiated;
 	// DemandRecv demand signals it received.
 	DemandSent, DemandRecv uint64
+	// Panics counts recovered panics in this node's scheduling loop;
+	// Restarts how many times the supervisor relaunched it.
+	Panics, Restarts uint64
+	// ForcedETS counts watchdog-forced ETS injections (sources only);
+	// Revived how often a dead-declared source came back; Dead whether the
+	// watchdog currently considers the source dead.
+	ForcedETS, Revived uint64
+	Dead               bool
+	// LateTuples counts data tuples that arrived below the node's input
+	// watermark; TuplesShed data tuples dropped by the overload shedder.
+	LateTuples, TuplesShed uint64
 }
 
 // Snapshot is a consistent-enough point-in-time view of the whole engine:
@@ -239,6 +278,11 @@ type Snapshot struct {
 	Now, Uptime tuple.Time
 	// Engine-level data-plane totals.
 	TuplesSent, BatchesSent, ETSGenerated uint64
+	// Engine-level fault-tolerance totals: watchdog-forced ETS, tuples
+	// dropped by the shedder, tuples that arrived below a node's input
+	// watermark, and the number of sources currently declared dead.
+	ForcedETS, TuplesShed, LateTuples uint64
+	DeadSources                       int
 	// Nodes holds one entry per graph node, in node-id order.
 	Nodes []NodeSnapshot
 	// ShardTuples is the per-shard routed-tuple rollup (nil unsharded);
@@ -266,6 +310,10 @@ func (e *Engine) Snapshot() Snapshot {
 		TuplesSent:   e.tuplesSent.Load(),
 		BatchesSent:  e.batchesSent.Load(),
 		ETSGenerated: e.etsGenerated.Load(),
+		ForcedETS:    e.forcedETS.Load(),
+		TuplesShed:   e.tuplesShed.Load(),
+		LateTuples:   e.lateTuples.Load(),
+		DeadSources:  int(e.deadSources.Load()),
 	}
 	if start := e.startTs.Load(); start >= 0 {
 		s.Uptime = now - tuple.Time(start)
@@ -291,6 +339,13 @@ func (e *Engine) Snapshot() Snapshot {
 			ETSExternal: o.etsExternal.Load(),
 			DemandSent:  o.demandSent.Load(),
 			DemandRecv:  o.demandRecv.Load(),
+			Panics:      o.panics.Load(),
+			Restarts:    o.restarts.Load(),
+			ForcedETS:   o.forcedETS.Load(),
+			Revived:     o.revived.Load(),
+			LateTuples:  o.lateTuples.Load(),
+			TuplesShed:  o.shedTuples.Load(),
+			Dead:        n.dead.Load(),
 		}
 		idle := tuple.Time(o.idleUs.Load())
 		if since := o.idleSince.Load(); since >= 0 {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/buffer"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/ops"
@@ -98,7 +99,49 @@ type Options struct {
 	// advances, batch flushes). nil disables tracing at the cost of one
 	// pointer check per event site.
 	Trace *metrics.Tracer
+
+	// MaxRestarts caps how many times a panicked node goroutine is
+	// restarted by its supervisor before the engine fails cleanly
+	// (Engine.Err / an errored Wait). 0 means DefaultMaxRestarts; a
+	// negative value disables restarts — the first panic fails the engine.
+	MaxRestarts int
+	// RestartBackoff is the base supervisor backoff, doubled per
+	// consecutive restart of the same node (capped at 256× the base).
+	// 0 means DefaultRestartBackoff.
+	RestartBackoff time.Duration
+	// SourceTimeout, when > 0, arms the source-liveness watchdog: a
+	// source silent for this long while some operator idle-waits gets a
+	// skew-bounded ETS forced into it (at most one per timeout window),
+	// so a dead external feed cannot stall IWP operators forever.
+	SourceTimeout time.Duration
+	// SourceDeadAfter, when > 0, is the second watchdog threshold: a
+	// source silent this long is declared dead and its stream closed
+	// (EOS downstream) so watermarks keep advancing. If tuples reappear
+	// the source revives; its tuples ride the relaxed-more / late-drop
+	// paths and are counted as late.
+	SourceDeadAfter time.Duration
+	// MaxQueueLen, when > 0, bounds each input queue's buffered *data*
+	// tuples. The default policy is backpressure: a node over its bound
+	// stops draining its inbox channel, the channel fills, and upstream
+	// emitTo / Ingest block. With Shed, the node instead drops its oldest
+	// buffered data tuples (punctuation is never shed) and counts them.
+	MaxQueueLen int
+	// Shed switches the MaxQueueLen policy from backpressure to
+	// drop-oldest load shedding for this graph.
+	Shed bool
+	// Fault, when non-nil, is the chaos injector probed on the hot path
+	// (panic-at-node at the top of each scheduling iteration, tuple-drop
+	// at source ingest). nil costs one pointer check per iteration.
+	Fault *fault.Injector
 }
+
+// DefaultMaxRestarts is the per-node restart budget when Options.MaxRestarts
+// is zero.
+const DefaultMaxRestarts = 8
+
+// DefaultRestartBackoff is the base supervisor backoff when
+// Options.RestartBackoff is zero.
+const DefaultRestartBackoff = time.Millisecond
 
 // Engine runs one query graph concurrently.
 type Engine struct {
@@ -112,16 +155,32 @@ type Engine struct {
 	pool      *tuple.BatchPool
 	recycle   bool
 
-	nodes   []*node
-	srcNode map[*ops.Source]*node
-	wg      sync.WaitGroup
-	started bool
-	stop    chan struct{}
-	mu      sync.Mutex
+	nodes    []*node
+	srcNode  map[*ops.Source]*node
+	srcNodes []*node // nodes wrapping a source, watchdog iteration order
+	wg       sync.WaitGroup
+	started  bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	mu       sync.Mutex
+
+	// Supervision / fault tolerance.
+	maxRestarts int
+	backoff     time.Duration
+	maxQueue    int
+	shed        bool
+	fault       *fault.Injector
+	errMu       sync.Mutex
+	err         error
+	activeNodes atomic.Int64
 
 	etsGenerated atomic.Uint64
 	batchesSent  atomic.Uint64
 	tuplesSent   atomic.Uint64
+	forcedETS    atomic.Uint64
+	tuplesShed   atomic.Uint64
+	lateTuples   atomic.Uint64
+	deadSources  atomic.Int64
 
 	reg     *metrics.Registry
 	trace   *metrics.Tracer
@@ -143,6 +202,7 @@ type node struct {
 	obs  *nodeObs
 	in   chan portBatch // fan-in of all input arcs
 	dem  chan struct{}  // demand signals from downstream
+	ctl  chan ctlKind   // watchdog control signals; non-nil for sources only
 
 	outs     []*node // per out-arc consumer
 	outPorts []int
@@ -155,6 +215,23 @@ type node struct {
 	pend      [][]*tuple.Tuple
 	pendCount int
 	pendSince time.Time // when pendCount last left zero
+
+	// srcDone records that a source node has ingested EOS; goroutine-owned
+	// (it lives on the node, not the goroutine stack, so a supervised
+	// restart does not forget it).
+	srcDone bool
+	// restarts is the supervisor's consumed-budget counter (supervisor
+	// goroutine only).
+	restarts int
+
+	// Watchdog state: lastIn is the engine clock (µs) of the last arrival
+	// at a source node; lastForce the clock of the last forced ETS; dead
+	// whether the watchdog has declared the source dead; done whether the
+	// node goroutine has exited for good.
+	lastIn    atomic.Int64
+	lastForce atomic.Int64
+	dead      atomic.Bool
+	done      atomic.Bool
 }
 
 // New builds a runtime engine over a validated graph. With Options.Shards
@@ -176,6 +253,19 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 	}
 	e.trace = opts.Trace
 	e.startTs.Store(-1)
+	e.maxRestarts = opts.MaxRestarts
+	if e.maxRestarts == 0 {
+		e.maxRestarts = DefaultMaxRestarts
+	} else if e.maxRestarts < 0 {
+		e.maxRestarts = 0 // no restarts: the first panic fails the engine
+	}
+	e.backoff = opts.RestartBackoff
+	if e.backoff <= 0 {
+		e.backoff = DefaultRestartBackoff
+	}
+	e.maxQueue = opts.MaxQueueLen
+	e.shed = opts.Shed
+	e.fault = opts.Fault
 	e.batchSize = opts.BatchSize
 	if e.batchSize <= 0 {
 		e.batchSize = DefaultBatchSize
@@ -219,9 +309,12 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		for i := range n.ins {
 			n.ins[i] = buffer.New(fmt.Sprintf("%s.in%d", gn.Op.Name(), i))
 		}
+		n.lastIn.Store(-1)
 		e.nodes[gn.ID] = n
 		if s := gn.Source(); s != nil {
+			n.ctl = make(chan ctlKind, 4)
 			e.srcNode[s] = n
+			e.srcNodes = append(e.srcNodes, n)
 		}
 	}
 	for _, gn := range g.Nodes() {
@@ -269,7 +362,8 @@ func (e *Engine) ShardTuples() []uint64 {
 	return dst
 }
 
-// Start launches one goroutine per node.
+// Start launches one supervised goroutine per node, plus the source-liveness
+// watchdog when Options.SourceTimeout is set.
 func (e *Engine) Start() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -277,10 +371,20 @@ func (e *Engine) Start() {
 		return
 	}
 	e.started = true
-	e.startTs.Store(int64(e.now()))
+	now := int64(e.now())
+	e.startTs.Store(now)
+	for _, n := range e.srcNodes {
+		n.lastIn.Store(now) // a source is "live" until it outlasts its deadline
+		n.lastForce.Store(now)
+	}
+	e.activeNodes.Store(int64(len(e.nodes)))
 	for _, n := range e.nodes {
 		e.wg.Add(1)
-		go e.runNode(n)
+		go e.supervise(n)
+	}
+	if e.opts.SourceTimeout > 0 && len(e.srcNodes) > 0 {
+		e.wg.Add(1)
+		go e.watchdog()
 	}
 }
 
@@ -289,12 +393,18 @@ func (e *Engine) Start() {
 // generation): stamping at the call site would race with ETS generation —
 // an in-flight tuple stamped before an ETS but delivered after it would
 // break the arc's timestamp order. Safe for concurrent use.
+// It blocks when the source's inbox channel is full (backpressure); if the
+// engine stops or fails while blocked, the tuple is dropped instead of
+// wedging the producer.
 func (e *Engine) Ingest(src *ops.Source, raw *tuple.Tuple) {
 	n := e.srcNode[src]
 	if n == nil {
 		panic("runtime: Ingest on a source not in this graph")
 	}
-	n.in <- portBatch{port: 0, one: raw}
+	select {
+	case n.in <- portBatch{port: 0, one: raw}:
+	case <-e.stop:
+	}
 }
 
 // IngestBatch delivers a batch of raw tuples to the given source node in one
@@ -310,7 +420,11 @@ func (e *Engine) IngestBatch(src *ops.Source, raws []*tuple.Tuple) {
 		panic("runtime: IngestBatch on a source not in this graph")
 	}
 	b := append(e.pool.Get(), raws...)
-	n.in <- portBatch{port: 0, many: b}
+	select {
+	case n.in <- portBatch{port: 0, many: b}:
+	case <-e.stop:
+		e.pool.Put(b)
+	}
 }
 
 // CloseStream sends end-of-stream into the named source; once every source
@@ -320,20 +434,40 @@ func (e *Engine) CloseStream(src *ops.Source) {
 }
 
 // Wait blocks until every node goroutine has exited (all streams closed and
-// drained).
-func (e *Engine) Wait() { e.wg.Wait() }
+// drained, or the engine stopped/failed). It returns Err(): nil for a clean
+// drain or user Stop, the failure for an engine that exceeded a node's
+// restart budget.
+func (e *Engine) Wait() error {
+	e.wg.Wait()
+	return e.Err()
+}
+
+// Err reports the failure that stopped the engine, or nil while it is
+// healthy (including after a clean drain or a user Stop). Safe to call at
+// any time.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// fail records the first fatal error and stops the engine. Later calls keep
+// the original cause.
+func (e *Engine) fail(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.Stop()
+}
 
 // Stop terminates all node goroutines without draining. Prefer CloseStream
 // on every source followed by Wait for a clean shutdown; Stop is for
-// abandoning a continuous query.
+// abandoning a continuous query. It is idempotent and safe to call from any
+// number of goroutines, concurrently with Wait and CloseStream.
 func (e *Engine) Stop() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	select {
-	case <-e.stop:
-	default:
-		close(e.stop)
-	}
+	e.stopOnce.Do(func() { close(e.stop) })
 }
 
 // flushArc sends out arc i's pending batch downstream.
@@ -351,7 +485,13 @@ func (e *Engine) flushArc(n *node, i int) {
 	if e.trace != nil {
 		e.trace.Emit(metrics.EvBatchFlush, n.name, e.now(), int64(len(b)))
 	}
-	n.outs[i].in <- portBatch{port: n.outPorts[i], many: b}
+	select {
+	case n.outs[i].in <- portBatch{port: n.outPorts[i], many: b}:
+	case <-e.stop:
+		// The engine is stopping; the consumer may already have exited, so
+		// a plain send could wedge this node forever. Abandon the batch.
+		e.pool.Put(b[:0])
+	}
 }
 
 // flushPending sends every non-empty pending batch downstream.
@@ -416,12 +556,13 @@ func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
 	}
 }
 
-// runNode is the per-operator goroutine loop.
+// runNode is the per-operator scheduling loop. It is (re)entered by the
+// node's supervisor: a panic anywhere inside is recovered there and the loop
+// restarted, so all state that must survive a restart lives on the node (or
+// the engine), never on this stack.
 func (e *Engine) runNode(n *node) {
-	defer e.wg.Done()
 	op := n.gn.Op
 	src := n.gn.Source()
-	sourceDone := false
 
 	ctx := &ops.Ctx{
 		Ins:    n.ins,
@@ -445,13 +586,23 @@ func (e *Engine) runNode(n *node) {
 		n.obs.tuplesIn.Inc()
 		if t.IsPunct() {
 			n.notePunctIn(t)
+		} else if src == nil {
+			if wm := n.obs.wmIn.Load(); wm > int64(tuple.MinTime) && int64(t.Ts) < wm {
+				e.countLate(n, 1)
+			}
 		}
 		if src != nil {
+			e.noteSourceActivity(n)
 			if t.IsEOS() {
-				sourceDone = true
+				n.srcDone = true
 			}
 			if t.IsPunct() {
 				src.Offer(t)
+			} else if e.fault.DropTuple(n.name) {
+				// Chaos: the tuple is lost before entering the stream.
+				if ctx.Release != nil {
+					ctx.Release(t)
+				}
 			} else {
 				src.Ingest(t, e.now())
 			}
@@ -461,6 +612,7 @@ func (e *Engine) runNode(n *node) {
 		if t.IsEOS() {
 			n.eosSeen[port] = true
 		}
+		e.shedOverflow(n, ctx)
 	}
 	deliver := func(pb portBatch) {
 		if pb.one != nil {
@@ -468,34 +620,56 @@ func (e *Engine) runNode(n *node) {
 			return
 		}
 		n.obs.tuplesIn.Add(uint64(len(pb.many)))
+		// Late accounting must use the input watermark as of *before* this
+		// delivery: a batch's own trailing punctuation bounds future
+		// batches, not the data travelling ahead of it in the same batch.
+		wmPre := n.obs.wmIn.Load()
 		// Punctuation flushes its batch when emitted, so a punct can only
 		// be a batch's last element — one check accounts the whole batch.
-		if last := pb.many[len(pb.many)-1]; last.IsPunct() {
+		last := pb.many[len(pb.many)-1]
+		if last.IsPunct() {
 			n.notePunctIn(last)
 		}
 		if src != nil {
+			e.noteSourceActivity(n)
 			// One clock read for the whole batch: the tuples arrived in the
 			// same channel delivery, so they share an arrival instant.
 			now := e.now()
 			for _, t := range pb.many {
 				if t.IsPunct() {
 					if t.IsEOS() {
-						sourceDone = true
+						n.srcDone = true
 					}
 					src.Offer(t)
+				} else if e.fault.DropTuple(n.name) {
+					if ctx.Release != nil {
+						ctx.Release(t)
+					}
 				} else {
 					src.Ingest(t, now)
 				}
 			}
 		} else {
+			if wmPre > int64(tuple.MinTime) {
+				late := 0
+				for _, t := range pb.many {
+					if !t.IsPunct() && int64(t.Ts) < wmPre {
+						late++
+					}
+				}
+				if late > 0 {
+					e.countLate(n, late)
+				}
+			}
 			n.ins[pb.port].PushAll(pb.many)
 			// Punctuation flushes its batch the moment it is emitted, so a
 			// punct — EOS included — can only be a batch's last element.
-			if pb.many[len(pb.many)-1].IsEOS() {
+			if last.IsEOS() {
 				n.eosSeen[pb.port] = true
 			}
 		}
 		e.pool.Put(pb.many)
+		e.shedOverflow(n, ctx)
 	}
 	allEOS := func() bool {
 		if src != nil {
@@ -521,8 +695,13 @@ func (e *Engine) runNode(n *node) {
 	}
 
 	for {
-		// Drain pending channel input without blocking.
-		for {
+		// Chaos probe: a clean failure point where the operator's state is
+		// consistent, so injected panics exercise the supervisor.
+		e.fault.MaybePanic(n.name)
+		// Drain pending channel input without blocking. With a queue bound
+		// and the backpressure policy, a node over its bound stops draining
+		// — the channel fills and upstream sends block.
+		for e.canDrain(n) {
 			select {
 			case pb := <-n.in:
 				deliver(pb)
@@ -557,7 +736,7 @@ func (e *Engine) runNode(n *node) {
 		// Exit conditions: source got EOS and drained its inbox (EOS
 		// itself was forwarded by Source.Exec); non-source saw EOS on
 		// every input and drained.
-		if src != nil && sourceDone && src.Inbox().Empty() {
+		if src != nil && n.srcDone && src.Inbox().Empty() {
 			return
 		}
 		if allEOS() && drained() {
@@ -596,6 +775,8 @@ func (e *Engine) runNode(n *node) {
 				deliver(pb)
 			case <-n.dem:
 				e.handleDemand(n, ctx)
+			case k := <-n.ctl:
+				e.handleCtl(n, k)
 			case <-time.After(200 * time.Microsecond):
 				// retry the demand on the next iteration
 			case <-e.stop:
@@ -604,12 +785,15 @@ func (e *Engine) runNode(n *node) {
 			}
 			continue
 		}
-		// Block until input or demand arrives.
+		// Block until input, demand, or a watchdog control signal arrives.
+		// (n.ctl is nil for non-source nodes; a nil case never fires.)
 		select {
 		case pb := <-n.in:
 			deliver(pb)
 		case <-n.dem:
 			e.handleDemand(n, ctx)
+		case k := <-n.ctl:
+			e.handleCtl(n, k)
 		case <-e.stop:
 			e.exitIdle(n)
 			return

@@ -92,6 +92,22 @@ func (e *ETSEstimator) ETS(now tuple.Time) (tuple.Time, bool) {
 	return ets, true
 }
 
+// CanBound reports whether the estimator is in a state where some future
+// clock could yield a useful ETS: always for internal streams, only after
+// the first observed tuple for external streams, never for latent. The
+// source-liveness watchdog uses it to avoid signalling sources that could
+// not answer anyway.
+func (e *ETSEstimator) CanBound() bool {
+	switch e.kind {
+	case tuple.Internal:
+		return true
+	case tuple.External:
+		return e.seen
+	default:
+		return false
+	}
+}
+
 // Emit records that an ETS value was actually issued, so subsequent calls
 // only report usefulness when the bound has advanced.
 func (e *ETSEstimator) Emit(ets tuple.Time) {
