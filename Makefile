@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard obs-smoke chaos fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net obs-smoke net-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -31,10 +31,21 @@ bench-runtime:
 bench-shard:
 	$(GO) run ./cmd/etsbench -shards
 
+# Loopback wire-ingest measurement (remote vs in-process end-to-end latency)
+# plus the kill-the-client watchdog check; writes BENCH_net.json.
+bench-net:
+	$(GO) run ./cmd/etsbench -net
+
 # End-to-end observability check: streamd with the live metrics endpoint,
 # one scrape, required metric families present (scripts/obs_smoke.sh).
 obs-smoke:
 	sh scripts/obs_smoke.sh
+
+# Networked-ingestion loopback round trip under -race: the netmon example's
+# client/server path, then a scaled-down etsbench -net with the
+# kill-the-client check (scripts/net_smoke.sh).
+net-smoke:
+	sh scripts/net_smoke.sh
 
 # Seeded chaos soak under the race detector: node panics, 1% source drops,
 # and a mid-run source stall on the union workload; exits non-zero if any
@@ -43,8 +54,10 @@ obs-smoke:
 chaos:
 	$(GO) run -race ./cmd/etsbench -chaos -chaos-duration 2s
 
-# Short coverage-guided fuzz of the CQL parser (panic/hang/determinism).
+# Short coverage-guided fuzz of the CQL parser and the wire-protocol frame
+# decoder (panic/hang/determinism on arbitrary input).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run '^$$' ./internal/cql
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s -run '^$$' ./internal/wire
 
-check: vet build test race bench obs-smoke chaos
+check: vet build test race bench obs-smoke net-smoke chaos

@@ -1,0 +1,460 @@
+// Package client is the public library for feeding tuples into a stream
+// engine node (cmd/streamd, or any internal/server listener) over the wire
+// protocol. It owns the client half of the protocol's timestamp-management
+// contract:
+//
+//   - every HELLO and periodic HEARTBEAT carries the local clock, so the
+//     server's per-connection skew estimator can measure the link and widen
+//     the stream's skew bound δ — remote on-demand ETS then rests on a
+//     measured link, not a declared constant;
+//   - a stream can generate punctuation locally (Stream.Punct, or
+//     automatically every AutoPunctEvery tuples for in-order feeds), making
+//     a remote wrapper a first-class punctuation source (paper §3);
+//   - sends respect the server's credit window (HELLO_ACK grant plus DEMAND
+//     top-ups) — when the engine backpressures, the server stops granting
+//     and Send blocks, extending the engine's demand/backpressure discipline
+//     across the network.
+//
+// Connections survive failures: with Options.Reconnect the client redials
+// with exponential backoff, replays the handshake, re-binds every stream,
+// and resumes. Tuples buffered but unsent at the failure are resent;
+// delivery is at-most-once past the socket (no application acks).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// DefaultBatchSize is the per-stream send batch cap when Options.BatchSize
+// is zero.
+const DefaultBatchSize = 256
+
+// DefaultHeartbeatEvery is the heartbeat cadence when Options.HeartbeatEvery
+// is zero.
+const DefaultHeartbeatEvery = 200 * time.Millisecond
+
+// DefaultMaxBackoff caps the reconnect backoff when Options.MaxBackoff is
+// zero.
+const DefaultMaxBackoff = 5 * time.Second
+
+// Options configures a connection.
+type Options struct {
+	// Name identifies the client in the HELLO frame (diagnostics only).
+	Name string
+	// Clock supplies the client clock in µs for HELLO/HEARTBEAT skew
+	// samples; defaults to wall time (time.Now().UnixMicro()).
+	Clock func() int64
+	// HeartbeatEvery is the heartbeat cadence (default
+	// DefaultHeartbeatEvery); heartbeats also flush stale send batches.
+	// Negative disables heartbeats (tests).
+	HeartbeatEvery time.Duration
+	// BatchSize caps tuples buffered per stream before a TUPLES frame is
+	// written (default DefaultBatchSize). 1 sends every tuple immediately.
+	BatchSize int
+	// Reconnect enables automatic redial with exponential backoff after a
+	// connection failure; streams are re-bound transparently.
+	Reconnect bool
+	// MaxBackoff caps the reconnect backoff (default DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// Dial overrides the transport dialer (tests, TLS wrappers).
+	Dial func(addr string) (net.Conn, error)
+}
+
+// Conn is one logical client connection; it may span several transport
+// connections when Reconnect is on. Safe for concurrent use.
+type Conn struct {
+	addr string
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // signalled on credits, breakage, close
+
+	conn    net.Conn
+	w       *wire.Writer
+	epoch   uint64 // transport generation; stale readers detect themselves
+	broken  bool
+	closed  bool
+	permErr error // terminal failure when Reconnect is off
+
+	sess    uint64
+	credits int64
+	streams map[uint32]*Stream
+	nextID  uint32
+
+	reconnecting bool
+
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	readers sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats counts a connection's lifetime activity.
+type Stats struct {
+	TuplesSent   uint64
+	BatchesSent  uint64
+	PunctSent    uint64
+	Heartbeats   uint64
+	Reconnects   uint64
+	CreditStalls uint64 // times a Send had to wait for window
+}
+
+// Dial connects, performs the HELLO handshake, and starts the heartbeat.
+func Dial(addr string, opts Options) (*Conn, error) {
+	c := &Conn{addr: addr, opts: opts, streams: make(map[uint32]*Stream)}
+	c.cond = sync.NewCond(&c.mu)
+	if c.opts.Clock == nil {
+		c.opts.Clock = func() int64 { return time.Now().UnixMicro() }
+	}
+	if c.opts.BatchSize <= 0 {
+		c.opts.BatchSize = DefaultBatchSize
+	}
+	if c.opts.HeartbeatEvery == 0 {
+		c.opts.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.opts.MaxBackoff <= 0 {
+		c.opts.MaxBackoff = DefaultMaxBackoff
+	}
+	if c.opts.Dial == nil {
+		c.opts.Dial = func(a string) (net.Conn, error) {
+			return net.DialTimeout("tcp", a, 10*time.Second)
+		}
+	}
+	c.mu.Lock()
+	err := c.connectLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	c.hbStop = make(chan struct{})
+	c.hbDone = make(chan struct{})
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Session reports the server-assigned session id of the current transport
+// connection.
+func (c *Conn) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess
+}
+
+// Stats snapshots the connection counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// connectLocked establishes a fresh transport connection: dial, handshake,
+// re-bind existing streams, and start the reader for this epoch. Called with
+// c.mu held; the mutex stays held across the dial (concurrent senders wait —
+// they could not make progress anyway).
+func (c *Conn) connectLocked() error {
+	conn, err := c.opts.Dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	w := wire.NewWriter(conn)
+	rd := wire.NewReader(conn)
+	fail := func(err error) error {
+		conn.Close()
+		return err
+	}
+	if err := w.WriteMagic(); err != nil {
+		return fail(err)
+	}
+	hello := wire.Hello{Version: wire.Version, Name: c.opts.Name, Clock: c.opts.Clock()}
+	if err := w.WriteFrame(hello); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := rd.Next()
+	if err != nil {
+		return fail(fmt.Errorf("client: handshake: %w", err))
+	}
+	ack, ok := f.(wire.HelloAck)
+	if !ok {
+		if e, isErr := f.(wire.Error); isErr {
+			return fail(fmt.Errorf("client: server refused: %s", e.Msg))
+		}
+		return fail(fmt.Errorf("client: expected HELLO_ACK, got %v", f.Type()))
+	}
+	// Re-bind every stream of the previous epoch, synchronously: the server
+	// answers BIND in order, so read acks until each bind is resolved.
+	for id, s := range c.streams {
+		if s.eos {
+			continue
+		}
+		if err := w.WriteFrame(s.bindFrame(id)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	pending := 0
+	for _, s := range c.streams {
+		if !s.eos {
+			pending++
+		}
+	}
+	for pending > 0 {
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		f, err := rd.Next()
+		if err != nil {
+			return fail(fmt.Errorf("client: re-bind: %w", err))
+		}
+		switch f := f.(type) {
+		case wire.BindAck:
+			if s := c.streams[f.ID]; s != nil {
+				if !s.ackDone {
+					// A Bind caller is still waiting on the first ack.
+					s.ackDone, s.ackErr = true, f.Err
+				} else if f.Err != "" {
+					s.err = fmt.Errorf("client: re-bind %q: %s", s.name, f.Err)
+				}
+				pending--
+			}
+		case wire.Demand:
+			ack.Credits += f.Credits
+		case wire.Error:
+			return fail(fmt.Errorf("client: re-bind refused: %s", f.Msg))
+		default:
+			return fail(fmt.Errorf("client: unexpected %v during re-bind", f.Type()))
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	c.conn = conn
+	c.w = w
+	c.sess = ack.Session
+	c.credits = int64(ack.Credits)
+	c.broken = false
+	c.epoch++
+	c.readers.Add(1)
+	go c.readLoop(conn, rd, c.epoch)
+	c.cond.Broadcast()
+	return nil
+}
+
+// readLoop consumes server frames for one transport epoch: credit grants,
+// bind acks (steady-state ones arrive here), and errors.
+func (c *Conn) readLoop(conn net.Conn, rd *wire.Reader, epoch uint64) {
+	defer c.readers.Done()
+	for {
+		f, err := rd.Next()
+		if err != nil {
+			c.mu.Lock()
+			if c.epoch == epoch {
+				c.markBrokenLocked()
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		if c.epoch != epoch {
+			c.mu.Unlock()
+			return // a reconnect already superseded this transport
+		}
+		switch f := f.(type) {
+		case wire.Demand:
+			c.credits += int64(f.Credits)
+			c.cond.Broadcast()
+		case wire.BindAck:
+			if s := c.streams[f.ID]; s != nil && !s.ackDone {
+				s.ackDone, s.ackErr = true, f.Err
+				c.cond.Broadcast()
+			}
+		case wire.Error:
+			// Draining or protocol complaint: this transport is done. With
+			// Reconnect on, the next operation redials (and backs off while
+			// the server is away).
+			c.markBrokenLocked()
+			c.mu.Unlock()
+			return
+		default:
+			// Tolerate unknown server chatter (forward compatibility).
+		}
+		c.mu.Unlock()
+	}
+}
+
+// markBrokenLocked declares the current transport dead and wakes everyone
+// blocked on it.
+func (c *Conn) markBrokenLocked() {
+	if c.broken {
+		return
+	}
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	if !c.opts.Reconnect && c.permErr == nil {
+		c.permErr = errors.New("client: connection lost")
+	}
+	c.cond.Broadcast()
+}
+
+// ensureLocked blocks until the connection is usable, reconnecting if
+// allowed. Returns the terminal error otherwise.
+func (c *Conn) ensureLocked() error {
+	for {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.permErr != nil {
+			return c.permErr
+		}
+		if !c.broken {
+			return nil
+		}
+		if !c.opts.Reconnect {
+			return errors.New("client: connection lost")
+		}
+		if c.reconnecting {
+			c.cond.Wait() // someone else is redialing
+			continue
+		}
+		c.reconnecting = true
+		backoff := 50 * time.Millisecond
+		for {
+			if err := c.connectLocked(); err == nil {
+				c.stats.Reconnects++
+				break
+			}
+			c.mu.Unlock()
+			time.Sleep(backoff)
+			c.mu.Lock()
+			if c.closed {
+				break
+			}
+			if backoff *= 2; backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
+			}
+		}
+		c.reconnecting = false
+		c.cond.Broadcast()
+	}
+}
+
+// takeCredits blocks until n credits are available (reconnecting as needed)
+// and consumes them.
+func (c *Conn) takeCredits(n int64) error {
+	stalled := false
+	for {
+		if err := c.ensureLocked(); err != nil {
+			return err
+		}
+		if c.credits >= n {
+			c.credits -= n
+			return nil
+		}
+		if !stalled {
+			stalled = true
+			c.stats.CreditStalls++
+		}
+		c.cond.Wait()
+	}
+}
+
+// writeLocked writes one frame and flushes; a failure marks the transport
+// broken and is returned (callers holding unsent data keep it for the retry).
+func (c *Conn) writeLocked(f wire.Frame) error {
+	if err := c.w.WriteFrame(f); err != nil {
+		c.markBrokenLocked()
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		c.markBrokenLocked()
+		return err
+	}
+	return nil
+}
+
+func (c *Conn) heartbeatLoop() {
+	defer close(c.hbDone)
+	if c.opts.HeartbeatEvery < 0 {
+		return
+	}
+	tick := time.NewTicker(c.opts.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-tick.C:
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if !c.broken {
+			// Piggyback: anything sitting in a send batch has waited long
+			// enough.
+			for _, s := range c.streams {
+				s.flushLocked()
+			}
+			if c.writeLocked(wire.Heartbeat{Clock: c.opts.Clock()}) == nil {
+				c.stats.Heartbeats++
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Flush writes out every stream's buffered tuples.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return err
+	}
+	for _, s := range c.streams {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes buffered tuples (best effort), stops the heartbeat, and
+// tears the connection down. It does not send EOS — use Stream.CloseSend for
+// streams that should end.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	if !c.broken {
+		for _, s := range c.streams {
+			s.flushLocked()
+		}
+	}
+	c.closed = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.hbStop)
+	<-c.hbDone
+	c.readers.Wait()
+	return nil
+}

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// StreamOptions configures one bound stream.
+type StreamOptions struct {
+	// Delta declares the feed's skew bound δ in µs (external streams): the
+	// maximum lag between a tuple's timestamp advancing and the next
+	// tuple's timestamp. The server widens it further with its measured
+	// per-connection spread.
+	Delta tuple.Time
+	// Fields optionally declares the schema for server-side validation
+	// (kinds must match the declared stream). Empty trusts the server.
+	Fields []tuple.Field
+	// AutoPunctEvery, when > 0, emits a punctuation carrying the maximum
+	// timestamp sent so far after every N data tuples. Only sound for
+	// feeds that send tuples in timestamp order — the bound promises no
+	// later tuple will be smaller.
+	AutoPunctEvery int
+}
+
+// Stream is one bound stream on a connection. Safe for concurrent use.
+type Stream struct {
+	c    *Conn
+	id   uint32
+	name string
+	ts   tuple.TSKind
+	opts StreamOptions
+
+	// All fields below are guarded by c.mu.
+	batch      []*tuple.Tuple
+	maxTs      tuple.Time
+	hasTs      bool
+	sincePunct int
+	eos        bool
+	err        error
+
+	ackDone bool
+	ackErr  string
+}
+
+func (s *Stream) bindFrame(id uint32) wire.Frame {
+	return wire.Bind{ID: id, Stream: s.name, TS: s.ts, Delta: s.opts.Delta, Fields: s.opts.Fields}
+}
+
+// Bind registers a stream on the connection and waits for the server's
+// acknowledgement. ts must match the stream's declared timestamp kind.
+func (c *Conn) Bind(stream string, ts tuple.TSKind, opts StreamOptions) (*Stream, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	s := &Stream{c: c, id: id, name: stream, ts: ts, opts: opts}
+	c.streams[id] = s
+	c.writeLocked(s.bindFrame(id)) // a failure here resolves via reconnect re-bind
+	for !s.ackDone {
+		if c.closed || c.permErr != nil {
+			delete(c.streams, id)
+			if c.closed {
+				return nil, ErrClosed
+			}
+			return nil, c.permErr
+		}
+		if c.broken {
+			// ensureLocked redials; connectLocked replays the BIND and
+			// resolves the ack synchronously.
+			if err := c.ensureLocked(); err != nil {
+				delete(c.streams, id)
+				return nil, err
+			}
+			continue
+		}
+		c.cond.Wait()
+	}
+	if s.ackErr != "" {
+		delete(c.streams, id)
+		return nil, fmt.Errorf("client: bind %q: %s", stream, s.ackErr)
+	}
+	return s, nil
+}
+
+// Send buffers one tuple for the stream, writing a batched TUPLES frame when
+// the batch fills. It takes ownership of t. Send blocks while the server's
+// credit window is exhausted — the networked form of engine backpressure —
+// and while a broken connection reconnects. A transport failure after
+// buffering is not an error: the batch is retained and resent on the next
+// transport.
+func (s *Stream) Send(t *tuple.Tuple) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.eos {
+		return fmt.Errorf("client: send on closed stream %q", s.name)
+	}
+	if err := c.takeCredits(1); err != nil {
+		return err
+	}
+	s.batch = append(s.batch, t)
+	if !s.hasTs || t.Ts > s.maxTs {
+		s.maxTs, s.hasTs = t.Ts, true
+	}
+	s.sincePunct++
+	if len(s.batch) >= c.opts.BatchSize {
+		s.flushLocked()
+	}
+	if s.opts.AutoPunctEvery > 0 && s.sincePunct >= s.opts.AutoPunctEvery && s.hasTs {
+		s.sincePunct = 0
+		s.punctLocked(s.maxTs)
+	}
+	return nil
+}
+
+// SendBatch sends a slice of tuples (ownership of the tuples transfers; the
+// slice stays the caller's).
+func (s *Stream) SendBatch(ts []*tuple.Tuple) error {
+	for _, t := range ts {
+		if err := s.Send(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Punct sends a punctuation promising that no future tuple on this stream
+// will carry a timestamp below ets — local punctuation generation, making
+// the remote wrapper a first-class bound source.
+func (s *Stream) Punct(ets tuple.Time) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.eos {
+		return fmt.Errorf("client: punct on closed stream %q", s.name)
+	}
+	if err := c.ensureLocked(); err != nil {
+		return err
+	}
+	return s.punctLocked(ets)
+}
+
+func (s *Stream) punctLocked(ets tuple.Time) error {
+	c := s.c
+	if err := s.flushLocked(); err != nil {
+		return nil // buffered; punct is dropped with the transport, resend later
+	}
+	if err := c.writeLocked(wire.Punct{ID: s.id, TS: s.ts, ETS: ets}); err == nil {
+		c.stats.PunctSent++
+	}
+	return nil
+}
+
+// flushLocked writes the pending batch as one TUPLES frame. On success the
+// tuples return to the pool (Send took ownership); on a transport failure
+// the batch is retained for the next epoch.
+func (s *Stream) flushLocked() error {
+	c := s.c
+	if len(s.batch) == 0 {
+		return nil
+	}
+	var f wire.Frame
+	if len(s.batch) == 1 {
+		f = wire.Tuple{ID: s.id, T: s.batch[0]}
+	} else {
+		f = wire.Tuples{ID: s.id, Batch: s.batch}
+	}
+	if err := c.writeLocked(f); err != nil {
+		return err
+	}
+	c.stats.BatchesSent++
+	c.stats.TuplesSent += uint64(len(s.batch))
+	for i, t := range s.batch {
+		tuple.Put(t)
+		s.batch[i] = nil
+	}
+	s.batch = s.batch[:0]
+	return nil
+}
+
+// CloseSend flushes the stream and sends EOS, ending the stream server-side
+// once every other binding has also ended. The stream accepts no more sends.
+func (s *Stream) CloseSend() error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.eos {
+		return nil
+	}
+	for {
+		if err := c.ensureLocked(); err != nil {
+			return err
+		}
+		if s.flushLocked() != nil {
+			continue // transport died mid-flush; reconnect and retry
+		}
+		if c.writeLocked(wire.EOS{ID: s.id}) == nil {
+			s.eos = true
+			return nil
+		}
+	}
+}
+
+// Err reports a terminal stream error (e.g. a failed re-bind after
+// reconnect).
+func (s *Stream) Err() error {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.err
+}

@@ -10,6 +10,9 @@
 //	etsbench -runtime          benchmark the concurrent engine's batched
 //	                           data plane vs the per-tuple baseline and
 //	                           write BENCH_runtime.json
+//	etsbench -net              benchmark loopback wire-protocol ingest vs
+//	                           in-process feeding, run the kill-the-client
+//	                           watchdog check, and write BENCH_net.json
 //	etsbench -shards           sweep the partition rewrite over 1/2/4/8
 //	                           shards on the union+join workload and
 //	                           write BENCH_shard.json
@@ -37,6 +40,9 @@ func main() {
 	rtBench := flag.Bool("runtime", false, "benchmark the concurrent engine's batched data plane")
 	rtTuples := flag.Int("runtime-tuples", 2_000_000, "tuples per configuration for -runtime")
 	rtOut := flag.String("runtime-out", "BENCH_runtime.json", "output file for -runtime results")
+	netBench := flag.Bool("net", false, "benchmark loopback wire-protocol ingest vs in-process and run the kill-the-client check")
+	netTuples := flag.Int("net-tuples", 300_000, "tuples per configuration for -net")
+	netOut := flag.String("net-out", "BENCH_net.json", "output file for -net results")
 	shBench := flag.Bool("shards", false, "benchmark the partition rewrite (1/2/4/8 shards)")
 	shTuples := flag.Int("shards-tuples", 150_000, "tuples per configuration for -shards")
 	shOut := flag.String("shards-out", "BENCH_shard.json", "output file for -shards results")
@@ -61,6 +67,8 @@ func main() {
 		}
 	case *rtBench:
 		runRuntimeBench(*rtTuples, *rtOut)
+	case *netBench:
+		runNetBench(*netTuples, *netOut)
 	case *shBench:
 		runShardBench(*shTuples, *shOut)
 	case *chaos:

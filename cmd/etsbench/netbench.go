@@ -1,0 +1,378 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// The net benchmark measures what the networked ingestion subsystem costs:
+// the same union workload (two external-timestamp sources merging through a
+// TSM union into one sink, on-demand ETS enabled) is fed once by direct
+// IngestBatch calls and once over loopback wire-protocol sessions through
+// the session server. Tuples carry their send time on a shared clock, so the
+// sink-observed latency is end to end — for the net configuration it
+// includes client batching, framing, the socket, and the session decode
+// path. The headline ratio is net p50 over in-process p50: how much farther
+// from the source an on-demand ETS promise is when the feed is remote.
+//
+// The run ends with the kill-the-client check: one feed dies abruptly
+// (no EOS, no connection close handshake) while the other keeps streaming.
+// The source-liveness watchdog must force ETS into the dead source so the
+// union keeps emitting, and the final drain must complete — the engine never
+// deadlocks on a vanished feed.
+
+type netResult struct {
+	Name           string  `json:"name"`
+	Tuples         uint64  `json:"tuples"`
+	Seconds        float64 `json:"seconds"`
+	TuplesPerSec   float64 `json:"tuples_per_sec"`
+	LatencyP50Us   float64 `json:"latency_p50_us"`
+	LatencyP99Us   float64 `json:"latency_p99_us"`
+	LatencyMeanUs  float64 `json:"latency_mean_us"`
+	ETSGenerated   uint64  `json:"ets_generated"`
+	BatchingFactor float64 `json:"batching_factor"`
+}
+
+type killReport struct {
+	ForcedETS         uint64 `json:"forced_ets"`
+	ResultsBeforeKill uint64 `json:"results_before_kill"`
+	ResultsAfterKill  uint64 `json:"results_after_kill"`
+	DrainCut          int    `json:"drain_cut_sessions"`
+	DeadlockFree      bool   `json:"deadlock_free"`
+	EngineErr         string `json:"engine_err,omitempty"`
+}
+
+type netReport struct {
+	Workload        string      `json:"workload"`
+	Tuples          int         `json:"tuples_per_config"`
+	GoVersion       string      `json:"go_version"`
+	Date            string      `json:"date"`
+	InProc          netResult   `json:"in_process"`
+	Net             netResult   `json:"net"`
+	NetVsInProcP50X float64     `json:"net_vs_inproc_p50_x"`
+	Kill            *killReport `json:"kill_client_check,omitempty"`
+}
+
+// netWorkload is the union graph plus everything a feed needs to reach it.
+type netWorkload struct {
+	sch    *tuple.Schema
+	s1, s2 *ops.Source
+	eng    *rt.Engine
+	lat    *metrics.Latency
+	sunk   atomic.Uint64
+	now    func() tuple.Time
+}
+
+func buildNetWorkload(opts rt.Options) *netWorkload {
+	w := &netWorkload{}
+	base := time.Now()
+	w.now = func() tuple.Time { return tuple.Time(time.Since(base).Microseconds()) }
+	w.sch = tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).WithTS(tuple.External)
+	g := graph.New("netbench")
+	w.s1 = ops.NewSource("s1", w.sch, 0)
+	w.s2 = ops.NewSource("s2", w.sch, 0)
+	a := g.AddNode(w.s1)
+	b := g.AddNode(w.s2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+	w.lat = metrics.NewLatency()
+	g.AddNode(ops.NewSink("k", func(t *tuple.Tuple, now tuple.Time) {
+		w.sunk.Add(1)
+		if d := now - t.Ts; d >= 0 {
+			w.lat.Observe(d)
+		}
+	}), u)
+	opts.OnDemandETS = true
+	opts.Now = w.now
+	eng, err := rt.New(g, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	w.eng = eng
+	return w
+}
+
+func (w *netWorkload) lookup(name string) (*tuple.Schema, *ops.Source, error) {
+	switch name {
+	case "s1":
+		return w.sch, w.s1, nil
+	case "s2":
+		return w.sch, w.s2, nil
+	}
+	return nil, nil, fmt.Errorf("unknown stream %q", name)
+}
+
+func (w *netWorkload) result(name string, n uint64, elapsed time.Duration) netResult {
+	res := netResult{
+		Name:          name,
+		Tuples:        n,
+		Seconds:       elapsed.Seconds(),
+		TuplesPerSec:  float64(n) / elapsed.Seconds(),
+		LatencyP50Us:  float64(w.lat.Percentile(50)),
+		LatencyP99Us:  float64(w.lat.Percentile(99)),
+		LatencyMeanUs: float64(w.lat.Mean()),
+		ETSGenerated:  w.eng.ETSGenerated(),
+	}
+	if b := w.eng.BatchesSent(); b > 0 {
+		res.BatchingFactor = float64(w.eng.TuplesSent()) / float64(b)
+	}
+	return res
+}
+
+// runNetInProc feeds the workload by direct IngestBatch calls.
+func runNetInProc(total int) netResult {
+	w := buildNetWorkload(rt.Options{BatchSize: 64, Recycle: true})
+	w.eng.Start()
+	per := total / 2
+	start := time.Now()
+	feed := func(src *ops.Source) {
+		const span = 64
+		var mag tuple.Magazine
+		raws := make([]*tuple.Tuple, 0, span)
+		for i := 0; i < per; i += span {
+			n := span
+			if rem := per - i; rem < n {
+				n = rem
+			}
+			raws = raws[:0]
+			for j := 0; j < n; j++ {
+				t := mag.Get()
+				t.Ts = w.now()
+				t.Vals = append(t.Vals, tuple.Int(1))
+				raws = append(raws, t)
+			}
+			w.eng.IngestBatch(src, raws)
+		}
+		w.eng.CloseStream(src)
+	}
+	var wg sync.WaitGroup
+	for _, src := range []*ops.Source{w.s1, w.s2} {
+		wg.Add(1)
+		go func(s *ops.Source) { defer wg.Done(); feed(s) }(src)
+	}
+	wg.Wait()
+	w.eng.Wait()
+	return w.result("in-process", uint64(2*per), time.Since(start))
+}
+
+// runNetLoopback feeds the workload through the session server over
+// loopback, one wire-protocol client per source.
+func runNetLoopback(total int) netResult {
+	w := buildNetWorkload(rt.Options{BatchSize: 64, Recycle: true})
+	w.eng.Start()
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend: server.NewEngineBackend(w.eng, w.lookup),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	per := total / 2
+	start := time.Now()
+	feed := func(stream string) error {
+		c, err := client.Dial(srv.Addr().String(), client.Options{
+			Name: "netbench-" + stream, BatchSize: 256, HeartbeatEvery: -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		s, err := c.Bind(stream, tuple.External, client.StreamOptions{AutoPunctEvery: 256})
+		if err != nil {
+			return err
+		}
+		for i := 0; i < per; i++ {
+			if err := s.Send(tuple.NewData(w.now(), tuple.Int(1))); err != nil {
+				return err
+			}
+		}
+		return s.CloseSend()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, stream := range []string{"s1", "s2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := feed(name); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}(stream)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		fmt.Fprintf(os.Stderr, "etsbench: net feed: %v\n", err)
+		os.Exit(1)
+	default:
+	}
+	w.eng.Wait()
+	return w.result("net", uint64(2*per), time.Since(start))
+}
+
+// runNetKillCheck kills one of two live feeds without any shutdown handshake
+// and verifies the watchdog keeps the query emitting and the drain
+// completes.
+func runNetKillCheck() killReport {
+	w := buildNetWorkload(rt.Options{BatchSize: 16, SourceTimeout: 50 * time.Millisecond})
+	w.eng.Start()
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend: server.NewEngineBackend(w.eng, w.lookup),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	dial := func(stream string, record func(net.Conn)) (*client.Conn, *client.Stream) {
+		c, err := client.Dial(srv.Addr().String(), client.Options{
+			Name: "kill-" + stream, BatchSize: 1, HeartbeatEvery: -1,
+			Dial: func(addr string) (net.Conn, error) {
+				conn, err := net.Dial("tcp", addr)
+				if err == nil && record != nil {
+					record(conn)
+				}
+				return conn, err
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		s, err := c.Bind(stream, tuple.External, client.StreamOptions{AutoPunctEvery: 4})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return c, s
+	}
+
+	var victimConn net.Conn
+	live, liveStream := dial("s1", nil)
+	victim, victimStream := dial("s2", func(c net.Conn) { victimConn = c })
+	defer live.Close()
+	defer victim.Close()
+
+	// Both feeds stream paced tuples; then s2's connection dies mid-stream.
+	stopLive := make(chan struct{})
+	var liveWg sync.WaitGroup
+	liveWg.Add(1)
+	go func() {
+		defer liveWg.Done()
+		for {
+			select {
+			case <-stopLive:
+				return
+			default:
+			}
+			liveStream.Send(tuple.NewData(w.now(), tuple.Int(1)))
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		victimStream.Send(tuple.NewData(w.now(), tuple.Int(2)))
+		time.Sleep(200 * time.Microsecond)
+	}
+	rep := killReport{ResultsBeforeKill: w.sunk.Load()}
+	victimConn.Close() // abrupt: no EOS, no drain — the feed just vanishes
+
+	// The union now depends on the watchdog forcing ETS into the silent s2.
+	deadline := time.Now().Add(10 * time.Second)
+	target := rep.ResultsBeforeKill + 1000
+	for time.Now().Before(deadline) {
+		if w.eng.Snapshot().ForcedETS > 0 && w.sunk.Load() >= target {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep.ForcedETS = w.eng.Snapshot().ForcedETS
+	rep.ResultsAfterKill = w.sunk.Load() - rep.ResultsBeforeKill
+
+	// Graceful path out: the live feed finishes, the drain EOSes the
+	// orphaned s2, and the graph must run dry.
+	close(stopLive)
+	liveWg.Wait()
+	liveStream.CloseSend()
+	live.Close()
+	rep.DrainCut = srv.Drain(time.Second)
+	done := make(chan error, 1)
+	go func() { done <- w.eng.Wait() }()
+	select {
+	case err := <-done:
+		rep.DeadlockFree = true
+		if err != nil {
+			rep.EngineErr = err.Error()
+		}
+	case <-time.After(10 * time.Second):
+		rep.DeadlockFree = false
+		w.eng.Stop()
+		<-done
+	}
+	return rep
+}
+
+// runNetBench runs both feeds plus the kill check and writes the report.
+func runNetBench(total int, out string) {
+	if total < 2 {
+		fmt.Fprintf(os.Stderr, "etsbench: -net-tuples must be ≥ 2 (got %d)\n", total)
+		os.Exit(2)
+	}
+	rep := netReport{
+		Workload:  "union: 2 external-ts sources -> TSM union -> sink, on-demand ETS, end-to-end latency",
+		Tuples:    total,
+		GoVersion: runtime.Version(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	// One warmup pass each primes pools, the scheduler, and the TCP stack.
+	runNetInProc(total / 10)
+	rep.InProc = runNetInProc(total)
+	runNetLoopback(total / 10)
+	rep.Net = runNetLoopback(total)
+	if rep.InProc.LatencyP50Us > 0 {
+		rep.NetVsInProcP50X = rep.Net.LatencyP50Us / rep.InProc.LatencyP50Us
+	}
+	for _, r := range []netResult{rep.InProc, rep.Net} {
+		fmt.Printf("%-12s %10.0f tuples/s  p50 %6.0fµs  p99 %6.0fµs  ets %d\n",
+			r.Name, r.TuplesPerSec, r.LatencyP50Us, r.LatencyP99Us, r.ETSGenerated)
+	}
+	fmt.Printf("net vs in-process p50: %.2fx\n", rep.NetVsInProcP50X)
+
+	kill := runNetKillCheck()
+	rep.Kill = &kill
+	fmt.Printf("kill-client: forced ETS %d, results after kill %d, drain cut %d, deadlock-free %v\n",
+		kill.ForcedETS, kill.ResultsAfterKill, kill.DrainCut, kill.DeadlockFree)
+	ok := kill.DeadlockFree && kill.ForcedETS > 0 && kill.ResultsAfterKill > 0 && kill.EngineErr == ""
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "etsbench: kill-client check FAILED")
+		os.Exit(1)
+	}
+}

@@ -25,14 +25,18 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/ops"
+	"repro/internal/runtime"
+	"repro/internal/server"
 	"repro/internal/tuple"
 	"repro/internal/wrappers"
 )
@@ -50,6 +54,10 @@ type options struct {
 	linger    time.Duration
 	chaos     string
 	chaosSeed int64
+
+	listen     string
+	drainGrace time.Duration
+	srcTimeout time.Duration
 }
 
 func main() {
@@ -63,6 +71,9 @@ func main() {
 	flag.DurationVar(&opts.linger, "linger", 0, "keep running this long after the replay ends (lets scrapers collect)")
 	flag.StringVar(&opts.chaos, "chaos", "", "fault spec applied at replay ingestion — drop=P and skew=P:MAX faults (see internal/fault.ParseSpec)")
 	flag.Int64Var(&opts.chaosSeed, "chaos-seed", 0, "override the -chaos spec's PRNG seed (0 keeps the spec's)")
+	flag.StringVar(&opts.listen, "listen", "", "network mode: serve the wire-protocol ingest server on this address instead of replaying -in traces (e.g. 127.0.0.1:7433, :0 for ephemeral)")
+	flag.DurationVar(&opts.drainGrace, "drain-grace", 2*time.Second, "network mode: how long SIGINT lets sessions finish before their connections are cut")
+	flag.DurationVar(&opts.srcTimeout, "source-timeout", 0, "network mode: arm the source-liveness watchdog — a silent source has ETS forced after this long (0 disables)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -73,14 +84,143 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if *ddl == "" || *q == "" || len(ins) == 0 {
+	if *ddl == "" || *q == "" || (len(ins) == 0 && opts.listen == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*ddl, *q, ins, opts); err != nil {
+	var err error
+	if opts.listen != "" {
+		err = serve(*ddl, *q, opts)
+	} else {
+		err = run(*ddl, *q, ins, opts)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "streamd:", err)
 		os.Exit(1)
 	}
+}
+
+// serve runs the continuous query against live network ingest: the
+// concurrent runtime executes the graph while the session server accepts
+// wire-protocol connections (legacy text mode stays off: with several
+// declared streams there is no single stream a raw connection could mean)
+// and feeds tuples, punctuation, and measured clock skew into the sources. SIGINT drains gracefully: the listener closes,
+// in-flight sessions get drainGrace to finish, every stream is closed with
+// a final ETS, and the engine runs to quiescence before results flush.
+func serve(ddl, q string, opts options) error {
+	e := core.NewEngine()
+	if _, err := e.ExecuteScript(ddl, nil); err != nil {
+		return err
+	}
+	reg := metrics.NewRegistry()
+	resultsC := reg.Counter("sm_results_total")
+	outLat := reg.Reservoir("sm_output_latency_us", 8192)
+	var out *wrappers.CSVWriter
+	var results uint64
+	query, err := e.Execute(q, func(t *tuple.Tuple, now tuple.Time) {
+		if out == nil {
+			return
+		}
+		results++
+		resultsC.Inc()
+		if d := now - t.Ts; d >= 0 {
+			outLat.Observe(int64(d))
+		}
+		if err := out.Write(t); err != nil {
+			fmt.Fprintln(os.Stderr, "streamd: write:", err)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	out = wrappers.NewCSVWriter(os.Stdout, query.Out, wrappers.CSVOptions{TsColumn: 0, Header: true})
+
+	var tr *metrics.Tracer
+	if opts.trace {
+		tr = metrics.NewTracer(4096)
+	}
+	re, err := e.BuildRuntime(runtime.Options{
+		OnDemandETS:   !opts.noETS,
+		Metrics:       reg,
+		Trace:         tr,
+		SourceTimeout: opts.srcTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	re.Start()
+	srv, err := server.Listen(opts.listen, server.Options{
+		Backend: server.NewEngineBackend(re, e.LookupStream),
+		Metrics: reg,
+		Trace:   tr,
+	})
+	if err != nil {
+		re.Stop()
+		re.Wait()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamd: ingest listening on %s\n", srv.Addr())
+	if opts.metrics != "" {
+		ln, err := net.Listen("tcp", opts.metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "streamd: metrics listening on http://%s/metrics\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, metrics.Handler(reg, tr)); err != nil && !strings.Contains(err.Error(), "use of closed") {
+				fmt.Fprintln(os.Stderr, "streamd: metrics server:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "streamd: draining (interrupt again to abort)")
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "streamd: aborting")
+		srv.Close()
+		re.Stop()
+	}()
+	if cut := srv.Drain(opts.drainGrace); cut > 0 {
+		fmt.Fprintf(os.Stderr, "streamd: drain: cut %d straggling session(s)\n", cut)
+	}
+	// Drain closed every stream a client had opened; close the rest too so
+	// never-bound sources also EOS and the whole graph can run dry.
+	for _, name := range e.Catalog().Names() {
+		if _, src, err := e.LookupStream(name); err == nil {
+			re.CloseStream(src)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- re.Wait() }()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-time.After(opts.drainGrace + 5*time.Second):
+		fmt.Fprintln(os.Stderr, "streamd: graph drain timed out; stopping")
+		re.Stop()
+		runErr = <-done
+	}
+	srv.Close()
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamd: %d results\n", results)
+	if opts.stats {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		fmt.Fprintf(os.Stderr, "streamd: trace: %d events recorded\n", tr.Total())
+		if err := tr.WriteText(os.Stderr, 64); err != nil {
+			return err
+		}
+	}
+	return runErr
 }
 
 func run(ddl, q string, ins []input, opts options) error {

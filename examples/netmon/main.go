@@ -1,86 +1,143 @@
-// Network monitoring: the Gigascope-style workload that motivated heartbeat
-// punctuation (Johnson et al., VLDB'05) and this paper's on-demand
-// improvement. Two packet streams — a busy backbone link and a quiet
-// management link — are joined on flow id inside a 2-second window to
-// correlate control events with data traffic, and a per-link aggregate
-// counts packets in 1-second windows.
+// Network monitoring over the wire: the Gigascope-style workload that
+// motivated heartbeat punctuation (Johnson et al., VLDB'05) and this paper's
+// on-demand improvement, fed through the networked ingestion subsystem
+// instead of the simulator. Two packet feeds — a busy backbone link and a
+// quiet management link — connect to a loopback session server as
+// wire-protocol clients, and the concurrent runtime joins them on flow id
+// inside a 2-second window while a per-link aggregate counts packets in
+// 1-second windows.
 //
-// The quiet link would stall both queries under classic merge semantics;
-// on-demand ETS keeps them live. The whole thing runs on the deterministic
-// simulator with Poisson traffic, so the demo completes in milliseconds of
-// wall time while simulating a minute of link traffic.
+// The quiet link would stall both queries under classic merge semantics.
+// Here the mgmt *client* keeps them live: it generates punctuation locally
+// (the paper's "wrapper as a first-class bound source"), so progress rides
+// the wire as data, not as a server-side guess. Timestamps are virtual
+// Poisson arrival times over a simulated minute, streamed at full speed.
 package main
 
 import (
 	"fmt"
+	"sync"
 
-	streammill "repro"
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/tuple"
 )
 
 func main() {
-	e := streammill.NewEngine()
-	e.MustExecute(`CREATE STREAM backbone (flow int, bytes int)`, nil)
-	e.MustExecute(`CREATE STREAM mgmt (flow int, code int)`, nil)
+	e := core.NewEngine()
+	e.MustExecute(`CREATE STREAM backbone (flow int, bytes int) TIMESTAMP EXTERNAL`, nil)
+	e.MustExecute(`CREATE STREAM mgmt (flow int, code int) TIMESTAMP EXTERNAL`, nil)
 
-	correlated := 0
+	var mu sync.Mutex
+	correlated, windows := 0, 0
 	e.MustExecute(
 		`SELECT backbone.flow, bytes, code FROM backbone JOIN mgmt ON backbone.flow = mgmt.flow WINDOW 2s`,
-		func(t *streammill.Tuple, _ streammill.Time) {
+		func(t *tuple.Tuple, _ tuple.Time) {
+			mu.Lock()
 			correlated++
 			if correlated <= 5 {
 				fmt.Printf("  correlated: flow=%v bytes=%v code=%v at %v\n",
 					t.Vals[0], t.Vals[1], t.Vals[2], t.Ts)
 			}
+			mu.Unlock()
 		})
-
-	rate := 0
 	e.MustExecute(
 		`SELECT count(*) AS pkts, sum(bytes) AS vol FROM backbone WINDOW 1s`,
-		func(t *streammill.Tuple, _ streammill.Time) {
-			rate++
-			if rate <= 3 {
+		func(t *tuple.Tuple, _ tuple.Time) {
+			mu.Lock()
+			windows++
+			if windows <= 3 {
 				fmt.Printf("  1s window ending %v: %v packets, %v bytes\n",
 					t.Ts, t.Vals[0], t.Vals[1])
 			}
+			mu.Unlock()
 		})
 
-	var s *streammill.Sim
-	ex, err := e.Build(streammill.OnDemandETS, func() streammill.Time { return s.Clock() })
+	re, err := e.BuildRuntime(runtime.Options{OnDemandETS: true})
 	if err != nil {
 		panic(err)
 	}
-	s = streammill.NewSim(ex, streammill.Minute)
-
-	backbone, _ := e.Source("backbone")
-	mgmt, _ := e.Source("mgmt")
-	// Backbone: 200 packets/s across 8 flows. Management: 0.5 events/s.
-	s.AddStream(&streammill.Stream{
-		Source: backbone,
-		Proc:   sim.NewPoisson(200, 7),
-		Payload: func(i uint64) []streammill.Value {
-			return []streammill.Value{
-				streammill.Int(int64(i % 8)),
-				streammill.Int(int64(64 + i%1400)),
-			}
-		},
+	re.Start()
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend: server.NewEngineBackend(re, e.LookupStream),
 	})
-	s.AddStream(&streammill.Stream{
-		Source: mgmt,
-		Proc:   sim.NewPoisson(0.5, 8),
-		Payload: func(i uint64) []streammill.Value {
-			return []streammill.Value{
-				streammill.Int(int64(i % 8)),
-				streammill.Int(int64(100 + i%5)),
-			}
-		},
-	})
-
-	fmt.Println("simulating 60s of link traffic (200/s backbone, 0.5/s mgmt):")
-	if err := s.Run(); err != nil {
+	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("correlation matches: %d; aggregate windows emitted: %d\n", correlated, rate)
-	fmt.Printf("on-demand ETS injected: %d; peak buffered tuples: %d\n",
-		ex.ETSInjected(), ex.Queues().Peak())
+	defer srv.Close()
+	fmt.Printf("ingest server on %s; streaming 60s of link traffic (200/s backbone, 0.5/s mgmt):\n",
+		srv.Addr())
+
+	// Each link is its own wire-protocol client. The backbone punctuates
+	// every 64 packets; the near-silent mgmt link punctuates after every
+	// event and once more at each simulated second so the join never waits
+	// on it.
+	const horizon = tuple.Time(60 * tuple.Second)
+	feed := func(stream string, proc *sim.Poisson, every int, payload func(i uint64) []tuple.Value) {
+		c, err := client.Dial(srv.Addr().String(), client.Options{Name: "netmon-" + stream})
+		if err != nil {
+			panic(err)
+		}
+		defer c.Close()
+		s, err := c.Bind(stream, tuple.External, client.StreamOptions{AutoPunctEvery: every})
+		if err != nil {
+			panic(err)
+		}
+		var i uint64
+		nextBeat := tuple.Time(tuple.Second)
+		for ts := proc.NextGap(); ts < horizon; ts += proc.NextGap() {
+			for nextBeat <= ts { // idle spell: promise progress anyway
+				if err := s.Punct(nextBeat); err != nil {
+					panic(err)
+				}
+				nextBeat += tuple.Time(tuple.Second)
+			}
+			if err := s.Send(tuple.NewData(ts, payload(i)...)); err != nil {
+				panic(err)
+			}
+			i++
+		}
+		if err := s.CloseSend(); err != nil { // EOS: the final, maximal promise
+			panic(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		feed("backbone", sim.NewPoisson(200, 7), 64, func(i uint64) []tuple.Value {
+			return []tuple.Value{tuple.Int(int64(i % 8)), tuple.Int(int64(64 + i%1400))}
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		feed("mgmt", sim.NewPoisson(0.5, 8), 1, func(i uint64) []tuple.Value {
+			return []tuple.Value{tuple.Int(int64(i % 8)), tuple.Int(int64(100 + i%5))}
+		})
+	}()
+	wg.Wait()
+	if err := re.Wait(); err != nil {
+		panic(err)
+	}
+
+	snap := re.Snapshot()
+	mu.Lock()
+	fmt.Printf("correlation matches: %d; aggregate windows emitted: %d\n", correlated, windows)
+	mu.Unlock()
+	fmt.Printf("on-demand ETS generated: %d; tuples over the wire: %d; punctuation: %d\n",
+		snap.ETSGenerated,
+		lookupMetric(srv, "sm_net_tuples_in_total"),
+		lookupMetric(srv, "sm_net_punct_in_total"))
+}
+
+func lookupMetric(srv *server.Server, name string) int64 {
+	for _, m := range srv.Registry().Snapshot() {
+		if m.Name == name {
+			return int64(m.Value)
+		}
+	}
+	return -1
 }

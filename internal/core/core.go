@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/runtime"
 	"repro/internal/tuple"
 )
 
@@ -268,4 +269,35 @@ func (e *Engine) Build(policy ETSPolicy, now func() tuple.Time) (*exec.Engine, e
 	}
 	e.sealed = true
 	return ex, nil
+}
+
+// BuildRuntime seals the engine and returns a concurrent real-time runtime
+// engine over the graph (one goroutine per operator, batched arcs, demand-
+// driven ETS per opts). The network ingest path — streamd -listen and the
+// server package's engine backend — runs on this engine; the simulation
+// engine from Build stays for deterministic replay.
+func (e *Engine) BuildRuntime(opts runtime.Options) (*runtime.Engine, error) {
+	if len(e.queries) == 0 {
+		return nil, fmt.Errorf("core: no queries registered")
+	}
+	re, err := runtime.New(e.g, opts)
+	if err != nil {
+		return nil, err
+	}
+	e.sealed = true
+	return re, nil
+}
+
+// LookupStream resolves a declared stream to its schema and source operator
+// — the stream-binding hook the networked ingest server uses.
+func (e *Engine) LookupStream(name string) (*tuple.Schema, *ops.Source, error) {
+	entry, ok := e.sources[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown stream %q", name)
+	}
+	sch, err := e.cat.Schema(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sch, entry.op, nil
 }

@@ -53,6 +53,19 @@ const (
 	// EvShed: the node dropped buffered tuples to stay within its queue
 	// bound; Value is how many were shed.
 	EvShed
+	// EvNetSessionOpen: the ingest server accepted a connection; Value is
+	// the session id.
+	EvNetSessionOpen
+	// EvNetSessionClose: an ingest session ended; Value is the session id.
+	EvNetSessionClose
+	// EvNetBind: a session bound a stream; Value is the session id.
+	EvNetBind
+	// EvNetDemand: the server granted tuple credits to a client (the wire
+	// form of upstream demand); Value is the credits granted.
+	EvNetDemand
+	// EvNetSkew: a session's skew estimator raised a source's δ; Value is
+	// the new bound in µs.
+	EvNetSkew
 
 	numEventKinds
 )
@@ -85,6 +98,16 @@ func (k EventKind) String() string {
 		return "LateTuple"
 	case EvShed:
 		return "Shed"
+	case EvNetSessionOpen:
+		return "NetSessionOpen"
+	case EvNetSessionClose:
+		return "NetSessionClose"
+	case EvNetBind:
+		return "NetBind"
+	case EvNetDemand:
+		return "NetDemand"
+	case EvNetSkew:
+		return "NetSkew"
 	default:
 		return fmt.Sprintf("EventKind(%d)", k)
 	}

@@ -58,6 +58,25 @@ func NewSource(name string, schema *tuple.Schema, delta tuple.Time) *Source {
 // TSKind reports the stream's timestamp kind.
 func (s *Source) TSKind() tuple.TSKind { return s.tsKind }
 
+// Delta reports the stream's current skew bound δ (0 for non-external
+// streams, which have no estimator or no skew notion).
+func (s *Source) Delta() tuple.Time {
+	if s.est == nil || s.tsKind != tuple.External {
+		return 0
+	}
+	return s.est.Delta()
+}
+
+// RaiseDelta widens the external skew bound δ to d if larger — the hook the
+// networked ingest layer uses to feed a per-connection skew measurement
+// into on-demand ETS generation. Widening only (an ETS must stay a valid
+// lower bound); no-op for non-external streams. Safe for concurrent use.
+func (s *Source) RaiseDelta(d tuple.Time) {
+	if s.est != nil && s.tsKind == tuple.External {
+		s.est.RaiseDelta(d)
+	}
+}
+
 // Inbox returns the queue external wrappers deposit tuples into.
 func (s *Source) Inbox() *buffer.Queue { return s.inbox }
 

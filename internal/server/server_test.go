@@ -1,0 +1,438 @@
+package server_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// recBackend records everything ingested for one declared stream.
+type recBackend struct {
+	sch *tuple.Schema
+	src *ops.Source
+
+	mu     sync.Mutex
+	data   []*tuple.Tuple
+	punct  []tuple.Time
+	closed bool
+}
+
+func newRecBackend(sch *tuple.Schema, src *ops.Source) *recBackend {
+	return &recBackend{sch: sch, src: src}
+}
+
+func (b *recBackend) Open(name string) (*tuple.Schema, server.StreamSink, error) {
+	if name != b.sch.Name {
+		return nil, nil, fmt.Errorf("unknown stream %q", name)
+	}
+	return b.sch, b, nil
+}
+
+func (b *recBackend) Ingest(t *tuple.Tuple) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.IsPunct() {
+		b.punct = append(b.punct, t.Ts)
+		return
+	}
+	b.data = append(b.data, t)
+}
+
+func (b *recBackend) IngestBatch(ts []*tuple.Tuple) {
+	for _, t := range ts {
+		b.Ingest(t)
+	}
+}
+
+func (b *recBackend) Source() *ops.Source { return b.src }
+
+func (b *recBackend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}
+
+func (b *recBackend) counts() (data, punct int, closed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.data), len(b.punct), b.closed
+}
+
+func sensorSchema() *tuple.Schema {
+	return tuple.NewSchema("sensors",
+		tuple.Field{Name: "id", Kind: tuple.IntKind},
+		tuple.Field{Name: "v", Kind: tuple.FloatKind},
+	).WithTS(tuple.External)
+}
+
+// testConn wraps a raw protocol conversation.
+type testConn struct {
+	t    *testing.T
+	conn net.Conn
+	w    *wire.Writer
+	r    *wire.Reader
+}
+
+func dialWire(t *testing.T, addr string) *testConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	tc := &testConn{t: t, conn: conn, w: wire.NewWriter(conn), r: wire.NewReader(conn)}
+	if err := tc.w.WriteMagic(); err != nil {
+		t.Fatalf("magic: %v", err)
+	}
+	return tc
+}
+
+func (tc *testConn) send(f wire.Frame) {
+	tc.t.Helper()
+	if err := tc.w.WriteFrame(f); err != nil {
+		tc.t.Fatalf("write %v: %v", f.Type(), err)
+	}
+	if err := tc.w.Flush(); err != nil {
+		tc.t.Fatalf("flush: %v", err)
+	}
+}
+
+func (tc *testConn) recv() wire.Frame {
+	tc.t.Helper()
+	tc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := tc.r.Next()
+	if err != nil {
+		tc.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+// hello performs the opening handshake and returns the ack.
+func (tc *testConn) hello(clock int64) wire.HelloAck {
+	tc.t.Helper()
+	tc.send(wire.Hello{Version: wire.Version, Name: "test", Clock: clock})
+	ack, ok := tc.recv().(wire.HelloAck)
+	if !ok {
+		tc.t.Fatalf("expected HELLO_ACK")
+	}
+	return ack
+}
+
+func (tc *testConn) bind(id uint32, stream string, ts tuple.TSKind, delta tuple.Time) wire.BindAck {
+	tc.t.Helper()
+	tc.send(wire.Bind{ID: id, Stream: stream, TS: ts, Delta: delta})
+	ack, ok := tc.recv().(wire.BindAck)
+	if !ok {
+		tc.t.Fatalf("expected BIND_ACK")
+	}
+	return ack
+}
+
+func TestSessionIngest(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	ack := tc.hello(1000)
+	if ack.Session == 0 || ack.Credits == 0 {
+		t.Fatalf("bad hello ack: %+v", ack)
+	}
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+
+	tc.send(wire.Tuple{ID: 1, T: tuple.NewData(10, tuple.Int(1), tuple.Float(0.5))})
+	batch := wire.Tuples{ID: 1}
+	for i := 0; i < 10; i++ {
+		batch.Batch = append(batch.Batch, tuple.NewData(tuple.Time(20+i), tuple.Int(int64(i)), tuple.Float(1.5)))
+	}
+	tc.send(batch)
+	tc.send(wire.Punct{ID: 1, TS: tuple.External, ETS: 29})
+	tc.send(wire.EOS{ID: 1})
+	tc.conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, punct, closed := back.counts()
+		if data == 11 && punct == 1 && closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: data=%d punct=%d closed=%v", data, punct, closed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	reg := srv.Registry()
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	if snap["sm_net_tuples_in_total"] != 11 {
+		t.Errorf("tuples_in = %v, want 11", snap["sm_net_tuples_in_total"])
+	}
+	if snap["sm_net_punct_in_total"] != 1 {
+		t.Errorf("punct_in = %v, want 1", snap["sm_net_punct_in_total"])
+	}
+	if snap["sm_net_stream_tuples_total{stream=sensors}"] != 11 {
+		t.Errorf("stream tuples = %v, want 11", snap["sm_net_stream_tuples_total{stream=sensors}"])
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.hello(0)
+
+	if ack := tc.bind(1, "nosuch", tuple.External, 0); ack.Err == "" {
+		t.Error("bind to unknown stream succeeded")
+	}
+	// Wrong timestamp kind.
+	if ack := tc.bind(2, "sensors", tuple.Internal, 0); ack.Err == "" {
+		t.Error("bind with wrong TS kind succeeded")
+	}
+	// Wrong field kinds.
+	tc.send(wire.Bind{ID: 3, Stream: "sensors", TS: tuple.External,
+		Fields: []tuple.Field{{Name: "a", Kind: tuple.StringKind}, {Name: "b", Kind: tuple.FloatKind}}})
+	if ack := tc.recv().(wire.BindAck); ack.Err == "" {
+		t.Error("bind with wrong field kind succeeded")
+	}
+	// Matching explicit schema is accepted.
+	tc.send(wire.Bind{ID: 4, Stream: "sensors", TS: tuple.External,
+		Fields: []tuple.Field{{Name: "x", Kind: tuple.IntKind}, {Name: "y", Kind: tuple.FloatKind}}})
+	if ack := tc.recv().(wire.BindAck); ack.Err != "" {
+		t.Errorf("bind with matching schema failed: %s", ack.Err)
+	}
+	// Duplicate id.
+	if ack := tc.bind(4, "sensors", tuple.External, 0); ack.Err == "" {
+		t.Error("duplicate bind id succeeded")
+	}
+}
+
+func TestUnboundTupleIsProtocolError(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.hello(0)
+	tc.send(wire.Tuple{ID: 9, T: tuple.NewData(1, tuple.Int(1), tuple.Float(1))})
+	f := tc.recv()
+	e, ok := f.(wire.Error)
+	if !ok || e.Code != wire.ErrCodeProtocol {
+		t.Fatalf("expected protocol ERROR, got %+v", f)
+	}
+}
+
+func TestCreditsTopUp(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back, Credits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	ack := tc.hello(0)
+	if ack.Credits != 8 {
+		t.Fatalf("credits = %d, want 8", ack.Credits)
+	}
+	tc.bind(1, "sensors", tuple.External, 0)
+	for i := 0; i < 4; i++ {
+		tc.send(wire.Tuple{ID: 1, T: tuple.NewData(tuple.Time(i), tuple.Int(1), tuple.Float(1))})
+	}
+	f := tc.recv()
+	d, ok := f.(wire.Demand)
+	if !ok {
+		t.Fatalf("expected DEMAND after half window, got %+v", f)
+	}
+	if d.Credits != 4 {
+		t.Errorf("granted %d credits, want 4", d.Credits)
+	}
+}
+
+func TestSharedStreamEOSRefcount(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	a := dialWire(t, srv.Addr().String())
+	defer a.conn.Close()
+	a.hello(0)
+	a.bind(1, "sensors", tuple.External, 0)
+	b := dialWire(t, srv.Addr().String())
+	defer b.conn.Close()
+	b.hello(0)
+	b.bind(1, "sensors", tuple.External, 0)
+
+	// First EOS must not close the shared stream: another session still
+	// holds a reference.
+	a.send(wire.EOS{ID: 1})
+	a.conn.Close()
+	time.Sleep(50 * time.Millisecond)
+	if _, _, closed := back.counts(); closed {
+		t.Fatal("stream closed while a session still held it")
+	}
+	b.send(wire.EOS{ID: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, closed := back.counts(); closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream not closed after last EOS")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	reg := metrics.NewRegistry()
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.hello(0)
+	tc.bind(1, "sensors", tuple.External, 0)
+	tc.send(wire.Tuple{ID: 1, T: tuple.NewData(5, tuple.Int(1), tuple.Float(1))})
+
+	done := make(chan int)
+	go func() { done <- srv.Drain(2 * time.Second) }()
+
+	// The client is told the server is draining...
+	f := tc.recv()
+	if e, ok := f.(wire.Error); !ok || e.Code != wire.ErrCodeDraining {
+		t.Fatalf("expected draining ERROR, got %+v", f)
+	}
+	// ...finishes up and leaves.
+	tc.send(wire.EOS{ID: 1})
+	tc.conn.Close()
+	if cut := <-done; cut != 0 {
+		t.Errorf("drain cut %d sessions, want 0", cut)
+	}
+	if _, _, closed := back.counts(); !closed {
+		t.Fatal("stream not closed after drain")
+	}
+	// New connections are refused while drained.
+	if conn, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Error("post-drain connection was served")
+		}
+		conn.Close()
+	}
+}
+
+// lineDecoder is a minimal text decoder: "<ts>,<id>,<v>" per line.
+type lineDecoder struct {
+	br  *bufio.Reader
+	sch *tuple.Schema
+}
+
+func (d *lineDecoder) Next() (*tuple.Tuple, error) {
+	line, err := d.br.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.Split(strings.TrimSpace(line), ",")
+	ts, _ := strconv.ParseInt(parts[0], 10, 64)
+	id, _ := strconv.ParseInt(parts[1], 10, 64)
+	v, _ := strconv.ParseFloat(parts[2], 64)
+	return tuple.NewData(tuple.Time(ts), tuple.Int(id), tuple.Float(v)), nil
+}
+
+func TestTextFallback(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend: back,
+		Text: &server.TextOptions{
+			Stream: "sensors",
+			NewDecoder: func(r io.Reader, sch *tuple.Schema) server.TupleDecoder {
+				return &lineDecoder{br: bufio.NewReader(r), sch: sch}
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(conn, "%d,%d,%g\n", 100+i, i, 0.25)
+	}
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, _, closed := back.counts()
+		if data == 5 {
+			if closed {
+				t.Fatal("text disconnect must not close the stream")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: got %d tuples", data)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTextRejectedWithoutOptions(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "1,2,3\n")
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("expected the stray text connection to be dropped")
+	}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"repro/internal/tuple"
+)
+
+// SkewEstimator measures the clock relationship of one network connection,
+// turning the paper's abstract skew bound δ (§5: a source can promise
+// ETS = t + τ − δ) into a quantity the server actually observes.
+//
+// Every HELLO and HEARTBEAT frame carries the sender's clock c; the server
+// records the receive clock s and keeps the running minimum and maximum of
+// the offset o = s − c. A single offset says nothing (the two clocks have
+// arbitrary epochs), but the *spread* max(o) − min(o) is epoch-free and
+// bounds how far the sender's clock has wandered against ours — relative
+// drift plus network-delay jitter, which is exactly the extra uncertainty a
+// remote external-timestamp stream adds on top of its application-declared
+// skew. The session feeds base δ + spread into the source's ETS estimator
+// (ops.Source.RaiseDelta), widening only: on-demand ETS for the remote
+// stream then uses the measured link rather than a hopeful constant, and
+// the promised bound stays a valid lower bound even on a jittery
+// connection.
+//
+// The estimator is owned by its session goroutine; it needs no locking.
+type SkewEstimator struct {
+	samples uint64
+	minOff  int64
+	maxOff  int64
+}
+
+// Observe records one (sender clock, receive clock) pair, both in µs.
+func (e *SkewEstimator) Observe(senderClock, recvClock int64) {
+	off := recvClock - senderClock
+	if e.samples == 0 {
+		e.minOff, e.maxOff = off, off
+	} else {
+		if off < e.minOff {
+			e.minOff = off
+		}
+		if off > e.maxOff {
+			e.maxOff = off
+		}
+	}
+	e.samples++
+}
+
+// Samples reports the number of clock pairs observed.
+func (e *SkewEstimator) Samples() uint64 { return e.samples }
+
+// Spread reports the observed offset spread — the measured relative skew
+// bound of the connection. It is 0 until at least two samples exist (one
+// sample fixes the epoch but bounds nothing).
+func (e *SkewEstimator) Spread() tuple.Time {
+	if e.samples < 2 {
+		return 0
+	}
+	return tuple.Time(e.maxOff - e.minOff)
+}
+
+// Offset reports the minimum observed offset — the best single estimate of
+// the epoch difference between the two clocks (the sample with the least
+// network delay in it). Diagnostic only; ETS math uses Spread.
+func (e *SkewEstimator) Offset() int64 { return e.minOff }

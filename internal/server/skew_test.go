@@ -1,0 +1,205 @@
+package server_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+func TestSkewEstimatorSpread(t *testing.T) {
+	var e server.SkewEstimator
+	if e.Spread() != 0 {
+		t.Fatal("spread before samples")
+	}
+	e.Observe(100, 150) // offset +50
+	if e.Spread() != 0 {
+		t.Fatal("one sample fixes the epoch, bounds nothing")
+	}
+	e.Observe(200, 230) // offset +30
+	if got := e.Spread(); got != 20 {
+		t.Fatalf("spread = %d, want 20", got)
+	}
+	e.Observe(300, 390) // offset +90
+	if got := e.Spread(); got != 60 {
+		t.Fatalf("spread = %d, want 60", got)
+	}
+	if e.Samples() != 3 {
+		t.Fatalf("samples = %d", e.Samples())
+	}
+}
+
+// srcBackend ingests straight into a source operator, using the server's
+// clock for arrival stamps — the slice of engine behaviour the skew test
+// needs.
+type srcBackend struct {
+	sch *tuple.Schema
+	src *ops.Source
+	now func() tuple.Time
+}
+
+func (b *srcBackend) Open(string) (*tuple.Schema, server.StreamSink, error) {
+	return b.sch, b, nil
+}
+func (b *srcBackend) Ingest(t *tuple.Tuple) {
+	if t.IsPunct() {
+		b.src.Offer(t)
+		return
+	}
+	b.src.Ingest(t, b.now())
+}
+func (b *srcBackend) IngestBatch(ts []*tuple.Tuple) {
+	for _, t := range ts {
+		b.Ingest(t)
+	}
+}
+func (b *srcBackend) Source() *ops.Source { return b.src }
+func (b *srcBackend) Close()              { b.src.Offer(tuple.EOS()) }
+
+// TestSkewWidensDeltaAndETSStaysLowerBound drives a session over loopback
+// with fault-injected clock jitter and fully virtual clocks:
+//
+//  1. Calibration: the client heartbeats with a jittered clock (seeded
+//     fault.Injector, ±400µs); the session's estimator must widen the
+//     source's δ to exactly the injected offset spread.
+//  2. Validity: the client then streams tuples whose external timestamps
+//     carry the same jitter sequence, and right before each arrival the
+//     test asks the source for an on-demand ETS. Every promise must be a
+//     lower bound on every timestamp still to come — the paper's
+//     correctness condition for external-timestamp ETS.
+//
+// The test also recomputes each promise with the *unwidened* δ=0 and
+// requires at least one would-be violation, proving the measured widening
+// is what keeps the bound honest on this jitter sequence.
+func TestSkewWidensDeltaAndETSStaysLowerBound(t *testing.T) {
+	const (
+		base    = int64(1_000_000) // virtual epoch, µs
+		spacing = int64(10_000)    // event spacing, µs
+		lead    = int64(100)       // ETS query lead before each arrival, µs
+		jitMax  = tuple.Time(400)
+		n       = 40
+	)
+	inj := fault.New(fault.Config{Seed: 7, SkewProb: 1, SkewMax: jitMax})
+	jit := make([]int64, n)
+	minJ, maxJ := int64(0), int64(0)
+	for i := range jit {
+		jit[i] = int64(inj.SkewTs(tuple.Time(base))) - base
+		if i == 0 || jit[i] < minJ {
+			minJ = jit[i]
+		}
+		if i == 0 || jit[i] > maxJ {
+			maxJ = jit[i]
+		}
+	}
+	spread := maxJ - minJ
+
+	var snow atomic.Int64 // the server's virtual clock
+	snow.Store(base)
+	now := func() tuple.Time { return tuple.Time(snow.Load()) }
+	sch := sensorSchema()
+	src := ops.NewSource("sensors", sch, 0)
+	trace := metrics.NewTracer(256)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend: &srcBackend{sch: sch, src: src, now: now},
+		Now:     now,
+		Trace:   trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.hello(snow.Load()) // zero-offset first sample
+	if ack := tc.bind(1, "sensors", tuple.External, 0); ack.Err != "" {
+		t.Fatalf("bind: %s", ack.Err)
+	}
+	// ping waits until the session has processed every frame sent so far: a
+	// duplicate BIND always earns a synchronous (error) ack, and the session
+	// handles frames in order, so the reply is a barrier.
+	ping := func() {
+		t.Helper()
+		tc.send(wire.Bind{ID: 1, Stream: "sensors", TS: tuple.External})
+		if ack, ok := tc.recv().(wire.BindAck); !ok || ack.Err == "" {
+			t.Fatalf("ping got %+v", ack)
+		}
+	}
+
+	// Phase 1: calibrate. Client clock = server clock + jitter.
+	for i, j := range jit {
+		sNow := base + int64(i+1)*spacing
+		snow.Store(sNow)
+		tc.send(wire.Heartbeat{Clock: sNow + j})
+		ping()
+	}
+	// The HELLO sample had offset 0 and jitter is centred on 0, so the
+	// session's spread is over {0} ∪ {-jit}: exactly maxJ - minJ when the
+	// jitter straddles zero (it does for this seed).
+	if minJ > 0 || maxJ < 0 {
+		t.Fatalf("seed no longer straddles zero: jitter [%d,%d]", minJ, maxJ)
+	}
+	if got := src.Delta(); int64(got) != spread {
+		t.Fatalf("source δ = %d, want measured spread %d", got, spread)
+	}
+	if trace.Count(metrics.EvNetSkew) == 0 {
+		t.Error("no EvNetSkew trace events emitted")
+	}
+
+	// Phase 2: validity. Step the source operator ourselves so its ETS
+	// estimator observes arrivals on a controlled clock.
+	ctx := &ops.Ctx{Emit: func(*tuple.Tuple) {}, Now: now}
+	step := func() {
+		for src.More(ctx) {
+			src.Exec(ctx)
+		}
+	}
+	phase2 := base + int64(n+2)*spacing
+	type promise struct {
+		ets   tuple.Time
+		naive tuple.Time // what δ=0 would have promised
+		idx   int        // issued before arrival idx
+	}
+	var promises []promise
+	var ts []tuple.Time
+	for k, j := range jit {
+		arrive := phase2 + int64(k)*spacing
+		ts = append(ts, tuple.Time(arrive+j))
+		if k > 0 {
+			// Query the promise just before the next arrival.
+			snow.Store(arrive - lead)
+			if ets, ok := src.OnDemandETS(now()); ok {
+				naive := ets.Ts + src.Delta() // undo the widening: δ=0 promise
+				promises = append(promises, promise{ets: ets.Ts, naive: naive, idx: k})
+				tuple.Put(ets)
+			}
+		}
+		snow.Store(arrive)
+		tc.send(wire.Tuple{ID: 1, T: tuple.NewData(ts[k], tuple.Int(int64(k)), tuple.Float(1))})
+		ping()
+		step()
+	}
+	if len(promises) < n/2 {
+		t.Fatalf("only %d promises issued; the gate starved the test", len(promises))
+	}
+	naiveViolations := 0
+	for _, p := range promises {
+		for k := p.idx; k < n; k++ {
+			if ts[k] < p.ets {
+				t.Fatalf("ETS %d (before arrival %d) exceeds later timestamp %d (#%d): not a lower bound",
+					p.ets, p.idx, ts[k], k)
+			}
+			if ts[k] < p.naive {
+				naiveViolations++
+			}
+		}
+	}
+	if naiveViolations == 0 {
+		t.Error("δ=0 promises were all valid too: jitter sequence exercises nothing")
+	}
+}

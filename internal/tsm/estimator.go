@@ -1,6 +1,8 @@
 package tsm
 
 import (
+	"sync/atomic"
+
 	"repro/internal/tuple"
 )
 
@@ -23,7 +25,11 @@ type ETSEstimator struct {
 
 	// δ is the maximum skew between a tuple's external timestamp and the
 	// arrival clock, relative to the previous tuple (external kind only).
-	delta tuple.Time
+	// It is atomic because a networked source's per-connection skew
+	// estimator raises it from the session goroutine while the source's
+	// own goroutine computes ETS values; every other estimator field stays
+	// single-owner.
+	delta atomic.Int64
 
 	lastTs      tuple.Time // timestamp of the last data tuple emitted
 	lastArrival tuple.Time // clock at which it was emitted
@@ -42,7 +48,31 @@ func NewInternalEstimator() *ETSEstimator {
 // NewExternalEstimator returns an estimator for externally timestamped
 // streams with maximum skew δ between successive arrivals.
 func NewExternalEstimator(delta tuple.Time) *ETSEstimator {
-	return &ETSEstimator{kind: tuple.External, delta: delta}
+	e := &ETSEstimator{kind: tuple.External}
+	e.delta.Store(int64(delta))
+	return e
+}
+
+// Delta reports the current skew bound δ.
+func (e *ETSEstimator) Delta() tuple.Time { return tuple.Time(e.delta.Load()) }
+
+// RaiseDelta widens the skew bound to d if d exceeds the current bound.
+// Only widening is allowed: δ is the safety margin that keeps an ETS a
+// valid lower bound, so a measured skew larger than the configured bound
+// must take effect, while a smaller measurement must not narrow the
+// promise retroactively. Safe for concurrent use — the networked ingest
+// path calls it from a session goroutine as its per-connection skew
+// estimator learns the link's real jitter.
+func (e *ETSEstimator) RaiseDelta(d tuple.Time) {
+	for {
+		cur := e.delta.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if e.delta.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
 }
 
 // Kind reports the timestamp kind the estimator serves.
@@ -75,7 +105,7 @@ func (e *ETSEstimator) ETS(now tuple.Time) (tuple.Time, bool) {
 			return tuple.MinTime, false
 		}
 		elapsed := now - e.lastArrival
-		ets = e.lastTs + elapsed - e.delta
+		ets = e.lastTs + elapsed - tuple.Time(e.delta.Load())
 		if ets < e.lastTs {
 			// The bound can not regress below the last emitted
 			// timestamp: arcs are ordered.

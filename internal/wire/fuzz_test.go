@@ -1,0 +1,53 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at every frame decoder. The
+// properties checked:
+//
+//   - no panic, no unbounded allocation (the corpus runs under the fuzzer's
+//     memory limit; maxArity/maxFields/MaxFrame are the guards);
+//   - a payload that decodes must re-encode and decode to the same frame
+//     (decode ∘ encode ∘ decode = decode — canonical form is a fixpoint).
+func FuzzDecodeFrame(f *testing.F) {
+	seedFrames := []Frame{
+		Hello{Version: Version, Name: "fuzz", Clock: 99},
+		HelloAck{Version: Version, Session: 7, Credits: 1024},
+		Bind{ID: 1, Stream: "s", TS: tuple.External, Delta: 500,
+			Fields: []tuple.Field{{Name: "v", Kind: tuple.IntKind}}},
+		BindAck{ID: 1, Err: "no"},
+		Tuple{ID: 1, T: tuple.NewData(10, tuple.Int(1), tuple.String_("x"))},
+		Tuples{ID: 1, Batch: []*tuple.Tuple{tuple.NewData(1, tuple.Float(2.5))}},
+		Punct{ID: 1, TS: tuple.Internal, ETS: 123},
+		Heartbeat{Clock: -5},
+		Demand{ID: 0, Credits: 10},
+		EOS{ID: 3},
+		Error{Code: ErrCodeProtocol, Msg: "bad"},
+	}
+	for _, fr := range seedFrames {
+		f.Add(byte(fr.Type()), fr.encode(nil))
+	}
+	f.Add(byte(TypeTuple), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(byte(250), []byte{})
+
+	f.Fuzz(func(t *testing.T, typ byte, payload []byte) {
+		fr, err := DecodeFrame(FrameType(typ), payload, nil)
+		if err != nil {
+			return
+		}
+		re := fr.encode(nil)
+		fr2, err := DecodeFrame(FrameType(typ), re, nil)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame failed: %v (payload %x)", err, re)
+		}
+		re2 := fr2.encode(nil)
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("re-encode not a fixpoint:\n first %x\nsecond %x", re, re2)
+		}
+	})
+}

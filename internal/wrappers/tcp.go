@@ -2,100 +2,71 @@ package wrappers
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/server"
 	"repro/internal/tuple"
 )
 
-// TCPSource accepts TCP connections and decodes CSV lines from each into
-// tuples, delivering them to a callback. It is the network input wrapper
-// for the real-time runtime.
+// TCPSource accepts TCP connections and decodes tuples from each, delivering
+// them to a callback — the network input wrapper for the real-time runtime.
+// It is a thin veneer over the session server (internal/server): connections
+// speaking the framed wire protocol get the full session treatment
+// (punctuation, credits, skew measurement), while raw connections fall back
+// to legacy text mode and are decoded as CSV lines against the schema.
 type TCPSource struct {
-	ln      net.Listener
-	schema  *tuple.Schema
-	opts    CSVOptions
+	srv     *server.Server
 	deliver func(*tuple.Tuple)
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
-
-	received uint64
-	errs     uint64
+	closed   atomic.Bool
+	received atomic.Uint64
 }
 
 // NewTCPSource listens on addr (e.g. "127.0.0.1:0") and delivers decoded
 // tuples to the callback from connection-handler goroutines. The callback
 // must be safe for concurrent use (ingesting into a runtime engine is).
 func NewTCPSource(addr string, schema *tuple.Schema, opts CSVOptions, deliver func(*tuple.Tuple)) (*TCPSource, error) {
-	ln, err := net.Listen("tcp", addr)
+	s := &TCPSource{deliver: deliver}
+	srv, err := server.Listen(addr, server.Options{
+		Backend: server.NewCallbackBackend(schema, s.handleTuple, nil),
+		Text: &server.TextOptions{
+			Stream: schema.Name,
+			NewDecoder: func(r io.Reader, sch *tuple.Schema) server.TupleDecoder {
+				return NewCSVScanner(r, sch, opts)
+			},
+		},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("wrappers: listen %s: %w", addr, err)
+		return nil, err
 	}
-	s := &TCPSource{ln: ln, schema: schema, opts: opts, deliver: deliver}
-	s.wg.Add(1)
-	go s.acceptLoop()
+	s.srv = srv
 	return s, nil
 }
 
+func (s *TCPSource) handleTuple(t *tuple.Tuple) {
+	if s.closed.Load() {
+		return
+	}
+	if !t.IsPunct() {
+		s.received.Add(1)
+	}
+	s.deliver(t)
+}
+
 // Addr reports the bound listen address.
-func (s *TCPSource) Addr() net.Addr { return s.ln.Addr() }
+func (s *TCPSource) Addr() net.Addr { return s.srv.Addr() }
 
-// Received reports the number of tuples decoded so far.
-func (s *TCPSource) Received() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.received
-}
+// Received reports the number of data tuples decoded so far.
+func (s *TCPSource) Received() uint64 { return s.received.Load() }
 
-// Close stops accepting and waits for connection handlers to finish.
+// Close stops accepting, cuts live connections, and waits for connection
+// handlers to finish.
 func (s *TCPSource) Close() error {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	err := s.ln.Close()
-	s.wg.Wait()
-	return err
-}
-
-func (s *TCPSource) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return // listener closed
-		}
-		s.wg.Add(1)
-		go s.handle(conn)
-	}
-}
-
-func (s *TCPSource) handle(conn net.Conn) {
-	defer s.wg.Done()
-	defer conn.Close()
-	sc := NewCSVScanner(conn, s.schema, s.opts)
-	for {
-		t, err := sc.Next()
-		if err != nil {
-			if err.Error() != "EOF" {
-				s.mu.Lock()
-				s.errs++
-				s.mu.Unlock()
-			}
-			return
-		}
-		s.mu.Lock()
-		closed := s.closed
-		if !closed {
-			s.received++
-		}
-		s.mu.Unlock()
-		if closed {
-			return
-		}
-		s.deliver(t)
-	}
+	s.closed.Store(true)
+	return s.srv.Close()
 }
 
 // TCPSink connects to addr and writes result tuples as CSV lines — the
