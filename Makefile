@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard bench-net obs-smoke net-smoke chaos fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar obs-smoke net-smoke col-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -36,6 +36,18 @@ bench-shard:
 bench-net:
 	$(GO) run ./cmd/etsbench -net
 
+# Row-vs-columnar data-plane measurement on the filter/project/hash and
+# filter/join/aggregate pipelines; writes BENCH_columnar.json.
+bench-columnar:
+	$(GO) run ./cmd/etsbench -columnar
+
+# Columnar data-plane tests under the race detector: converters and the
+# punctuation-order property (tuple), row/col operator equivalence (ops),
+# end-to-end engine equivalence and mixed/fan-out arcs (runtime), the
+# TUPLES_COL frame (wire), and client/server capability interop.
+col-smoke:
+	$(GO) test -race -run 'Col|Columnar' ./internal/tuple ./internal/ops ./internal/runtime ./internal/wire ./internal/server ./client
+
 # End-to-end observability check: streamd with the live metrics endpoint,
 # one scrape, required metric families present (scripts/obs_smoke.sh).
 obs-smoke:
@@ -54,10 +66,12 @@ net-smoke:
 chaos:
 	$(GO) run -race ./cmd/etsbench -chaos -chaos-duration 2s
 
-# Short coverage-guided fuzz of the CQL parser and the wire-protocol frame
-# decoder (panic/hang/determinism on arbitrary input).
+# Short coverage-guided fuzz of the CQL parser, the wire-protocol frame
+# decoder, and the row↔columnar converters (panic/hang/losslessness on
+# arbitrary input).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run '^$$' ./internal/cql
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s -run '^$$' ./internal/wire
+	$(GO) test -fuzz=FuzzColBatchRoundTrip -fuzztime=30s -run '^$$' ./internal/tuple
 
-check: vet build test race bench obs-smoke net-smoke chaos
+check: vet build test race bench obs-smoke net-smoke col-smoke chaos

@@ -60,6 +60,12 @@ type Options struct {
 	// BatchSize caps tuples buffered per stream before a TUPLES frame is
 	// written (default DefaultBatchSize). 1 sends every tuple immediately.
 	BatchSize int
+	// Columnar offers the columnar-batch capability in HELLO: when the
+	// server grants it, Stream.SendCol ships tuple.ColBatch payloads as
+	// TUPLES_COL frames with no per-row materialization on either end.
+	// Against an older server SendCol still works — batches are converted
+	// to row frames client-side.
+	Columnar bool
 	// Reconnect enables automatic redial with exponential backoff after a
 	// connection failure; streams are re-bound transparently.
 	Reconnect bool
@@ -87,6 +93,7 @@ type Conn struct {
 
 	sess    uint64
 	credits int64
+	colOK   bool // server granted CapColumnar on the current transport
 	streams map[uint32]*Stream
 	nextID  uint32
 
@@ -176,6 +183,9 @@ func (c *Conn) connectLocked() error {
 		return fail(err)
 	}
 	hello := wire.Hello{Version: wire.Version, Name: c.opts.Name, Clock: c.opts.Clock()}
+	if c.opts.Columnar {
+		hello.Flags |= wire.CapColumnar
+	}
 	if err := w.WriteFrame(hello); err != nil {
 		return fail(err)
 	}
@@ -244,6 +254,7 @@ func (c *Conn) connectLocked() error {
 	c.w = w
 	c.sess = ack.Session
 	c.credits = int64(ack.Credits)
+	c.colOK = ack.Flags&wire.CapColumnar != 0
 	c.broken = false
 	c.epoch++
 	c.readers.Add(1)

@@ -1,0 +1,201 @@
+package client_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/client"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// colGateBackend extends gateBackend with a columnar sink so the session
+// forwards batches whole; colBatches counts how many arrived columnar.
+type colGateBackend struct {
+	gateBackend
+	colMu      sync.Mutex
+	colBatches int
+}
+
+func (b *colGateBackend) Open(name string) (*tuple.Schema, server.StreamSink, error) {
+	if name != b.sch.Name {
+		return nil, nil, fmt.Errorf("unknown stream %q", name)
+	}
+	return b.sch, b, nil
+}
+
+func (b *colGateBackend) IngestCol(cb *tuple.ColBatch) {
+	b.colMu.Lock()
+	b.colBatches++
+	b.colMu.Unlock()
+	b.IngestBatch(cb.AppendRows(nil, nil))
+	tuple.PutColBatch(cb)
+}
+
+func (b *colGateBackend) colCount() int {
+	b.colMu.Lock()
+	defer b.colMu.Unlock()
+	return b.colBatches
+}
+
+func sendColWorkload(t *testing.T, s *client.Stream) {
+	t.Helper()
+	b := tuple.GetColBatch(0)
+	for i := 0; i < 10; i++ {
+		b.AppendTuple(tuple.NewData(tuple.Time(i*100), tuple.Int(int64(i)), tuple.Float(0.5)))
+	}
+	b.AppendPunct(900)
+	if err := s.SendCol(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientSendColNegotiated: columnar client against a columnar-capable
+// server and sink — the batch travels as one TUPLES_COL frame end to end,
+// and the batch's punctuation mark arrives as a stream bound.
+func TestClientSendColNegotiated(t *testing.T) {
+	back := &colGateBackend{gateBackend: gateBackend{sch: extSchema()}}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "t", Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Bind("sensors", tuple.External, client.StreamOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendColWorkload(t, s)
+	waitCond(t, "columnar ingest", func() bool {
+		d, p, closed := back.counts()
+		return d == 10 && p == 1 && closed
+	})
+	if back.colCount() != 1 {
+		t.Fatalf("colBatches = %d, want 1", back.colCount())
+	}
+	if st := c.Stats(); st.TuplesSent != 10 || st.BatchesSent != 1 || st.PunctSent != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestClientSendColRowFallback: a client that never offered the capability
+// can still use SendCol — the batch is converted to row frames locally, so
+// SendCol works against any server.
+func TestClientSendColRowFallback(t *testing.T) {
+	back := &gateBackend{sch: extSchema()}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "t", BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Bind("sensors", tuple.External, client.StreamOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendColWorkload(t, s)
+	waitCond(t, "row-fallback ingest", func() bool {
+		d, p, closed := back.counts()
+		return d == 10 && p == 1 && closed
+	})
+	if st := c.Stats(); st.TuplesSent != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestClientRowAgainstColumnarServer: an old-style row client against a
+// columnar-capable backend keeps working untouched (capability is opt-in).
+func TestClientRowAgainstColumnarServer(t *testing.T) {
+	back := &colGateBackend{gateBackend: gateBackend{sch: extSchema()}}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "t", BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Bind("sensors", tuple.External, client.StreamOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Send(tuple.NewData(tuple.Time(i*100), tuple.Int(int64(i)), tuple.Float(0.5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "row ingest", func() bool {
+		d, _, closed := back.counts()
+		return d == 10 && closed
+	})
+	if back.colCount() != 0 {
+		t.Fatalf("row client produced %d columnar batches", back.colCount())
+	}
+}
+
+// TestClientSendColMixesWithSend: row Sends buffered before a SendCol must
+// be flushed first so arrival order matches send order.
+func TestClientSendColMixesWithSend(t *testing.T) {
+	back := &colGateBackend{gateBackend: gateBackend{sch: extSchema()}}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := client.Dial(srv.Addr().String(), client.Options{Name: "t", Columnar: true, BatchSize: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.Bind("sensors", tuple.External, client.StreamOptions{Delta: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // stays buffered: BatchSize 100
+		if err := s.Send(tuple.NewData(tuple.Time(i), tuple.Int(int64(i)), tuple.Float(0.5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := tuple.GetColBatch(0)
+	for i := 3; i < 6; i++ {
+		b.AppendTuple(tuple.NewData(tuple.Time(i), tuple.Int(int64(i)), tuple.Float(0.5)))
+	}
+	if err := s.SendCol(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "ordered ingest", func() bool {
+		d, _, closed := back.counts()
+		return d == 6 && closed
+	})
+	back.mu.Lock()
+	defer back.mu.Unlock()
+	for i, ts := range back.data {
+		if ts != tuple.Time(i) {
+			t.Fatalf("arrival order broken at %d: %v", i, back.data)
+		}
+	}
+}

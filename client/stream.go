@@ -132,6 +132,73 @@ func (s *Stream) SendBatch(ts []*tuple.Tuple) error {
 	return nil
 }
 
+// SendCol sends a columnar batch, taking ownership of b. On a connection
+// that negotiated the columnar capability (Options.Columnar against a
+// capable server) the batch goes out as one TUPLES_COL frame — no per-row
+// tuples are materialized on either endpoint; otherwise it is converted to
+// row frames here, so SendCol works against any server. Punctuation marks
+// in the batch are sent as PUNCT frames after the rows (delaying a bound is
+// always sound — it promises strictly less). Like Send, SendCol blocks on
+// the credit window; a transport failure after crediting is not an error —
+// the rows are retained (in row form) and resent on the next transport.
+func (s *Stream) SendCol(b *tuple.ColBatch) error {
+	c := s.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.err != nil {
+		tuple.PutColBatch(b)
+		return s.err
+	}
+	if s.eos {
+		tuple.PutColBatch(b)
+		return fmt.Errorf("client: send on closed stream %q", s.name)
+	}
+	n := b.Len()
+	if n == 0 && !b.HasPunct() {
+		tuple.PutColBatch(b)
+		return nil
+	}
+	if err := c.takeCredits(int64(n)); err != nil {
+		tuple.PutColBatch(b)
+		return err
+	}
+	var marks []tuple.PunctMark
+	if b.HasPunct() {
+		marks = append(marks, b.Puncts...)
+		b.Puncts = b.Puncts[:0]
+	}
+	if mx, ok := b.MaxTs(); ok && (!s.hasTs || mx > s.maxTs) {
+		s.maxTs, s.hasTs = mx, true
+	}
+	s.sincePunct += n
+	sent := false
+	if c.colOK && n > 0 {
+		// Order against anything buffered by row Sends, then ship columnar.
+		if s.flushLocked() == nil && c.writeLocked(wire.TuplesCol{ID: s.id, B: b}) == nil {
+			c.stats.BatchesSent++
+			c.stats.TuplesSent += uint64(n)
+			sent = true
+		}
+	}
+	if !sent && n > 0 {
+		// Row fallback: capability not granted, or the transport died —
+		// either way the rows ride the ordinary batch (and its retry path).
+		s.batch = b.AppendRows(s.batch, nil)
+		if len(s.batch) >= c.opts.BatchSize {
+			s.flushLocked()
+		}
+	}
+	tuple.PutColBatch(b)
+	for _, p := range marks {
+		s.punctLocked(p.Ts)
+	}
+	if s.opts.AutoPunctEvery > 0 && s.sincePunct >= s.opts.AutoPunctEvery && s.hasTs {
+		s.sincePunct = 0
+		s.punctLocked(s.maxTs)
+	}
+	return nil
+}
+
 // Punct sends a punctuation promising that no future tuple on this stream
 // will carry a timestamp below ets — local punctuation generation, making
 // the remote wrapper a first-class bound source.

@@ -20,6 +20,10 @@
 //	                           fault injection (panics, drops, a source
 //	                           stall) and verify the fault-tolerance
 //	                           invariants; non-zero exit on violation
+//	etsbench -columnar         benchmark the columnar data plane against
+//	                           the row plane on the filter/project/hash
+//	                           and filter/join/aggregate pipelines and
+//	                           write BENCH_columnar.json
 package main
 
 import (
@@ -52,6 +56,9 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "override the fault spec's PRNG seed (0 keeps the spec's)")
 	chaosDur := flag.Duration("chaos-duration", 2*time.Second, "how long -chaos feeds the workload")
 	chaosOut := flag.String("chaos-out", "", "optional JSON report file for -chaos")
+	colBench := flag.Bool("columnar", false, "benchmark the columnar data plane vs the row plane")
+	colTuples := flag.Int("columnar-tuples", 2_000_000, "tuples per configuration for -columnar")
+	colOut := flag.String("columnar-out", "BENCH_columnar.json", "output file for -columnar results")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -73,6 +80,8 @@ func main() {
 		runShardBench(*shTuples, *shOut)
 	case *chaos:
 		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut)
+	case *colBench:
+		runColumnarBench(*colTuples, *colOut)
 	case *scen:
 		runScenarios(*hbRate)
 	case *fig == "all":

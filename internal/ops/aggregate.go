@@ -223,15 +223,13 @@ func (a *Aggregate) Exec(ctx *Ctx) bool {
 	return yield
 }
 
-func (a *Aggregate) accumulate(w int64, t *tuple.Tuple) {
+// accsFor returns (creating as needed) the accumulator row for window w and
+// group key.
+func (a *Aggregate) accsFor(w int64, key tuple.Value) []*acc {
 	groups := a.buckets[w]
 	if groups == nil {
 		groups = make(map[tuple.Value][]*acc)
 		a.buckets[w] = groups
-	}
-	var key tuple.Value
-	if a.groupCol >= 0 {
-		key = t.Vals[a.groupCol]
 	}
 	accs := groups[key]
 	if accs == nil {
@@ -241,6 +239,15 @@ func (a *Aggregate) accumulate(w int64, t *tuple.Tuple) {
 		}
 		groups[key] = accs
 	}
+	return accs
+}
+
+func (a *Aggregate) accumulate(w int64, t *tuple.Tuple) {
+	var key tuple.Value
+	if a.groupCol >= 0 {
+		key = t.Vals[a.groupCol]
+	}
+	accs := a.accsFor(w, key)
 	for i, spec := range a.aggs {
 		var v tuple.Value
 		if spec.Fn == Count {
@@ -255,6 +262,16 @@ func (a *Aggregate) accumulate(w int64, t *tuple.Tuple) {
 // close emits every window whose end is ≤ bound, in window order with
 // deterministic group order.
 func (a *Aggregate) close(ctx *Ctx, bound tuple.Time) bool {
+	return a.closeInto(bound, func(end tuple.Time, vals []tuple.Value) {
+		ctx.Emit(&tuple.Tuple{Ts: end, Kind: tuple.Data, Vals: vals})
+	})
+}
+
+// closeInto is the emission core shared by the row and columnar paths: it
+// drains every window whose end is ≤ bound, in window order with
+// deterministic group order, handing each result row (ts = window end,
+// freshly allocated vals) to emit.
+func (a *Aggregate) closeInto(bound tuple.Time, emit func(end tuple.Time, vals []tuple.Value)) bool {
 	var ready []int64
 	for w := range a.buckets {
 		end := tuple.Time(w*int64(a.slide) + int64(a.width))
@@ -284,7 +301,7 @@ func (a *Aggregate) close(ctx *Ctx, bound tuple.Time) bool {
 				vals = append(vals, accs[i].result(spec.Fn))
 			}
 			a.rowsOut++
-			ctx.Emit(&tuple.Tuple{Ts: end, Kind: tuple.Data, Vals: vals})
+			emit(end, vals)
 		}
 		delete(a.buckets, w)
 	}

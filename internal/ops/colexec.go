@@ -1,0 +1,257 @@
+package ops
+
+import (
+	"repro/internal/tuple"
+)
+
+// Columnar execution. Operators that implement ColOperator can consume a
+// whole tuple.ColBatch in one call — a tight loop over contiguous columns
+// instead of a queue pop per tuple — when the runtime runs with columnar
+// arcs enabled. Only single-input, register-free operators qualify: the
+// IWP operators (union, joins) consume their inputs in timestamp-register
+// order across ports, which is inherently row-at-a-time, so they stay on
+// the row path and the runtime converts at the boundary.
+//
+// Punctuation semantics are preserved exactly: a batch's PunctMarks are
+// processed at their recorded positions, so an operator observes the same
+// data/ETS interleaving the row path would deliver, and forwarded marks
+// keep their relative position in the output batch.
+
+// ColCtx is the execution environment of one ExecCol call.
+type ColCtx struct {
+	// EmitCol forwards a batch to every output arc of the node. Ownership
+	// of the batch transfers to the engine.
+	EmitCol func(*tuple.ColBatch)
+	// EmitColTo forwards a batch to out arc i only (the columnar form of
+	// Ctx.EmitTo, used by the hash splitter).
+	EmitColTo func(i int, b *tuple.ColBatch)
+	// Now returns the current virtual time.
+	Now func() tuple.Time
+	// FreeCol, when non-nil, recycles a batch the operator consumed without
+	// forwarding. Unlike row recycling, batch ownership along an arc is
+	// always exclusive (fan-out clones), so the engine installs it
+	// unconditionally.
+	FreeCol func(*tuple.ColBatch)
+}
+
+// free recycles b through the engine's release hook, when installed.
+func (c *ColCtx) free(b *tuple.ColBatch) {
+	if c.FreeCol != nil && b != nil {
+		c.FreeCol(b)
+	}
+}
+
+// ColOperator is implemented by operators with a columnar fast path. ExecCol
+// fully consumes b (the operator takes ownership) and emits zero or more
+// output batches through ctx. The runtime delivers batches in arc order and
+// never calls ExecCol concurrently with Exec.
+type ColOperator interface {
+	Operator
+	ExecCol(b *tuple.ColBatch, ctx *ColCtx)
+}
+
+// ColPredicate is the vectorized form of Predicate: it fills keep[r] for
+// every row r of b (keep has length b.Len()). Implementations read columns
+// directly — e.g. a comparison against b.Cols[i].F64 — and must not retain
+// b.
+type ColPredicate func(b *tuple.ColBatch, keep []bool)
+
+// SetColPredicate installs a vectorized predicate used by the columnar
+// path; the row predicate remains authoritative for the row path, so both
+// must decide identically.
+func (s *Select) SetColPredicate(p ColPredicate) { s.colPred = p }
+
+// ExecCol filters a batch. When every row passes the batch is forwarded
+// unchanged (zero copy); otherwise surviving rows are gathered into a fresh
+// batch with the punctuation marks re-positioned after their surviving
+// predecessors.
+func (s *Select) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
+	n := b.Len()
+	s.inData += uint64(n)
+	s.inPunct += uint64(len(b.Puncts))
+	if n == 0 {
+		ctx.EmitCol(b) // punctuation-only batch passes through
+		return
+	}
+	if cap(s.keep) < n {
+		s.keep = make([]bool, n)
+	}
+	keep := s.keep[:n]
+	if s.colPred != nil {
+		s.colPred(b, keep)
+	} else {
+		for r := 0; r < n; r++ {
+			b.FillRow(r, &s.scratch)
+			keep[r] = s.pred(&s.scratch)
+		}
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if kept == n {
+		s.out += uint64(n)
+		ctx.EmitCol(b)
+		return
+	}
+	out := tuple.GetColBatch(b.NumCols())
+	pi := 0
+	for r := 0; r < n; r++ {
+		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
+			out.AppendPunct(b.Puncts[pi].Ts)
+			pi++
+		}
+		if keep[r] {
+			out.AppendRowFrom(b, r)
+		}
+	}
+	for ; pi < len(b.Puncts); pi++ {
+		out.AppendPunct(b.Puncts[pi].Ts)
+	}
+	s.out += uint64(out.Len())
+	ctx.free(b)
+	if out.Empty() {
+		tuple.PutColBatch(out)
+		return
+	}
+	ctx.EmitCol(out)
+}
+
+// ExecCol projects a batch by moving column structs — no per-row work at
+// all. The identity projection forwards the batch untouched.
+func (p *Project) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
+	n := b.Len()
+	p.inData += uint64(n)
+	p.inPunct += uint64(len(b.Puncts))
+	p.out += uint64(n)
+	if n == 0 || (p.ident && len(p.idx) == b.NumCols()) {
+		ctx.EmitCol(b)
+		return
+	}
+	p.scratchCols = b.ProjectCols(p.idx, p.scratchCols)
+	ctx.EmitCol(b)
+}
+
+// ExecCol routes a batch: data rows are gathered per shard (key hashes
+// computed in one vectorized pass over the key column), punctuation marks
+// are broadcast to every shard at their recorded positions.
+func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
+	n := b.Len()
+	if cap(s.colOuts) < s.shards {
+		s.colOuts = make([]*tuple.ColBatch, s.shards)
+	}
+	outs := s.colOuts[:s.shards]
+	ensure := func(k int) *tuple.ColBatch {
+		if outs[k] == nil {
+			outs[k] = tuple.GetColBatch(b.NumCols())
+		}
+		return outs[k]
+	}
+	useHash := s.key >= 0 && s.key < b.NumCols()
+	if useHash && n > 0 {
+		s.hashes = b.HashKey(s.key, s.hashes[:0])
+	}
+	pi := 0
+	for r := 0; r < n; r++ {
+		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
+			for k := 0; k < s.shards; k++ {
+				ensure(k).AppendPunct(b.Puncts[pi].Ts)
+			}
+			pi++
+		}
+		var k int
+		if useHash {
+			k = int(s.hashes[r] % uint64(s.shards))
+		} else {
+			k = s.rr
+			s.rr = (s.rr + 1) % s.shards
+		}
+		ensure(k).AppendRowFrom(b, r)
+		s.routed.Add(k, 1)
+	}
+	for ; pi < len(b.Puncts); pi++ {
+		for k := 0; k < s.shards; k++ {
+			ensure(k).AppendPunct(b.Puncts[pi].Ts)
+		}
+	}
+	ctx.free(b)
+	for k := range outs {
+		if outs[k] != nil {
+			ob := outs[k]
+			outs[k] = nil
+			ctx.EmitColTo(k, ob)
+		}
+	}
+}
+
+// ExecCol accumulates a batch into the window buckets, interleaving the
+// bound advances that data timestamps and punctuation marks carry at their
+// recorded positions, so window closes happen at exactly the same stream
+// points as on the row path. Result rows (and forwarded marks) are emitted
+// as one output batch.
+func (a *Aggregate) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
+	outCols := len(a.aggs)
+	if a.groupCol >= 0 {
+		outCols++
+	}
+	out := tuple.GetColBatch(outCols)
+	emit := func(end tuple.Time, vals []tuple.Value) {
+		out.AppendRow(end, 0, 0, vals)
+	}
+	n := b.Len()
+	pi := 0
+	for r := 0; r < n; r++ {
+		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
+			a.punctCol(b.Puncts[pi].Ts, out, emit)
+			pi++
+		}
+		ts := b.Ts[r]
+		if ts > a.bound {
+			a.bound = ts
+			a.closeInto(a.bound, emit)
+		}
+		last := floorDiv(int64(ts), int64(a.slide))
+		first := floorDiv(int64(ts)-int64(a.width), int64(a.slide)) + 1
+		for w := first; w <= last; w++ {
+			if tuple.Time(w*int64(a.slide)+int64(a.width)) <= a.bound {
+				continue // window already closed under the bound (late row)
+			}
+			a.accumulateCol(w, b, r)
+		}
+	}
+	for ; pi < len(b.Puncts); pi++ {
+		a.punctCol(b.Puncts[pi].Ts, out, emit)
+	}
+	ctx.free(b)
+	if out.Empty() {
+		tuple.PutColBatch(out)
+		return
+	}
+	ctx.EmitCol(out)
+}
+
+func (a *Aggregate) punctCol(ts tuple.Time, out *tuple.ColBatch, emit func(tuple.Time, []tuple.Value)) {
+	if ts > a.bound {
+		a.bound = ts
+		a.closeInto(a.bound, emit)
+	}
+	a.punctOut++
+	out.AppendPunct(ts)
+}
+
+func (a *Aggregate) accumulateCol(w int64, b *tuple.ColBatch, r int) {
+	var key tuple.Value
+	if a.groupCol >= 0 {
+		key = b.Value(a.groupCol, r)
+	}
+	accs := a.accsFor(w, key)
+	for i, spec := range a.aggs {
+		if spec.Fn == Count {
+			accs[i].add(tuple.Int(1))
+		} else {
+			accs[i].add(b.Value(spec.Col, r))
+		}
+	}
+}

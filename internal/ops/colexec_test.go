@@ -1,0 +1,247 @@
+package ops
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// colCapture is the ColCtx analogue of the test harnesses: it collects
+// emitted batches converted back to rows, broadcast and per-arc.
+type colCapture struct {
+	out  []*tuple.Tuple
+	arcs [][]*tuple.Tuple
+	ctx  *ColCtx
+}
+
+func newColCapture(arcs int) *colCapture {
+	c := &colCapture{arcs: make([][]*tuple.Tuple, arcs)}
+	c.ctx = &ColCtx{
+		EmitCol: func(b *tuple.ColBatch) {
+			c.out = b.AppendRows(c.out, nil)
+			tuple.PutColBatch(b)
+		},
+		EmitColTo: func(i int, b *tuple.ColBatch) {
+			c.arcs[i] = b.AppendRows(c.arcs[i], nil)
+			tuple.PutColBatch(b)
+		},
+		Now:     func() tuple.Time { return 0 },
+		FreeCol: tuple.PutColBatch,
+	}
+	return c
+}
+
+// toBatches chops a row stream into columnar batches of at most size rows
+// (punctuation rides as metadata and does not count toward size).
+func toBatches(stream []*tuple.Tuple, size int) []*tuple.ColBatch {
+	var out []*tuple.ColBatch
+	b := tuple.GetColBatch(0)
+	for _, t := range stream {
+		b.AppendTuple(t)
+		if b.Len() >= size {
+			out = append(out, b)
+			b = tuple.GetColBatch(0)
+		}
+	}
+	if !b.Empty() {
+		out = append(out, b)
+	} else {
+		tuple.PutColBatch(b)
+	}
+	return out
+}
+
+// eqRowStream compares two streams on kind, timestamp and values (the
+// fields both execution paths must agree on).
+func eqRowStream(t *testing.T, label string, got, want []*tuple.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d tuples, want %d\n got: %v\nwant: %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Ts != w.Ts || len(g.Vals) != len(w.Vals) {
+			t.Fatalf("%s: tuple %d = %v, want %v", label, i, g, w)
+		}
+		for c := range w.Vals {
+			if g.Vals[c].Kind() != w.Vals[c].Kind() || g.Vals[c].String() != w.Vals[c].String() {
+				t.Fatalf("%s: tuple %d col %d = %v, want %v", label, i, c, g.Vals[c], w.Vals[c])
+			}
+		}
+	}
+}
+
+func cloneStream(stream []*tuple.Tuple) []*tuple.Tuple {
+	out := make([]*tuple.Tuple, len(stream))
+	for i, t := range stream {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// mixedStream builds a deterministic stream with nulls, a mixed-kind
+// column, interleaved punctuation and a terminal EOS. Columns:
+// 0 int key, 1 float, 2 mixed (int/string/null).
+func mixedStream(n int) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	for i := 0; i < n; i++ {
+		v2 := tuple.Value{}
+		switch i % 3 {
+		case 0:
+			v2 = tuple.Int(int64(i))
+		case 1:
+			v2 = tuple.String_(fmt.Sprintf("s%d", i%5))
+		}
+		v1 := tuple.Float(float64(i%7) / 7)
+		if i%11 == 0 {
+			v1 = tuple.Value{}
+		}
+		out = append(out, &tuple.Tuple{
+			Ts: tuple.Time(i * 10), Kind: tuple.Data,
+			Vals: []tuple.Value{tuple.Int(int64(i % 8)), v1, v2},
+			Seq:  uint64(i),
+		})
+		if i%13 == 5 {
+			out = append(out, tuple.NewPunct(tuple.Time(i*10)))
+		}
+	}
+	out = append(out, tuple.EOS())
+	return out
+}
+
+// runRow drives an operator over the stream on the row path.
+func runRow(op Operator, stream []*tuple.Tuple) []*tuple.Tuple {
+	h := newHarness(op)
+	for _, t := range stream {
+		h.ins[0].Push(t)
+	}
+	h.run()
+	return h.out
+}
+
+// runCol drives a ColOperator over the stream on the columnar path,
+// with the stream chopped into batches of the given size.
+func runCol(op ColOperator, stream []*tuple.Tuple, size int) []*tuple.Tuple {
+	cap_ := newColCapture(0)
+	for _, b := range toBatches(stream, size) {
+		op.ExecCol(b, cap_.ctx)
+	}
+	return cap_.out
+}
+
+func TestSelectColEquivalence(t *testing.T) {
+	pred := func(t *tuple.Tuple) bool { return t.Vals[1].AsFloat() < 0.5 }
+	for _, size := range []int{1, 3, 64} {
+		t.Run(fmt.Sprintf("fallback-size-%d", size), func(t *testing.T) {
+			want := runRow(NewSelect("s", nil, pred), cloneStream(mixedStream(40)))
+			got := runCol(NewSelect("s", nil, pred), cloneStream(mixedStream(40)), size)
+			eqRowStream(t, "select", got, want)
+		})
+		t.Run(fmt.Sprintf("vectorized-size-%d", size), func(t *testing.T) {
+			s := NewSelect("s", nil, pred)
+			s.SetColPredicate(func(b *tuple.ColBatch, keep []bool) {
+				for r := range keep {
+					keep[r] = b.Value(1, r).AsFloat() < 0.5
+				}
+			})
+			want := runRow(NewSelect("s", nil, pred), cloneStream(mixedStream(40)))
+			got := runCol(s, cloneStream(mixedStream(40)), size)
+			eqRowStream(t, "select", got, want)
+		})
+	}
+	t.Run("all-pass-zero-copy", func(t *testing.T) {
+		all := func(t *tuple.Tuple) bool { return true }
+		want := runRow(NewSelect("s", nil, all), cloneStream(mixedStream(20)))
+		got := runCol(NewSelect("s", nil, all), cloneStream(mixedStream(20)), 64)
+		eqRowStream(t, "select", got, want)
+	})
+}
+
+func TestProjectColEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		idx  []int
+	}{
+		{"reorder", []int{2, 0}},
+		{"identity", []int{0, 1, 2}},
+		{"duplicate", []int{1, 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := runRow(NewProject("p", nil, tc.idx), cloneStream(mixedStream(30)))
+			got := runCol(NewProject("p", nil, tc.idx), cloneStream(mixedStream(30)), 7)
+			eqRowStream(t, "project", got, want)
+		})
+	}
+}
+
+func TestSplitColEquivalence(t *testing.T) {
+	const shards = 3
+	run := func(stream []*tuple.Tuple, colSize int) ([][]*tuple.Tuple, [][]*tuple.Tuple) {
+		s := NewSplit("sp", nil, shards, 0)
+		h := newSplitHarness(s)
+		for _, t := range cloneStream(stream) {
+			h.in.Push(t)
+		}
+		h.run()
+
+		s2 := NewSplit("sp", nil, shards, 0)
+		cap_ := newColCapture(shards)
+		for _, b := range toBatches(cloneStream(stream), colSize) {
+			s2.ExecCol(b, cap_.ctx)
+		}
+		return h.arcs, cap_.arcs
+	}
+	stream := mixedStream(50)
+	for _, size := range []int{1, 8, 64} {
+		rowArcs, colArcs := run(stream, size)
+		for k := 0; k < shards; k++ {
+			eqRowStream(t, fmt.Sprintf("shard-%d-size-%d", k, size), colArcs[k], rowArcs[k])
+		}
+	}
+}
+
+func TestAggregateColEquivalence(t *testing.T) {
+	mk := func() *Aggregate {
+		return NewAggregate("a", nil, 100, 0, AggSpec{Fn: Sum, Col: 1}, AggSpec{Fn: Count})
+	}
+	// A stream whose float column is always non-null so sums agree exactly.
+	var stream []*tuple.Tuple
+	for i := 0; i < 60; i++ {
+		stream = append(stream, tuple.NewData(tuple.Time(i*7),
+			tuple.Int(int64(i%4)), tuple.Float(float64(i))))
+		if i%10 == 9 {
+			stream = append(stream, tuple.NewPunct(tuple.Time(i*7)))
+		}
+	}
+	stream = append(stream, tuple.EOS())
+	want := runRow(mk(), cloneStream(stream))
+	for _, size := range []int{1, 5, 64} {
+		got := runCol(mk(), cloneStream(stream), size)
+		eqRowStream(t, fmt.Sprintf("aggregate-size-%d", size), got, want)
+	}
+}
+
+// TestProjectColIdentityPassThrough pins the satellite fix: the row path's
+// identity projection forwards the tuple unchanged (no copy), and the
+// columnar path forwards the batch pointer itself.
+func TestProjectColIdentityPassThrough(t *testing.T) {
+	p := NewProject("p", nil, []int{0, 1})
+	var got *tuple.ColBatch
+	ctx := &ColCtx{EmitCol: func(b *tuple.ColBatch) { got = b }}
+	b := tuple.GetColBatch(0)
+	b.AppendTuple(tuple.NewData(1, tuple.Int(1), tuple.Int(2)))
+	p.ExecCol(b, ctx)
+	if got != b {
+		t.Fatal("identity projection must forward the same batch")
+	}
+	tuple.PutColBatch(b)
+
+	h := newHarness(NewProject("p", nil, []int{0, 1}))
+	in := tuple.NewData(1, tuple.Int(1), tuple.Int(2))
+	h.ins[0].Push(in)
+	h.run()
+	if len(h.out) != 1 || h.out[0] != in {
+		t.Fatal("row identity projection must forward the same tuple")
+	}
+}

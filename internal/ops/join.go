@@ -46,6 +46,10 @@ type WindowJoin struct {
 	keyCols [2]int
 	hwin    [2]*window.HashStore
 
+	// mag pools the join's output tuples. Safe without synchronization: an
+	// operator is single-owner, executed by one node goroutine at a time.
+	mag tuple.Magazine
+
 	// DedupPunct is as for Union.
 	DedupPunct bool
 	watermark  tuple.Time
@@ -320,14 +324,17 @@ func (j *WindowJoin) produce(ctx *Ctx, side int, t *tuple.Tuple) bool {
 		if !j.pred(l, r) {
 			return
 		}
-		vals := make([]tuple.Value, 0, len(l.Vals)+len(r.Vals))
-		vals = append(vals, l.Vals...)
-		vals = append(vals, r.Vals...)
 		ts := t.Ts
 		if o.Ts > ts {
 			ts = o.Ts
 		}
-		out := &tuple.Tuple{Ts: ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived}
+		// Output tuples come from the node-local magazine: a hash join's
+		// probe loop is one of the engine's hottest allocation sites, and
+		// downstream recycling feeds the same slab economy.
+		out := j.mag.GetData(ts, len(l.Vals)+len(r.Vals))
+		copy(out.Vals, l.Vals)
+		copy(out.Vals[len(l.Vals):], r.Vals)
+		out.Arrived = t.Arrived
 		j.dataOut++
 		yield = true
 		ctx.Emit(out)

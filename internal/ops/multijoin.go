@@ -45,6 +45,9 @@ type MultiJoin struct {
 	// columns make the join partitionable.
 	keyCols []int
 
+	// mag pools output tuples (single-owner, see WindowJoin.mag).
+	mag tuple.Magazine
+
 	// DedupPunct is as for Union and WindowJoin.
 	DedupPunct bool
 	watermark  tuple.Time
@@ -193,13 +196,16 @@ func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 					ts = c.Ts
 				}
 			}
-			vals := make([]tuple.Value, 0, size)
+			out := j.mag.GetData(ts, size)
+			vals := out.Vals[:0]
 			for _, c := range combo {
 				vals = append(vals, c.Vals...)
 			}
+			out.Vals = vals
+			out.Arrived = t.Arrived
 			j.dataOut++
 			yield = true
-			ctx.Emit(&tuple.Tuple{Ts: ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived})
+			ctx.Emit(out)
 			return
 		}
 		if i == input {

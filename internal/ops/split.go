@@ -23,6 +23,11 @@ type Split struct {
 	key    int // key column, or -1 for round-robin routing
 	rr     int
 	routed *metrics.PerShard
+
+	// columnar-path scratch: per-shard gather batches and the vectorized
+	// key-hash column (see ExecCol in colexec.go).
+	colOuts []*tuple.ColBatch
+	hashes  []uint64
 }
 
 // NewSplit builds a splitter routing one input stream to shards out-arcs.

@@ -61,11 +61,18 @@ func (u *unary) Emitted() uint64 { return u.out }
 // Select is the selection operator σ: data tuples satisfying the predicate
 // pass through unchanged; the rest are consumed silently. Punctuation always
 // passes — a selection never weakens a timestamp bound.
-type Select struct{ unary }
+type Select struct {
+	unary
+	pred    Predicate
+	colPred ColPredicate
+
+	keep    []bool
+	scratch tuple.Tuple
+}
 
 // NewSelect builds a selection operator.
 func NewSelect(name string, schema *tuple.Schema, pred Predicate) *Select {
-	s := &Select{}
+	s := &Select{pred: pred}
 	s.base = base{name: name, inputs: 1, schema: schema}
 	s.apply = func(t *tuple.Tuple, ctx *Ctx) bool {
 		if pred(t) {
@@ -80,15 +87,34 @@ func NewSelect(name string, schema *tuple.Schema, pred Predicate) *Select {
 
 // Project is the projection operator π: it re-arranges a tuple's values
 // according to a column index list computed by Schema.Project.
-type Project struct{ unary }
+type Project struct {
+	unary
+	idx   []int
+	ident bool // idx is a prefix-identity permutation (idx[i] == i)
+
+	scratchCols []tuple.Col
+}
 
 // NewProject builds a projection keeping the columns at idx, in order.
 func NewProject(name string, schema *tuple.Schema, idx []int) *Project {
-	p := &Project{}
+	p := &Project{idx: append([]int(nil), idx...)}
+	p.ident = true
+	for i, j := range p.idx {
+		if i != j {
+			p.ident = false
+			break
+		}
+	}
 	p.base = base{name: name, inputs: 1, schema: schema}
 	p.apply = func(t *tuple.Tuple, ctx *Ctx) bool {
-		vals := make([]tuple.Value, len(idx))
-		for i, j := range idx {
+		if p.ident && len(p.idx) == len(t.Vals) {
+			// Identity projection: the tuple already has the output shape;
+			// re-allocating Vals per tuple would only feed the GC.
+			ctx.Emit(t)
+			return true
+		}
+		vals := make([]tuple.Value, len(p.idx))
+		for i, j := range p.idx {
 			vals[i] = t.Vals[j]
 		}
 		out := &tuple.Tuple{Ts: t.Ts, Kind: tuple.Data, Vals: vals, Arrived: t.Arrived, Seq: t.Seq}

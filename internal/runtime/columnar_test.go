@@ -1,0 +1,266 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// colPipeline builds the columnar-eligible pipeline: source → select →
+// project → hash split(2) → per-shard grouped aggregate → per-shard sink.
+// External timestamps make the run deterministic.
+func colPipeline(t *testing.T) (*graph.Graph, *ops.Source, [2]*collector) {
+	t.Helper()
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "key", Kind: tuple.IntKind},
+		tuple.Field{Name: "x", Kind: tuple.FloatKind},
+		tuple.Field{Name: "pay", Kind: tuple.IntKind}).WithTS(tuple.External)
+	g := graph.New("colpipe")
+	src := ops.NewSource("src", sch, 0)
+	a := g.AddNode(src)
+	sel := ops.NewSelect("sel", nil, func(tp *tuple.Tuple) bool {
+		return tp.Vals[1].AsFloat() < 0.6
+	})
+	sel.SetColPredicate(func(b *tuple.ColBatch, keep []bool) {
+		for r := range keep {
+			keep[r] = b.Value(1, r).AsFloat() < 0.6
+		}
+	})
+	f := g.AddNode(sel, a)
+	p := g.AddNode(ops.NewProject("proj", nil, []int{0, 1}), f)
+	sp := g.AddNode(ops.NewSplit("split", nil, 2, 0), p)
+	var cols [2]*collector
+	for s := 0; s < 2; s++ {
+		cols[s] = &collector{}
+		ag := g.AddNode(ops.NewAggregate(fmt.Sprintf("agg%d", s), nil, 100, 0,
+			ops.AggSpec{Fn: ops.Sum, Col: 1}, ops.AggSpec{Fn: ops.Count}), sp)
+		g.AddNode(ops.NewSink(fmt.Sprintf("sink%d", s), cols[s].add), ag)
+	}
+	return g, src, cols
+}
+
+// colStream builds the deterministic external-timestamp stream: rows with
+// increasing timestamps, a punctuation after every tenth row. Returned as
+// rows; toColBatches converts it with punctuation as metadata.
+func colStream(n int) []*tuple.Tuple {
+	var out []*tuple.Tuple
+	var lcg uint64 = 99
+	for i := 0; i < n; i++ {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		out = append(out, tuple.NewData(tuple.Time(i*3),
+			tuple.Int(int64((lcg>>33)%16)),
+			tuple.Float(float64((lcg>>20)&0xFF)/256),
+			tuple.Int(int64(i))))
+		if i%10 == 9 {
+			out = append(out, tuple.NewPunct(tuple.Time(i*3)))
+		}
+	}
+	return out
+}
+
+func toColBatches(stream []*tuple.Tuple, size int) []*tuple.ColBatch {
+	var out []*tuple.ColBatch
+	b := tuple.GetColBatch(0)
+	for _, t := range stream {
+		b.AppendTuple(t)
+		if b.Len() >= size {
+			out = append(out, b)
+			b = tuple.GetColBatch(0)
+		}
+	}
+	if !b.Empty() {
+		out = append(out, b)
+	} else {
+		tuple.PutColBatch(b)
+	}
+	return out
+}
+
+// runColPipeline executes the pipeline over the stream, columnar or row.
+func runColPipeline(t *testing.T, columnar bool, stream []*tuple.Tuple, batch int) [2][]*tuple.Tuple {
+	t.Helper()
+	g, src, cols := colPipeline(t)
+	e, err := New(g, Options{BatchSize: batch, Recycle: true, Columnar: columnar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	if columnar {
+		for _, b := range toColBatches(stream, 16) {
+			e.IngestColBatch(src, b)
+		}
+	} else {
+		e.IngestBatch(src, stream)
+	}
+	e.CloseStream(src)
+	done := make(chan struct{})
+	go func() { e.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline failed to drain on EOS")
+	}
+	return [2][]*tuple.Tuple{cols[0].snapshot(), cols[1].snapshot()}
+}
+
+// cloneRows deep-copies a stream so each engine run owns its input.
+func cloneRows(stream []*tuple.Tuple) []*tuple.Tuple {
+	out := make([]*tuple.Tuple, len(stream))
+	for i, t := range stream {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+func eqSinkStream(t *testing.T, label string, got, want []*tuple.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Ts != w.Ts || len(g.Vals) != len(w.Vals) {
+			t.Fatalf("%s: row %d = %v, want %v", label, i, g, w)
+		}
+		for c := range w.Vals {
+			if g.Vals[c].String() != w.Vals[c].String() {
+				t.Fatalf("%s: row %d col %d = %v, want %v", label, i, c, g.Vals[c], w.Vals[c])
+			}
+		}
+	}
+}
+
+// TestRuntimeColumnarEquivalence runs the same deterministic stream through
+// the row and columnar planes and requires identical sink output — window
+// closes, hash routing, projection and filtering must all agree, which also
+// proves batch-metadata punctuation drains at the same stream positions as
+// the in-band punct tuples of the row plane.
+func TestRuntimeColumnarEquivalence(t *testing.T) {
+	stream := colStream(300)
+	for _, batch := range []int{1, 16, 256} {
+		want := runColPipeline(t, false, cloneRows(stream), batch)
+		got := runColPipeline(t, true, cloneRows(stream), batch)
+		for s := 0; s < 2; s++ {
+			eqSinkStream(t, fmt.Sprintf("batch-%d-shard-%d", batch, s), got[s], want[s])
+		}
+	}
+}
+
+// TestRuntimeColumnarMixedArcs runs a graph where a columnar select feeds a
+// row-only TSM union: the engine must convert at the arc boundary and the
+// union must still see an ordered merge.
+func TestRuntimeColumnarMixedArcs(t *testing.T) {
+	g := graph.New("mixed")
+	sch := intSchema("s1", tuple.External)
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", intSchema("s2", tuple.External), 0)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	sel := ops.NewSelect("sel", nil, func(*tuple.Tuple) bool { return true })
+	f := g.AddNode(sel, a)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), f, b)
+	col := &collector{}
+	g.AddNode(ops.NewSink("k", col.add), u)
+
+	e, err := New(g, Options{BatchSize: 8, Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	const n = 100
+	cb := tuple.GetColBatch(1)
+	for i := 0; i < n; i++ {
+		cb.AppendTuple(tuple.NewData(tuple.Time(i*2), tuple.Int(int64(i))))
+	}
+	e.IngestColBatch(s1, cb)
+	for i := 0; i < n; i++ {
+		e.Ingest(s2, tuple.NewData(tuple.Time(i*2+1), tuple.Int(int64(i))))
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	e.Wait()
+	got := col.snapshot()
+	if len(got) != 2*n {
+		t.Fatalf("delivered %d, want %d", len(got), 2*n)
+	}
+	prev := tuple.MinTime
+	for i, tp := range got {
+		if tp.Ts < prev {
+			t.Fatalf("union output disordered at %d: %v after %v", i, tp.Ts, prev)
+		}
+		prev = tp.Ts
+	}
+}
+
+// TestRuntimeColumnarFanOut covers a columnar producer feeding both a
+// columnar consumer and a row consumer from the same output: each arc must
+// get an independent, complete copy.
+func TestRuntimeColumnarFanOut(t *testing.T) {
+	g := graph.New("fanout")
+	sch := tuple.NewSchema("s",
+		tuple.Field{Name: "key", Kind: tuple.IntKind},
+		tuple.Field{Name: "x", Kind: tuple.FloatKind}).WithTS(tuple.External)
+	src := ops.NewSource("src", sch, 0)
+	a := g.AddNode(src)
+	sel := ops.NewSelect("sel", nil, func(*tuple.Tuple) bool { return true })
+	f := g.AddNode(sel, a)
+	// Columnar consumer: aggregate. Row consumer: plain sink.
+	ag := g.AddNode(ops.NewAggregate("agg", nil, 50, -1, ops.AggSpec{Fn: ops.Count}), f)
+	aggCol := &collector{}
+	g.AddNode(ops.NewSink("aggsink", aggCol.add), ag)
+	rawCol := &collector{}
+	g.AddNode(ops.NewSink("rawsink", rawCol.add), f)
+
+	e, err := New(g, Options{BatchSize: 16, Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	const n = 200
+	for _, b := range toColBatches(colStream(n), 32) {
+		e.IngestColBatch(src, b)
+	}
+	e.CloseStream(src)
+	e.Wait()
+	if raw := len(rawCol.snapshot()); raw != n {
+		t.Fatalf("row arc delivered %d, want %d", raw, n)
+	}
+	var counted int64
+	for _, r := range aggCol.snapshot() {
+		counted += r.Vals[0].AsInt()
+	}
+	if counted != n {
+		t.Fatalf("columnar arc counted %d rows, want %d", counted, n)
+	}
+}
+
+// TestRuntimeColumnarEOSDrains: an EOS mark inside an ingested batch must
+// terminate the pipeline exactly like CloseStream.
+func TestRuntimeColumnarEOSDrains(t *testing.T) {
+	g, src, cols := colPipeline(t)
+	e, err := New(g, Options{BatchSize: 1 << 16, MaxBatchDelay: time.Minute, Columnar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	cb := tuple.GetColBatch(0)
+	for _, tp := range colStream(37) {
+		cb.AppendTuple(tp)
+	}
+	cb.AppendPunct(tuple.MaxTime) // in-batch EOS
+	e.IngestColBatch(src, cb)
+	done := make(chan struct{})
+	go func() { e.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-batch EOS failed to drain the pipeline")
+	}
+	if len(cols[0].snapshot())+len(cols[1].snapshot()) == 0 {
+		t.Fatal("no aggregate output after EOS")
+	}
+}

@@ -195,11 +195,17 @@ func (e *Engine) exitIdle(n *node) {
 // notePunctOut accounts an emitted punctuation and advances the node's
 // output watermark, tracing the advance. Single writer per node.
 func (e *Engine) notePunctOut(n *node, t *tuple.Tuple) {
+	e.notePunctOutTs(n, t.Ts)
+}
+
+// notePunctOutTs is notePunctOut for a bound carried as batch metadata (a
+// columnar PunctMark) rather than an in-band punct tuple.
+func (e *Engine) notePunctOutTs(n *node, ts tuple.Time) {
 	n.obs.punctOut.Inc()
-	if t.IsEOS() {
+	if ts == tuple.MaxTime {
 		return
 	}
-	v := int64(t.Ts)
+	v := int64(ts)
 	if v > n.obs.wmOut.Load() {
 		n.obs.wmOut.Set(v)
 		if e.trace != nil {
@@ -211,11 +217,16 @@ func (e *Engine) notePunctOut(n *node, t *tuple.Tuple) {
 // notePunctIn accounts a received punctuation and raises the node's input
 // watermark. Single writer per node.
 func (n *node) notePunctIn(t *tuple.Tuple) {
+	n.notePunctInTs(t.Ts)
+}
+
+// notePunctInTs is notePunctIn for a bound carried as batch metadata.
+func (n *node) notePunctInTs(ts tuple.Time) {
 	n.obs.punctIn.Inc()
-	if t.IsEOS() {
+	if ts == tuple.MaxTime {
 		return
 	}
-	if v := int64(t.Ts); v > n.obs.wmIn.Load() {
+	if v := int64(ts); v > n.obs.wmIn.Load() {
 		n.obs.wmIn.Set(v)
 	}
 }

@@ -79,6 +79,16 @@ type Options struct {
 	// each data tuple to exactly one arc and broadcast punctuation as
 	// fresh copies, so their fan-out preserves single ownership.
 	Recycle bool
+	// Columnar switches arcs into columnar-capable consumers (operators
+	// implementing ops.ColOperator: selections, projections, splitters,
+	// aggregates) to carrying tuple.ColBatch — per-attribute typed columns
+	// with punctuation as batch metadata — instead of []*tuple.Tuple. Row
+	// operators (sources, IWP joins/unions, sinks) are fed through lossless
+	// boundary conversion, so any graph runs under either setting with
+	// identical results. The four batch flush rules (punct / demand / idle
+	// / delay) apply to columnar pending batches unchanged, so ETS latency
+	// is preserved.
+	Columnar bool
 	// Shards, when ≥ 2, applies the partition rewrite before the graph is
 	// built: every partitionable operator (ops.Partitionable — hash/equi
 	// joins, grouped aggregates, TSM unions) is replicated into Shards
@@ -154,6 +164,7 @@ type Engine struct {
 	maxDelay  time.Duration
 	pool      *tuple.BatchPool
 	recycle   bool
+	columnar  bool
 
 	nodes    []*node
 	srcNode  map[*ops.Source]*node
@@ -187,13 +198,15 @@ type Engine struct {
 	startTs atomic.Int64 // engine clock at Start, µs; -1 before
 }
 
-// portBatch is one arc delivery: either a single tuple (the Ingest fast
-// path, no slice involved) or a pooled batch whose slice the receiver
-// returns to the engine's BatchPool.
+// portBatch is one arc delivery: a single tuple (the Ingest fast path, no
+// slice involved), a pooled row batch whose slice the receiver returns to
+// the engine's BatchPool, or — on columnar arcs — a ColBatch whose
+// ownership transfers to the receiver.
 type portBatch struct {
 	port int
 	one  *tuple.Tuple
 	many []*tuple.Tuple
+	col  *tuple.ColBatch
 }
 
 type node struct {
@@ -211,10 +224,20 @@ type node struct {
 	ins     []*buffer.Queue
 
 	// Pending output batches, one per out arc. Owned exclusively by the
-	// node's goroutine.
+	// node's goroutine. Arcs into columnar-capable consumers accumulate in
+	// colPend instead (colArc[i] picks the side); pendCount and the flush
+	// rules cover both.
 	pend      [][]*tuple.Tuple
+	colPend   []*tuple.ColBatch
+	colArc    []bool
+	colMode   bool // operator implements ops.ColOperator and Columnar is on
 	pendCount int
 	pendSince time.Time // when pendCount last left zero
+
+	// mag is the node's tuple magazine: recycling (ctx.Release) and the
+	// columnar boundary conversion draw from it. Owned by the node
+	// goroutine (one at a time, supervised restarts included).
+	mag tuple.Magazine
 
 	// srcDone records that a source node has ingested EOS; goroutine-owned
 	// (it lives on the node, not the goroutine stack, so a supervised
@@ -317,6 +340,18 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			e.srcNodes = append(e.srcNodes, n)
 		}
 	}
+	// Columnar mode: a node whose operator has a columnar fast path
+	// consumes ColBatch deliveries; every arc into such a node carries
+	// columnar batches, every other arc stays on rows with conversion at
+	// the producer.
+	e.columnar = opts.Columnar
+	if e.columnar {
+		for _, n := range e.nodes {
+			if _, ok := n.gn.Op.(ops.ColOperator); ok {
+				n.colMode = true
+			}
+		}
+	}
 	for _, gn := range g.Nodes() {
 		n := e.nodes[gn.ID]
 		for _, a := range gn.Out {
@@ -324,6 +359,11 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			n.outPorts = append(n.outPorts, a.Port)
 		}
 		n.pend = make([][]*tuple.Tuple, len(n.outs))
+		n.colPend = make([]*tuple.ColBatch, len(n.outs))
+		n.colArc = make([]bool, len(n.outs))
+		for i, c := range n.outs {
+			n.colArc[i] = e.columnar && c.colMode
+		}
 	}
 	e.instrument()
 	return e, nil
@@ -472,6 +512,10 @@ func (e *Engine) Stop() {
 
 // flushArc sends out arc i's pending batch downstream.
 func (e *Engine) flushArc(n *node, i int) {
+	if n.colArc[i] {
+		e.flushColArc(n, i)
+		return
+	}
 	b := n.pend[i]
 	if len(b) == 0 {
 		return
@@ -505,7 +549,10 @@ func (e *Engine) flushPending(n *node) {
 }
 
 // emit appends t to every out arc's pending batch, applying the flush rules:
-// punctuation flushes immediately, full batches flush their arc.
+// punctuation flushes immediately, full batches flush their arc. On columnar
+// arcs the tuple is decomposed into the arc's pending ColBatch (punctuation
+// becomes a metadata mark); a tuple copied into columns on every arc is no
+// longer referenced anywhere and is recycled.
 func (e *Engine) emit(n *node, t *tuple.Tuple) {
 	if len(n.outs) == 0 {
 		return
@@ -514,7 +561,13 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		n.pendSince = time.Now()
 	}
 	punct := t.IsPunct()
+	shared := false // t's pointer stored on at least one row arc
 	for i := range n.outs {
+		if n.colArc[i] {
+			e.colAppendTuple(n, i, t)
+			continue
+		}
+		shared = true
 		b := n.pend[i]
 		if b == nil {
 			b = e.pool.Get()
@@ -532,12 +585,16 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		// it exists to provide (and EOS gates termination): flush now.
 		e.flushPending(n)
 	}
+	if !shared && e.recycle {
+		n.mag.Put(t) // fully copied into columnar batches
+	}
 }
 
-// emitTo appends t to out arc i's pending batch only — the routed-emit path
-// splitters use. The punctuation flush rule applies per arc, preserving the
-// invariant that a punct (EOS included) is always its batch's last element.
-func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
+// appendArc appends t to out arc i's row pending batch, applying the
+// per-arc flush rules. note controls punctuation accounting (false when the
+// caller already accounted the punct, e.g. a columnar batch being converted
+// after its marks were counted).
+func (e *Engine) appendArc(n *node, i int, t *tuple.Tuple, note bool) {
 	if n.pendCount == 0 {
 		n.pendSince = time.Now()
 	}
@@ -549,11 +606,35 @@ func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
 	n.pend[i] = b
 	n.pendCount++
 	if t.IsPunct() {
-		e.notePunctOut(n, t)
+		if note {
+			e.notePunctOut(n, t)
+		}
 		e.flushArc(n, i)
 	} else if len(b) >= e.batchSize {
 		e.flushArc(n, i)
 	}
+}
+
+// emitTo appends t to out arc i's pending batch only — the routed-emit path
+// splitters use. The punctuation flush rule applies per arc, preserving the
+// invariant that a punct (EOS included) is always its batch's last element.
+func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
+	if n.colArc[i] {
+		if n.pendCount == 0 {
+			n.pendSince = time.Now()
+		}
+		punct := t.IsPunct()
+		e.colAppendTuple(n, i, t)
+		if punct {
+			e.notePunctOut(n, t)
+			e.flushArc(n, i)
+		}
+		if e.recycle {
+			n.mag.Put(t)
+		}
+		return
+	}
+	e.appendArc(n, i, t, true)
 }
 
 // runNode is the per-operator scheduling loop. It is (re)entered by the
@@ -573,8 +654,16 @@ func (e *Engine) runNode(n *node) {
 	if e.recycle {
 		// Each node goroutine recycles through its own magazine so the
 		// per-tuple release costs a stack push, not a shared-pool access.
-		var mag tuple.Magazine
-		ctx.Release = mag.Put
+		// The magazine lives on the node (not this stack) because boundary
+		// row⇄column conversion draws from it too and state must survive a
+		// supervisor restart.
+		ctx.Release = n.mag.Put
+	}
+	colCtx := &ops.ColCtx{
+		EmitCol:   func(b *tuple.ColBatch) { e.emitCol(n, b) },
+		EmitColTo: func(i int, b *tuple.ColBatch) { e.emitColTo(n, i, b) },
+		Now:       e.now,
+		FreeCol:   tuple.PutColBatch,
 	}
 	if src != nil {
 		// Source nodes pull from their inbox; route the engine's fan-in
@@ -615,6 +704,10 @@ func (e *Engine) runNode(n *node) {
 		e.shedOverflow(n, ctx)
 	}
 	deliver := func(pb portBatch) {
+		if pb.col != nil {
+			e.deliverCol(n, ctx, colCtx, pb)
+			return
+		}
 		if pb.one != nil {
 			deliverOne(pb.port, pb.one)
 			return

@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// colRecBackend extends recBackend with a columnar sink, recording how many
+// batches arrived columnar (vs converted to rows by the session).
+type colRecBackend struct {
+	recBackend
+	colBatches int
+}
+
+func (b *colRecBackend) Open(name string) (*tuple.Schema, server.StreamSink, error) {
+	if _, _, err := b.recBackend.Open(name); err != nil {
+		return nil, nil, err
+	}
+	return b.sch, b, nil
+}
+
+func (b *colRecBackend) IngestCol(cb *tuple.ColBatch) {
+	b.mu.Lock()
+	b.colBatches++
+	b.mu.Unlock()
+	b.IngestBatch(cb.AppendRows(nil, nil))
+	tuple.PutColBatch(cb)
+}
+
+func (b *colRecBackend) colCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.colBatches
+}
+
+// helloCol performs the handshake offering the columnar capability.
+func (tc *testConn) helloCol(clock int64) wire.HelloAck {
+	tc.t.Helper()
+	tc.send(wire.Hello{Version: wire.Version, Name: "test", Clock: clock, Flags: wire.CapColumnar})
+	ack, ok := tc.recv().(wire.HelloAck)
+	if !ok {
+		tc.t.Fatalf("expected HELLO_ACK")
+	}
+	return ack
+}
+
+func sensorColBatch(n int, punctAt tuple.Time) *tuple.ColBatch {
+	b := tuple.GetColBatch(0)
+	for i := 0; i < n; i++ {
+		b.AppendTuple(tuple.NewData(tuple.Time(10+i), tuple.Int(int64(i)), tuple.Float(0.5)))
+	}
+	if punctAt != 0 {
+		b.AppendPunct(punctAt)
+	}
+	return b
+}
+
+func waitCounts(t *testing.T, back interface {
+	counts() (int, int, bool)
+}, data, punct int, closed bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d, p, c := back.counts()
+		if d == data && p == punct && c == closed {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: data=%d punct=%d closed=%v, want %d/%d/%v", d, p, c, data, punct, closed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSessionColumnarIngest covers the negotiated happy path into a
+// columnar-capable sink: the capability is echoed, batches reach the sink
+// columnar, and batch punctuation is accepted on an external stream.
+func TestSessionColumnarIngest(t *testing.T) {
+	back := &colRecBackend{recBackend: recBackend{sch: sensorSchema()}}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	ack := tc.helloCol(1000)
+	if ack.Flags&wire.CapColumnar == 0 {
+		t.Fatalf("capability not echoed: %+v", ack)
+	}
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+	tc.send(wire.TuplesCol{ID: 1, B: sensorColBatch(8, 17)})
+	tc.send(wire.EOS{ID: 1})
+	waitCounts(t, back, 8, 1, true)
+	if back.colCount() != 1 {
+		t.Fatalf("colBatches = %d, want 1", back.colCount())
+	}
+}
+
+// TestSessionColumnarRowFallback: a columnar frame into a row-only backend
+// is converted by the session, so every backend works.
+func TestSessionColumnarRowFallback(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.helloCol(1000)
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+	tc.send(wire.TuplesCol{ID: 1, B: sensorColBatch(5, 14)})
+	tc.send(wire.EOS{ID: 1})
+	waitCounts(t, back, 5, 1, true)
+}
+
+// TestSessionColumnarWithoutCapability: a TUPLES_COL frame on a session
+// that never negotiated the capability is a protocol error.
+func TestSessionColumnarWithoutCapability(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	ack := tc.hello(1000) // no capability offered
+	if ack.Flags != 0 {
+		t.Fatalf("capability granted unasked: %+v", ack)
+	}
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+	tc.send(wire.TuplesCol{ID: 1, B: sensorColBatch(2, 0)})
+	f := tc.recv()
+	e, ok := f.(wire.Error)
+	if !ok {
+		t.Fatalf("expected protocol Error, got %T", f)
+	}
+	if e.Code != wire.ErrCodeProtocol {
+		t.Fatalf("error code %d: %s", e.Code, e.Msg)
+	}
+}
+
+// TestSessionColumnarStripsInternalPunct mirrors the PUNCT-frame policy:
+// batch punctuation on a non-external stream is dropped, not forwarded.
+func TestSessionColumnarStripsInternalPunct(t *testing.T) {
+	sch := tuple.NewSchema("sensors",
+		tuple.Field{Name: "id", Kind: tuple.IntKind},
+		tuple.Field{Name: "v", Kind: tuple.FloatKind},
+	).WithTS(tuple.Internal)
+	back := &colRecBackend{recBackend: recBackend{sch: sch}}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.helloCol(1000)
+	if back := tc.bind(1, "sensors", tuple.Internal, 0); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+	tc.send(wire.TuplesCol{ID: 1, B: sensorColBatch(3, 12)})
+	tc.send(wire.EOS{ID: 1})
+	waitCounts(t, back, 3, 0, true)
+}

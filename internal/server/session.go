@@ -28,6 +28,7 @@ type session struct {
 
 	skew  SkewEstimator
 	binds map[uint32]*binding
+	caps  uint16 // capability bits granted in HELLO_ACK (CapColumnar, …)
 
 	consumed uint32 // tuples consumed since the last credit grant
 
@@ -111,7 +112,9 @@ func (c *session) runBinary(br *bufio.Reader) {
 	if hello.Version < ver {
 		ver = hello.Version
 	}
-	if !c.send(wire.HelloAck{Version: ver, Session: c.id, Credits: s.credits}) {
+	// Grant the intersection of the client's offered capabilities and ours.
+	c.caps = hello.Flags & wire.CapColumnar
+	if !c.send(wire.HelloAck{Version: ver, Session: c.id, Credits: s.credits, Flags: c.caps}) {
 		return
 	}
 	s.m.credits.Add(uint64(s.credits))
@@ -155,6 +158,39 @@ func (c *session) runBinary(br *bufio.Reader) {
 			s.m.tuplesIn.Add(uint64(n))
 			b.st.tuples.Add(uint64(n))
 			b.st.sink.IngestBatch(f.Batch)
+			c.grant(n)
+		case wire.TuplesCol:
+			if c.caps&wire.CapColumnar == 0 {
+				tuple.PutColBatch(f.B)
+				c.protoError("TUPLES_COL without negotiated capability")
+				return
+			}
+			b := c.active(f.ID)
+			if b == nil {
+				tuple.PutColBatch(f.B)
+				c.protoError("TUPLES_COL on unbound stream id %d", f.ID)
+				return
+			}
+			// Punctuation marks in a batch follow the PUNCT frame policy:
+			// accepted only where the client is a timestamp authority.
+			if f.B.HasPunct() {
+				if b.st.sch.TS == tuple.External {
+					s.m.punctIn.Add(uint64(len(f.B.Puncts)))
+				} else {
+					s.m.punctIgnored.Add(uint64(len(f.B.Puncts)))
+					f.B.Puncts = f.B.Puncts[:0]
+				}
+			}
+			n := uint32(f.B.Len())
+			s.m.tuplesIn.Add(uint64(n))
+			b.st.tuples.Add(uint64(n))
+			if cs, ok := b.st.sink.(ColSink); ok {
+				cs.IngestCol(f.B)
+			} else {
+				rows := f.B.AppendRows(nil, nil)
+				tuple.PutColBatch(f.B)
+				b.st.sink.IngestBatch(rows)
+			}
 			c.grant(n)
 		case wire.Punct:
 			b := c.active(f.ID)

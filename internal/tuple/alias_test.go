@@ -1,0 +1,47 @@
+package tuple
+
+import "testing"
+
+// TestWithTsAliasing pins the documented aliasing contract: WithTs never
+// mutates the original (stamping a latent tuple leaves it at MinTime) and
+// shares the Vals backing array, while Clone is fully independent.
+func TestWithTsAliasing(t *testing.T) {
+	orig := &Tuple{Ts: MinTime, Kind: Data, Vals: []Value{Int(1), String_("a")}, Arrived: 7, Seq: 3}
+	stamped := orig.WithTs(42)
+	if orig.Ts != MinTime {
+		t.Fatalf("WithTs mutated the original: Ts=%v", orig.Ts)
+	}
+	if stamped.Ts != 42 || stamped.Arrived != 7 || stamped.Seq != 3 {
+		t.Fatalf("WithTs copy wrong: %+v", stamped)
+	}
+	if &stamped.Vals[0] != &orig.Vals[0] {
+		t.Fatal("WithTs must alias Vals (documented contract)")
+	}
+
+	clone := orig.Clone()
+	if &clone.Vals[0] == &orig.Vals[0] {
+		t.Fatal("Clone must not alias Vals")
+	}
+	clone.Vals[0] = Int(99)
+	if orig.Vals[0].AsInt() != 1 {
+		t.Fatal("mutating a clone leaked into the original")
+	}
+
+	// Recycling the original invalidates a WithTs copy but not a Clone —
+	// the reason operators that retain stamped tuples past the batch
+	// boundary take the Clone path.
+	Put(orig)
+	if clone.Vals[1].AsString() != "a" {
+		t.Fatal("clone damaged by recycling the original")
+	}
+}
+
+// TestWithTsPunct covers the punctuation stamping path: punct tuples have
+// nil Vals, so the copy is trivially independent.
+func TestWithTsPunct(t *testing.T) {
+	p := NewPunct(10)
+	q := p.WithTs(20)
+	if p.Ts != 10 || q.Ts != 20 || !q.IsPunct() {
+		t.Fatalf("punct WithTs: p=%v q=%v", p, q)
+	}
+}

@@ -1,0 +1,136 @@
+package tuple
+
+import "math/bits"
+
+// Bitmap is a growable validity bitmap: bit i is set when row i holds a
+// non-null value. The zero Bitmap is empty and usable; reads past the
+// allocated words report false, so an all-null column needs no storage.
+type Bitmap struct {
+	w []uint64
+}
+
+// Get reports bit i. Out-of-range bits read as false.
+func (b *Bitmap) Get(i int) bool {
+	wi := i >> 6
+	if wi >= len(b.w) {
+		return false
+	}
+	return b.w[wi]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i, growing the word array as needed.
+func (b *Bitmap) Set(i int) {
+	wi := i >> 6
+	if wi >= len(b.w) {
+		b.grow(wi + 1)
+	}
+	b.w[wi] |= 1 << uint(i&63)
+}
+
+// SetAll sets bits [0, n).
+func (b *Bitmap) SetAll(n int) {
+	if n <= 0 {
+		return
+	}
+	words := (n + 63) >> 6
+	if words > len(b.w) {
+		b.grow(words)
+	}
+	for i := 0; i < words-1; i++ {
+		b.w[i] = ^uint64(0)
+	}
+	rem := uint(n & 63)
+	if rem == 0 {
+		b.w[words-1] = ^uint64(0)
+	} else {
+		b.w[words-1] |= (1 << rem) - 1
+	}
+}
+
+// AllSet reports whether every bit in [0, n) is set.
+func (b *Bitmap) AllSet(n int) bool {
+	if n <= 0 {
+		return true
+	}
+	words := n >> 6
+	if words > len(b.w) {
+		return false
+	}
+	for i := 0; i < words; i++ {
+		if b.w[i] != ^uint64(0) {
+			return false
+		}
+	}
+	rem := uint(n & 63)
+	if rem == 0 {
+		return true
+	}
+	if words >= len(b.w) {
+		return false
+	}
+	mask := uint64(1)<<rem - 1
+	return b.w[words]&mask == mask
+}
+
+// Count reports the number of set bits in [0, n).
+func (b *Bitmap) Count(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	words := n >> 6
+	if words > len(b.w) {
+		words = len(b.w)
+	}
+	c := 0
+	for i := 0; i < words; i++ {
+		c += bits.OnesCount64(b.w[i])
+	}
+	if rem := uint(n & 63); rem != 0 && n>>6 < len(b.w) {
+		c += bits.OnesCount64(b.w[n>>6] & (uint64(1)<<rem - 1))
+	}
+	return c
+}
+
+// Reset clears all bits, retaining capacity.
+func (b *Bitmap) Reset() {
+	for i := range b.w {
+		b.w[i] = 0
+	}
+	b.w = b.w[:0]
+}
+
+// Words exposes the raw word array covering bits [0, n); the returned slice
+// is padded with zero words to exactly ceil(n/64) entries. Used by the wire
+// codec; callers must not mutate the words.
+func (b *Bitmap) Words(n int) []uint64 {
+	words := (n + 63) >> 6
+	if words > len(b.w) {
+		b.grow(words)
+	}
+	return b.w[:words]
+}
+
+// SetWords replaces the bitmap content with the given words (bits beyond the
+// caller's row count must be zero). The slice is copied.
+func (b *Bitmap) SetWords(w []uint64) {
+	if cap(b.w) < len(w) {
+		b.w = make([]uint64, len(w))
+	} else {
+		b.w = b.w[:len(w)]
+	}
+	copy(b.w, w)
+}
+
+func (b *Bitmap) grow(words int) {
+	if cap(b.w) < words {
+		nw := make([]uint64, words, max(words, 2*cap(b.w)))
+		copy(nw, b.w)
+		b.w = nw
+		return
+	}
+	old := len(b.w)
+	b.w = b.w[:words]
+	for i := old; i < words; i++ {
+		b.w[i] = 0
+	}
+}

@@ -1,0 +1,326 @@
+package tuple
+
+import (
+	"math"
+	"testing"
+)
+
+// eqValue compares values bit-exactly (NaN-safe, unlike Value.Equal, and
+// distinguishing kinds the way round-trips must preserve them).
+func eqValue(a, b Value) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case FloatKind:
+		return math.Float64bits(a.f) == math.Float64bits(b.f)
+	case StringKind:
+		return a.s == b.s
+	default:
+		return a.i == b.i
+	}
+}
+
+// eqStream compares two row streams tuple by tuple: kind, timestamp,
+// arrival, sequence number, and values.
+func eqStream(t *testing.T, got, want []*Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("stream length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Kind != w.Kind || g.Ts != w.Ts {
+			t.Fatalf("tuple %d: got %v/%v, want %v/%v", i, g.Kind, g.Ts, w.Kind, w.Ts)
+		}
+		if g.IsPunct() {
+			continue
+		}
+		if g.Arrived != w.Arrived || g.Seq != w.Seq {
+			t.Fatalf("tuple %d: arrived/seq %v/%d, want %v/%d", i, g.Arrived, g.Seq, w.Arrived, w.Seq)
+		}
+		if len(g.Vals) != len(w.Vals) {
+			t.Fatalf("tuple %d: %d vals, want %d", i, len(g.Vals), len(w.Vals))
+		}
+		for c := range w.Vals {
+			if !eqValue(g.Vals[c], w.Vals[c]) {
+				t.Fatalf("tuple %d col %d: %v, want %v", i, c, g.Vals[c], w.Vals[c])
+			}
+		}
+	}
+}
+
+// roundTrip pushes rows through a ColBatch and back.
+func roundTrip(rows []*Tuple) []*Tuple {
+	b := GetColBatch(0)
+	defer PutColBatch(b)
+	for _, t := range rows {
+		b.AppendTuple(t)
+	}
+	return b.AppendRows(nil, nil)
+}
+
+func TestColBatchRoundTrip(t *testing.T) {
+	cases := map[string][]*Tuple{
+		"typed": {
+			&Tuple{Ts: 10, Vals: []Value{Int(1), Float(0.5), String_("a"), Bool(true), TimeVal(7)}, Arrived: 11, Seq: 1},
+			&Tuple{Ts: 20, Vals: []Value{Int(2), Float(1.5), String_(""), Bool(false), TimeVal(8)}, Arrived: 21, Seq: 2},
+		},
+		"nulls": {
+			&Tuple{Ts: 1, Vals: []Value{{}, Int(1)}},
+			&Tuple{Ts: 2, Vals: []Value{Int(2), {}}},
+			&Tuple{Ts: 3, Vals: []Value{{}, {}}},
+		},
+		"mixed-kind-promotion": {
+			&Tuple{Ts: 1, Vals: []Value{Int(1)}},
+			&Tuple{Ts: 2, Vals: []Value{String_("x")}},
+			&Tuple{Ts: 3, Vals: []Value{{}}},
+			&Tuple{Ts: 4, Vals: []Value{Float(2.5)}},
+		},
+		"punct-interleave": {
+			NewPunct(5),
+			&Tuple{Ts: 10, Vals: []Value{Int(1)}},
+			NewPunct(10),
+			NewPunct(12),
+			&Tuple{Ts: 20, Vals: []Value{Int(2)}},
+			NewPunct(20),
+		},
+		"punct-only": {NewPunct(3), NewPunct(9), EOS()},
+		"empty":      {},
+		"float-edges": {
+			&Tuple{Ts: 1, Vals: []Value{Float(math.Copysign(0, -1))}},
+			&Tuple{Ts: 2, Vals: []Value{Float(math.Inf(1))}},
+			&Tuple{Ts: 3, Vals: []Value{Float(math.NaN())}},
+		},
+	}
+	for name, rows := range cases {
+		t.Run(name, func(t *testing.T) {
+			eqStream(t, roundTrip(rows), rows)
+		})
+	}
+}
+
+// TestColBatchPunctDrainOrder is the property the batch-metadata encoding
+// must guarantee: for any interleaving of data rows and punctuation, the
+// columnar form drains punctuation in exactly the order (and at exactly the
+// positions) of the equivalent in-band punct stream — also when the batch is
+// built by appending several smaller batches.
+func TestColBatchPunctDrainOrder(t *testing.T) {
+	var lcg uint64 = 12345
+	rnd := func(n uint64) uint64 {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return (lcg >> 33) % n
+	}
+	for trial := 0; trial < 200; trial++ {
+		var stream []*Tuple
+		ln := int(rnd(20))
+		for i := 0; i < ln; i++ {
+			if rnd(3) == 0 {
+				stream = append(stream, NewPunct(Time(rnd(1000))))
+			} else {
+				stream = append(stream, &Tuple{Ts: Time(rnd(1000)), Vals: []Value{Int(int64(rnd(10)))}, Seq: uint64(i)})
+			}
+		}
+		eqStream(t, roundTrip(stream), stream)
+
+		// Split the stream at a random point, build two batches, and append
+		// one onto the other: mark positions must re-offset.
+		if ln > 0 {
+			cut := int(rnd(uint64(ln)))
+			b1, b2 := GetColBatch(0), GetColBatch(0)
+			for _, tt := range stream[:cut] {
+				b1.AppendTuple(tt)
+			}
+			for _, tt := range stream[cut:] {
+				b2.AppendTuple(tt)
+			}
+			b1.AppendBatch(b2)
+			eqStream(t, b1.AppendRows(nil, nil), stream)
+			PutColBatch(b1)
+			PutColBatch(b2)
+		}
+	}
+}
+
+func TestColBatchHashKeyParity(t *testing.T) {
+	rows := []*Tuple{
+		{Ts: 1, Vals: []Value{Int(42), Float(-0.0), String_("abc"), Bool(true), {}}},
+		{Ts: 2, Vals: []Value{Int(-7), Float(3.25), String_(""), Bool(false), Int(1)}},
+		{Ts: 3, Vals: []Value{{}, {}, {}, {}, String_("mixed")}},
+		{Ts: 4, Vals: []Value{TimeVal(99), Float(0.0), String_("déjà"), Bool(true), Float(2.5)}},
+	}
+	b := GetColBatch(0)
+	defer PutColBatch(b)
+	for _, r := range rows {
+		b.AppendTuple(r)
+	}
+	for c := 0; c < b.NumCols(); c++ {
+		hashes := b.HashKey(c, nil)
+		for r, row := range rows {
+			if want := row.Vals[c].Hash(); hashes[r] != want {
+				t.Errorf("col %d row %d: HashKey %#x, Value.Hash %#x", c, r, hashes[r], want)
+			}
+		}
+	}
+	// An int column and a time column never built (all-null Kind path).
+	empty := GetColBatch(1)
+	defer PutColBatch(empty)
+	empty.AppendRow(1, 0, 0, []Value{{}})
+	if h := empty.HashKey(0, nil); h[0] != (Value{}).Hash() {
+		t.Errorf("all-null column hash %#x, want %#x", h[0], (Value{}).Hash())
+	}
+}
+
+func TestColBatchProjectCols(t *testing.T) {
+	build := func() *ColBatch {
+		b := NewColBatch(3)
+		b.AppendRow(1, 0, 0, []Value{Int(1), String_("a"), Float(0.5)})
+		b.AppendRow(2, 0, 0, []Value{Int(2), String_("b"), Float(1.5)})
+		b.AppendPunct(2)
+		return b
+	}
+	t.Run("reorder-drop", func(t *testing.T) {
+		b := build()
+		b.ProjectCols([]int{2, 0}, nil)
+		want := []*Tuple{
+			{Ts: 1, Vals: []Value{Float(0.5), Int(1)}},
+			{Ts: 2, Vals: []Value{Float(1.5), Int(2)}},
+			NewPunct(2),
+		}
+		eqStream(t, b.AppendRows(nil, nil), want)
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		b := build()
+		b.ProjectCols([]int{1, 1}, nil)
+		got := b.AppendRows(nil, nil)
+		want := []*Tuple{
+			{Ts: 1, Vals: []Value{String_("a"), String_("a")}},
+			{Ts: 2, Vals: []Value{String_("b"), String_("b")}},
+			NewPunct(2),
+		}
+		eqStream(t, got, want)
+	})
+	t.Run("scratch-reuse", func(t *testing.T) {
+		b := build()
+		scratch := b.ProjectCols([]int{0}, nil)
+		b2 := build()
+		scratch = b2.ProjectCols([]int{2}, scratch)
+		if len(scratch) != 0 {
+			t.Fatalf("returned scratch not cleared: len %d", len(scratch))
+		}
+		eqStream(t, b2.AppendRows(nil, nil), []*Tuple{
+			{Ts: 1, Vals: []Value{Float(0.5)}},
+			{Ts: 2, Vals: []Value{Float(1.5)}},
+			NewPunct(2),
+		})
+	})
+}
+
+func TestColBatchSetLen(t *testing.T) {
+	b := NewColBatch(1)
+	b.Ts = append(b.Ts, 5, 6, 7)
+	c := &b.Cols[0]
+	c.Kind = IntKind
+	c.I64 = append(c.I64, 10, 20, 30)
+	c.Valid.SetAll(3)
+	b.SetLen(3)
+	if b.Len() != 3 || len(b.Arrived) != 3 || len(b.Seq) != 3 {
+		t.Fatalf("SetLen: n=%d arrived=%d seq=%d", b.Len(), len(b.Arrived), len(b.Seq))
+	}
+	eqStream(t, b.AppendRows(nil, nil), []*Tuple{
+		{Ts: 5, Vals: []Value{Int(10)}},
+		{Ts: 6, Vals: []Value{Int(20)}},
+		{Ts: 7, Vals: []Value{Int(30)}},
+	})
+}
+
+func TestColBatchPoolReuse(t *testing.T) {
+	b := GetColBatch(2)
+	b.AppendRow(1, 2, 3, []Value{String_("pinned"), Int(9)})
+	b.AppendPunct(4)
+	PutColBatch(b)
+	b2 := GetColBatch(1) // different arity must come back clean
+	if !b2.Empty() || b2.NumCols() != 1 || b2.Cols[0].Kind != Null || len(b2.Cols[0].Str) != 0 {
+		t.Fatalf("recycled batch not clean: %+v", b2)
+	}
+	PutColBatch(b2)
+	PutColBatch(nil) // nil-safe
+}
+
+func TestColBatchCloneInto(t *testing.T) {
+	b := GetColBatch(0)
+	defer PutColBatch(b)
+	rows := []*Tuple{
+		NewPunct(1),
+		{Ts: 2, Vals: []Value{Int(1), String_("x")}, Arrived: 3, Seq: 4},
+		{Ts: 5, Vals: []Value{{}, String_("y")}, Arrived: 6, Seq: 7},
+	}
+	for _, r := range rows {
+		b.AppendTuple(r)
+	}
+	c := b.CloneInto(nil)
+	// Mutating the clone must not touch the original.
+	c.Cols[0].I64[0] = 99
+	c.Puncts[0].Ts = 42
+	eqStream(t, b.AppendRows(nil, nil), rows)
+	eqStream(t, c.AppendRows(nil, nil), []*Tuple{
+		NewPunct(42),
+		{Ts: 2, Vals: []Value{Int(99), String_("x")}, Arrived: 3, Seq: 4},
+		{Ts: 5, Vals: []Value{{}, String_("y")}, Arrived: 6, Seq: 7},
+	})
+}
+
+// FuzzColBatchRoundTrip drives the row→columnar→row converters with an
+// arbitrary interleaving of data rows (mixed kinds and nulls, adversarial
+// floats) and punctuation, asserting losslessness.
+func FuzzColBatchRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10, 0x81, 0x02, 0x43, 0xFF})
+	f.Add([]byte{0x05, 0x05, 0x05, 0x20, 0x20, 0x60, 0x60})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Each byte is one instruction: the low 3 bits select the op, the
+		// high bits parameterize it. Arity is fixed by the first data row.
+		var stream []*Tuple
+		var seq uint64
+		arity := 1
+		if len(data) > 0 {
+			arity = int(data[0]%4) + 1
+			data = data[1:]
+		}
+		take := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			v := data[0]
+			data = data[1:]
+			return v
+		}
+		for len(data) > 0 {
+			op := take()
+			if op&0x07 == 7 {
+				stream = append(stream, NewPunct(Time(op>>3)))
+				continue
+			}
+			vals := make([]Value, arity)
+			for c := range vals {
+				sel := take()
+				switch sel % 6 {
+				case 0: // null
+				case 1:
+					vals[c] = Int(int64(int8(sel)))
+				case 2:
+					vals[c] = Float(math.Float64frombits(uint64(sel) << 55))
+				case 3:
+					vals[c] = String_(string([]byte{sel}))
+				case 4:
+					vals[c] = Bool(sel&0x80 != 0)
+				case 5:
+					vals[c] = TimeVal(Time(sel))
+				}
+			}
+			seq++
+			stream = append(stream, &Tuple{Ts: Time(op), Vals: vals, Arrived: Time(op) + 1, Seq: seq})
+		}
+		eqStream(t, roundTrip(stream), stream)
+	})
+}

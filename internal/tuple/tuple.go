@@ -151,8 +151,14 @@ func (t *Tuple) IsEOS() bool { return t.Kind == Punct && t.Ts == MaxTime }
 // EOS is the end-of-stream punctuation constructor.
 func EOS() *Tuple { return NewPunct(MaxTime) }
 
-// WithTs returns a copy of t with the timestamp replaced. Used by operators
-// that stamp latent tuples on the fly.
+// WithTs returns a copy of t with the timestamp replaced, used by operators
+// that stamp latent tuples on the fly. The original is never mutated — in
+// particular, stamping a latent tuple leaves the original's Ts at MinTime.
+// The copy ALIASES t.Vals rather than deep-copying it, which is safe under
+// the immutability rule above but carries one sharp edge: recycling the
+// original (Put or Magazine.Put) truncates and reuses the shared backing
+// array, so a WithTs copy must not outlive its original's return to the
+// pool. Callers that need an independent lifetime must use Clone.
 func (t *Tuple) WithTs(ts Time) *Tuple {
 	c := *t
 	c.Ts = ts
@@ -160,7 +166,9 @@ func (t *Tuple) WithTs(ts Time) *Tuple {
 }
 
 // Clone returns a deep copy of t. Vals are copied so the clone can be
-// mutated (e.g. by a projection) without aliasing.
+// mutated (e.g. by a projection) and outlive the original's recycling
+// without aliasing; boxed values (strings, nested Values) still share
+// immutable backing data.
 func (t *Tuple) Clone() *Tuple {
 	c := *t
 	if t.Vals != nil {

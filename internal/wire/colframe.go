@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tuple"
+)
+
+// Columnar frame extension. A client that sets CapColumnar in HELLO.Flags
+// and sees it echoed in HELLO_ACK.Flags may ship batches as TUPLES_COL
+// frames: column-major payloads that decode straight into a tuple.ColBatch,
+// so neither endpoint materializes per-row *Tuple structs on the hot path.
+// The capability is negotiated — a server that does not understand columnar
+// frames never sees one, and an old client keeps speaking row TUPLES frames
+// against a columnar-capable server unchanged.
+//
+// TUPLES_COL payload layout (scalars little-endian, counts uvarint):
+//
+//	u32      bound stream id
+//	uvarint  row count R
+//	uvarint  punctuation count P
+//	P ×      uvarint pos (non-decreasing, ≤ R), i64 ets
+//	R × i64  timestamp column
+//	uvarint  column count C
+//	C ×      column block:
+//	  u8 tag — 0xFF boxed (mixed kinds), else the uniform ValueKind
+//	  boxed:      R × value (kind byte + payload, as row frames encode)
+//	  tag Null:   nothing (all-null column)
+//	  otherwise:  u8 allValid; if 0, ceil(R/64) × u64 validity words
+//	              then R payload entries:
+//	                int/time  i64
+//	                float     u64 (IEEE bits)
+//	                bool      u8
+//	                string    uvarint length + bytes
+//
+// Arrival times and sequence numbers are deliberately absent, exactly as in
+// row TUPLES frames: the receiving source stamps both at ingest.
+
+// CapColumnar is the HELLO/HELLO_ACK capability bit for TUPLES_COL frames.
+const CapColumnar uint16 = 1 << 0
+
+// TypeTuplesCol carries a columnar batch of data tuples for one stream.
+// Only valid after both sides negotiated CapColumnar.
+const TypeTuplesCol FrameType = 12
+
+// colAny tags a boxed (mixed-kind) column block.
+const colAny byte = 0xFF
+
+// TuplesCol carries a columnar batch of data tuples for one bound stream.
+// B must hold data rows only — punctuation marks round-trip, but servers
+// route stream bounds through PUNCT frames (see Engine.IngestColBatch).
+type TuplesCol struct {
+	// ID is the bound stream id.
+	ID uint32
+	// B is the batch; ownership stays with the sender on encode and passes
+	// to the caller on decode (the batch comes from the shared pool).
+	B *tuple.ColBatch
+}
+
+// Type reports TypeTuplesCol.
+func (TuplesCol) Type() FrameType { return TypeTuplesCol }
+
+func (f TuplesCol) encode(b []byte) []byte {
+	b = putU32(b, f.ID)
+	batch := f.B
+	n := batch.Len()
+	b = putUvarint(b, uint64(n))
+	b = putUvarint(b, uint64(len(batch.Puncts)))
+	for _, p := range batch.Puncts {
+		b = putUvarint(b, uint64(p.Pos))
+		b = putI64(b, int64(p.Ts))
+	}
+	for _, ts := range batch.Ts[:n] {
+		b = putI64(b, int64(ts))
+	}
+	b = putUvarint(b, uint64(batch.NumCols()))
+	for i := range batch.Cols {
+		b = appendCol(b, &batch.Cols[i], n)
+	}
+	return b
+}
+
+func appendCol(b []byte, c *tuple.Col, n int) []byte {
+	if c.Any != nil {
+		b = append(b, colAny)
+		for _, v := range c.Any[:n] {
+			b = appendValue(b, v)
+		}
+		return b
+	}
+	b = append(b, byte(c.Kind))
+	if c.Kind == tuple.Null {
+		return b // all-null column, no payload
+	}
+	if c.Valid.AllSet(n) {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+		for _, w := range c.Valid.Words(n) {
+			b = putU64(b, w)
+		}
+	}
+	switch c.Kind {
+	case tuple.IntKind, tuple.TimeKind:
+		for _, v := range c.I64[:n] {
+			b = putI64(b, v)
+		}
+	case tuple.BoolKind:
+		for _, v := range c.I64[:n] {
+			b = append(b, byte(v&1))
+		}
+	case tuple.FloatKind:
+		for _, v := range c.F64[:n] {
+			b = putU64(b, math.Float64bits(v))
+		}
+	case tuple.StringKind:
+		for _, s := range c.Str[:n] {
+			b = putString(b, s)
+		}
+	}
+	return b
+}
+
+// remaining reports the unconsumed payload length — the allocation bound
+// for count-prefixed sections (a hostile count must not out-allocate the
+// bytes actually on the wire).
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+// tuplesCol decodes a TUPLES_COL payload after its stream id. On error the
+// partially built batch is recycled and nil is returned.
+func (d *decoder) tuplesCol() *tuple.ColBatch {
+	rows := d.uvarint()
+	npunct := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// Every row costs ≥8 payload bytes (its timestamp), every punctuation
+	// ≥9; reject counts the frame cannot actually carry before allocating.
+	if rows > uint64(d.remaining())/8 || npunct > uint64(d.remaining())/9 {
+		d.fail()
+		return nil
+	}
+	b := tuple.GetColBatch(0)
+	prev := -1
+	for i := uint64(0); i < npunct && d.err == nil; i++ {
+		pos := d.uvarint()
+		ts := tuple.Time(d.i64())
+		if pos > rows || int(pos) < prev {
+			d.fail()
+			break
+		}
+		prev = int(pos)
+		b.Puncts = append(b.Puncts, tuple.PunctMark{Pos: int(pos), Ts: ts})
+	}
+	for i := uint64(0); i < rows && d.err == nil; i++ {
+		b.Ts = append(b.Ts, tuple.Time(d.i64()))
+	}
+	ncols := d.uvarint()
+	if d.err == nil && ncols > maxArity {
+		d.fail()
+	}
+	if d.err != nil {
+		tuple.PutColBatch(b)
+		return nil
+	}
+	if cap(b.Cols) < int(ncols) {
+		b.Cols = make([]tuple.Col, ncols)
+	} else {
+		b.Cols = b.Cols[:ncols]
+	}
+	for i := range b.Cols {
+		d.col(&b.Cols[i], int(rows))
+		if d.err != nil {
+			tuple.PutColBatch(b)
+			return nil
+		}
+	}
+	b.SetLen(int(rows))
+	return b
+}
+
+// col decodes one column block for n rows into c (assumed reset).
+func (d *decoder) col(c *tuple.Col, n int) {
+	tag := d.byte()
+	if d.err != nil {
+		return
+	}
+	if tag == colAny {
+		c.Any = make([]tuple.Value, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			v := d.value()
+			c.Any = append(c.Any, v)
+			if !v.IsNull() {
+				c.Valid.Set(i)
+			}
+		}
+		return
+	}
+	kind := tuple.ValueKind(tag)
+	switch kind {
+	case tuple.Null:
+		return // all-null column
+	case tuple.IntKind, tuple.FloatKind, tuple.StringKind, tuple.BoolKind, tuple.TimeKind:
+	default:
+		d.err = fmt.Errorf("wire: unknown column kind %d", tag)
+		return
+	}
+	c.Kind = kind
+	allValid := d.byte()
+	if allValid != 0 {
+		c.Valid.SetAll(n)
+	} else {
+		words := (n + 63) >> 6
+		if 8*words > d.remaining() {
+			d.fail()
+			return
+		}
+		w := make([]uint64, words)
+		for i := range w {
+			w[i] = d.u64()
+		}
+		// Bits beyond the row count must be zero: they would corrupt later
+		// rows if this batch's storage is recycled and regrown.
+		if rem := uint(n & 63); rem != 0 && words > 0 && w[words-1]>>rem != 0 {
+			d.fail()
+			return
+		}
+		c.Valid.SetWords(w)
+	}
+	switch kind {
+	case tuple.IntKind, tuple.TimeKind:
+		if 8*n > d.remaining() {
+			d.fail()
+			return
+		}
+		c.I64 = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			c.I64 = append(c.I64, d.i64())
+		}
+	case tuple.BoolKind:
+		if n > d.remaining() {
+			d.fail()
+			return
+		}
+		c.I64 = make([]int64, 0, n)
+		for i := 0; i < n; i++ {
+			c.I64 = append(c.I64, int64(d.byte()&1))
+		}
+	case tuple.FloatKind:
+		if 8*n > d.remaining() {
+			d.fail()
+			return
+		}
+		c.F64 = make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			c.F64 = append(c.F64, math.Float64frombits(d.u64()))
+		}
+	case tuple.StringKind:
+		if n > d.remaining() {
+			d.fail()
+			return
+		}
+		c.Str = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			c.Str = append(c.Str, d.str())
+		}
+	}
+}

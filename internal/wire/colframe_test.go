@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func buildColBatch(rows []*tuple.Tuple) *tuple.ColBatch {
+	b := tuple.GetColBatch(0)
+	for _, t := range rows {
+		b.AppendTuple(t)
+	}
+	return b
+}
+
+// eqColRows compares batches on the wire-visible fields: timestamps, values
+// and punctuation (arrival/seq deliberately do not travel).
+func eqColRows(t *testing.T, got, want *tuple.ColBatch) {
+	t.Helper()
+	if got.Len() != want.Len() || got.NumCols() != want.NumCols() || len(got.Puncts) != len(want.Puncts) {
+		t.Fatalf("shape: got %d×%d/%d puncts, want %d×%d/%d",
+			got.Len(), got.NumCols(), len(got.Puncts), want.Len(), want.NumCols(), len(want.Puncts))
+	}
+	for i, p := range want.Puncts {
+		if got.Puncts[i] != p {
+			t.Fatalf("punct %d: %+v, want %+v", i, got.Puncts[i], p)
+		}
+	}
+	for r := 0; r < want.Len(); r++ {
+		if got.Ts[r] != want.Ts[r] {
+			t.Fatalf("row %d ts %v, want %v", r, got.Ts[r], want.Ts[r])
+		}
+		for c := 0; c < want.NumCols(); c++ {
+			g, w := got.Value(c, r), want.Value(c, r)
+			if g.Kind() != w.Kind() || g.String() != w.String() {
+				t.Fatalf("row %d col %d: %v, want %v", r, c, g, w)
+			}
+		}
+	}
+}
+
+func TestRoundTripTuplesCol(t *testing.T) {
+	cases := map[string][]*tuple.Tuple{
+		"typed": {
+			tuple.NewData(10, tuple.Int(-3), tuple.Float(math.Pi), tuple.String_("héllo"), tuple.Bool(true), tuple.TimeVal(777)),
+			tuple.NewData(20, tuple.Int(9), tuple.Float(-0.0), tuple.String_(""), tuple.Bool(false), tuple.TimeVal(tuple.MaxTime)),
+		},
+		"nulls": {
+			tuple.NewData(1, tuple.Value{}, tuple.Int(1)),
+			tuple.NewData(2, tuple.Int(2), tuple.Value{}),
+			tuple.NewData(3, tuple.Value{}, tuple.Value{}),
+		},
+		"mixed-kind": {
+			tuple.NewData(1, tuple.Int(1)),
+			tuple.NewData(2, tuple.String_("x")),
+			tuple.NewData(3, tuple.Value{}),
+		},
+		"punct-interleave": {
+			tuple.NewPunct(5),
+			tuple.NewData(10, tuple.Int(1)),
+			tuple.NewPunct(10),
+			tuple.NewData(20, tuple.Int(2)),
+			tuple.NewPunct(20),
+		},
+		"empty": {},
+	}
+	for name, rows := range cases {
+		t.Run(name, func(t *testing.T) {
+			want := buildColBatch(rows)
+			got := roundTrip(t, TuplesCol{ID: 42, B: want}).(TuplesCol)
+			if got.ID != 42 {
+				t.Fatalf("id %d", got.ID)
+			}
+			eqColRows(t, got.B, want)
+			tuple.PutColBatch(want)
+			tuple.PutColBatch(got.B)
+		})
+	}
+}
+
+func TestTuplesColRejectsTruncation(t *testing.T) {
+	b := buildColBatch([]*tuple.Tuple{
+		tuple.NewPunct(1),
+		tuple.NewData(10, tuple.Int(1), tuple.String_("abc"), tuple.Float(2.5)),
+		tuple.NewData(20, tuple.Value{}, tuple.String_("d"), tuple.Float(-1)),
+	})
+	defer tuple.PutColBatch(b)
+	payload := TuplesCol{ID: 1, B: b}.encode(nil)
+	for cut := 0; cut < len(payload); cut++ {
+		if _, err := DecodeFrame(TypeTuplesCol, payload[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(payload))
+		}
+	}
+	if _, err := DecodeFrame(TypeTuplesCol, append(payload, 0), nil); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestTuplesColRejectsHostileCounts(t *testing.T) {
+	mk := func(f func(b []byte) []byte) []byte { return f(putU32(nil, 1)) }
+	cases := map[string][]byte{
+		"huge-rows": mk(func(b []byte) []byte {
+			b = putUvarint(b, 1<<40) // rows the payload cannot carry
+			return putUvarint(b, 0)
+		}),
+		"huge-puncts": mk(func(b []byte) []byte {
+			b = putUvarint(b, 0)
+			return putUvarint(b, 1<<40)
+		}),
+		"punct-pos-beyond-rows": mk(func(b []byte) []byte {
+			b = putUvarint(b, 1)
+			b = putUvarint(b, 1)
+			b = putUvarint(b, 2) // pos 2 > rows 1
+			b = putI64(b, 5)
+			b = putI64(b, 10)
+			return putUvarint(b, 0)
+		}),
+		"punct-pos-regresses": mk(func(b []byte) []byte {
+			b = putUvarint(b, 1)
+			b = putUvarint(b, 2)
+			b = putUvarint(b, 1)
+			b = putI64(b, 5)
+			b = putUvarint(b, 0) // second pos 0 < first pos 1
+			b = putI64(b, 6)
+			b = putI64(b, 10)
+			return putUvarint(b, 0)
+		}),
+		"huge-ncols": mk(func(b []byte) []byte {
+			b = putUvarint(b, 0)
+			b = putUvarint(b, 0)
+			return putUvarint(b, 1<<20)
+		}),
+		"unknown-col-kind": mk(func(b []byte) []byte {
+			b = putUvarint(b, 1)
+			b = putUvarint(b, 0)
+			b = putI64(b, 10)
+			b = putUvarint(b, 1)
+			return append(b, 0x77)
+		}),
+		"validity-bits-beyond-rows": mk(func(b []byte) []byte {
+			b = putUvarint(b, 1)
+			b = putUvarint(b, 0)
+			b = putI64(b, 10)
+			b = putUvarint(b, 1)
+			b = append(b, byte(tuple.IntKind), 0) // not all-valid
+			b = putU64(b, 0xFF)                   // bits 1..7 exceed row count 1
+			return putI64(b, 42)
+		}),
+	}
+	for name, payload := range cases {
+		if _, err := DecodeFrame(TypeTuplesCol, payload, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestHelloAckFlagsCompat pins the capability handshake's backward
+// compatibility: a flag-free ack encodes without the trailing field (so
+// strict legacy decoders accept it), and a legacy flag-free payload decodes
+// on a current endpoint as Flags == 0.
+func TestHelloAckFlagsCompat(t *testing.T) {
+	plain := HelloAck{Version: Version, Session: 9, Credits: 100}
+	legacy := plain.encode(nil)
+	withFlags := HelloAck{Version: Version, Session: 9, Credits: 100, Flags: CapColumnar}.encode(nil)
+	if len(withFlags) != len(legacy)+2 {
+		t.Fatalf("flagged ack must append exactly one u16: %d vs %d", len(withFlags), len(legacy))
+	}
+	got, err := DecodeFrame(TypeHelloAck, legacy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(HelloAck) != plain {
+		t.Fatalf("legacy ack decoded as %+v", got)
+	}
+	got, err = DecodeFrame(TypeHelloAck, withFlags, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack := got.(HelloAck); ack.Flags != CapColumnar {
+		t.Fatalf("flags lost: %+v", ack)
+	}
+}

@@ -14,6 +14,15 @@ import (
 //     memory limit; maxArity/maxFields/MaxFrame are the guards);
 //   - a payload that decodes must re-encode and decode to the same frame
 //     (decode ∘ encode ∘ decode = decode — canonical form is a fixpoint).
+func colSeedFrame() Frame {
+	b := tuple.NewColBatch(0)
+	b.AppendPunct(3)
+	b.AppendTuple(tuple.NewData(7, tuple.Int(1), tuple.String_("c"), tuple.Value{}))
+	b.AppendTuple(tuple.NewData(8, tuple.Float(0.5), tuple.String_(""), tuple.Bool(true)))
+	b.AppendPunct(9)
+	return TuplesCol{ID: 2, B: b}
+}
+
 func FuzzDecodeFrame(f *testing.F) {
 	seedFrames := []Frame{
 		Hello{Version: Version, Name: "fuzz", Clock: 99},
@@ -28,6 +37,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		Demand{ID: 0, Credits: 10},
 		EOS{ID: 3},
 		Error{Code: ErrCodeProtocol, Msg: "bad"},
+		colSeedFrame(),
 	}
 	for _, fr := range seedFrames {
 		f.Add(byte(fr.Type()), fr.encode(nil))

@@ -118,6 +118,8 @@ func (t FrameType) String() string {
 		return "EOS"
 	case TypeError:
 		return "ERROR"
+	case TypeTuplesCol:
+		return "TUPLES_COL"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -166,6 +168,13 @@ type HelloAck struct {
 	// Credits is the initial tuple credit window: the client may send this
 	// many data tuples before it must wait for a DEMAND grant.
 	Credits uint32
+	// Flags echoes the subset of the client's HELLO capability bits the
+	// server granted (CapColumnar, …). Encoded as an optional trailing
+	// field only when non-zero, so version-1 decoders that reject trailing
+	// bytes still accept acks from capability-free negotiations — and a
+	// capability-bearing ack only ever goes to a client that asked for the
+	// capability, hence understands the field.
+	Flags uint16
 }
 
 // Bind registers a stream on the session. The ID is chosen by the client
@@ -518,7 +527,11 @@ func (f Hello) encode(b []byte) []byte {
 func (f HelloAck) encode(b []byte) []byte {
 	b = putU16(b, f.Version)
 	b = putU64(b, f.Session)
-	return putU32(b, f.Credits)
+	b = putU32(b, f.Credits)
+	if f.Flags != 0 {
+		b = putU16(b, f.Flags)
+	}
+	return b
 }
 
 func (f Bind) encode(b []byte) []byte {
@@ -588,6 +601,9 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 		return f, d.done()
 	case TypeHelloAck:
 		f := HelloAck{Version: d.u16(), Session: d.u64(), Credits: d.u32()}
+		if d.err == nil && d.off < len(d.b) {
+			f.Flags = d.u16() // optional capability echo (see HelloAck.Flags)
+		}
 		return f, d.done()
 	case TypeBind:
 		f := Bind{ID: d.u32(), Stream: d.str(), TS: tuple.TSKind(d.byte()), Delta: tuple.Time(d.i64())}
@@ -645,6 +661,14 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 	case TypeError:
 		f := Error{Code: d.u16(), Msg: d.str()}
 		return f, d.done()
+	case TypeTuplesCol:
+		f := TuplesCol{ID: d.u32()}
+		f.B = d.tuplesCol()
+		if err := d.done(); err != nil {
+			tuple.PutColBatch(f.B)
+			return nil, err
+		}
+		return f, nil
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", typ)
 	}
