@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar obs-smoke net-smoke col-smoke chaos fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive obs-smoke net-smoke col-smoke adapt-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -41,6 +41,14 @@ bench-net:
 bench-columnar:
 	$(GO) run ./cmd/etsbench -columnar
 
+# Adaptive-controller measurement: static sweep vs self-tuning on the
+# drifting-skew union+join workload plus the probe-reorder sub-benchmark;
+# writes BENCH_adaptive.json and exits non-zero if any acceptance gate
+# (exact join rows, zero late, ≥1.3× static-default, ≥0.85× best static,
+# ≥1 applied rebalance, ≥1 probe reorder) fails.
+bench-adaptive:
+	$(GO) run ./cmd/etsbench -adaptive
+
 # Columnar data-plane tests under the race detector: converters and the
 # punctuation-order property (tuple), row/col operator equivalence (ops),
 # end-to-end engine equivalence and mixed/fan-out arcs (runtime), the
@@ -59,6 +67,15 @@ obs-smoke:
 net-smoke:
 	sh scripts/net_smoke.sh
 
+# Adaptive-controller smoke under the race detector: the controller unit
+# tests (batch climb, barrier rebalance, probe reorder, the reconfig-at-
+# boundary property), then a short self-tuning run that must issue and
+# apply at least one retune at a punctuation boundary with the join exact
+# and zero late deliveries.
+adapt-smoke:
+	$(GO) test -race ./internal/adapt ./internal/runtime ./internal/partition
+	$(GO) run -race ./cmd/etsbench -adaptive-smoke
+
 # Seeded chaos soak under the race detector: node panics, 1% source drops,
 # and a mid-run source stall on the union workload; exits non-zero if any
 # fault-tolerance invariant (clean finish, exact tuple accounting,
@@ -74,4 +91,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s -run '^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzColBatchRoundTrip -fuzztime=30s -run '^$$' ./internal/tuple
 
-check: vet build test race bench obs-smoke net-smoke col-smoke chaos
+check: vet build test race bench obs-smoke net-smoke col-smoke adapt-smoke chaos

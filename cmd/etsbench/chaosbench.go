@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/metrics"
@@ -42,23 +43,31 @@ const (
 )
 
 type chaosReport struct {
-	Spec       string   `json:"spec"`
-	Duration   string   `json:"duration"`
-	Sent       uint64   `json:"tuples_sent"`
-	Delivered  uint64   `json:"tuples_delivered"`
-	InjDrops   uint64   `json:"injected_drops"`
-	ReorderDrp uint64   `json:"reorder_dropped"`
-	InjPanics  uint64   `json:"injected_panics"`
-	Restarts   uint64   `json:"restarts"`
-	ForcedETS  uint64   `json:"forced_ets"`
-	LateTuples uint64   `json:"late_tuples"`
-	Inversions uint64   `json:"sink_inversions"`
-	Stragglers uint64   `json:"stragglers_sent"`
-	Violations []string `json:"violations"`
+	Spec       string `json:"spec"`
+	Duration   string `json:"duration"`
+	Sent       uint64 `json:"tuples_sent"`
+	Delivered  uint64 `json:"tuples_delivered"`
+	InjDrops   uint64 `json:"injected_drops"`
+	ReorderDrp uint64 `json:"reorder_dropped"`
+	InjPanics  uint64 `json:"injected_panics"`
+	Restarts   uint64 `json:"restarts"`
+	ForcedETS  uint64 `json:"forced_ets"`
+	LateTuples uint64 `json:"late_tuples"`
+	Inversions uint64 `json:"sink_inversions"`
+	Stragglers uint64 `json:"stragglers_sent"`
+	// AdaptRetunes/AdaptApplied report the controller's activity when the
+	// soak runs with -chaos-adaptive (issued decisions / reconfigurations
+	// applied at punctuation boundaries).
+	AdaptRetunes uint64   `json:"adaptive_retunes,omitempty"`
+	AdaptApplied uint64   `json:"adaptive_applied,omitempty"`
+	Violations   []string `json:"violations"`
 }
 
 // runChaos builds the chaotic union graph, soaks it for dur, and validates.
-func runChaos(spec string, seed int64, dur time.Duration, out string) {
+// With adaptive, the self-tuning controller runs on top of the chaos —
+// reconfigurations racing panics, drops and the stall — and every
+// fault-tolerance invariant must hold exactly as without it.
+func runChaos(spec string, seed int64, dur time.Duration, out string, adaptive bool) {
 	cfg, err := fault.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
@@ -96,7 +105,7 @@ func runChaos(spec string, seed int64, dur time.Duration, out string) {
 	g.AddNode(sink, u)
 
 	tr := metrics.NewTracer(4096)
-	e, err := rt.New(g, rt.Options{
+	opts := rt.Options{
 		// On-demand ETS stays off so the liveness watchdog — not the
 		// demand path — is what unblocks idle-waiters during the stall.
 		OnDemandETS:    false,
@@ -106,12 +115,23 @@ func runChaos(spec string, seed int64, dur time.Duration, out string) {
 		SourceTimeout:  50 * time.Millisecond,
 		Trace:          tr,
 		Fault:          inj,
-	})
+	}
+	if adaptive {
+		opts.Adaptive = &rt.AdaptiveOptions{Interval: 5 * time.Millisecond}
+	}
+	e, err := rt.New(g, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
 		os.Exit(1)
 	}
+	var ctl *adapt.Controller
+	if adaptive {
+		ctl = adapt.Attach(e)
+	}
 	e.Start()
+	if ctl != nil {
+		ctl.Start()
+	}
 	inj.Arm() // stall clock starts with the workload
 	start := time.Now()
 	nowTs := func() tuple.Time { return tuple.FromDuration(time.Since(start)) }
@@ -164,13 +184,17 @@ func runChaos(spec string, seed int64, dur time.Duration, out string) {
 	e.CloseStream(s1)
 	e.CloseStream(s2)
 	waitErr := e.Wait()
+	if ctl != nil {
+		ctl.Stop()
+	}
 
 	snap := e.Snapshot()
 	stats := inj.Stats()
-	var restarts, panics uint64
+	var restarts, panics, retuned uint64
 	for _, n := range snap.Nodes {
 		restarts += n.Restarts
 		panics += n.Panics
+		retuned += n.Retunes
 	}
 	rep := chaosReport{
 		Spec:       spec,
@@ -185,6 +209,10 @@ func runChaos(spec string, seed int64, dur time.Duration, out string) {
 		LateTuples: snap.LateTuples,
 		Inversions: inversions,
 		Stragglers: stragglers[0] + stragglers[1],
+	}
+	if ctl != nil {
+		rep.AdaptRetunes = ctl.Retunes()
+		rep.AdaptApplied = retuned
 	}
 	fail := func(format string, args ...interface{}) {
 		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
@@ -232,6 +260,10 @@ func runChaos(spec string, seed int64, dur time.Duration, out string) {
 	fmt.Printf("  trace: panic %d  restart %d  ets-forced %d  late %d\n",
 		tr.Count(metrics.EvNodePanic), tr.Count(metrics.EvNodeRestart),
 		tr.Count(metrics.EvETSForced), tr.Count(metrics.EvLateTuple))
+	if ctl != nil {
+		fmt.Printf("  adaptive: %d retunes issued, %d applied at boundaries (trace applied %d)\n",
+			rep.AdaptRetunes, rep.AdaptApplied, tr.Count(metrics.EvRetuneApplied))
+	}
 	if out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

@@ -24,6 +24,13 @@
 //	                           the row plane on the filter/project/hash
 //	                           and filter/join/aggregate pipelines and
 //	                           write BENCH_columnar.json
+//	etsbench -adaptive         benchmark the adaptive controller against
+//	                           static configurations on the drifting-skew
+//	                           union+join workload and the probe-reorder
+//	                           multiway join; write BENCH_adaptive.json
+//	etsbench -adaptive-smoke   short adaptive run asserting at least one
+//	                           retune applied at a punctuation boundary
+//	                           with all invariants held (CI gate)
 package main
 
 import (
@@ -59,6 +66,12 @@ func main() {
 	colBench := flag.Bool("columnar", false, "benchmark the columnar data plane vs the row plane")
 	colTuples := flag.Int("columnar-tuples", 2_000_000, "tuples per configuration for -columnar")
 	colOut := flag.String("columnar-out", "BENCH_columnar.json", "output file for -columnar results")
+	adBench := flag.Bool("adaptive", false, "benchmark the adaptive controller vs static configurations on the drifting-skew workload")
+	adTuples := flag.Int("adaptive-tuples", 240_000, "tuples per configuration for -adaptive")
+	adOut := flag.String("adaptive-out", "BENCH_adaptive.json", "output file for -adaptive results")
+	adSmoke := flag.Bool("adaptive-smoke", false, "short adaptive run asserting at least one retune applied with invariants held")
+	adSmokeTuples := flag.Int("adaptive-smoke-tuples", 60_000, "tuples for -adaptive-smoke")
+	chaosAdaptive := flag.Bool("chaos-adaptive", false, "run -chaos with the adaptive controller attached (invariants unchanged)")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -79,9 +92,13 @@ func main() {
 	case *shBench:
 		runShardBench(*shTuples, *shOut)
 	case *chaos:
-		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut)
+		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut, *chaosAdaptive)
 	case *colBench:
 		runColumnarBench(*colTuples, *colOut)
+	case *adBench:
+		runAdaptiveBench(*adTuples, *adOut)
+	case *adSmoke:
+		runAdaptiveSmoke(*adSmokeTuples)
 	case *scen:
 		runScenarios(*hbRate)
 	case *fig == "all":

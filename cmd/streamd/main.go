@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -58,6 +59,7 @@ type options struct {
 	listen     string
 	drainGrace time.Duration
 	srcTimeout time.Duration
+	adaptive   bool
 }
 
 func main() {
@@ -74,6 +76,7 @@ func main() {
 	flag.StringVar(&opts.listen, "listen", "", "network mode: serve the wire-protocol ingest server on this address instead of replaying -in traces (e.g. 127.0.0.1:7433, :0 for ephemeral)")
 	flag.DurationVar(&opts.drainGrace, "drain-grace", 2*time.Second, "network mode: how long SIGINT lets sessions finish before their connections are cut")
 	flag.DurationVar(&opts.srcTimeout, "source-timeout", 0, "network mode: arm the source-liveness watchdog — a silent source has ETS forced after this long (0 disables)")
+	flag.BoolVar(&opts.adaptive, "adaptive", false, "network mode: attach the self-tuning controller (batch sizes, shard tables, probe orders retuned at punctuation boundaries; watch sm_adapt_* in /vars)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -139,16 +142,27 @@ func serve(ddl, q string, opts options) error {
 	if opts.trace {
 		tr = metrics.NewTracer(4096)
 	}
-	re, err := e.BuildRuntime(runtime.Options{
+	ropts := runtime.Options{
 		OnDemandETS:   !opts.noETS,
 		Metrics:       reg,
 		Trace:         tr,
 		SourceTimeout: opts.srcTimeout,
-	})
+	}
+	if opts.adaptive {
+		ropts.Adaptive = &runtime.AdaptiveOptions{}
+	}
+	re, err := e.BuildRuntime(ropts)
 	if err != nil {
 		return err
 	}
+	var ctl *adapt.Controller
+	if opts.adaptive {
+		ctl = adapt.Attach(re)
+	}
 	re.Start()
+	if ctl != nil {
+		ctl.Start()
+	}
 	srv, err := server.Listen(opts.listen, server.Options{
 		Backend: server.NewEngineBackend(re, e.LookupStream),
 		Metrics: reg,
@@ -205,6 +219,10 @@ func serve(ddl, q string, opts options) error {
 		runErr = <-done
 	}
 	srv.Close()
+	if ctl != nil {
+		ctl.Stop()
+		fmt.Fprintf(os.Stderr, "streamd: adaptive: %d retunes issued\n", ctl.Retunes())
+	}
 	if err := out.Flush(); err != nil {
 		return err
 	}

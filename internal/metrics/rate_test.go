@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRateFirstCallPrimes(t *testing.T) {
+	var c Counter64
+	c.Add(1000)
+	var w RateWindow
+	if got := c.Rate(&w); got != 0 {
+		t.Fatalf("first Rate() = %d, want 0 (priming call)", got)
+	}
+	if got := c.Rate(&w); got != 0 {
+		t.Fatalf("Rate() with no increments = %d, want 0", got)
+	}
+}
+
+func TestRateDeltas(t *testing.T) {
+	var c Counter64
+	var w RateWindow
+	c.Rate(&w) // prime
+	c.Add(7)
+	if got := c.Rate(&w); got != 7 {
+		t.Fatalf("Rate() = %d, want 7", got)
+	}
+	c.Add(3)
+	c.Inc()
+	if got := c.Rate(&w); got != 4 {
+		t.Fatalf("Rate() = %d, want 4", got)
+	}
+	if got := c.Rate(&w); got != 0 {
+		t.Fatalf("Rate() after quiet interval = %d, want 0", got)
+	}
+}
+
+func TestRateIndependentWindows(t *testing.T) {
+	var c Counter64
+	var w1, w2 RateWindow
+	c.Rate(&w1)
+	c.Add(10)
+	c.Rate(&w2) // primes at 10
+	c.Add(5)
+	if got := c.Rate(&w1); got != 15 {
+		t.Fatalf("window 1 Rate() = %d, want 15", got)
+	}
+	if got := c.Rate(&w2); got != 5 {
+		t.Fatalf("window 2 Rate() = %d, want 5", got)
+	}
+}
+
+func TestRateReprimesOnReset(t *testing.T) {
+	var c Counter64
+	var w RateWindow
+	c.Add(100)
+	c.Rate(&w)
+	// Simulate a counter restart (a fresh counter reusing the window):
+	// the remembered value is above the current one.
+	var fresh Counter64
+	fresh.Add(2)
+	if got := fresh.Rate(&w); got != 0 {
+		t.Fatalf("Rate() across counter restart = %d, want 0", got)
+	}
+	fresh.Add(4)
+	if got := fresh.Rate(&w); got != 4 {
+		t.Fatalf("Rate() after re-prime = %d, want 4", got)
+	}
+}
+
+// The counter side stays lock-free: concurrent writers may race a poller
+// reading deltas, and the deltas must still sum to the total.
+func TestRateConcurrentWriters(t *testing.T) {
+	var c Counter64
+	var w RateWindow
+	c.Rate(&w)
+	const writers, per = 8, 10_000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	var sum uint64
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			sum += c.Rate(&w)
+			if sum >= writers*per {
+				return
+			}
+		}
+	}()
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+	sum += c.Rate(&w)
+	if sum != writers*per {
+		t.Fatalf("sum of deltas = %d, want %d", sum, writers*per)
+	}
+}

@@ -35,6 +35,30 @@ func (c *Counter64) Inc() { c.v.Add(1) }
 // Load reads the current value.
 func (c *Counter64) Load() uint64 { return c.v.Load() }
 
+// RateWindow remembers a counter's value at the previous observation so
+// periodic pollers (the adaptive controller's tick) can read per-interval
+// deltas without diffing whole snapshots by hand. One RateWindow tracks one
+// counter; it is not safe for concurrent use — each poller owns its own.
+type RateWindow struct {
+	last  uint64
+	valid bool
+}
+
+// Rate returns the counter's increase since the previous call with the same
+// window. The first call primes the window and returns 0, so a controller's
+// first tick never sees the counter's whole lifetime as one burst. Counters
+// are monotonic; if the counter was restarted below the remembered value the
+// window re-primes and returns 0 rather than underflowing.
+func (c *Counter64) Rate(w *RateWindow) uint64 {
+	cur := c.v.Load()
+	prev, valid := w.last, w.valid
+	w.last, w.valid = cur, true
+	if !valid || cur < prev {
+		return 0
+	}
+	return cur - prev
+}
+
 // Gauge64 is a lock-free gauge (a value that can go up and down).
 type Gauge64 struct{ v atomic.Int64 }
 

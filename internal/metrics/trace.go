@@ -66,6 +66,19 @@ const (
 	// EvNetSkew: a session's skew estimator raised a source's δ; Value is
 	// the new bound in µs.
 	EvNetSkew
+	// EvRetuneBatch: the adaptive controller decided a new batch size for a
+	// node; Value is the new size.
+	EvRetuneBatch
+	// EvRetuneShards: the controller issued a splitter re-assignment;
+	// Value is the punctuation barrier timestamp the swap is fenced on.
+	EvRetuneShards
+	// EvRetuneProbe: the controller reordered a multiway join's probe
+	// sequence; Value packs the new order (input index per nibble).
+	EvRetuneProbe
+	// EvRetuneApplied: a node observed a pending reconfiguration at a
+	// punctuation boundary and applied it; Value is the punctuation
+	// timestamp at the apply point (the quiescence witness).
+	EvRetuneApplied
 
 	numEventKinds
 )
@@ -108,6 +121,14 @@ func (k EventKind) String() string {
 		return "NetDemand"
 	case EvNetSkew:
 		return "NetSkew"
+	case EvRetuneBatch:
+		return "RetuneBatch"
+	case EvRetuneShards:
+		return "RetuneShards"
+	case EvRetuneProbe:
+		return "RetuneProbe"
+	case EvRetuneApplied:
+		return "RetuneApplied"
 	default:
 		return fmt.Sprintf("EventKind(%d)", k)
 	}

@@ -1,0 +1,213 @@
+package ops
+
+import (
+	"testing"
+
+	"repro/internal/tuple"
+	"repro/internal/window"
+)
+
+func shardOf(h *splitHarness, key int64) int {
+	for k := range h.arcs {
+		h.arcs[k] = nil
+	}
+	h.in.Push(tuple.NewData(h.s.MaxTs()+1, tuple.Int(key)))
+	h.run()
+	for k, arc := range h.arcs {
+		if len(arc) > 0 {
+			return k
+		}
+	}
+	return -1
+}
+
+func TestSplitRetargetAppliesAtBarrier(t *testing.T) {
+	s := NewSplit("sp", nil, 4, 0)
+	h := newSplitHarness(s)
+
+	const key = 7
+	before := shardOf(h, key)
+	bucket := int(tuple.Int(key).Hash() % SplitBuckets)
+
+	// Move the key's bucket to a different shard, fenced at ts 100.
+	assign := s.Assignment()
+	target := (before + 1) % 4
+	assign[bucket] = int32(target)
+	var appliedAt tuple.Time = -1
+	s.OnApply(func(b tuple.Time) { appliedAt = b })
+	if !s.Retarget(assign, 100) {
+		t.Fatal("Retarget rejected")
+	}
+	if s.AssignVersion() != 0 {
+		t.Fatal("retarget must not count as applied before its barrier")
+	}
+
+	// Pre-barrier tuples keep the old route.
+	h.arcs[before], h.arcs[target] = nil, nil
+	h.in.Push(tuple.NewData(50, tuple.Int(key)))
+	h.run()
+	if len(h.arcs[before]) != 1 {
+		t.Fatalf("ts<barrier tuple left shard %d: %v", before, h.arcs)
+	}
+
+	// Post-barrier tuples route through the new table even before the
+	// punctuation promotes it.
+	h.arcs[before], h.arcs[target] = nil, nil
+	h.in.Push(tuple.NewData(150, tuple.Int(key)))
+	h.run()
+	if len(h.arcs[target]) != 1 {
+		t.Fatalf("ts>=barrier tuple not on new shard %d: %v", target, h.arcs)
+	}
+
+	// The punctuation at/above the barrier retires the old table.
+	h.in.Push(tuple.NewPunct(100))
+	h.run()
+	if s.AssignVersion() != 1 {
+		t.Fatalf("AssignVersion = %d after barrier punct, want 1", s.AssignVersion())
+	}
+	if appliedAt != 100 {
+		t.Fatalf("OnApply barrier = %d, want 100", appliedAt)
+	}
+	if got := s.Assignment()[bucket]; got != int32(target) {
+		t.Fatalf("promoted table bucket = %d, want %d", got, target)
+	}
+
+	h.arcs[before], h.arcs[target] = nil, nil
+	h.in.Push(tuple.NewData(200, tuple.Int(key)))
+	h.run()
+	if len(h.arcs[target]) != 1 {
+		t.Fatalf("post-promotion tuple not on new shard %d", target)
+	}
+}
+
+func TestSplitRetargetRejections(t *testing.T) {
+	rr := NewSplit("rr", nil, 2, -1)
+	if rr.Retarget(make([]int32, SplitBuckets), 10) {
+		t.Error("round-robin splitter accepted a retarget")
+	}
+	s := NewSplit("sp", nil, 2, 0)
+	if s.Retarget(make([]int32, 10), 10) {
+		t.Error("short table accepted")
+	}
+	bad := make([]int32, SplitBuckets)
+	bad[0] = 5 // out of range for 2 shards
+	if s.Retarget(bad, 10) {
+		t.Error("out-of-range shard accepted")
+	}
+	ok := make([]int32, SplitBuckets)
+	if !s.Retarget(ok, 10) {
+		t.Fatal("valid retarget rejected")
+	}
+	if s.Retarget(ok, 20) {
+		t.Error("second retarget accepted while one is pending")
+	}
+}
+
+func TestSplitBucketLoadsAndMaxTs(t *testing.T) {
+	s := NewSplit("sp", nil, 2, 0)
+	h := newSplitHarness(s)
+	for i := 0; i < 10; i++ {
+		h.in.Push(tuple.NewData(tuple.Time(i), tuple.Int(7)))
+	}
+	h.run()
+	if got := s.BucketLoads().Total(); got != 10 {
+		t.Fatalf("bucket load total = %d, want 10", got)
+	}
+	b := int(tuple.Int(7).Hash() % SplitBuckets)
+	if got := s.BucketLoads().Get(b); got != 10 {
+		t.Fatalf("bucket %d load = %d, want 10", b, got)
+	}
+	if s.MaxTs() != 9 {
+		t.Fatalf("MaxTs = %d, want 9", s.MaxTs())
+	}
+}
+
+// feedMultiJoin drives a 3-way equi-join through the shared harness and
+// returns the emitted data rows.
+func feedMultiJoin(j *MultiJoin, rows [][3]int64) []*tuple.Tuple {
+	h := newHarness(j)
+	for _, r := range rows {
+		for in := 0; in < 3; in++ {
+			h.ins[in].Push(tuple.NewData(tuple.Time(r[in]), tuple.Int(r[in])))
+		}
+	}
+	for in := 0; in < 3; in++ {
+		h.ins[in].Push(tuple.NewPunct(1000))
+	}
+	h.run()
+	var data []*tuple.Tuple
+	for _, t := range h.out {
+		if !t.IsPunct() {
+			data = append(data, t)
+		}
+	}
+	return data
+}
+
+func TestMultiJoinProbeOrderPreservesOutput(t *testing.T) {
+	rows := [][3]int64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}, {2, 3, 1}}
+	mk := func() *MultiJoin {
+		return NewMultiEquiJoin("mj", nil, window.TimeWindow(100), 0, 0, 0)
+	}
+	base := feedMultiJoin(mk(), rows)
+
+	j := mk()
+	if !j.SetProbeOrder([]int{2, 0, 1}) {
+		t.Fatal("valid probe order rejected")
+	}
+	got := feedMultiJoin(j, rows)
+	if len(got) != len(base) {
+		t.Fatalf("reordered join emitted %d rows, natural order %d", len(got), len(base))
+	}
+	for i := range got {
+		if len(got[i].Vals) != len(base[i].Vals) {
+			t.Fatalf("row %d arity differs", i)
+		}
+		for c := range got[i].Vals {
+			if !got[i].Vals[c].Equal(base[i].Vals[c]) {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, got[i].Vals[c], base[i].Vals[c])
+			}
+		}
+	}
+}
+
+func TestMultiJoinProbeOrderValidation(t *testing.T) {
+	j := NewMultiEquiJoin("mj", nil, window.TimeWindow(100), 0, 0, 0)
+	for _, bad := range [][]int{{0, 1}, {0, 1, 1}, {0, 1, 3}, {-1, 1, 2}} {
+		if j.SetProbeOrder(bad) {
+			t.Errorf("invalid order %v accepted", bad)
+		}
+	}
+	ord := j.ProbeOrder()
+	if len(ord) != 3 || ord[0] != 0 || ord[1] != 1 || ord[2] != 2 {
+		t.Fatalf("default probe order = %v", ord)
+	}
+	j.SetProbeOrder([]int{1, 2, 0})
+	ord = j.ProbeOrder()
+	if ord[0] != 1 || ord[1] != 2 || ord[2] != 0 {
+		t.Fatalf("probe order after set = %v", ord)
+	}
+}
+
+func TestMultiJoinProbeStats(t *testing.T) {
+	j := NewMultiEquiJoin("mj", nil, window.TimeWindow(100), 0, 0, 0)
+	// Input 1's window will hold matching keys; input 2's never matches.
+	h := newHarness(j)
+	h.ins[1].Push(tuple.NewData(1, tuple.Int(1)))
+	h.ins[2].Push(tuple.NewData(1, tuple.Int(99)))
+	h.ins[0].Push(tuple.NewData(2, tuple.Int(1)))
+	for in := 0; in < 3; in++ {
+		h.ins[in].Push(tuple.NewPunct(10))
+	}
+	h.run()
+	st := j.ProbeStats()
+	if st[1].Visits == 0 {
+		t.Fatal("no visits recorded on input 1")
+	}
+	if st[1].Passed == 0 {
+		t.Error("matching candidate on input 1 not counted as passed")
+	}
+	if st[2].Passed != 0 {
+		t.Errorf("mismatching input 2 counted %d passed", st[2].Passed)
+	}
+}

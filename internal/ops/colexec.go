@@ -156,6 +156,7 @@ func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	pi := 0
 	for r := 0; r < n; r++ {
 		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
+			s.promote(b.Puncts[pi].Ts)
 			for k := 0; k < s.shards; k++ {
 				ensure(k).AppendPunct(b.Puncts[pi].Ts)
 			}
@@ -163,7 +164,8 @@ func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		}
 		var k int
 		if useHash {
-			k = int(s.hashes[r] % uint64(s.shards))
+			k = s.route(s.hashes[r], b.Ts[r])
+			s.noteTs(b.Ts[r])
 		} else {
 			k = s.rr
 			s.rr = (s.rr + 1) % s.shards
@@ -172,6 +174,7 @@ func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		s.routed.Add(k, 1)
 	}
 	for ; pi < len(b.Puncts); pi++ {
+		s.promote(b.Puncts[pi].Ts)
 		for k := 0; k < s.shards; k++ {
 			ensure(k).AppendPunct(b.Puncts[pi].Ts)
 		}

@@ -2,6 +2,7 @@ package ops
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/tsm"
 	"repro/internal/tuple"
@@ -42,8 +43,22 @@ type MultiJoin struct {
 
 	// keyCols are the equi-join columns (one per input) when the join was
 	// built with NewMultiEquiJoin; nil for an opaque predicate. Known
-	// columns make the join partitionable.
+	// columns make the join partitionable and enable per-level probe
+	// filtering (a candidate is discarded the moment its key mismatches,
+	// instead of at the full combination).
 	keyCols []int
+
+	// order is the probe sequence over inputs (a permutation of 0..n-1),
+	// swapped in by the adaptive controller at punctuation boundaries;
+	// nil means natural input order. Atomic because the controller reads
+	// it (to decide whether a reorder is worthwhile) while the join's
+	// goroutine walks it.
+	order atomic.Pointer[[]int]
+
+	// Per-input probe selectivity evidence, read by the controller:
+	// probes[i] counts scans of window i, visits[i] candidates enumerated
+	// from it, passed[i] candidates surviving the per-level key filter.
+	probes, visits, passed []atomic.Uint64
 
 	// mag pools output tuples (single-owner, see WindowJoin.mag).
 	mag tuple.Magazine
@@ -75,6 +90,9 @@ func NewMultiJoin(name string, schema *tuple.Schema, n int, spec window.Spec, pr
 	for i := range j.wins {
 		j.wins[i] = window.NewStore(spec)
 	}
+	j.probes = make([]atomic.Uint64, n)
+	j.visits = make([]atomic.Uint64, n)
+	j.passed = make([]atomic.Uint64, n)
 	return j
 }
 
@@ -89,6 +107,70 @@ func NewMultiEquiJoin(name string, schema *tuple.Schema, spec window.Spec, cols 
 
 // Window exposes the window store of input i.
 func (j *MultiJoin) Window(i int) *window.Store { return j.wins[i] }
+
+// SetProbeOrder installs a new probe sequence (a permutation of 0..n-1).
+// The adaptive controller delivers it through the runtime's reconfiguration
+// protocol so the swap lands on the join's own goroutine at a punctuation
+// boundary; an invalid permutation is rejected.
+func (j *MultiJoin) SetProbeOrder(order []int) bool {
+	n := len(j.wins)
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, i := range order {
+		if i < 0 || i >= n || seen[i] {
+			return false
+		}
+		seen[i] = true
+	}
+	o := append([]int(nil), order...)
+	j.order.Store(&o)
+	return true
+}
+
+// ProbeOrder returns the current probe sequence (natural order if never
+// reordered).
+func (j *MultiJoin) ProbeOrder() []int {
+	if o := j.order.Load(); o != nil {
+		return append([]int(nil), (*o)...)
+	}
+	o := make([]int, len(j.wins))
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// ProbeStat is one input's accumulated probe evidence.
+type ProbeStat struct {
+	// Probes counts scans of this input's window (one per surviving prefix
+	// that reached it).
+	Probes uint64
+	// Visits counts candidate tuples enumerated from the window.
+	Visits uint64
+	// Passed counts candidates that survived the per-level key filter —
+	// Passed/Probes is the window's expected match fan-out, the quantity
+	// cheapest-first ordering minimizes early in the sequence.
+	Passed uint64
+}
+
+// ProbeStats returns per-input probe selectivity counters. Safe to call from
+// the controller while the join runs.
+func (j *MultiJoin) ProbeStats() []ProbeStat {
+	out := make([]ProbeStat, len(j.wins))
+	for i := range out {
+		out[i] = ProbeStat{
+			Probes: j.probes[i].Load(),
+			Visits: j.visits[i].Load(),
+			Passed: j.passed[i].Load(),
+		}
+	}
+	return out
+}
+
+// KeyCols returns the equi-join key columns, or nil for an opaque predicate.
+func (j *MultiJoin) KeyCols() []int { return j.keyCols }
 
 // DataEmitted reports the number of joined combinations emitted.
 func (j *MultiJoin) DataEmitted() uint64 { return j.dataOut }
@@ -172,6 +254,14 @@ func (j *MultiJoin) allEOS() bool {
 // that is the arriving tuple's own; after an over-estimated ETS admits a
 // late tuple it keeps the output identical to ordered execution), and
 // inserts the tuple into its own window.
+//
+// Windows are probed in the current probe order (controller-tunable,
+// cheapest fan-out first); for equi-joins each candidate is filtered by key
+// equality at its own level, so a mismatching window prunes the enumeration
+// tree immediately instead of at the full combination. Key equality is
+// transitive, so per-level filtering plus the final predicate emits exactly
+// the combinations the unfiltered natural-order walk would — probe order
+// changes cost, never output.
 func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 	n := len(j.wins)
 	for i, w := range j.wins {
@@ -179,12 +269,18 @@ func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 			w.ExpireTo(t.Ts)
 		}
 	}
+	var key tuple.Value
+	filter := j.keyCols != nil
+	if filter {
+		key = t.Vals[j.keyCols[input]]
+	}
+	ord := j.order.Load()
 	combo := make([]*tuple.Tuple, n)
 	combo[input] = t
 	yield := false
-	var walk func(i int)
-	walk = func(i int) {
-		if i == n {
+	var walk func(p int)
+	walk = func(p int) {
+		if p == n {
 			if !j.pred(combo) {
 				return
 			}
@@ -208,14 +304,27 @@ func (j *MultiJoin) produce(ctx *Ctx, input int, t *tuple.Tuple) bool {
 			ctx.Emit(out)
 			return
 		}
+		i := p
+		if ord != nil {
+			i = (*ord)[p]
+		}
 		if i == input {
-			walk(i + 1)
+			walk(p + 1)
 			return
 		}
+		j.probes[i].Add(1)
+		var visits, passed uint64
 		j.wins[i].Each(func(o *tuple.Tuple) {
+			visits++
+			if filter && !o.Vals[j.keyCols[i]].Equal(key) {
+				return
+			}
+			passed++
 			combo[i] = o
-			walk(i + 1)
+			walk(p + 1)
 		})
+		j.visits[i].Add(visits)
+		j.passed[i].Add(passed)
 		combo[i] = nil
 	}
 	walk(0)

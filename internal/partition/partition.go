@@ -28,6 +28,7 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -160,4 +161,49 @@ func Skew(counts []uint64) float64 {
 	}
 	mean := float64(total) / float64(len(counts))
 	return (float64(max) - mean) / mean
+}
+
+// Balance computes a bucket→shard assignment over observed per-bucket loads
+// using the longest-processing-time greedy: buckets are placed heaviest
+// first onto the currently lightest shard, which is within 4/3 of optimal
+// makespan and deterministic (ties break toward the lower shard index, equal
+// loads toward the lower bucket index). Buckets with zero observed load keep
+// the canonical bucket%shards mapping, so cold key groups are not shuffled
+// by a rebalance they contributed nothing to. The result is what
+// ops.Split.Retarget swaps in at a punctuation barrier.
+//
+// shards < 1 or an empty load vector returns nil.
+func Balance(load []uint64, shards int) []int32 {
+	if shards < 1 || len(load) == 0 {
+		return nil
+	}
+	assign := make([]int32, len(load))
+	order := make([]int, 0, len(load))
+	for b := range load {
+		if load[b] == 0 {
+			assign[b] = int32(b % shards)
+			continue
+		}
+		order = append(order, b)
+	}
+	// Heaviest first, bucket index as the deterministic tie-break.
+	sort.Slice(order, func(i, j int) bool {
+		bi, bj := order[i], order[j]
+		if load[bi] != load[bj] {
+			return load[bi] > load[bj]
+		}
+		return bi < bj
+	})
+	totals := make([]uint64, shards)
+	for _, b := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if totals[s] < totals[best] {
+				best = s
+			}
+		}
+		assign[b] = int32(best)
+		totals[best] += load[b]
+	}
+	return assign
 }

@@ -1,0 +1,117 @@
+package partition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSkewEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		counts []uint64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"empty slice", []uint64{}, 0},
+		{"all shards empty", []uint64{0, 0, 0, 0}, 0},
+		{"single shard", []uint64{5}, 0},
+		{"single empty shard", []uint64{0}, 0},
+		{"balanced", []uint64{10, 10, 10, 10}, 0},
+		// mean = 2.5, max = 10 → (10-2.5)/2.5 = 3.
+		{"all on one shard", []uint64{10, 0, 0, 0}, 3},
+		// mean = 15, max = 20 → 1/3.
+		{"mild imbalance", []uint64{20, 10}, 1.0 / 3.0},
+	}
+	for _, c := range cases {
+		got := Skew(c.counts)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("Skew(%v) = %v, want finite", c.counts, got)
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Skew(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestBalanceDegenerate(t *testing.T) {
+	if got := Balance(nil, 4); got != nil {
+		t.Fatalf("Balance(nil, 4) = %v, want nil", got)
+	}
+	if got := Balance([]uint64{1, 2}, 0); got != nil {
+		t.Fatalf("Balance(load, 0) = %v, want nil", got)
+	}
+}
+
+func TestBalanceColdBucketsKeepCanonicalMapping(t *testing.T) {
+	load := make([]uint64, 8)
+	got := Balance(load, 4)
+	for b, s := range got {
+		if s != int32(b%4) {
+			t.Fatalf("cold bucket %d assigned to %d, want %d", b, s, b%4)
+		}
+	}
+}
+
+func TestBalanceSpreadsHotBuckets(t *testing.T) {
+	// Four equally hot buckets that the canonical b%2 mapping would pile
+	// two-and-two — but so would any mapping; instead make them collide:
+	// all four hash to shard 0 under b%2? Use buckets 0,2,4,6 hot with 2
+	// shards: canonical puts all on shard 0.
+	load := make([]uint64, 8)
+	for _, b := range []int{0, 2, 4, 6} {
+		load[b] = 100
+	}
+	got := Balance(load, 2)
+	var totals [2]uint64
+	for b, s := range got {
+		totals[s] += load[b]
+	}
+	if totals[0] != 200 || totals[1] != 200 {
+		t.Fatalf("Balance split hot load %v, want 200/200 (assign %v)", totals, got)
+	}
+	if Skew([]uint64{totals[0], totals[1]}) != 0 {
+		t.Fatalf("post-balance skew nonzero")
+	}
+}
+
+func TestBalanceDeterministic(t *testing.T) {
+	load := []uint64{5, 0, 9, 9, 1, 0, 3, 7}
+	a := Balance(load, 3)
+	b := Balance(load, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Balance not deterministic at bucket %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBalanceLPTQuality(t *testing.T) {
+	// One dominant bucket plus filler: the dominant bucket must sit alone-ish
+	// and the result's makespan must be within 4/3 of the lower bound.
+	load := []uint64{90, 10, 10, 10, 10, 10, 10, 10}
+	shards := 4
+	got := Balance(load, shards)
+	totals := make([]uint64, shards)
+	var sum uint64
+	for b, s := range got {
+		totals[s] += load[b]
+		sum += load[b]
+	}
+	var max uint64
+	for _, v := range totals {
+		if v > max {
+			max = v
+		}
+	}
+	// OPT ≥ max(mean load, heaviest single bucket).
+	lower := sum / uint64(shards)
+	for _, v := range load {
+		if v > lower {
+			lower = v
+		}
+	}
+	if max > lower*4/3+1 {
+		t.Fatalf("LPT makespan %d exceeds 4/3 bound of %d (totals %v)", max, lower*4/3+1, totals)
+	}
+}

@@ -1,0 +1,199 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// probeOp is a pass-through operator that tracks, from the operator's own
+// point of view, how many data tuples it has emitted since its last emitted
+// punctuation. A Reconfig.Apply hook runs on the same goroutine, so it can
+// read sincePunct directly: nonzero at apply time means the reconfiguration
+// was observed between a batch and its bounding punctuation — the exact
+// violation the apply-at-punctuation protocol must make impossible.
+type probeOp struct {
+	name       string
+	sincePunct int // node-goroutine owned
+}
+
+func (p *probeOp) Name() string               { return p.name }
+func (p *probeOp) NumInputs() int             { return 1 }
+func (p *probeOp) OutSchema() *tuple.Schema   { return nil }
+func (p *probeOp) More(ctx *ops.Ctx) bool     { return !ctx.Ins[0].Empty() }
+func (p *probeOp) BlockingInput(*ops.Ctx) int { return 0 }
+func (p *probeOp) Exec(ctx *ops.Ctx) bool {
+	t := ctx.Ins[0].Pop()
+	if t == nil {
+		return false
+	}
+	if t.IsPunct() {
+		p.sincePunct = 0
+	} else {
+		p.sincePunct++
+	}
+	ctx.Emit(t)
+	return true
+}
+
+var _ ops.Operator = (*probeOp)(nil)
+
+func buildProbePipeline(t *testing.T, opts Options) (*Engine, *ops.Source, *probeOp, int, *collector) {
+	t.Helper()
+	g := graph.New("adapt")
+	sch := intSchema("s", tuple.External)
+	src := ops.NewSource("src", sch, 0)
+	sid := g.AddNode(src)
+	probe := &probeOp{name: "probe"}
+	pid := g.AddNode(probe, sid)
+	col := &collector{}
+	g.AddNode(ops.NewSink("sink", col.add), pid)
+	e, err := New(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, src, probe, int(pid), col
+}
+
+func TestReconfigureAppliesAtNextBoundary(t *testing.T) {
+	tr := metrics.NewTracer(256)
+	e, src, _, pid, _ := buildProbePipeline(t, Options{BatchSize: 8, Trace: tr})
+	e.Start()
+
+	applied := make(chan struct{})
+	var hookRan atomic.Bool
+	if !e.Reconfigure(pid, Reconfig{
+		BatchSize:     3,
+		MaxBatchDelay: 123 * time.Microsecond,
+		Apply: func(op ops.Operator) {
+			hookRan.Store(true)
+			close(applied)
+		},
+	}) {
+		t.Fatal("Reconfigure rejected a valid node id")
+	}
+	if e.Reconfigure(999, Reconfig{}) {
+		t.Error("Reconfigure accepted an out-of-range id")
+	}
+
+	// Data alone must not trigger the apply; the punctuation boundary does.
+	for i := 0; i < 5; i++ {
+		e.Ingest(src, tuple.NewData(tuple.Time(i+1), tuple.Int(int64(i))))
+	}
+	select {
+	case <-applied:
+		t.Fatal("reconfiguration applied without a punctuation boundary")
+	case <-time.After(20 * time.Millisecond):
+	}
+	e.Ingest(src, tuple.NewPunct(100))
+	select {
+	case <-applied:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reconfiguration never applied after a punctuation")
+	}
+	e.CloseStream(src)
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !hookRan.Load() {
+		t.Fatal("Apply hook did not run")
+	}
+	if got := e.NodeBatchSize(pid); got != 3 {
+		t.Errorf("NodeBatchSize = %d, want 3", got)
+	}
+	if got := e.NodeMaxBatchDelay(pid); got != 123*time.Microsecond {
+		t.Errorf("NodeMaxBatchDelay = %v, want 123µs", got)
+	}
+	if tr.Count(metrics.EvRetuneApplied) == 0 {
+		t.Error("no EvRetuneApplied trace event")
+	}
+	snap := e.Snapshot()
+	if ns := snap.Node("probe"); ns == nil || ns.Retunes == 0 || ns.BatchSize != 3 {
+		t.Errorf("snapshot retune evidence missing: %+v", ns)
+	}
+}
+
+// TestReconfigureNeverAppliesMidBatch is the race-widened property test: a
+// controller goroutine spams reconfigurations while the stream alternates
+// data bursts and punctuation, with the fault injector's source stall
+// holding the pipeline mid-burst — data emitted, bound not yet — for long
+// windows. Every Apply hook asserts the probe operator is quiescent (no
+// data emitted since its last punctuation). Run under -race.
+func TestReconfigureNeverAppliesMidBatch(t *testing.T) {
+	inj := fault.New(fault.Config{
+		Seed:        7,
+		StallSource: "src",
+		StallAfter:  10 * time.Millisecond,
+		StallFor:    30 * time.Millisecond,
+	})
+	e, src, probe, pid, _ := buildProbePipeline(t, Options{BatchSize: 16, Fault: inj})
+	e.Start()
+	inj.Arm()
+
+	var applies, violations atomic.Int64
+	stopCtl := make(chan struct{})
+	ctlDone := make(chan struct{})
+	go func() {
+		defer close(ctlDone)
+		bs := 1
+		for {
+			select {
+			case <-stopCtl:
+				return
+			default:
+			}
+			bs = bs%64 + 1
+			e.Reconfigure(pid, Reconfig{
+				BatchSize: bs,
+				Apply: func(op ops.Operator) {
+					applies.Add(1)
+					if op.(*probeOp).sincePunct != 0 {
+						violations.Add(1)
+					}
+				},
+			})
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	ts := tuple.Time(1)
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		// A burst of unbounded data: the probe emits rows whose bounding
+		// punctuation has not been sent yet.
+		for i := 0; i < 20; i++ {
+			e.Ingest(src, tuple.NewData(ts, tuple.Int(int64(ts))))
+			ts++
+		}
+		// The stall holds the stream mid-burst: downstream sits with
+		// emitted-but-unbounded data while the controller keeps firing.
+		for inj.SourceStalled("src") {
+			time.Sleep(time.Millisecond)
+		}
+		e.Ingest(src, tuple.NewPunct(ts))
+		ts++
+	}
+	e.Ingest(src, tuple.NewPunct(ts))
+	e.CloseStream(src)
+	if err := e.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	close(stopCtl)
+	<-ctlDone
+
+	if applies.Load() == 0 {
+		t.Fatal("no reconfiguration ever applied")
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d reconfigurations observed between a batch and its bounding punctuation", v)
+	}
+	if probe.sincePunct != 0 {
+		t.Errorf("probe ended un-quiescent: %d data since last punct", probe.sincePunct)
+	}
+}

@@ -116,7 +116,13 @@ func (e *Engine) deliverCol(n *node, ctx *ops.Ctx, colCtx *ops.ColCtx, pb portBa
 		}
 	}
 	if n.colMode {
+		n.punctBoundary = false
 		op.(ops.ColOperator).ExecCol(b, colCtx)
+		// Columnar apply point: the batch ended on an emitted bound with
+		// nothing pending — the same quiescence condition as the row loop.
+		if n.punctBoundary && n.sincePunct == 0 && n.pendCount == 0 {
+			e.maybeApplyReconf(n, op)
+		}
 		return
 	}
 	// Boundary: a row operator fed by a columnar arc (possible when a
@@ -141,7 +147,7 @@ func (e *Engine) colAppendTuple(n *node, i int, t *tuple.Tuple) {
 	}
 	b.AppendTuple(t)
 	n.pendCount++
-	if !t.IsPunct() && b.Len() >= e.batchSize {
+	if !t.IsPunct() && b.Len() >= int(n.batchSize.Load()) {
 		e.flushColArc(n, i)
 	}
 }
@@ -168,7 +174,7 @@ func (e *Engine) colAppendBatch(n *node, i int, b *tuple.ColBatch, adopt bool) {
 		}
 	}
 	n.pendCount += cnt
-	if n.colPend[i] != nil && n.colPend[i].Len() >= e.batchSize {
+	if n.colPend[i] != nil && n.colPend[i].Len() >= int(n.batchSize.Load()) {
 		e.flushColArc(n, i)
 	}
 }
@@ -187,6 +193,15 @@ func (e *Engine) emitCol(n *node, b *tuple.ColBatch) {
 		n.pendSince = time.Now()
 	}
 	hasPunct := b.HasPunct()
+	// Quiescence accounting must reflect the batch's internal order, not
+	// the order the helpers below run in: after this emission, the data
+	// still unbounded is exactly the rows positioned after the last mark.
+	// Computed now (b may be adopted or recycled below), stored at the end
+	// so the helpers' own bookkeeping is overridden.
+	sinceAfter := n.sincePunct + b.Len()
+	if hasPunct {
+		sinceAfter = b.Len() - b.Puncts[len(b.Puncts)-1].Pos
+	}
 	for _, p := range b.Puncts {
 		e.notePunctOutTs(n, p.Ts)
 	}
@@ -223,6 +238,7 @@ func (e *Engine) emitCol(n *node, b *tuple.ColBatch) {
 	if colArcs == 0 {
 		tuple.PutColBatch(b)
 	}
+	n.sincePunct = sinceAfter
 	if hasPunct {
 		e.flushPending(n)
 	}
@@ -246,10 +262,15 @@ func (e *Engine) emitColTo(n *node, i int, b *tuple.ColBatch) {
 		n.pendSince = time.Now()
 	}
 	hasPunct := b.HasPunct()
+	sinceAfter := n.sincePunct + b.Len()
+	if hasPunct {
+		sinceAfter = b.Len() - b.Puncts[len(b.Puncts)-1].Pos
+	}
 	for _, p := range b.Puncts {
 		e.notePunctOutTs(n, p.Ts)
 	}
 	e.colAppendBatch(n, i, b, true)
+	n.sincePunct = sinceAfter
 	if hasPunct {
 		e.flushArc(n, i)
 	}

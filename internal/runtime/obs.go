@@ -12,8 +12,10 @@ package runtime
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/ops"
 	"repro/internal/partition"
 	"repro/internal/tuple"
 )
@@ -54,6 +56,10 @@ type nodeObs struct {
 	revived    *metrics.Counter64
 	shedTuples *metrics.Counter64
 	lateTuples *metrics.Counter64
+
+	// retunes counts reconfigurations applied at this node's punctuation
+	// boundaries (the adaptive controller's apply-side evidence).
+	retunes *metrics.Counter64
 }
 
 // instrument builds every node's instruments and the engine-level metrics,
@@ -85,12 +91,17 @@ func (e *Engine) instrument() {
 			revived:     reg.Counter("sm_node_revived_total" + lbl),
 			shedTuples:  reg.Counter("sm_node_shed_total" + lbl),
 			lateTuples:  reg.Counter("sm_node_late_tuples_total" + lbl),
+			retunes:     reg.Counter("sm_node_retunes_total" + lbl),
 		}
 		o.idleSince.Store(-1)
 		o.wmIn.Set(int64(tuple.MinTime))
 		o.wmOut.Set(int64(tuple.MinTime))
 		n.obs = o
 		reg.GaugeFunc("sm_node_chan_backlog"+lbl, func() int64 { return int64(len(n.in)) })
+		// Live tuned values: /vars shows what the adaptive controller has
+		// actually applied, per node.
+		reg.GaugeFunc("sm_node_batch_size"+lbl, func() int64 { return n.batchSize.Load() })
+		reg.GaugeFunc("sm_node_max_delay_us"+lbl, func() int64 { return n.maxDelayNs.Load() / 1e3 })
 		reg.GaugeFunc("sm_node_idle"+lbl, func() int64 {
 			if o.idleSince.Load() >= 0 {
 				return 1
@@ -134,6 +145,18 @@ func (e *Engine) instrument() {
 		reg.GaugeFunc("sm_shard_skew_ppm", func() int64 {
 			return int64(partition.Skew(e.ShardTuples()) * 1e6)
 		})
+		// Per-splitter assignment versions: nonzero means a retarget was
+		// promoted at a punctuation barrier.
+		for _, sh := range e.plan.Ops {
+			for port, id := range sh.Splitters {
+				if s, ok := e.g.Node(id).Op.(*ops.Split); ok {
+					lbl := fmt.Sprintf("{op=%q,port=%q}", sh.Name, fmt.Sprint(port))
+					reg.GaugeFunc("sm_split_assign_version"+lbl, func() int64 {
+						return int64(s.AssignVersion())
+					})
+				}
+			}
+		}
 	}
 }
 
@@ -202,6 +225,8 @@ func (e *Engine) notePunctOut(n *node, t *tuple.Tuple) {
 // columnar PunctMark) rather than an in-band punct tuple.
 func (e *Engine) notePunctOutTs(n *node, ts tuple.Time) {
 	n.obs.punctOut.Inc()
+	n.punctBoundary = true
+	n.sincePunct = 0
 	if ts == tuple.MaxTime {
 		return
 	}
@@ -235,6 +260,30 @@ func (n *node) notePunctInTs(ts tuple.Time) {
 // Options.Metrics, or the engine's own); serve it with metrics.Handler or
 // render it with its Write* methods.
 func (e *Engine) Registry() *metrics.Registry { return e.reg }
+
+// NodeInstruments exposes one node's live counters so a controller can keep
+// its own metrics.RateWindow deltas against them instead of diffing whole
+// snapshots each tick. All fields are nil for an unknown id.
+type NodeInstruments struct {
+	TuplesIn   *metrics.Counter64
+	TuplesOut  *metrics.Counter64
+	BatchesOut *metrics.Counter64
+	QueueDepth *metrics.Gauge64
+}
+
+// NodeInstruments returns node id's live instruments (see NodeInstruments).
+func (e *Engine) NodeInstruments(id int) NodeInstruments {
+	if id < 0 || id >= len(e.nodes) {
+		return NodeInstruments{}
+	}
+	o := e.nodes[id].obs
+	return NodeInstruments{
+		TuplesIn:   o.tuplesIn,
+		TuplesOut:  o.tuplesOut,
+		BatchesOut: o.batchesOut,
+		QueueDepth: o.queueDepth,
+	}
+}
 
 // NodeSnapshot is one node's instrument readings.
 type NodeSnapshot struct {
@@ -279,6 +328,11 @@ type NodeSnapshot struct {
 	// LateTuples counts data tuples that arrived below the node's input
 	// watermark; TuplesShed data tuples dropped by the overload shedder.
 	LateTuples, TuplesShed uint64
+	// BatchSize/MaxBatchDelay are the node's live data-plane tunables;
+	// Retunes counts reconfigurations applied at punctuation boundaries.
+	BatchSize     int
+	MaxBatchDelay time.Duration
+	Retunes       uint64
 }
 
 // Snapshot is a consistent-enough point-in-time view of the whole engine:
@@ -357,6 +411,10 @@ func (e *Engine) Snapshot() Snapshot {
 			LateTuples:  o.lateTuples.Load(),
 			TuplesShed:  o.shedTuples.Load(),
 			Dead:        n.dead.Load(),
+
+			BatchSize:     int(n.batchSize.Load()),
+			MaxBatchDelay: time.Duration(n.maxDelayNs.Load()),
+			Retunes:       o.retunes.Load(),
 		}
 		idle := tuple.Time(o.idleUs.Load())
 		if since := o.idleSince.Load(); since >= 0 {

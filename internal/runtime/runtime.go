@@ -143,6 +143,69 @@ type Options struct {
 	// (panic-at-node at the top of each scheduling iteration, tuple-drop
 	// at source ingest). nil costs one pointer check per iteration.
 	Fault *fault.Injector
+	// Adaptive, when non-nil, carries the knobs an adaptive controller
+	// (internal/adapt) reads when attached to this engine. The engine
+	// itself only stores it — setting Adaptive without attaching a
+	// controller changes nothing.
+	Adaptive *AdaptiveOptions
+}
+
+// AdaptiveOptions tunes the adaptive controller (internal/adapt). The zero
+// value enables every actuator with the defaults below; the No* fields
+// disable individual actuators.
+type AdaptiveOptions struct {
+	// Interval is the controller tick (observe→decide cadence). Default
+	// DefaultAdaptInterval.
+	Interval time.Duration
+	// NoBatchTune disables per-node batch-size hill climbing.
+	NoBatchTune bool
+	// NoRebalance disables splitter bucket re-assignment.
+	NoRebalance bool
+	// NoJoinReorder disables multiway-join probe reordering.
+	NoJoinReorder bool
+	// MinBatch/MaxBatch bound the batch-size hill climb (defaults 1 and
+	// DefaultAdaptMaxBatch).
+	MinBatch, MaxBatch int
+	// TargetP95 is the latency guard: while the observed p95 (from the
+	// Latency reservoir) exceeds it, the tuner shrinks batches instead of
+	// growing them. 0 disables the guard.
+	TargetP95 time.Duration
+	// Latency, when non-nil, is the sink-observed latency reservoir the
+	// guard reads — typically the embedder's existing end-to-end latency
+	// instrument.
+	Latency *metrics.Reservoir
+	// SkewThreshold is the partition.Skew level above which a rebalance is
+	// considered (default 0.25).
+	SkewThreshold float64
+	// RebalanceMinInterval is the cool-down between rebalances of the same
+	// operator (default 20× Interval).
+	RebalanceMinInterval time.Duration
+	// BarrierLead is added to the splitters' max observed event timestamp
+	// when picking a retarget barrier, so the fence sits in the near
+	// future of event time (default: one tick's worth of observed
+	// watermark advance, minimum 1).
+	BarrierLead tuple.Time
+}
+
+// DefaultAdaptInterval is the controller tick when Interval is zero.
+const DefaultAdaptInterval = 10 * time.Millisecond
+
+// DefaultAdaptMaxBatch caps batch-size hill climbing when MaxBatch is zero.
+const DefaultAdaptMaxBatch = 1024
+
+// Reconfig is one punctuation-aligned reconfiguration action. The controller
+// publishes it with Engine.Reconfigure; the node's own goroutine applies it
+// at the next boundary where the node is quiescent — its last emission was a
+// punctuation and nothing is pending on its out arcs — so a reconfiguration
+// can never land between a batch and the punctuation that bounds it.
+type Reconfig struct {
+	// BatchSize, when > 0, becomes the node's per-arc batch capacity.
+	BatchSize int
+	// MaxBatchDelay, when > 0, becomes the node's stale-batch flush bound.
+	MaxBatchDelay time.Duration
+	// Apply, when non-nil, runs on the node's goroutine at the boundary
+	// with the node's operator — the hook probe-order swaps ride on.
+	Apply func(op ops.Operator)
 }
 
 // DefaultMaxRestarts is the per-node restart budget when Options.MaxRestarts
@@ -233,6 +296,24 @@ type node struct {
 	colMode   bool // operator implements ops.ColOperator and Columnar is on
 	pendCount int
 	pendSince time.Time // when pendCount last left zero
+
+	// Per-node data-plane tunables, initialized from the engine-wide
+	// options and re-written only through the reconfiguration protocol.
+	// Atomics because scrapers (gauges, the controller) read them while
+	// the owning goroutine applies updates.
+	batchSize  atomic.Int64
+	maxDelayNs atomic.Int64
+
+	// reconf is the pending reconfiguration (last writer wins; the
+	// controller coalesces). The node goroutine consumes it only at a
+	// punctuation boundary with sincePunct == 0 and pendCount == 0.
+	reconf atomic.Pointer[Reconfig]
+	// punctBoundary is set by notePunctOut* and cleared before each Exec
+	// step: "this step emitted a punctuation". sincePunct counts data
+	// tuples emitted since the last punctuation — zero means every emitted
+	// tuple is bounded and the node is quiescent. Both goroutine-owned.
+	punctBoundary bool
+	sincePunct    int
 
 	// mag is the node's tuple magazine: recycling (ctx.Release) and the
 	// columnar boundary conversion draw from it. Owned by the node
@@ -333,6 +414,8 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			n.ins[i] = buffer.New(fmt.Sprintf("%s.in%d", gn.Op.Name(), i))
 		}
 		n.lastIn.Store(-1)
+		n.batchSize.Store(int64(e.batchSize))
+		n.maxDelayNs.Store(int64(e.maxDelay))
 		e.nodes[gn.ID] = n
 		if s := gn.Source(); s != nil {
 			n.ctl = make(chan ctlKind, 4)
@@ -561,6 +644,7 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		n.pendSince = time.Now()
 	}
 	punct := t.IsPunct()
+	bs := int(n.batchSize.Load())
 	shared := false // t's pointer stored on at least one row arc
 	for i := range n.outs {
 		if n.colArc[i] {
@@ -575,7 +659,7 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		b = append(b, t)
 		n.pend[i] = b
 		n.pendCount++
-		if !punct && len(b) >= e.batchSize {
+		if !punct && len(b) >= bs {
 			e.flushArc(n, i)
 		}
 	}
@@ -584,6 +668,8 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		// An ETS that waits in a batch delays exactly the reactivation
 		// it exists to provide (and EOS gates termination): flush now.
 		e.flushPending(n)
+	} else {
+		n.sincePunct++
 	}
 	if !shared && e.recycle {
 		n.mag.Put(t) // fully copied into columnar batches
@@ -610,8 +696,11 @@ func (e *Engine) appendArc(n *node, i int, t *tuple.Tuple, note bool) {
 			e.notePunctOut(n, t)
 		}
 		e.flushArc(n, i)
-	} else if len(b) >= e.batchSize {
-		e.flushArc(n, i)
+	} else {
+		n.sincePunct++
+		if len(b) >= int(n.batchSize.Load()) {
+			e.flushArc(n, i)
+		}
 	}
 }
 
@@ -628,6 +717,8 @@ func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
 		if punct {
 			e.notePunctOut(n, t)
 			e.flushArc(n, i)
+		} else {
+			n.sincePunct++
 		}
 		if e.recycle {
 			n.mag.Put(t)
@@ -809,15 +900,23 @@ func (e *Engine) runNode(n *node) {
 		// Run the operator while it can make progress.
 		ran := false
 		for op.More(ctx) {
+			n.punctBoundary = false
 			op.Exec(ctx)
 			ran = true
+			// Apply-at-punctuation: this step ended on an emitted bound,
+			// everything emitted is flushed and bounded — a quiescent
+			// point where reconfiguration is indistinguishable from
+			// having been the configuration all along.
+			if n.punctBoundary && n.sincePunct == 0 && n.pendCount == 0 {
+				e.maybeApplyReconf(n, op)
+			}
 		}
 		if ran {
 			// Progress ends an idle-waiting spell (reactivation, §4).
 			e.exitIdle(n)
 			// Still busy: only stale batches flush (the delay rule);
 			// full batches and punctuation already flushed inside emit.
-			if n.pendCount > 0 && time.Since(n.pendSince) >= e.maxDelay {
+			if n.pendCount > 0 && time.Since(n.pendSince) >= time.Duration(n.maxDelayNs.Load()) {
 				e.flushPending(n)
 			}
 			continue
@@ -892,6 +991,136 @@ func (e *Engine) runNode(n *node) {
 			return
 		}
 	}
+}
+
+// maybeApplyReconf consumes the node's pending reconfiguration, if any.
+// Called only from the node's own goroutine at a verified quiescent point
+// (last emission was a punctuation, nothing pending), so Apply hooks may
+// touch operator state freely.
+func (e *Engine) maybeApplyReconf(n *node, op ops.Operator) {
+	rc := n.reconf.Swap(nil)
+	if rc == nil {
+		return
+	}
+	if rc.BatchSize > 0 {
+		n.batchSize.Store(int64(rc.BatchSize))
+	}
+	if rc.MaxBatchDelay > 0 {
+		n.maxDelayNs.Store(int64(rc.MaxBatchDelay))
+	}
+	if rc.Apply != nil {
+		rc.Apply(op)
+	}
+	n.obs.retunes.Inc()
+	if e.trace != nil {
+		e.trace.Emit(metrics.EvRetuneApplied, n.name, e.now(), n.obs.wmOut.Load())
+	}
+}
+
+// Reconfigure publishes a punctuation-aligned reconfiguration for node id.
+// The node's goroutine applies it at its next quiescent boundary; until
+// then the previous configuration stays live. A second Reconfigure before
+// the first applied replaces it (the controller's newest decision wins).
+// Returns false for an unknown node id.
+//
+// Nodes that never emit punctuation (sinks) never reach a boundary, so a
+// reconfiguration stays pending forever — harmless, since a node without
+// out-arcs has no batch plane to tune either.
+func (e *Engine) Reconfigure(id int, rc Reconfig) bool {
+	if id < 0 || id >= len(e.nodes) {
+		return false
+	}
+	e.nodes[id].reconf.Store(&rc)
+	return true
+}
+
+// NodeBatchSize reports node id's live per-arc batch capacity.
+func (e *Engine) NodeBatchSize(id int) int {
+	if id < 0 || id >= len(e.nodes) {
+		return 0
+	}
+	return int(e.nodes[id].batchSize.Load())
+}
+
+// NodeMaxBatchDelay reports node id's live stale-batch flush bound.
+func (e *Engine) NodeMaxBatchDelay(id int) time.Duration {
+	if id < 0 || id >= len(e.nodes) {
+		return 0
+	}
+	return time.Duration(e.nodes[id].maxDelayNs.Load())
+}
+
+// NodeOperator returns node id's operator instance (nil for an unknown id).
+// The instance is shared with the running goroutine: callers may only use
+// the operator's documented concurrency-safe surfaces (counter reads,
+// atomic-swapped tables) or mutate it through Reconfigure's Apply hook.
+func (e *Engine) NodeOperator(id int) ops.Operator {
+	if id < 0 || id >= len(e.nodes) {
+		return nil
+	}
+	return e.nodes[id].gn.Op
+}
+
+// NumNodes reports the graph's node count (node ids are 0..NumNodes-1).
+func (e *Engine) NumNodes() int { return len(e.nodes) }
+
+// NodeName reports node id's operator name ("" for an unknown id).
+func (e *Engine) NodeName(id int) string {
+	if id < 0 || id >= len(e.nodes) {
+		return ""
+	}
+	return e.nodes[id].name
+}
+
+// Now reads the engine's virtual clock (Options.Now, or wall time since
+// construction).
+func (e *Engine) Now() tuple.Time { return e.now() }
+
+// NodeFanOut reports how many out arcs node id has.
+func (e *Engine) NodeFanOut(id int) int {
+	if id < 0 || id >= len(e.nodes) {
+		return 0
+	}
+	return len(e.nodes[id].outs)
+}
+
+// Tracer exposes the engine's trace ring (nil when tracing is off).
+func (e *Engine) Tracer() *metrics.Tracer { return e.trace }
+
+// EngineOptions returns the options the engine was built with.
+func (e *Engine) EngineOptions() Options { return e.opts }
+
+// ShardGroup is one partitioned operator's adaptive surface: the splitters
+// feeding its shards (all of which must receive identical retargets to keep
+// keys co-located) and the replication factor.
+type ShardGroup struct {
+	// Name is the original operator's name.
+	Name string
+	// Shards is the replication factor.
+	Shards int
+	// Splitters holds the Split instance per input port.
+	Splitters []*ops.Split
+}
+
+// ShardGroups lists the partitioned operators' splitter groups, or nil for
+// an unsharded engine.
+func (e *Engine) ShardGroups() []ShardGroup {
+	if e.plan == nil {
+		return nil
+	}
+	var out []ShardGroup
+	for _, sh := range e.plan.Ops {
+		g := ShardGroup{Name: sh.Name, Shards: sh.Shards}
+		for _, id := range sh.Splitters {
+			if s, ok := e.g.Node(id).Op.(*ops.Split); ok {
+				g.Splitters = append(g.Splitters, s)
+			}
+		}
+		if len(g.Splitters) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
 }
 
 func (e *Engine) hasData(n *node) bool {

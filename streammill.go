@@ -39,6 +39,7 @@
 package streammill
 
 import (
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graph"
@@ -86,6 +87,13 @@ type (
 	Runtime = runtime.Engine
 	// RuntimeOptions configures a Runtime.
 	RuntimeOptions = runtime.Options
+	// AdaptiveOptions configures the self-tuning controller attached to a
+	// Runtime via RuntimeOptions.Adaptive.
+	AdaptiveOptions = runtime.AdaptiveOptions
+	// AdaptiveController closes the metrics loop over a running Runtime,
+	// retuning batch sizes, shard tables, and join probe orders at
+	// punctuation boundaries.
+	AdaptiveController = adapt.Controller
 	// Sim drives an ExecEngine over virtual time.
 	Sim = sim.Sim
 	// Stream feeds a Sim with generated arrivals.
@@ -142,6 +150,11 @@ func TimeValue(v Time) Value { return tuple.TimeVal(v) }
 func NewRuntime(e *Engine, opts RuntimeOptions) (*Runtime, error) {
 	return runtime.New(e.Graph(), opts)
 }
+
+// AttachAdaptive builds the self-tuning controller from the runtime's own
+// RuntimeOptions.Adaptive (nil means all defaults). Call Start after the
+// runtime is started, Stop before tearing it down.
+func AttachAdaptive(rt *Runtime) *AdaptiveController { return adapt.Attach(rt) }
 
 // NewSim builds a discrete-event simulation over a built exec engine.
 func NewSim(ex *ExecEngine, horizon Time) *Sim { return sim.New(ex, horizon) }
