@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive obs-smoke net-smoke col-smoke adapt-smoke chaos fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive bench-obs obs-smoke net-smoke col-smoke adapt-smoke chaos fuzz-smoke check
 
 all: check
 
@@ -41,6 +41,12 @@ bench-net:
 bench-columnar:
 	$(GO) run ./cmd/etsbench -columnar
 
+# Punctuation-tracing overhead measurement (span collector on vs off on
+# the batched union workload); writes BENCH_obs.json and warns if the
+# overhead exceeds the 5% budget.
+bench-obs:
+	$(GO) run ./cmd/etsbench -obs
+
 # Adaptive-controller measurement: static sweep vs self-tuning on the
 # drifting-skew union+join workload plus the probe-reorder sub-benchmark;
 # writes BENCH_adaptive.json and exits non-zero if any acceptance gate
@@ -56,8 +62,11 @@ bench-adaptive:
 col-smoke:
 	$(GO) test -race -run 'Col|Columnar' ./internal/tuple ./internal/ops ./internal/runtime ./internal/wire ./internal/server ./client
 
-# End-to-end observability check: streamd with the live metrics endpoint,
-# one scrape, required metric families present (scripts/obs_smoke.sh).
+# End-to-end observability check (scripts/obs_smoke.sh): phase 1 scrapes a
+# live streamd and asserts the required metric families; phase 2 runs a
+# networked streamd with tracing, feeds it the netmon workload, and asserts
+# a complete punctuation timeline in /spans, the health/pprof endpoints,
+# one streamtop render, and a non-empty span log on shutdown.
 obs-smoke:
 	sh scripts/obs_smoke.sh
 

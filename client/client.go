@@ -66,6 +66,13 @@ type Options struct {
 	// Against an older server SendCol still works — batches are converted
 	// to row frames client-side.
 	Columnar bool
+	// Trace offers the punctuation-trace capability in HELLO: when the
+	// server grants it (it runs a span collector), every Punct this client
+	// sends carries a fresh trace ID and the local send clock, so the
+	// server can splice the network hop into the punctuation's
+	// propagation timeline. Against an older server the frames stay in
+	// the legacy format.
+	Trace bool
 	// Reconnect enables automatic redial with exponential backoff after a
 	// connection failure; streams are re-bound transparently.
 	Reconnect bool
@@ -93,7 +100,9 @@ type Conn struct {
 
 	sess    uint64
 	credits int64
-	colOK   bool // server granted CapColumnar on the current transport
+	colOK   bool   // server granted CapColumnar on the current transport
+	traceOK bool   // server granted CapTrace on the current transport
+	traceCt uint64 // traces issued; IDs are (session<<32 | ct) to stay unique server-side
 	streams map[uint32]*Stream
 	nextID  uint32
 
@@ -186,6 +195,9 @@ func (c *Conn) connectLocked() error {
 	if c.opts.Columnar {
 		hello.Flags |= wire.CapColumnar
 	}
+	if c.opts.Trace {
+		hello.Flags |= wire.CapTrace
+	}
 	if err := w.WriteFrame(hello); err != nil {
 		return fail(err)
 	}
@@ -255,6 +267,7 @@ func (c *Conn) connectLocked() error {
 	c.sess = ack.Session
 	c.credits = int64(ack.Credits)
 	c.colOK = ack.Flags&wire.CapColumnar != 0
+	c.traceOK = ack.Flags&wire.CapTrace != 0
 	c.broken = false
 	c.epoch++
 	c.readers.Add(1)

@@ -223,7 +223,16 @@ func (s *Stream) punctLocked(ets tuple.Time) error {
 	if err := s.flushLocked(); err != nil {
 		return nil // buffered; punct is dropped with the transport, resend later
 	}
-	if err := c.writeLocked(wire.Punct{ID: s.id, TS: s.ts, ETS: ets}); err == nil {
+	f := wire.Punct{ID: s.id, TS: s.ts, ETS: ets}
+	if c.traceOK {
+		// Open a propagation trace: session in the high bits keeps IDs
+		// unique across the server's sessions, and the send clock lets the
+		// server place the network hop on its own time axis.
+		c.traceCt++
+		f.Trace = c.sess<<32 | c.traceCt&0xffffffff
+		f.Clock = c.opts.Clock()
+	}
+	if err := c.writeLocked(f); err == nil {
 		c.stats.PunctSent++
 	}
 	return nil

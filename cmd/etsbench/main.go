@@ -24,6 +24,9 @@
 //	                           the row plane on the filter/project/hash
 //	                           and filter/join/aggregate pipelines and
 //	                           write BENCH_columnar.json
+//	etsbench -obs              measure punctuation-tracing overhead (span
+//	                           collector on vs off on the batched union
+//	                           workload) and write BENCH_obs.json
 //	etsbench -adaptive         benchmark the adaptive controller against
 //	                           static configurations on the drifting-skew
 //	                           union+join workload and the probe-reorder
@@ -69,6 +72,9 @@ func main() {
 	adBench := flag.Bool("adaptive", false, "benchmark the adaptive controller vs static configurations on the drifting-skew workload")
 	adTuples := flag.Int("adaptive-tuples", 240_000, "tuples per configuration for -adaptive")
 	adOut := flag.String("adaptive-out", "BENCH_adaptive.json", "output file for -adaptive results")
+	obsBench := flag.Bool("obs", false, "measure punctuation-tracing overhead (span collector on vs off)")
+	obsTuples := flag.Int("obs-tuples", 2_000_000, "tuples per configuration for -obs")
+	obsOut := flag.String("obs-out", "BENCH_obs.json", "output file for -obs results")
 	adSmoke := flag.Bool("adaptive-smoke", false, "short adaptive run asserting at least one retune applied with invariants held")
 	adSmokeTuples := flag.Int("adaptive-smoke-tuples", 60_000, "tuples for -adaptive-smoke")
 	chaosAdaptive := flag.Bool("chaos-adaptive", false, "run -chaos with the adaptive controller attached (invariants unchanged)")
@@ -95,6 +101,8 @@ func main() {
 		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut, *chaosAdaptive)
 	case *colBench:
 		runColumnarBench(*colTuples, *colOut)
+	case *obsBench:
+		runObsBench(*obsTuples, *obsOut)
 	case *adBench:
 		runAdaptiveBench(*adTuples, *adOut)
 	case *adSmoke:

@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -35,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/runtime"
 	"repro/internal/server"
@@ -60,6 +63,8 @@ type options struct {
 	drainGrace time.Duration
 	srcTimeout time.Duration
 	adaptive   bool
+	pprof      bool
+	spanLog    string
 }
 
 func main() {
@@ -77,6 +82,8 @@ func main() {
 	flag.DurationVar(&opts.drainGrace, "drain-grace", 2*time.Second, "network mode: how long SIGINT lets sessions finish before their connections are cut")
 	flag.DurationVar(&opts.srcTimeout, "source-timeout", 0, "network mode: arm the source-liveness watchdog — a silent source has ETS forced after this long (0 disables)")
 	flag.BoolVar(&opts.adaptive, "adaptive", false, "network mode: attach the self-tuning controller (batch sizes, shard tables, probe orders retuned at punctuation boundaries; watch sm_adapt_* in /vars)")
+	flag.BoolVar(&opts.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics address")
+	flag.StringVar(&opts.spanLog, "span-log", "", "network mode: dump the retained punctuation spans as JSONL to this file at shutdown")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -142,11 +149,22 @@ func serve(ddl, q string, opts options) error {
 	if opts.trace {
 		tr = metrics.NewTracer(4096)
 	}
+	metrics.InstrumentTracer(reg, tr)
+	// One clock for the engine, the session server, and the span collector:
+	// every span phase — network hop included — lands on a single µs axis,
+	// so per-hop latencies subtract cleanly.
+	start := time.Now()
+	clock := func() tuple.Time { return tuple.Time(time.Since(start).Microseconds()) }
+	spans := obs.New(obs.DefaultRingSize)
+	spans.SetClock(func() int64 { return int64(clock()) })
+	spans.Instrument(reg)
 	ropts := runtime.Options{
 		OnDemandETS:   !opts.noETS,
 		Metrics:       reg,
 		Trace:         tr,
 		SourceTimeout: opts.srcTimeout,
+		Now:           clock,
+		Spans:         spans,
 	}
 	if opts.adaptive {
 		ropts.Adaptive = &runtime.AdaptiveOptions{}
@@ -167,6 +185,8 @@ func serve(ddl, q string, opts options) error {
 		Backend: server.NewEngineBackend(re, e.LookupStream),
 		Metrics: reg,
 		Trace:   tr,
+		Now:     clock,
+		Spans:   spans,
 	})
 	if err != nil {
 		re.Stop()
@@ -175,17 +195,12 @@ func serve(ddl, q string, opts options) error {
 	}
 	fmt.Fprintf(os.Stderr, "streamd: ingest listening on %s\n", srv.Addr())
 	if opts.metrics != "" {
-		ln, err := net.Listen("tcp", opts.metrics)
+		rdy := &readiness{snap: re.Snapshot}
+		ln, err := serveObs(opts, reg, tr, spans, rdy.check)
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return err
 		}
 		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "streamd: metrics listening on http://%s/metrics\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, metrics.Handler(reg, tr)); err != nil && !strings.Contains(err.Error(), "use of closed") {
-				fmt.Fprintln(os.Stderr, "streamd: metrics server:", err)
-			}
-		}()
 	}
 
 	sig := make(chan os.Signal, 2)
@@ -238,7 +253,107 @@ func serve(ddl, q string, opts options) error {
 			return err
 		}
 	}
+	if opts.spanLog != "" {
+		f, err := os.Create(opts.spanLog)
+		if err != nil {
+			return err
+		}
+		if err := spans.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamd: spans: %d timelines (%d events, %d dropped) -> %s\n",
+			spans.Traces(), spans.Total(), spans.Dropped(), opts.spanLog)
+	}
 	return runErr
+}
+
+// serveObs starts the observability HTTP endpoint: the metrics handler
+// (/metrics, /vars, /trace) plus /spans, liveness and readiness probes,
+// and — behind -pprof — the net/http/pprof profile handlers.
+func serveObs(opts options, reg *metrics.Registry, tr *metrics.Tracer, spans *obs.Collector, ready func() (bool, string)) (net.Listener, error) {
+	ln, err := net.Listen("tcp", opts.metrics)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", metrics.Handler(reg, tr))
+	mux.Handle("/spans", obs.Handler(spans))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if ready == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		if ok, why := ready(); !ok {
+			http.Error(w, why, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	if opts.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	fmt.Fprintf(os.Stderr, "streamd: metrics listening on http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil && !strings.Contains(err.Error(), "use of closed") {
+			fmt.Fprintln(os.Stderr, "streamd: metrics server:", err)
+		}
+	}()
+	return ln, nil
+}
+
+// readiness implements the /readyz probe over engine snapshots: not ready
+// while any source is watchdog-dead, or while tuples keep arriving but no
+// watermark has advanced for stallAfter — the timestamp plane is wedged
+// even though the data plane looks busy.
+type readiness struct {
+	snap func() runtime.Snapshot
+
+	mu      sync.Mutex
+	started bool
+	wmSum   int64
+	tuples  uint64
+	lastOK  time.Time
+}
+
+const stallAfter = 15 * time.Second
+
+func (r *readiness) check() (bool, string) {
+	snap := r.snap()
+	var wmSum int64
+	var tuples uint64
+	for _, ns := range snap.Nodes {
+		if ns.Dead {
+			return false, fmt.Sprintf("source %s dead (watchdog)", ns.Node)
+		}
+		if ns.Watermark > tuple.MinTime {
+			wmSum += int64(ns.Watermark)
+		}
+		tuples += ns.TuplesIn
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	// Advancing watermarks — or a quiet data plane, which owes no advance —
+	// both count as healthy.
+	if !r.started || wmSum > r.wmSum || tuples == r.tuples {
+		r.started, r.lastOK = true, now
+	}
+	r.wmSum, r.tuples = wmSum, tuples
+	if now.Sub(r.lastOK) > stallAfter {
+		return false, fmt.Sprintf("watermarks stalled for %v under live ingest", now.Sub(r.lastOK).Round(time.Second))
+	}
+	return true, ""
 }
 
 func run(ddl, q string, ins []input, opts options) error {
@@ -328,18 +443,13 @@ func run(ddl, q string, ins []input, opts options) error {
 		ex.SetTracer(tr)
 	}
 	if opts.metrics != "" {
-		ln, err := net.Listen("tcp", opts.metrics)
+		// Replay mode has no span collector or readiness probe: /spans
+		// answers 404 and /readyz is unconditionally ok.
+		ln, err := serveObs(opts, reg, tr, nil, nil)
 		if err != nil {
-			return fmt.Errorf("metrics listener: %w", err)
+			return err
 		}
 		defer ln.Close()
-		// Print the bound address (supports :0) so scrapers can find us.
-		fmt.Fprintf(os.Stderr, "streamd: metrics listening on http://%s/metrics\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, metrics.Handler(reg, tr)); err != nil && !strings.Contains(err.Error(), "use of closed") {
-				fmt.Fprintln(os.Stderr, "streamd: metrics server:", err)
-			}
-		}()
 	}
 
 	// Replay in timestamp order: each arrival advances the clock, then the

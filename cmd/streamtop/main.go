@@ -1,0 +1,347 @@
+// Command streamtop is a live terminal dashboard for a running streamd:
+// it polls the /vars and /spans observability endpoints and renders a
+// per-node view of the timestamp plane — throughput, queue depth,
+// watermark and its lag behind the engine clock, idle-waiting share, the
+// input each stalled operator is blocked on — plus the slowest recent
+// punctuation traces with their per-hop latency breakdown.
+//
+// Usage:
+//
+//	streamtop -addr 127.0.0.1:9151            # refresh every 2s
+//	streamtop -addr 127.0.0.1:9151 -once      # one snapshot (CI / scripts)
+//
+// streamtop needs only the HTTP endpoints: point it at whatever address
+// streamd's -metrics flag bound. Without span collection (replay mode)
+// the trace pane is omitted.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+type options struct {
+	addr     string
+	interval time.Duration
+	once     bool
+	nodes    int
+	traces   int
+}
+
+func main() {
+	var opts options
+	flag.StringVar(&opts.addr, "addr", "127.0.0.1:9151", "streamd metrics address (host:port or URL)")
+	flag.DurationVar(&opts.interval, "interval", 2*time.Second, "refresh interval")
+	flag.BoolVar(&opts.once, "once", false, "print one snapshot and exit (no screen clearing)")
+	flag.IntVar(&opts.nodes, "nodes", 24, "max node rows shown")
+	flag.IntVar(&opts.traces, "traces", 3, "slowest traces shown")
+	flag.Parse()
+	if !strings.Contains(opts.addr, "://") {
+		opts.addr = "http://" + opts.addr
+	}
+	if err := top(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "streamtop:", err)
+		os.Exit(1)
+	}
+}
+
+// spansDoc mirrors the /spans response body.
+type spansDoc struct {
+	Total     uint64         `json:"total"`
+	Dropped   uint64         `json:"dropped"`
+	Traces    uint64         `json:"traces"`
+	Timelines []obs.Timeline `json:"timelines"`
+}
+
+// row is one node's aggregated view across its sm_node_* and sm_arc_*
+// series.
+type row struct {
+	node      string
+	tuplesIn  float64
+	tuplesOut float64
+	depth     int64
+	watermark float64
+	hasWm     bool
+	lagP99    float64
+	hasLag    bool
+	idleUs    float64
+	idle      bool
+	blockedOn int64
+	rate      float64 // tuples in per second, from the previous poll
+	hasRate   bool
+}
+
+func top(opts options) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	prevIn := map[string]float64{}
+	var prevAt time.Time
+	for {
+		vars, err := fetchVars(client, opts.addr)
+		if err != nil {
+			return err
+		}
+		spans, spanErr := fetchSpans(client, opts.addr, opts.traces)
+		now := time.Now()
+		rows, totals := collect(vars)
+		if !prevAt.IsZero() {
+			dt := now.Sub(prevAt).Seconds()
+			for _, r := range rows {
+				if in, ok := prevIn[r.node]; ok && dt > 0 {
+					r.rate, r.hasRate = (r.tuplesIn-in)/dt, true
+				}
+			}
+		}
+		for _, r := range rows {
+			prevIn[r.node] = r.tuplesIn
+		}
+		prevAt = now
+
+		var b strings.Builder
+		if !opts.once {
+			b.WriteString("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(&b, opts, rows, totals, spans, spanErr)
+		os.Stdout.WriteString(b.String())
+		if opts.once {
+			return nil
+		}
+		time.Sleep(opts.interval)
+	}
+}
+
+func fetchVars(c *http.Client, addr string) (map[string]any, error) {
+	resp, err := c.Get(addr + "/vars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/vars: %s", resp.Status)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, fmt.Errorf("/vars: %w", err)
+	}
+	return vars, nil
+}
+
+// fetchSpans returns nil with no error when span collection is disabled
+// server-side (404): the trace pane is simply omitted.
+func fetchSpans(c *http.Client, addr string, n int) (*spansDoc, error) {
+	resp, err := c.Get(fmt.Sprintf("%s/spans?sort=slow&complete=1&n=%d", addr, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/spans: %s", resp.Status)
+	}
+	var doc spansDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("/spans: %w", err)
+	}
+	return &doc, nil
+}
+
+// totals are the engine-wide headline numbers.
+type totals struct {
+	uptimeUs float64
+	sent     float64
+	results  float64
+	ets      float64
+	dead     float64
+}
+
+func collect(vars map[string]any) ([]*row, totals) {
+	byNode := map[string]*row{}
+	get := func(node string) *row {
+		r := byNode[node]
+		if r == nil {
+			r = &row{node: node, blockedOn: -1}
+			byNode[node] = r
+		}
+		return r
+	}
+	var t totals
+	for name, v := range vars {
+		family, labels := metrics.SplitName(name)
+		switch family {
+		case "sm_engine_uptime_us":
+			t.uptimeUs = num(v)
+		case "sm_engine_tuples_sent_total":
+			t.sent = num(v)
+		case "sm_results_total":
+			t.results = num(v)
+		case "sm_engine_ets_generated_total":
+			t.ets = num(v)
+		case "sm_engine_dead_sources":
+			t.dead = num(v)
+		}
+		node := metrics.LabelValue(labels, "node")
+		if node == "" {
+			continue
+		}
+		switch family {
+		case "sm_node_tuples_in_total":
+			get(node).tuplesIn = num(v)
+		case "sm_node_tuples_out_total":
+			get(node).tuplesOut = num(v)
+		case "sm_node_queue_depth":
+			get(node).depth = int64(num(v))
+		case "sm_node_watermark_us":
+			r := get(node)
+			r.watermark, r.hasWm = num(v), true
+		case "sm_node_idle_us_total":
+			get(node).idleUs = num(v)
+		case "sm_node_idle":
+			get(node).idle = num(v) != 0
+		case "sm_node_blocking_input":
+			get(node).blockedOn = int64(num(v))
+		case "sm_arc_wm_lag_us":
+			// Reservoir export: take the worst p99 across input ports.
+			if m, ok := v.(map[string]any); ok && num(m["count"]) > 0 {
+				r := get(node)
+				if p := num(m["p99"]); !r.hasLag || p > r.lagP99 {
+					r.lagP99, r.hasLag = p, true
+				}
+			}
+		}
+	}
+	rows := make([]*row, 0, len(byNode))
+	for _, r := range byNode {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].node < rows[j].node })
+	return rows, t
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func render(b *strings.Builder, opts options, rows []*row, t totals, spans *spansDoc, spanErr error) {
+	fmt.Fprintf(b, "streamtop — %s — up %s   tuples %s   results %s   ets %s",
+		time.Now().Format("15:04:05"), durUs(t.uptimeUs),
+		count(t.sent), count(t.results), count(t.ets))
+	if t.dead > 0 {
+		fmt.Fprintf(b, "   DEAD SOURCES %d", int64(t.dead))
+	}
+	b.WriteString("\n\n")
+
+	fmt.Fprintf(b, "%-18s %10s %10s %7s %14s %12s %6s %s\n",
+		"NODE", "IN", "IN/s", "QDEPTH", "WATERMARK", "LAG p99", "IDLE%", "STALLED ON")
+	shown := rows
+	if len(shown) > opts.nodes {
+		shown = shown[:opts.nodes]
+	}
+	for _, r := range shown {
+		rate := "-"
+		if r.hasRate {
+			rate = fmt.Sprintf("%.0f", r.rate)
+		}
+		wm := "-"
+		if r.hasWm && r.watermark > -1e17 { // MinTime sentinel stays "-"
+			wm = durUs(r.watermark)
+		}
+		lag := "-"
+		if r.hasLag {
+			lag = durUs(r.lagP99)
+		}
+		idle := "-"
+		if t.uptimeUs > 0 {
+			idle = fmt.Sprintf("%.0f", 100*r.idleUs/t.uptimeUs)
+		}
+		stalled := ""
+		if r.idle && r.blockedOn >= 0 {
+			stalled = fmt.Sprintf("input %d", r.blockedOn)
+		}
+		fmt.Fprintf(b, "%-18s %10s %10s %7d %14s %12s %6s %s\n",
+			clip(r.node, 18), count(r.tuplesIn), rate, r.depth, wm, lag, idle, stalled)
+	}
+	if len(rows) > opts.nodes {
+		fmt.Fprintf(b, "… %d more nodes\n", len(rows)-opts.nodes)
+	}
+
+	switch {
+	case spanErr != nil:
+		fmt.Fprintf(b, "\nspans: %v\n", spanErr)
+	case spans == nil:
+		b.WriteString("\nspans: collection disabled\n")
+	default:
+		fmt.Fprintf(b, "\nslowest punctuation traces (%d traced, %d events, %d dropped)\n",
+			spans.Traces, spans.Total, spans.Dropped)
+		if len(spans.Timelines) == 0 {
+			b.WriteString("  none complete yet\n")
+		}
+		for _, tl := range spans.Timelines {
+			sink := ""
+			if n := len(tl.Hops); n > 0 {
+				sink = tl.Hops[n-1].Node
+			}
+			fmt.Fprintf(b, "  %#x ts=%d %s→%s total %s", tl.Trace, tl.Ts,
+				tl.Origin, sink, durUs(float64(tl.TotalUs)))
+			if tl.NetUs >= 0 && tl.NetRecvAt != 0 {
+				fmt.Fprintf(b, " (net %s)", durUs(float64(tl.NetUs)))
+			}
+			b.WriteString("\n")
+			for _, h := range tl.Hops {
+				fmt.Fprintf(b, "    %-16s wait %-10s proc %s\n",
+					clip(h.Node, 16), maybeUs(h.WaitUs), maybeUs(h.ProcUs))
+			}
+		}
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func count(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func durUs(us float64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Minute:
+		return d.Round(time.Second).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return fmt.Sprintf("%.0fµs", us)
+	}
+}
+
+func maybeUs(us int64) string {
+	if us < 0 {
+		return "?"
+	}
+	return durUs(float64(us))
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"sync"
 
@@ -27,6 +28,19 @@ import (
 )
 
 func main() {
+	addr := flag.String("addr", "", "feed an external streamd ingest address instead of the embedded loopback server (the target must declare backbone and mgmt)")
+	seconds := flag.Int("seconds", 60, "simulated seconds of link traffic")
+	flag.Parse()
+	horizon := tuple.Time(*seconds) * tuple.Time(tuple.Second)
+	if *addr != "" {
+		// External mode: the queries (and their results) live in the
+		// remote streamd; this process is only the two link feeds.
+		fmt.Printf("feeding %s: %ds of link traffic (200/s backbone, 0.5/s mgmt)\n", *addr, *seconds)
+		feedLinks(*addr, horizon)
+		fmt.Println("feeds closed")
+		return
+	}
+
 	e := core.NewEngine()
 	e.MustExecute(`CREATE STREAM backbone (flow int, bytes int) TIMESTAMP EXTERNAL`, nil)
 	e.MustExecute(`CREATE STREAM mgmt (flow int, code int) TIMESTAMP EXTERNAL`, nil)
@@ -71,13 +85,30 @@ func main() {
 	fmt.Printf("ingest server on %s; streaming 60s of link traffic (200/s backbone, 0.5/s mgmt):\n",
 		srv.Addr())
 
-	// Each link is its own wire-protocol client. The backbone punctuates
-	// every 64 packets; the near-silent mgmt link punctuates after every
-	// event and once more at each simulated second so the join never waits
-	// on it.
-	const horizon = tuple.Time(60 * tuple.Second)
+	feedLinks(srv.Addr().String(), horizon)
+	if err := re.Wait(); err != nil {
+		panic(err)
+	}
+
+	snap := re.Snapshot()
+	mu.Lock()
+	fmt.Printf("correlation matches: %d; aggregate windows emitted: %d\n", correlated, windows)
+	mu.Unlock()
+	fmt.Printf("on-demand ETS generated: %d; tuples over the wire: %d; punctuation: %d\n",
+		snap.ETSGenerated,
+		lookupMetric(srv, "sm_net_tuples_in_total"),
+		lookupMetric(srv, "sm_net_punct_in_total"))
+}
+
+// feedLinks streams the two-link workload into addr and returns once both
+// feeds have sent EOS. Each link is its own wire-protocol client asking for
+// punctuation tracing (granted only by span-collecting servers). The
+// backbone punctuates every 64 packets; the near-silent mgmt link
+// punctuates after every event and once more at each simulated second so
+// the join never waits on it.
+func feedLinks(addr string, horizon tuple.Time) {
 	feed := func(stream string, proc *sim.Poisson, every int, payload func(i uint64) []tuple.Value) {
-		c, err := client.Dial(srv.Addr().String(), client.Options{Name: "netmon-" + stream})
+		c, err := client.Dial(addr, client.Options{Name: "netmon-" + stream, Trace: true})
 		if err != nil {
 			panic(err)
 		}
@@ -119,18 +150,6 @@ func main() {
 		})
 	}()
 	wg.Wait()
-	if err := re.Wait(); err != nil {
-		panic(err)
-	}
-
-	snap := re.Snapshot()
-	mu.Lock()
-	fmt.Printf("correlation matches: %d; aggregate windows emitted: %d\n", correlated, windows)
-	mu.Unlock()
-	fmt.Printf("on-demand ETS generated: %d; tuples over the wire: %d; punctuation: %d\n",
-		snap.ETSGenerated,
-		lookupMetric(srv, "sm_net_tuples_in_total"),
-		lookupMetric(srv, "sm_net_punct_in_total"))
 }
 
 func lookupMetric(srv *server.Server, name string) int64 {

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the exact Prometheus exposition so the scrape
+// format never regresses silently: TYPE lines once per family, quantile
+// splicing into labelled names, reservoir expansion, NaN sanitation.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`sm_node_tuples_in_total{node="u",id="2"}`).Add(7)
+	r.Counter(`sm_node_tuples_in_total{node="j",id="3"}`).Add(9)
+	r.Gauge("sm_engine_dead_sources").Set(1)
+	r.GaugeFunc("sm_bad_ratio", func() int64 { return 0 }) // int gauges can't NaN
+	res := r.Reservoir("sm_latency_us", 8)
+	for _, v := range []int64{10, 20, 30, 40} {
+		res.Observe(v)
+	}
+	r.Reservoir("sm_empty_us", 8) // no samples: quantiles must be 0, not NaN
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := strings.Join([]string{
+		`# TYPE sm_bad_ratio gauge`,
+		`sm_bad_ratio 0`,
+		`# TYPE sm_empty_us summary`,
+		`sm_empty_us{quantile="0.5"} 0`,
+		`sm_empty_us{quantile="0.9"} 0`,
+		`sm_empty_us{quantile="0.99"} 0`,
+		`sm_empty_us_count 0`,
+		`# TYPE sm_engine_dead_sources gauge`,
+		`sm_engine_dead_sources 1`,
+		`# TYPE sm_latency_us summary`,
+		`sm_latency_us{quantile="0.5"} 20`,
+		`sm_latency_us{quantile="0.9"} 40`,
+		`sm_latency_us{quantile="0.99"} 40`,
+		`sm_latency_us_count 4`,
+		`# TYPE sm_node_tuples_in_total counter`,
+		`sm_node_tuples_in_total{node="j",id="3"} 9`,
+		`sm_node_tuples_in_total{node="u",id="2"} 7`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Fatalf("WriteProm drifted from golden format.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEmptyPercentilesAreZero pins the empty-window contract across both
+// percentile implementations: 0, never NaN or a panic.
+func TestEmptyPercentilesAreZero(t *testing.T) {
+	var snap ReservoirSnapshot
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := snap.Percentile(p); got != 0 {
+			t.Fatalf("empty ReservoirSnapshot.Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+	if snap.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", snap.Mean())
+	}
+	l := NewLatency()
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := l.Percentile(p); got != 0 {
+			t.Fatalf("empty Latency.Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+	if l.Mean() != 0 || l.Max() != 0 || l.Min() != 0 {
+		t.Fatalf("empty Latency stats = mean %d max %d min %d, want zeros", l.Mean(), l.Max(), l.Min())
+	}
+}
+
+// TestValueSanitation: NaN/Inf must never reach the exposition — JSON
+// refuses NaN outright (one bad gauge would break all of /vars) and a NaN
+// sample poisons Prometheus rate math.
+func TestValueSanitation(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := sanitizeValue(v); got != 0 {
+			t.Fatalf("sanitizeValue(%v) = %v, want 0", v, got)
+		}
+		if got := formatValue(v); got != "0" {
+			t.Fatalf("formatValue(%v) = %q, want \"0\"", v, got)
+		}
+	}
+	if got := sanitizeValue(1.5); got != 1.5 {
+		t.Fatalf("sanitizeValue(1.5) = %v, want 1.5", got)
+	}
+
+	// And the full JSON document stays decodable.
+	r := NewRegistry()
+	r.Counter("sm_ok_total").Add(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if out["sm_ok_total"] != float64(3) {
+		t.Fatalf("sm_ok_total = %v, want 3", out["sm_ok_total"])
+	}
+}
+
+// TestTracerDroppedCounter overflows the trace ring and checks the loss is
+// counted (and exported via InstrumentTracer).
+func TestTracerDroppedCounter(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Emit(EvETSGen, "u", 0, int64(i))
+	}
+	if got := tr.Dropped(); got != 24 {
+		t.Fatalf("Dropped = %d, want 24", got)
+	}
+	if got := tr.Total(); got != 40 {
+		t.Fatalf("Total = %d, want 40", got)
+	}
+	if got := len(tr.Recent(0)); got != 16 {
+		t.Fatalf("retained = %d, want 16", got)
+	}
+
+	reg := NewRegistry()
+	InstrumentTracer(reg, tr)
+	var seen int
+	for _, m := range reg.Snapshot() {
+		switch m.Name {
+		case "sm_trace_dropped_total":
+			seen++
+			if m.Value != 24 {
+				t.Fatalf("sm_trace_dropped_total = %v, want 24", m.Value)
+			}
+		case "sm_trace_events_total":
+			seen++
+			if m.Value != 40 {
+				t.Fatalf("sm_trace_events_total = %v, want 40", m.Value)
+			}
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("instrumented metrics missing (saw %d of 2)", seen)
+	}
+
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer Dropped should be 0")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -433,7 +434,18 @@ func (r *Registry) WriteProm(w io.Writer) error {
 
 // formatValue renders integral values without an exponent or trailing
 // zeros; non-integral values keep full float formatting.
+// sanitizeValue maps NaN and ±Inf to 0: a GaugeFunc dividing by a
+// not-yet-incremented counter must not break the whole exposition (JSON
+// rejects NaN outright, and one NaN sample poisons Prometheus rate math).
+func sanitizeValue(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 func formatValue(v float64) string {
+	v = sanitizeValue(v)
 	if v == float64(int64(v)) {
 		return fmt.Sprintf("%d", int64(v))
 	}
@@ -486,7 +498,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			}
 			continue
 		}
-		out[m.Name] = m.Value
+		out[m.Name] = sanitizeValue(m.Value)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -178,8 +178,9 @@ type Tracer struct {
 	ring []Event
 	next uint64 // total events emitted
 
-	counts [numEventKinds]atomic.Uint64
-	sink   atomic.Pointer[func(Event)]
+	counts  [numEventKinds]atomic.Uint64
+	dropped atomic.Uint64 // events overwritten by ring wrap before any read
+	sink    atomic.Pointer[func(Event)]
 }
 
 // NewTracer returns a tracer retaining the last capacity events.
@@ -206,6 +207,9 @@ func (t *Tracer) Emit(kind EventKind, node string, when tuple.Time, value int64)
 	}
 	t.counts[kind].Add(1)
 	t.mu.Lock()
+	if t.next >= uint64(len(t.ring)) {
+		t.dropped.Add(1) // the slot being reused held an unevicted event
+	}
 	ev := Event{Seq: t.next, Kind: kind, Node: node, When: when, Value: value}
 	t.ring[t.next%uint64(len(t.ring))] = ev
 	t.next++
@@ -225,6 +229,27 @@ func (t *Tracer) Total() uint64 {
 // Count reports how many events of one kind were emitted (ring eviction
 // does not affect it).
 func (t *Tracer) Count(kind EventKind) uint64 { return t.counts[kind].Load() }
+
+// Dropped reports how many events were silently evicted by ring
+// wrap-around — exported as sm_trace_dropped_total (see InstrumentTracer)
+// so a wrapping ring is visible instead of quietly lying by omission.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// InstrumentTracer registers the tracer's own meters into reg:
+// sm_trace_events_total and sm_trace_dropped_total. Call once per
+// registry+tracer pair (typically where both are created, e.g. streamd).
+func InstrumentTracer(reg *Registry, t *Tracer) {
+	if reg == nil || t == nil {
+		return
+	}
+	reg.CounterFunc("sm_trace_events_total", func() int64 { return int64(t.Total()) })
+	reg.CounterFunc("sm_trace_dropped_total", func() int64 { return int64(t.Dropped()) })
+}
 
 // Recent copies up to max retained events, oldest first. max ≤ 0 means the
 // whole ring.

@@ -1,0 +1,128 @@
+// HTTP and JSONL export of the span ring.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/tuple"
+)
+
+// eventJSON is the export shape of a SpanEvent (phase by name).
+type eventJSON struct {
+	Seq   uint64     `json:"seq"`
+	Trace uint64     `json:"trace"`
+	Node  string     `json:"node"`
+	Phase string     `json:"phase"`
+	At    int64      `json:"at_us"`
+	Ts    tuple.Time `json:"ts"`
+}
+
+func exportEvent(ev SpanEvent) eventJSON {
+	return eventJSON{
+		Seq: ev.Seq, Trace: ev.Trace, Node: ev.Node,
+		Phase: ev.Phase.String(), At: ev.At, Ts: ev.Ts,
+	}
+}
+
+// WriteJSONL writes every retained span event as one JSON object per line —
+// the offline-analysis export (streamd -span-log dumps it at shutdown).
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode terminates each object with \n: JSONL
+	for _, ev := range c.Events(0) {
+		if err := enc.Encode(exportEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spansResponse is the /spans JSON document.
+type spansResponse struct {
+	Total     uint64     `json:"total"`
+	Dropped   uint64     `json:"dropped"`
+	Traces    uint64     `json:"traces"`
+	Timelines []Timeline `json:"timelines"`
+}
+
+// Handler serves the span ring:
+//
+//	/spans                 recent timelines as JSON (?n=K limits, default 32;
+//	                       ?complete=1 keeps only complete ones;
+//	                       ?sort=slow orders by total latency descending;
+//	                       ?format=jsonl streams raw events instead)
+//
+// 404s when the collector is nil (span collection disabled).
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if c == nil {
+			http.Error(w, "span collection disabled", http.StatusNotFound)
+			return
+		}
+		q := r.URL.Query()
+		if q.Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl")
+			_ = c.WriteJSONL(w)
+			return
+		}
+		max := 32
+		if s := q.Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil {
+				max = v
+			}
+		}
+		var tls []Timeline
+		if q.Get("sort") == "slow" {
+			tls = c.Slowest(max)
+		} else if q.Get("complete") == "1" {
+			// Filter before limiting: the newest traces are often still
+			// in flight, and "the last K complete journeys" is the useful
+			// answer.
+			all := c.Timelines(0)
+			kept := all[:0]
+			for _, t := range all {
+				if t.Complete {
+					kept = append(kept, t)
+				}
+			}
+			tls = kept
+			if max > 0 && len(tls) > max {
+				tls = tls[:max]
+			}
+		} else {
+			tls = c.Timelines(max)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(spansResponse{
+			Total: c.Total(), Dropped: c.Dropped(), Traces: c.Traces(),
+			Timelines: tls,
+		})
+	})
+}
+
+// WriteText renders timelines for terminals (streamd -stats and tests).
+func WriteText(w io.Writer, tls []Timeline) {
+	for _, t := range tls {
+		state := "partial"
+		if t.Complete {
+			state = "complete"
+		}
+		fmt.Fprintf(w, "trace %d ts=%d %s total=%dµs origin=%s\n",
+			t.Trace, int64(t.Ts), state, t.TotalUs, t.Origin)
+		if t.NetUs >= 0 {
+			fmt.Fprintf(w, "  net   %6dµs\n", t.NetUs)
+		}
+		for _, h := range t.Hops {
+			fmt.Fprintf(w, "  %-12s wait=%6dµs proc=%6dµs", h.Node, h.WaitUs, h.ProcUs)
+			if h.Sink {
+				fmt.Fprint(w, "  [sink]")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package obs reconstructs punctuation-propagation timelines for the
+// concurrent runtime. The paper's argument is about *when* enabling
+// timestamps are generated and how they unblock operators; the aggregate
+// counters (internal/metrics) say how often that happens but not *where a
+// particular watermark stalled on its way from source to sink*. This
+// package makes the propagation itself observable: every generated
+// punctuation/ETS gets a trace ID that rides the punct tuple (and the PUNCT
+// wire frame, behind a negotiated capability), and every hop records
+// enqueue / dequeue / apply span events into a fixed-size ring. Timelines()
+// groups the ring by trace and rebuilds the causal per-hop story —
+// including the network hop, whose client-side send instant is mapped onto
+// the server clock by the session's skew estimator.
+//
+// Recording is punctuation-only and O(1) per event under one short mutex,
+// so a collector on the hot path costs nothing per data tuple and a few
+// tens of nanoseconds per punctuation; a nil *Collector disables collection
+// at the cost of one pointer check per site (the same contract as
+// metrics.Tracer).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// Phase identifies where in its journey a punctuation was observed.
+type Phase uint8
+
+const (
+	// PhaseGen: the punctuation was created — at a source's on-demand ETS
+	// logic, the watchdog's forced ETS, or a remote client.
+	PhaseGen Phase = iota
+	// PhaseNetSend: a client wrote the PUNCT frame. At is the client's
+	// send clock mapped onto the collector's clock via the session's skew
+	// estimate, so NetRecv−NetSend approximates the network hop.
+	PhaseNetSend
+	// PhaseNetRecv: the server decoded the PUNCT frame and is about to
+	// inject the punctuation into the engine.
+	PhaseNetRecv
+	// PhaseEnqueue: the punctuation was appended to an arc batch headed
+	// for Node (the event names the *consumer*; the punct-flush rule sends
+	// the batch immediately).
+	PhaseEnqueue
+	// PhaseDequeue: Node's goroutine took delivery of the punctuation.
+	PhaseDequeue
+	// PhaseApply: Node emitted a punctuation attributed to this trace —
+	// its output watermark advanced because of it.
+	PhaseApply
+	// PhaseSink: the punctuation reached a node with no out arcs; the
+	// timeline is complete.
+	PhaseSink
+
+	numPhases = 7
+)
+
+var phaseNames = [numPhases]string{
+	"gen", "net_send", "net_recv", "enqueue", "dequeue", "apply", "sink",
+}
+
+// String returns the snake_case phase name used in JSON exports.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// SpanEvent is one observation of a traced punctuation at one phase.
+type SpanEvent struct {
+	// Seq is the collector-wide event sequence number (1-based).
+	Seq uint64
+	// Trace identifies the punctuation; all events of one propagation
+	// share it.
+	Trace uint64
+	// Node is the operator (or session) the event happened at.
+	Node string
+	// Phase is where in the journey the event sits.
+	Phase Phase
+	// At is the collector clock at the event, µs.
+	At int64
+	// Ts is the punctuation bound (the ETS value) being propagated.
+	Ts tuple.Time
+}
+
+// DefaultRingSize is the event capacity used when New is given n ≤ 0.
+const DefaultRingSize = 8192
+
+// Collector accumulates span events in a fixed-size ring. All methods are
+// safe for concurrent use and nil-safe: a nil collector records nothing.
+type Collector struct {
+	mu   sync.Mutex
+	ring []SpanEvent
+	next uint64 // total events ever recorded; ring slot = (next-1) % len
+
+	dropped   atomic.Uint64 // events overwritten before being read
+	nextTrace atomic.Uint64 // last trace ID handed out
+	now       func() int64  // clock, µs
+}
+
+// New returns a collector retaining the last n events (DefaultRingSize when
+// n ≤ 0), stamped with wall-clock µs.
+func New(n int) *Collector {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Collector{
+		ring: make([]SpanEvent, n),
+		now:  func() int64 { return time.Now().UnixMicro() },
+	}
+}
+
+// SetClock replaces the event clock (µs). Pass the same clock the engine
+// and server use so network span events land on a comparable axis. Call
+// before recording begins.
+func (c *Collector) SetClock(now func() int64) {
+	if c == nil || now == nil {
+		return
+	}
+	c.now = now
+}
+
+// NewTrace allocates a fresh trace ID (never 0). IDs are dense and
+// collector-local; remote clients salt their own IDs (see client.Options)
+// so one collector can hold both without collision.
+func (c *Collector) NewTrace() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.nextTrace.Add(1)
+}
+
+// Record stamps and stores one span event at the current clock.
+func (c *Collector) Record(trace uint64, node string, ph Phase, ts tuple.Time) {
+	if c == nil || trace == 0 {
+		return
+	}
+	c.RecordAt(trace, node, ph, c.now(), ts)
+}
+
+// RecordAt stores one span event at an explicit instant — the network path
+// uses it to place the client's send on the server's clock axis.
+func (c *Collector) RecordAt(trace uint64, node string, ph Phase, at int64, ts tuple.Time) {
+	if c == nil || trace == 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.next >= uint64(len(c.ring)) {
+		c.dropped.Add(1) // the slot we are about to reuse was never read out
+	}
+	c.next++
+	c.ring[(c.next-1)%uint64(len(c.ring))] = SpanEvent{
+		Seq: c.next, Trace: trace, Node: node, Phase: ph, At: at, Ts: ts,
+	}
+	c.mu.Unlock()
+}
+
+// Total reports how many events were ever recorded.
+func (c *Collector) Total() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// Dropped reports how many events were overwritten by ring wrap-around —
+// the silent-loss counter exported as sm_span_dropped_total.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped.Load()
+}
+
+// Traces reports how many trace IDs this collector has handed out.
+func (c *Collector) Traces() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.nextTrace.Load()
+}
+
+// Events returns up to max retained events, oldest first (all of them when
+// max ≤ 0).
+func (c *Collector) Events(max int) []SpanEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.next
+	retained := uint64(len(c.ring))
+	if n < retained {
+		retained = n
+	}
+	if max > 0 && uint64(max) < retained {
+		retained = uint64(max)
+	}
+	out := make([]SpanEvent, 0, retained)
+	for i := n - retained; i < n; i++ {
+		out = append(out, c.ring[i%uint64(len(c.ring))])
+	}
+	return out
+}
+
+// Instrument registers the collector's own meters into reg:
+// sm_span_events_total, sm_span_dropped_total, sm_span_traces_total.
+func (c *Collector) Instrument(reg *metrics.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("sm_span_events_total", func() int64 { return int64(c.Total()) })
+	reg.CounterFunc("sm_span_dropped_total", func() int64 { return int64(c.Dropped()) })
+	reg.CounterFunc("sm_span_traces_total", func() int64 { return int64(c.Traces()) })
+}

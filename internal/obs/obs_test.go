@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tuple"
+)
+
+// fakeClock is a deterministic µs clock for tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  int64
+}
+
+func (f *fakeClock) now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t += 10
+	return f.t
+}
+
+// record a full source→sink journey for one trace.
+func recordJourney(c *Collector, trace uint64, ts tuple.Time) {
+	c.Record(trace, "src", PhaseGen, ts)
+	c.Record(trace, "union", PhaseEnqueue, ts)
+	c.Record(trace, "src", PhaseApply, ts)
+	c.Record(trace, "union", PhaseDequeue, ts)
+	c.Record(trace, "sink", PhaseEnqueue, ts)
+	c.Record(trace, "union", PhaseApply, ts)
+	c.Record(trace, "sink", PhaseDequeue, ts)
+	c.Record(trace, "sink", PhaseSink, ts)
+}
+
+func TestTimelineReconstruction(t *testing.T) {
+	c := New(128)
+	clk := &fakeClock{}
+	c.SetClock(clk.now)
+
+	tr := c.NewTrace()
+	if tr == 0 {
+		t.Fatal("NewTrace returned 0")
+	}
+	recordJourney(c, tr, 500)
+
+	tls := c.Timelines(0)
+	if len(tls) != 1 {
+		t.Fatalf("timelines = %d, want 1", len(tls))
+	}
+	tl := tls[0]
+	if !tl.Complete {
+		t.Fatalf("timeline not complete: %+v", tl)
+	}
+	if tl.Origin != "src" || tl.GenAt == 0 {
+		t.Fatalf("origin = %q genAt = %d, want src/non-zero", tl.Origin, tl.GenAt)
+	}
+	if int64(tl.Ts) != 500 {
+		t.Fatalf("ts = %d, want 500", int64(tl.Ts))
+	}
+	if len(tl.Hops) != 3 {
+		t.Fatalf("hops = %d, want 3 (src, union, sink)", len(tl.Hops))
+	}
+	union := tl.Hops[1]
+	if union.Node != "union" {
+		t.Fatalf("hop[1] = %q, want union", union.Node)
+	}
+	if union.WaitUs <= 0 || union.ProcUs <= 0 {
+		t.Fatalf("union wait/proc = %d/%d, want positive", union.WaitUs, union.ProcUs)
+	}
+	last := tl.Hops[2]
+	if !last.Sink || last.Node != "sink" {
+		t.Fatalf("terminal hop = %+v, want sink", last)
+	}
+	if tl.TotalUs != tl.LastAt-tl.FirstAt || tl.TotalUs <= 0 {
+		t.Fatalf("total = %d (first %d last %d)", tl.TotalUs, tl.FirstAt, tl.LastAt)
+	}
+}
+
+func TestTimelineIncomplete(t *testing.T) {
+	c := New(64)
+	tr := c.NewTrace()
+	// No gen, no sink: only a middle hop survived (as after ring wrap).
+	c.Record(tr, "union", PhaseDequeue, 100)
+	c.Record(tr, "union", PhaseApply, 100)
+	tls := c.Timelines(0)
+	if len(tls) != 1 || tls[0].Complete {
+		t.Fatalf("want 1 incomplete timeline, got %+v", tls)
+	}
+}
+
+func TestRingOverflowCountsDropped(t *testing.T) {
+	c := New(8)
+	tr := c.NewTrace()
+	for i := 0; i < 20; i++ {
+		c.Record(tr, "n", PhaseApply, 1)
+	}
+	if got := c.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	if got := c.Total(); got != 20 {
+		t.Fatalf("total = %d, want 20", got)
+	}
+	if got := len(c.Events(0)); got != 8 {
+		t.Fatalf("retained = %d, want 8", got)
+	}
+}
+
+func TestSlowestOrdersByTotal(t *testing.T) {
+	c := New(256)
+	clk := &fakeClock{}
+	c.SetClock(clk.now)
+	fast := c.NewTrace()
+	recordJourney(c, fast, 1)
+	slow := c.NewTrace()
+	c.Record(slow, "src", PhaseGen, 2)
+	clk.mu.Lock()
+	clk.t += 100000 // a long stall in the middle of the slow journey
+	clk.mu.Unlock()
+	c.Record(slow, "sink", PhaseDequeue, 2)
+	c.Record(slow, "sink", PhaseSink, 2)
+
+	got := c.Slowest(1)
+	if len(got) != 1 || got[0].Trace != slow {
+		t.Fatalf("slowest = %+v, want trace %d", got, slow)
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if c.NewTrace() != 0 || c.Total() != 0 || c.Dropped() != 0 {
+		t.Fatal("nil collector should report zeros")
+	}
+	c.Record(1, "n", PhaseGen, 0)
+	c.SetClock(func() int64 { return 0 })
+	if c.Timelines(0) != nil || c.Events(0) != nil {
+		t.Fatal("nil collector should return nil slices")
+	}
+}
+
+func TestHandlerAndJSONL(t *testing.T) {
+	c := New(128)
+	clk := &fakeClock{}
+	c.SetClock(clk.now)
+	recordJourney(c, c.NewTrace(), 7)
+
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/?complete=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var doc struct {
+		Total     uint64     `json:"total"`
+		Dropped   uint64     `json:"dropped"`
+		Timelines []Timeline `json:"timelines"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 8 || len(doc.Timelines) != 1 || !doc.Timelines[0].Complete {
+		t.Fatalf("unexpected /spans doc: %+v", doc)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("jsonl lines = %d, want 8", len(lines))
+	}
+	var ev eventJSON
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Phase != "gen" || ev.Node != "src" {
+		t.Fatalf("first event = %+v, want gen@src", ev)
+	}
+}
+
+func TestInstrument(t *testing.T) {
+	c := New(4)
+	reg := metrics.NewRegistry()
+	c.Instrument(reg)
+	tr := c.NewTrace()
+	for i := 0; i < 6; i++ {
+		c.Record(tr, "n", PhaseApply, 1)
+	}
+	snap := reg.Snapshot()
+	want := map[string]float64{
+		"sm_span_events_total":  6,
+		"sm_span_dropped_total": 2,
+		"sm_span_traces_total":  1,
+	}
+	seen := 0
+	for _, m := range snap {
+		if v, ok := want[m.Name]; ok {
+			seen++
+			if m.Value != v {
+				t.Fatalf("%s = %v, want %v", m.Name, m.Value, v)
+			}
+		}
+	}
+	if seen != len(want) {
+		t.Fatalf("saw %d of %d sm_span_* metrics", seen, len(want))
+	}
+}

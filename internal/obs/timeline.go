@@ -1,0 +1,172 @@
+// Timeline reconstruction: group the span ring by trace ID and rebuild the
+// causal per-hop story of each punctuation's journey source→sink.
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/tuple"
+)
+
+// Hop is one node's handling of a traced punctuation. Instants are
+// collector-clock µs; 0 means the phase was not observed (e.g. the gen-point
+// source has no enqueue, a timeline cut short by ring wrap loses its head).
+type Hop struct {
+	Node string `json:"node"`
+	// EnqueueAt: the punctuation was appended to an arc batch bound for
+	// this node. DequeueAt: this node took delivery. ApplyAt: this node
+	// emitted a punctuation attributed to the trace (watermark advance).
+	EnqueueAt int64 `json:"enqueue_at,omitempty"`
+	DequeueAt int64 `json:"dequeue_at,omitempty"`
+	ApplyAt   int64 `json:"apply_at,omitempty"`
+	// WaitUs is the arc wait (dequeue − enqueue); ProcUs the node's own
+	// handling time (apply − dequeue, or sink − dequeue at a sink). −1
+	// when an end is missing.
+	WaitUs int64 `json:"wait_us"`
+	ProcUs int64 `json:"proc_us"`
+	// Sink marks the terminal hop.
+	Sink bool `json:"sink,omitempty"`
+}
+
+// Timeline is one punctuation's reconstructed journey.
+type Timeline struct {
+	Trace uint64     `json:"trace"`
+	Ts    tuple.Time `json:"ts"`
+	// Origin names the gen point (source node, watchdog target, or remote
+	// session); empty when the head of the timeline was lost to ring wrap.
+	Origin string `json:"origin,omitempty"`
+	GenAt  int64  `json:"gen_at,omitempty"`
+	// Network hop, when the punctuation crossed the wire: the client's
+	// send instant (mapped via skew estimate), the server's receive
+	// instant, and their difference (−1 when either side is missing).
+	NetSendAt int64 `json:"net_send_at,omitempty"`
+	NetRecvAt int64 `json:"net_recv_at,omitempty"`
+	NetUs     int64 `json:"net_us,omitempty"`
+	// Hops in causal (event-sequence) order.
+	Hops []Hop `json:"hops"`
+	// Complete: the timeline has its head (gen or net_recv) and reached a
+	// sink — nothing structural was lost to ring wrap.
+	Complete bool `json:"complete"`
+	// FirstAt/LastAt bound the observed events; TotalUs is their span.
+	FirstAt int64 `json:"first_at"`
+	LastAt  int64 `json:"last_at"`
+	TotalUs int64 `json:"total_us"`
+}
+
+// Timelines rebuilds per-trace timelines from the retained events, ordered
+// most-recent-first (by last event). max ≤ 0 returns all.
+func (c *Collector) Timelines(max int) []Timeline {
+	if c == nil {
+		return nil
+	}
+	evs := c.Events(0)
+	byTrace := make(map[uint64][]SpanEvent)
+	order := make([]uint64, 0, 16) // traces by last-touched order
+	for _, ev := range evs {
+		if _, seen := byTrace[ev.Trace]; !seen {
+			order = append(order, ev.Trace)
+		}
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+	}
+	out := make([]Timeline, 0, len(order))
+	for _, tr := range order {
+		out = append(out, buildTimeline(byTrace[tr]))
+	}
+	// Most recent first: sort by last event instant descending.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].LastAt > out[j].LastAt })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Slowest returns up to max complete timelines ordered by TotalUs
+// descending — the "worst recent punctuation" view streamtop leads with.
+func (c *Collector) Slowest(max int) []Timeline {
+	all := c.Timelines(0)
+	slow := all[:0]
+	for _, t := range all {
+		if t.Complete {
+			slow = append(slow, t)
+		}
+	}
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].TotalUs > slow[j].TotalUs })
+	if max > 0 && len(slow) > max {
+		slow = slow[:max]
+	}
+	return slow
+}
+
+// buildTimeline folds one trace's events (any order) into a Timeline.
+func buildTimeline(evs []SpanEvent) Timeline {
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
+	t := Timeline{Trace: evs[0].Trace}
+	hopIdx := make(map[string]int)
+	hop := func(node string) *Hop {
+		if i, ok := hopIdx[node]; ok {
+			return &t.Hops[i]
+		}
+		t.Hops = append(t.Hops, Hop{Node: node, WaitUs: -1, ProcUs: -1})
+		hopIdx[node] = len(t.Hops) - 1
+		return &t.Hops[len(t.Hops)-1]
+	}
+	sawSink := false
+	for _, ev := range evs {
+		if t.FirstAt == 0 || ev.At < t.FirstAt {
+			t.FirstAt = ev.At
+		}
+		if ev.At > t.LastAt {
+			t.LastAt = ev.At
+		}
+		if ev.Ts != 0 {
+			t.Ts = ev.Ts
+		}
+		switch ev.Phase {
+		case PhaseGen:
+			t.Origin, t.GenAt = ev.Node, ev.At
+			hop(ev.Node) // the origin leads the hop list
+		case PhaseNetSend:
+			t.NetSendAt = ev.At
+		case PhaseNetRecv:
+			t.NetRecvAt = ev.At
+			if t.Origin == "" {
+				t.Origin = ev.Node // remote origin: the session name
+			}
+		case PhaseEnqueue:
+			h := hop(ev.Node)
+			if h.EnqueueAt == 0 {
+				h.EnqueueAt = ev.At
+			}
+		case PhaseDequeue:
+			h := hop(ev.Node)
+			if h.DequeueAt == 0 {
+				h.DequeueAt = ev.At
+			}
+		case PhaseApply:
+			hop(ev.Node).ApplyAt = ev.At // last apply wins: latest advance
+		case PhaseSink:
+			h := hop(ev.Node)
+			h.Sink = true
+			if h.ApplyAt == 0 {
+				h.ApplyAt = ev.At // consumption is the sink's "apply"
+			}
+			sawSink = true
+		}
+	}
+	t.NetUs = -1
+	if t.NetSendAt != 0 && t.NetRecvAt != 0 {
+		t.NetUs = t.NetRecvAt - t.NetSendAt
+	}
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		if h.EnqueueAt != 0 && h.DequeueAt != 0 {
+			h.WaitUs = h.DequeueAt - h.EnqueueAt
+		}
+		if h.DequeueAt != 0 && h.ApplyAt != 0 {
+			h.ProcUs = h.ApplyAt - h.DequeueAt
+		}
+	}
+	t.Complete = sawSink && (t.GenAt != 0 || t.NetRecvAt != 0)
+	t.TotalUs = t.LastAt - t.FirstAt
+	return t
+}

@@ -110,7 +110,9 @@ func (e *Engine) deliverCol(n *node, ctx *ops.Ctx, colCtx *ops.ColCtx, pb portBa
 		}
 	}
 	for _, p := range b.Puncts {
-		n.notePunctInTs(p.Ts)
+		// Columnar marks carry no trace ID (trace 0): span timelines end
+		// at a row→columnar boundary, the per-arc lag accounting does not.
+		e.notePunctArrival(n, pb.port, p.Ts, 0)
 		if p.Ts == tuple.MaxTime {
 			n.eosSeen[pb.port] = true
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/partition"
 	"repro/internal/tuple"
@@ -60,7 +61,26 @@ type nodeObs struct {
 	// retunes counts reconfigurations applied at this node's punctuation
 	// boundaries (the adaptive controller's apply-side evidence).
 	retunes *metrics.Counter64
+
+	// Watermark-lag attribution, indexed by input port (sources have one
+	// port — the ingest feed). arcWm is the highest punctuation bound seen
+	// on that arc; arcLag a reservoir of event-time lag samples (engine
+	// clock − punctuation bound, µs, observed at punct arrival): how far
+	// each arc's watermark trails the clock. stallBy counts idle-waiting
+	// spells charged to that input (the blocking input when the spell
+	// opened); stallUsBy the µs so charged. blockedOn is the port the open
+	// spell is charged to, -1 while not idle-waiting.
+	arcWm     []*metrics.Gauge64
+	arcLag    []*metrics.Reservoir
+	stallBy   []*metrics.Counter64
+	stallUsBy []*metrics.Counter64
+	blockedOn *metrics.Gauge64
 }
+
+// arcLagWindow is the per-arc lag reservoir capacity: big enough for a
+// stable p99 over a scrape interval, small enough that a wide graph stays
+// cheap (the reservoir is lock-free and fixed-size).
+const arcLagWindow = 512
 
 // instrument builds every node's instruments and the engine-level metrics,
 // registering them under sm_* names with {node=...,id=...} labels.
@@ -96,6 +116,26 @@ func (e *Engine) instrument() {
 		o.idleSince.Store(-1)
 		o.wmIn.Set(int64(tuple.MinTime))
 		o.wmOut.Set(int64(tuple.MinTime))
+		// Per-input-arc lag and stall attribution. A source's single
+		// "arc" is its ingest feed.
+		nin := n.gn.Op.NumInputs()
+		if nin < 1 {
+			nin = 1
+		}
+		o.arcWm = make([]*metrics.Gauge64, nin)
+		o.arcLag = make([]*metrics.Reservoir, nin)
+		o.stallBy = make([]*metrics.Counter64, nin)
+		o.stallUsBy = make([]*metrics.Counter64, nin)
+		for p := 0; p < nin; p++ {
+			plbl := fmt.Sprintf("{node=%q,id=%q,port=%q}", n.name, fmt.Sprint(n.gn.ID), fmt.Sprint(p))
+			o.arcWm[p] = reg.Gauge("sm_arc_watermark_us" + plbl)
+			o.arcWm[p].Set(int64(tuple.MinTime))
+			o.arcLag[p] = reg.Reservoir("sm_arc_wm_lag_us"+plbl, arcLagWindow)
+			o.stallBy[p] = reg.Counter("sm_node_stall_by_input_total" + plbl)
+			o.stallUsBy[p] = reg.Counter("sm_node_stall_by_input_us_total" + plbl)
+		}
+		o.blockedOn = reg.Gauge("sm_node_blocking_input" + lbl)
+		o.blockedOn.Set(-1)
 		n.obs = o
 		reg.GaugeFunc("sm_node_chan_backlog"+lbl, func() int64 { return int64(len(n.in)) })
 		// Live tuned values: /vars shows what the adaptive controller has
@@ -182,14 +222,27 @@ func (e *Engine) publishQueues(n *node) {
 // enterIdle opens an idle-waiting spell if the node is about to block while
 // holding input data (the paper's idle-waiting condition) and no spell is
 // already open. Demand retries keep one spell open rather than opening a
-// new spell per retry.
-func (e *Engine) enterIdle(n *node) {
+// new spell per retry. The spell is charged to the operator's blocking
+// input — the arc whose missing timestamp bound is the reason the node
+// cannot run — so a stalled watermark is attributable, not just visible.
+func (e *Engine) enterIdle(n *node, ctx *ops.Ctx) {
 	if n.obs.idleSince.Load() >= 0 || !e.hasData(n) {
 		return
 	}
 	now := int64(e.now())
 	n.obs.idleSince.Store(now)
 	n.obs.idleSpells.Inc()
+	if len(n.gn.Preds) > 0 && ctx != nil {
+		j := n.gn.Op.BlockingInput(ctx)
+		if j < 0 {
+			j = 0
+		}
+		if j < len(n.obs.stallBy) {
+			n.idleBlockedOn = j
+			n.obs.stallBy[j].Inc()
+			n.obs.blockedOn.Set(int64(j))
+		}
+	}
 	if e.trace != nil {
 		e.trace.Emit(metrics.EvIdleEnter, n.name, tuple.Time(now), 0)
 	}
@@ -210,6 +263,11 @@ func (e *Engine) exitIdle(n *node) {
 		d = 0
 	}
 	n.obs.idleUs.Add(uint64(d))
+	if j := n.idleBlockedOn; j >= 0 && j < len(n.obs.stallUsBy) {
+		n.obs.stallUsBy[j].Add(uint64(d))
+	}
+	n.idleBlockedOn = -1
+	n.obs.blockedOn.Set(-1)
 	if e.trace != nil {
 		e.trace.Emit(metrics.EvIdleExit, n.name, tuple.Time(now), d)
 	}
@@ -218,6 +276,10 @@ func (e *Engine) exitIdle(n *node) {
 // notePunctOut accounts an emitted punctuation and advances the node's
 // output watermark, tracing the advance. Single writer per node.
 func (e *Engine) notePunctOut(n *node, t *tuple.Tuple) {
+	if e.spans != nil && t.Trace != 0 {
+		// The node's watermark advanced on account of this trace.
+		e.spans.Record(t.Trace, n.name, obs.PhaseApply, t.Ts)
+	}
 	e.notePunctOutTs(n, t.Ts)
 }
 
@@ -243,6 +305,53 @@ func (e *Engine) notePunctOutTs(n *node, ts tuple.Time) {
 // watermark. Single writer per node.
 func (n *node) notePunctIn(t *tuple.Tuple) {
 	n.notePunctInTs(t.Ts)
+}
+
+// notePunctArrival is the delivery-time superset of notePunctIn: besides
+// the node-level counters it attributes the bound to the arriving arc —
+// per-arc watermark gauge and event-time-lag reservoir (engine clock minus
+// the bound: how far this arc's watermark trails "now") — and records the
+// dequeue span event for a traced punctuation. port is the input arc (0
+// for a source's ingest feed); trace 0 means untraced.
+func (e *Engine) notePunctArrival(n *node, port int, ts tuple.Time, trace uint64) {
+	n.notePunctInTs(ts)
+	o := n.obs
+	if ts != tuple.MaxTime && port >= 0 && port < len(o.arcWm) {
+		v := int64(ts)
+		if v > o.arcWm[port].Load() {
+			o.arcWm[port].Set(v) // single writer: load+store suffices
+		}
+		o.arcLag[port].Observe(int64(e.now()) - v)
+	}
+	if trace != 0 {
+		n.lastInTrace = trace
+		if e.spans != nil {
+			e.spans.Record(trace, n.name, obs.PhaseDequeue, ts)
+			if len(n.outs) == 0 {
+				// Terminal node: the journey is complete.
+				e.spans.Record(trace, n.name, obs.PhaseSink, ts)
+			}
+		}
+	}
+}
+
+// stampPunctTrace gives an emitted punctuation its propagation trace just
+// before it is appended to the out arcs. A source emission with no trace is
+// a generation point (on-demand ETS, watchdog-forced ETS, or replay
+// ingest) and opens a fresh timeline; an interior emission inherits the
+// last traced bound delivered to the node — exact for operators that
+// forward the punct tuple itself, best-effort causal attribution for TSM
+// operators that synthesize their own bounds.
+func (e *Engine) stampPunctTrace(n *node, t *tuple.Tuple) {
+	if e.spans == nil || t.Trace != 0 {
+		return
+	}
+	if n.gn.Source() != nil {
+		t.Trace = e.spans.NewTrace()
+		e.spans.Record(t.Trace, n.name, obs.PhaseGen, t.Ts)
+		return
+	}
+	t.Trace = n.lastInTrace // may stay 0: upstream was never traced
 }
 
 // notePunctInTs is notePunctIn for a bound carried as batch metadata.
@@ -283,6 +392,24 @@ func (e *Engine) NodeInstruments(id int) NodeInstruments {
 		BatchesOut: o.batchesOut,
 		QueueDepth: o.queueDepth,
 	}
+}
+
+// ArcSnapshot is one input arc's watermark-lag attribution: how far the
+// arc's bound trails the engine clock and how much idle-waiting the arc has
+// been blamed for.
+type ArcSnapshot struct {
+	// Port is the input index at the consuming node (0 for a source's
+	// ingest feed).
+	Port int
+	// Watermark is the highest punctuation bound received on this arc.
+	Watermark tuple.Time
+	// Lag is the reservoir of event-time lag samples (engine clock −
+	// bound, µs, observed at punct arrival).
+	Lag metrics.ReservoirSnapshot
+	// Stalls counts idle-waiting spells charged to this input being the
+	// blocking one; StallTime their accumulated duration.
+	Stalls    uint64
+	StallTime tuple.Time
 }
 
 // NodeSnapshot is one node's instrument readings.
@@ -333,6 +460,10 @@ type NodeSnapshot struct {
 	BatchSize     int
 	MaxBatchDelay time.Duration
 	Retunes       uint64
+	// Arcs is the per-input watermark-lag attribution; BlockingInput the
+	// input the open idle spell is charged to (-1 when not idle-waiting).
+	Arcs          []ArcSnapshot
+	BlockingInput int
 }
 
 // Snapshot is a consistent-enough point-in-time view of the whole engine:
@@ -415,6 +546,17 @@ func (e *Engine) Snapshot() Snapshot {
 			BatchSize:     int(n.batchSize.Load()),
 			MaxBatchDelay: time.Duration(n.maxDelayNs.Load()),
 			Retunes:       o.retunes.Load(),
+			BlockingInput: int(o.blockedOn.Load()),
+		}
+		ns.Arcs = make([]ArcSnapshot, len(o.arcWm))
+		for p := range o.arcWm {
+			ns.Arcs[p] = ArcSnapshot{
+				Port:      p,
+				Watermark: tuple.Time(o.arcWm[p].Load()),
+				Lag:       o.arcLag[p].Snapshot(),
+				Stalls:    o.stallBy[p].Load(),
+				StallTime: tuple.Time(o.stallUsBy[p].Load()),
+			}
 		}
 		idle := tuple.Time(o.idleUs.Load())
 		if since := o.idleSince.Load(); since >= 0 {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/partition"
 	"repro/internal/tuple"
@@ -109,6 +110,15 @@ type Options struct {
 	// advances, batch flushes). nil disables tracing at the cost of one
 	// pointer check per event site.
 	Trace *metrics.Tracer
+	// Spans, when non-nil, collects punctuation-propagation spans: every
+	// punctuation generated inside the engine (on-demand ETS, forced ETS)
+	// or injected with a pre-assigned trace ID (a networked client)
+	// records gen/enqueue/dequeue/apply/sink events so its source→sink
+	// journey can be reconstructed (obs.Collector.Timelines). Recording
+	// happens only on punctuation paths — never per data tuple — so the
+	// cost is a few events per ETS; nil disables collection at one
+	// pointer check per punctuation.
+	Spans *obs.Collector
 
 	// MaxRestarts caps how many times a panicked node goroutine is
 	// restarted by its supervisor before the engine fails cleanly
@@ -258,6 +268,7 @@ type Engine struct {
 
 	reg     *metrics.Registry
 	trace   *metrics.Tracer
+	spans   *obs.Collector
 	startTs atomic.Int64 // engine clock at Start, µs; -1 before
 }
 
@@ -308,6 +319,15 @@ type node struct {
 	// controller coalesces). The node goroutine consumes it only at a
 	// punctuation boundary with sincePunct == 0 and pendCount == 0.
 	reconf atomic.Pointer[Reconfig]
+	// lastInTrace is the trace ID of the last traced punctuation delivered
+	// to this node; punctuation the operator emits with no trace of its
+	// own inherits it (best-effort causal attribution — exact whenever the
+	// operator reacts to one bound at a time, which the punct-flush rule
+	// makes the overwhelmingly common case). Goroutine-owned.
+	lastInTrace uint64
+	// idleBlockedOn is the input port charged for the open idle spell (-1
+	// when none); set by enterIdle, consumed by exitIdle. Goroutine-owned.
+	idleBlockedOn int
 	// punctBoundary is set by notePunctOut* and cleared before each Exec
 	// step: "this step emitted a punctuation". sincePunct counts data
 	// tuples emitted since the last punctuation — zero means every emitted
@@ -356,6 +376,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 		e.reg = metrics.NewRegistry()
 	}
 	e.trace = opts.Trace
+	e.spans = opts.Spans
 	e.startTs.Store(-1)
 	e.maxRestarts = opts.MaxRestarts
 	if e.maxRestarts == 0 {
@@ -409,6 +430,7 @@ func New(g *graph.Graph, opts Options) (*Engine, error) {
 			dem:     make(chan struct{}, 1),
 			eosSeen: make([]bool, gn.Op.NumInputs()),
 		}
+		n.idleBlockedOn = -1
 		n.ins = make([]*buffer.Queue, gn.Op.NumInputs())
 		for i := range n.ins {
 			n.ins[i] = buffer.New(fmt.Sprintf("%s.in%d", gn.Op.Name(), i))
@@ -644,6 +666,9 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		n.pendSince = time.Now()
 	}
 	punct := t.IsPunct()
+	if punct {
+		e.stampPunctTrace(n, t)
+	}
 	bs := int(n.batchSize.Load())
 	shared := false // t's pointer stored on at least one row arc
 	for i := range n.outs {
@@ -659,7 +684,11 @@ func (e *Engine) emit(n *node, t *tuple.Tuple) {
 		b = append(b, t)
 		n.pend[i] = b
 		n.pendCount++
-		if !punct && len(b) >= bs {
+		if punct {
+			if e.spans != nil && t.Trace != 0 {
+				e.spans.Record(t.Trace, n.outs[i].name, obs.PhaseEnqueue, t.Ts)
+			}
+		} else if len(b) >= bs {
 			e.flushArc(n, i)
 		}
 	}
@@ -693,7 +722,11 @@ func (e *Engine) appendArc(n *node, i int, t *tuple.Tuple, note bool) {
 	n.pendCount++
 	if t.IsPunct() {
 		if note {
+			e.stampPunctTrace(n, t)
 			e.notePunctOut(n, t)
+		}
+		if e.spans != nil && t.Trace != 0 {
+			e.spans.Record(t.Trace, n.outs[i].name, obs.PhaseEnqueue, t.Ts)
 		}
 		e.flushArc(n, i)
 	} else {
@@ -713,6 +746,9 @@ func (e *Engine) emitTo(n *node, i int, t *tuple.Tuple) {
 			n.pendSince = time.Now()
 		}
 		punct := t.IsPunct()
+		if punct {
+			e.stampPunctTrace(n, t)
+		}
 		e.colAppendTuple(n, i, t)
 		if punct {
 			e.notePunctOut(n, t)
@@ -765,7 +801,7 @@ func (e *Engine) runNode(n *node) {
 	deliverOne := func(port int, t *tuple.Tuple) {
 		n.obs.tuplesIn.Inc()
 		if t.IsPunct() {
-			n.notePunctIn(t)
+			e.notePunctArrival(n, port, t.Ts, t.Trace)
 		} else if src == nil {
 			if wm := n.obs.wmIn.Load(); wm > int64(tuple.MinTime) && int64(t.Ts) < wm {
 				e.countLate(n, 1)
@@ -812,7 +848,7 @@ func (e *Engine) runNode(n *node) {
 		// be a batch's last element — one check accounts the whole batch.
 		last := pb.many[len(pb.many)-1]
 		if last.IsPunct() {
-			n.notePunctIn(last)
+			e.notePunctArrival(n, pb.port, last.Ts, last.Trace)
 		}
 		if src != nil {
 			e.noteSourceActivity(n)
@@ -955,7 +991,7 @@ func (e *Engine) runNode(n *node) {
 		// About to block while holding data: that is the paper's
 		// idle-waiting state — open a spell (a no-op if one is open; demand
 		// retries extend the same spell until the operator runs again).
-		e.enterIdle(n)
+		e.enterIdle(n, ctx)
 		demanding := false
 		if e.opts.OnDemandETS && src == nil && e.hasData(n) {
 			e.demandUpstream(n, ctx)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/ops"
 	"repro/internal/tuple"
 )
@@ -70,6 +71,14 @@ type Options struct {
 	// Trace, when non-nil, receives EvNetSessionOpen/Close/Bind/Demand/Skew
 	// events.
 	Trace *metrics.Tracer
+	// Spans, when non-nil, enables punctuation-propagation tracing across
+	// the wire: sessions grant wire.CapTrace, PUNCT frames may carry trace
+	// context, and the network hop (client send → server receive) is
+	// recorded into the collector with the client's send instant mapped
+	// onto the server clock by the session's skew estimate. Share the
+	// collector (and Options.Now) with the backing engine so the wire hop
+	// and the in-graph hops land on one timeline.
+	Spans *obs.Collector
 	// Credits is the tuple credit window granted per session (default
 	// DefaultCredits). The server grants the full window at HELLO_ACK and
 	// tops it up with DEMAND frames once half is consumed.
@@ -95,6 +104,7 @@ type Server struct {
 
 	reg   *metrics.Registry
 	trace *metrics.Tracer
+	spans *obs.Collector
 	m     serverMetrics
 
 	mu       sync.Mutex
@@ -157,6 +167,7 @@ func Listen(addr string, opts Options) (*Server, error) {
 		ln:       ln,
 		opts:     opts,
 		trace:    opts.Trace,
+		spans:    opts.Spans,
 		credits:  opts.Credits,
 		sessions: make(map[uint64]*session),
 		streams:  make(map[string]*streamState),

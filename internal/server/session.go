@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -114,6 +115,11 @@ func (c *session) runBinary(br *bufio.Reader) {
 	}
 	// Grant the intersection of the client's offered capabilities and ours.
 	c.caps = hello.Flags & wire.CapColumnar
+	if c.s.spans != nil {
+		// Trace context is only useful (and only decoded into span events)
+		// when a collector exists server-side.
+		c.caps |= hello.Flags & wire.CapTrace
+	}
 	if !c.send(wire.HelloAck{Version: ver, Session: c.id, Credits: s.credits, Flags: c.caps}) {
 		return
 	}
@@ -203,7 +209,27 @@ func (c *session) runBinary(br *bufio.Reader) {
 			// timestamp authority, so the value is dropped on the floor.
 			if b.st.sch.TS == tuple.External && f.TS == tuple.External {
 				s.m.punctIn.Inc()
-				b.st.sink.Ingest(tuple.GetPunct(f.ETS))
+				p := tuple.GetPunct(f.ETS)
+				if f.Trace != 0 && c.caps&wire.CapTrace != 0 && s.spans != nil {
+					// Splice the network hop into the timeline: the
+					// client's send instant mapped onto the server
+					// clock by the skew estimate (Offset ≈ server −
+					// client, the least-delay sample), then our receive
+					// instant. The trace ID rides the injected tuple
+					// into the engine.
+					p.Trace = f.Trace
+					sess := fmt.Sprintf("session:%d", c.id)
+					if c.skew.Samples() > 0 {
+						s.spans.RecordAt(f.Trace, sess, obs.PhaseNetSend,
+							f.Clock+c.skew.Offset(), f.ETS)
+					}
+					// Both network phases land on the server clock (the
+					// axis the skew estimate maps onto) — Options.Now
+					// and the collector clock must share it.
+					s.spans.RecordAt(f.Trace, sess, obs.PhaseNetRecv,
+						int64(s.now()), f.ETS)
+				}
+				b.st.sink.Ingest(p)
 			} else {
 				s.m.punctIgnored.Inc()
 			}

@@ -1,0 +1,170 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ops"
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// traceBackend records the trace IDs riding injected punctuations.
+type traceBackend struct {
+	sch *tuple.Schema
+
+	mu     sync.Mutex
+	traces []uint64
+}
+
+func (b *traceBackend) Open(name string) (*tuple.Schema, server.StreamSink, error) {
+	if name != b.sch.Name {
+		return nil, nil, fmt.Errorf("unknown stream %q", name)
+	}
+	return b.sch, b, nil
+}
+
+func (b *traceBackend) Ingest(t *tuple.Tuple) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.IsPunct() {
+		b.traces = append(b.traces, t.Trace)
+	}
+}
+
+func (b *traceBackend) IngestBatch(ts []*tuple.Tuple) {
+	for _, t := range ts {
+		b.Ingest(t)
+	}
+}
+
+func (b *traceBackend) Source() *ops.Source { return nil }
+
+func (b *traceBackend) Close() {}
+
+func (b *traceBackend) puncts() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64(nil), b.traces...)
+}
+
+// TestTracedPunctSpans drives a traced PUNCT through a live session and
+// checks both halves of the contract: the network hop lands in the span
+// collector under the session's node name, and the trace ID rides the
+// injected punctuation into the backend.
+func TestTracedPunctSpans(t *testing.T) {
+	back := &traceBackend{sch: sensorSchema()}
+	col := obs.New(256)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back, Spans: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.send(wire.Hello{Version: wire.Version, Name: "tracer", Clock: 1000, Flags: wire.CapTrace})
+	ack, ok := tc.recv().(wire.HelloAck)
+	if !ok {
+		t.Fatalf("expected HELLO_ACK")
+	}
+	if ack.Flags&wire.CapTrace == 0 {
+		t.Fatalf("server did not grant CapTrace: flags=%#x", ack.Flags)
+	}
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+
+	const trace = 0xfeed0042
+	tc.send(wire.Punct{ID: 1, TS: tuple.External, ETS: 7777, Trace: trace, Clock: 2000})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ps := back.puncts(); len(ps) == 1 {
+			if ps[0] != trace {
+				t.Fatalf("injected punct trace = %#x, want %#x", ps[0], trace)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for punct")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The HELLO clock is the first skew sample, so both network phases must
+	// be present on the session's synthetic node, with the mapped send
+	// instant near the receive instant (exact ordering is only as good as
+	// the skew estimate, so allow a generous window).
+	sess := fmt.Sprintf("session:%d", ack.Session)
+	var sendAt, recvAt int64
+	var sawSend, sawRecv bool
+	for _, ev := range col.Events(0) {
+		if ev.Trace != trace {
+			continue
+		}
+		if ev.Node != sess {
+			t.Errorf("span node = %q, want %q", ev.Node, sess)
+		}
+		if ev.Ts != 7777 {
+			t.Errorf("span ts = %d, want 7777", ev.Ts)
+		}
+		switch ev.Phase {
+		case obs.PhaseNetSend:
+			sawSend, sendAt = true, ev.At
+		case obs.PhaseNetRecv:
+			sawRecv, recvAt = true, ev.At
+		}
+	}
+	if !sawSend || !sawRecv {
+		t.Fatalf("missing network phases: send=%v recv=%v", sawSend, sawRecv)
+	}
+	if d := sendAt - recvAt; d < -5e6 || d > 5e6 {
+		t.Errorf("mapped net send %d not within 5s of recv %d", sendAt, recvAt)
+	}
+}
+
+// TestTraceCapRequiresCollector pins the negotiation rule: without a span
+// collector the server must not grant CapTrace, and a traced PUNCT still
+// ingests cleanly with the trace stripped.
+func TestTraceCapRequiresCollector(t *testing.T) {
+	back := &traceBackend{sch: sensorSchema()}
+	srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: back})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.send(wire.Hello{Version: wire.Version, Name: "tracer", Clock: 1000, Flags: wire.CapTrace})
+	ack, ok := tc.recv().(wire.HelloAck)
+	if !ok {
+		t.Fatalf("expected HELLO_ACK")
+	}
+	if ack.Flags&wire.CapTrace != 0 {
+		t.Fatalf("CapTrace granted without a collector: flags=%#x", ack.Flags)
+	}
+	if back := tc.bind(1, "sensors", tuple.External, 500); back.Err != "" {
+		t.Fatalf("bind: %s", back.Err)
+	}
+	tc.send(wire.Punct{ID: 1, TS: tuple.External, ETS: 42, Trace: 0xbeef, Clock: 9})
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ps := back.puncts(); len(ps) == 1 {
+			if ps[0] != 0 {
+				t.Fatalf("punct trace = %#x, want 0 (cap not granted)", ps[0])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timeout waiting for punct")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -63,6 +63,7 @@ func Put(t *Tuple) {
 	t.Vals = t.Vals[:0]
 	t.Arrived = 0
 	t.Seq = 0
+	t.Trace = 0
 	tuplePool.Put(t)
 }
 
@@ -122,6 +123,7 @@ func (m *Magazine) Put(t *Tuple) {
 	t.Vals = t.Vals[:0]
 	t.Arrived = 0
 	t.Seq = 0
+	t.Trace = 0
 	if len(m.stack) >= 2*MagazineSize {
 		top := len(m.stack) - MagazineSize
 		spill := make([]*Tuple, MagazineSize)

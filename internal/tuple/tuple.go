@@ -130,6 +130,12 @@ type Tuple struct {
 	// Seq is a per-source sequence number, useful for debugging and for
 	// deterministic tie-breaking in tests.
 	Seq uint64
+	// Trace is the propagation-span trace ID for Kind==Punct when span
+	// collection is enabled; 0 means untraced. Data tuples never carry a
+	// trace. The ID is assigned where the punctuation is generated (source
+	// ETS logic, watchdog, or a remote client over the wire) and rides the
+	// tuple so every hop can append to the same timeline.
+	Trace uint64
 }
 
 // NewData returns a data tuple with the given timestamp and values.

@@ -229,7 +229,21 @@ type Punct struct {
 	TS tuple.TSKind
 	// ETS is the promised lower bound (µs).
 	ETS tuple.Time
+	// Trace is the punctuation-propagation trace ID (0 = untraced) and
+	// Clock the sender's clock at the moment of sending (µs); together
+	// they let the server splice the network hop into the punctuation's
+	// span timeline. Both ride as optional trailing bytes — encoded only
+	// when Trace is non-zero and the session negotiated CapTrace — so
+	// legacy decoders never see them (the same scheme as HelloAck.Flags).
+	Trace uint64
+	Clock int64
 }
+
+// CapTrace is the HELLO/HELLO_ACK capability bit for punctuation trace
+// context on PUNCT frames. A client that sets it offers trace IDs; the
+// server echoes it when span collection is enabled, and only then may
+// either side append the trailing Trace/Clock fields.
+const CapTrace uint16 = 1 << 1
 
 // Heartbeat carries a sender clock sample. The receiver records
 // (senderClock, receiveClock) pairs; the spread of their differences bounds
@@ -569,7 +583,12 @@ func (f Tuples) encode(b []byte) []byte {
 func (f Punct) encode(b []byte) []byte {
 	b = putU32(b, f.ID)
 	b = append(b, byte(f.TS))
-	return putI64(b, int64(f.ETS))
+	b = putI64(b, int64(f.ETS))
+	if f.Trace != 0 {
+		b = putU64(b, f.Trace)
+		b = putI64(b, f.Clock)
+	}
+	return b
 }
 
 func (f Heartbeat) encode(b []byte) []byte { return putI64(b, f.Clock) }
@@ -648,6 +667,10 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 		return f, nil
 	case TypePunct:
 		f := Punct{ID: d.u32(), TS: tuple.TSKind(d.byte()), ETS: tuple.Time(d.i64())}
+		if d.err == nil && d.off < len(d.b) {
+			f.Trace = d.u64() // optional trace context (see Punct.Trace)
+			f.Clock = d.i64()
+		}
 		return f, d.done()
 	case TypeHeartbeat:
 		f := Heartbeat{Clock: d.i64()}

@@ -38,6 +38,7 @@ func TestRoundTripControlFrames(t *testing.T) {
 		BindAck{ID: 7, Err: "unknown stream \"sensors\""},
 		Punct{ID: 3, TS: tuple.External, ETS: 987654},
 		Punct{ID: 3, TS: tuple.Internal, ETS: int64max()},
+		Punct{ID: 3, TS: tuple.External, ETS: 987654, Trace: 0xfeed0001, Clock: 424242},
 		Heartbeat{Clock: -17},
 		Demand{ID: 0, Credits: 4096},
 		EOS{ID: 9},
@@ -251,5 +252,33 @@ func BenchmarkTupleRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		mag.Put(f.(Tuple).T)
+	}
+}
+
+// TestPunctTraceCompat pins the optional-trailing-field contract: an
+// untraced Punct encodes exactly as the legacy frame (legacy servers keep
+// decoding it), and a legacy payload decodes with Trace==0 on a new server.
+func TestPunctTraceCompat(t *testing.T) {
+	legacy := Punct{ID: 9, TS: tuple.External, ETS: 1000}
+	traced := Punct{ID: 9, TS: tuple.External, ETS: 1000, Trace: 77, Clock: 5}
+	lp := legacy.encode(nil)
+	tp := traced.encode(nil)
+	if len(lp) != 4+1+8 {
+		t.Fatalf("legacy punct payload = %d bytes, want 13", len(lp))
+	}
+	if len(tp) != len(lp)+16 {
+		t.Fatalf("traced punct payload = %d bytes, want %d", len(tp), len(lp)+16)
+	}
+	got, err := DecodeFrame(TypePunct, lp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.(Punct); p.Trace != 0 || p.Clock != 0 || p.ETS != 1000 {
+		t.Fatalf("legacy payload decoded to %+v", p)
+	}
+	// A truncated trailing section (trace without clock) must error, not
+	// silently misparse.
+	if _, err := DecodeFrame(TypePunct, tp[:len(lp)+8], nil); err == nil {
+		t.Fatal("truncated trace context decoded without error")
 	}
 }

@@ -1,12 +1,23 @@
 #!/bin/sh
-# Observability smoke test: run streamd with the live metrics endpoint over a
+# Observability smoke test, two phases.
+#
+# Phase 1 (replay): run streamd with the live metrics endpoint over a
 # two-stream union workload, scrape the endpoint once, and check that the
 # required metric families are exported. Exercises the registry, the HTTP
 # handler, on-demand ETS accounting, and the sink latency reservoir.
+#
+# Phase 2 (network): run streamd as a wire-protocol server with span
+# collection, drive the traced netmon workload through it, and check that
+# /spans reconstructs at least one complete source→sink punctuation
+# timeline, that the health/readiness probes and the pprof gate answer,
+# that streamtop renders the node table and trace pane, and that -span-log
+# dumps the ring as JSONL at shutdown.
 set -eu
 
 workdir=$(mktemp -d)
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+pid=""
+pid2=""
+trap 'kill "$pid" "$pid2" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
 
 go build -o "$workdir/streamd" ./cmd/streamd
 go build -o "$workdir/wlgen" ./cmd/wlgen
@@ -87,4 +98,74 @@ if [ "$status" -ne 0 ]; then
     cat "$scrape" >&2
     exit "$status"
 fi
-echo "obs-smoke: OK ($(grep -c '^sm_' "$scrape") metric lines)"
+echo "obs-smoke: phase 1 OK ($(grep -c '^sm_' "$scrape") metric lines)"
+kill "$pid" 2>/dev/null || true
+pid=""
+
+# ---- Phase 2: network mode with punctuation tracing ----
+go build -o "$workdir/netmon" ./examples/netmon
+go build -o "$workdir/streamtop" ./cmd/streamtop
+
+"$workdir/streamd" \
+    -ddl 'CREATE STREAM backbone (flow int, bytes int) TIMESTAMP EXTERNAL; CREATE STREAM mgmt (flow int, code int) TIMESTAMP EXTERNAL' \
+    -q 'SELECT backbone.flow, bytes, code FROM backbone JOIN mgmt ON backbone.flow = mgmt.flow WINDOW 2s' \
+    -listen 127.0.0.1:0 -metrics 127.0.0.1:0 -pprof \
+    -span-log "$workdir/spans.jsonl" \
+    >"$workdir/net-out.csv" 2>"$workdir/net-stderr.log" &
+pid2=$!
+
+ingest=""
+murl=""
+for _ in $(seq 1 100); do
+    ingest=$(sed -n 's/.*ingest listening on \([^ ]*\)$/\1/p' "$workdir/net-stderr.log" | head -1)
+    murl=$(sed -n 's#.*metrics listening on \(http://[^ ]*\)#\1#p' "$workdir/net-stderr.log" | head -1)
+    [ -n "$ingest" ] && [ -n "$murl" ] && break
+    kill -0 "$pid2" 2>/dev/null || { echo "obs-smoke: networked streamd exited early" >&2; cat "$workdir/net-stderr.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$ingest" ] && [ -n "$murl" ] || { echo "obs-smoke: networked streamd printed no addresses" >&2; cat "$workdir/net-stderr.log" >&2; exit 1; }
+base2=${murl%/metrics}
+
+"$workdir/netmon" -addr "$ingest" -seconds 5 >"$workdir/netmon.log" 2>&1 || {
+    echo "obs-smoke: netmon feed failed" >&2
+    cat "$workdir/netmon.log" >&2
+    exit 1
+}
+
+# The traced punctuation must reconstruct into a complete timeline.
+spans="$workdir/spans.json"
+ok=""
+for _ in $(seq 1 100); do
+    fetch "$base2/spans?complete=1&n=8" >"$spans" || true
+    if grep -q '"complete": true' "$spans"; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "obs-smoke: no complete timeline in /spans" >&2; cat "$spans" >&2; exit 1; }
+grep -q '"origin"' "$spans" || { echo "obs-smoke: timeline missing origin" >&2; exit 1; }
+grep -q '"sink": true' "$spans" || { echo "obs-smoke: timeline missing sink hop" >&2; exit 1; }
+
+fetch "$base2/healthz" | grep -q ok || { echo "obs-smoke: /healthz not ok" >&2; exit 1; }
+fetch "$base2/readyz" | grep -q ok || { echo "obs-smoke: /readyz not ok" >&2; exit 1; }
+fetch "$base2/debug/pprof/cmdline" >/dev/null || { echo "obs-smoke: pprof gate closed despite -pprof" >&2; exit 1; }
+
+"$workdir/streamtop" -addr "${base2#http://}" -once >"$workdir/top.txt" || {
+    echo "obs-smoke: streamtop failed" >&2
+    exit 1
+}
+grep -q 'WATERMARK' "$workdir/top.txt" || { echo "obs-smoke: streamtop node table missing" >&2; cat "$workdir/top.txt" >&2; exit 1; }
+grep -q 'slowest punctuation traces' "$workdir/top.txt" || { echo "obs-smoke: streamtop trace pane missing" >&2; cat "$workdir/top.txt" >&2; exit 1; }
+
+kill -INT "$pid2"
+for _ in $(seq 1 100); do
+    kill -0 "$pid2" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "$pid2" 2>/dev/null && { echo "obs-smoke: streamd did not drain on SIGINT" >&2; exit 1; }
+pid2=""
+[ -s "$workdir/spans.jsonl" ] || { echo "obs-smoke: -span-log wrote nothing" >&2; exit 1; }
+grep -q '"phase":"net_recv"' "$workdir/spans.jsonl" || { echo "obs-smoke: span log missing network hop" >&2; exit 1; }
+
+echo "obs-smoke: phase 2 OK ($(wc -l <"$workdir/spans.jsonl") span events logged)"
