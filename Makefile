@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive bench-obs obs-smoke net-smoke col-smoke adapt-smoke chaos fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive bench-obs bench-ckpt obs-smoke net-smoke col-smoke adapt-smoke chaos ckpt-smoke fuzz-smoke check
 
 all: check
 
@@ -55,6 +55,20 @@ bench-obs:
 bench-adaptive:
 	$(GO) run ./cmd/etsbench -adaptive
 
+# Checkpoint measurement: the kill-restore-verify crash drill, then the
+# steady-state overhead of barrier-aligned checkpointing (no coordinator vs
+# a 200ms cadence) on the union+aggregate workload; writes BENCH_ckpt.json
+# and exits non-zero if the drill fails or overhead exceeds the 5% budget.
+bench-ckpt:
+	$(GO) run ./cmd/etsbench -ckpt
+
+# Kill-restore-verify crash drill under the race detector: a checkpointed
+# run killed without drain, restored from the latest snapshot, watermark
+# replay from the sources' retained feeds, exact-output comparison.
+ckpt-smoke:
+	$(GO) test -race ./internal/ckpt
+	$(GO) run -race ./cmd/etsbench -ckpt-verify
+
 # Columnar data-plane tests under the race detector: converters and the
 # punctuation-order property (tuple), row/col operator equivalence (ops),
 # end-to-end engine equivalence and mixed/fan-out arcs (runtime), the
@@ -93,11 +107,12 @@ chaos:
 	$(GO) run -race ./cmd/etsbench -chaos -chaos-duration 2s
 
 # Short coverage-guided fuzz of the CQL parser, the wire-protocol frame
-# decoder, and the row↔columnar converters (panic/hang/losslessness on
-# arbitrary input).
+# decoder, the row↔columnar converters, and the operator-state checkpoint
+# codecs (panic/hang/losslessness on arbitrary input).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s -run '^$$' ./internal/cql
 	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=30s -run '^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzColBatchRoundTrip -fuzztime=30s -run '^$$' ./internal/tuple
+	$(GO) test -fuzz=FuzzStateRoundTrip -fuzztime=30s -run '^$$' ./internal/ops
 
-check: vet build test race bench obs-smoke net-smoke col-smoke adapt-smoke chaos
+check: vet build test race bench obs-smoke net-smoke col-smoke adapt-smoke chaos ckpt-smoke

@@ -17,8 +17,16 @@
 //
 // Connections survive failures: with Options.Reconnect the client redials
 // with exponential backoff, replays the handshake, re-binds every stream,
-// and resumes. Tuples buffered but unsent at the failure are resent;
-// delivery is at-most-once past the socket (no application acks).
+// and resumes. Tuples buffered but unsent at the failure are resent. With
+// Options.Sequenced the resend is idempotent: every tuple carries a
+// per-stream sequence number, the server suppresses anything at or below
+// its last-applied watermark, and the BIND_ACK watermark lets the client
+// trim its retained batch — so reconnect and crash-recovery replay become
+// effectively exactly-once for everything the client still holds. Tuples
+// the client already released (flushed before the failure) that the server
+// nevertheless lost — e.g. a crash past the last checkpoint cut — must be
+// replayed by the application, which learns the resume point from the
+// BIND_ACK watermark.
 package client
 
 import (
@@ -73,6 +81,16 @@ type Options struct {
 	// propagation timeline. Against an older server the frames stay in
 	// the legacy format.
 	Trace bool
+	// Sequenced offers the tuple-sequencing capability in HELLO: every data
+	// tuple sent on the row path (Send/SendBatch) carries a per-stream
+	// sequence number, making retained-batch resend after reconnect — and
+	// replay against a crash-restored server — idempotent (see wire.CapSeq).
+	// The BIND_ACK watermark trims the retained batch and floors the
+	// counter; Stream.AckedSeq exposes it as the application's replay
+	// resume point. Do not mix with SendCol on the same stream: the
+	// columnar path carries no sequence numbers, and its row fallback
+	// would break the batch's contiguity.
+	Sequenced bool
 	// Reconnect enables automatic redial with exponential backoff after a
 	// connection failure; streams are re-bound transparently.
 	Reconnect bool
@@ -102,6 +120,7 @@ type Conn struct {
 	credits int64
 	colOK   bool   // server granted CapColumnar on the current transport
 	traceOK bool   // server granted CapTrace on the current transport
+	seqOK   bool   // server granted CapSeq on the current transport
 	traceCt uint64 // traces issued; IDs are (session<<32 | ct) to stay unique server-side
 	streams map[uint32]*Stream
 	nextID  uint32
@@ -198,6 +217,9 @@ func (c *Conn) connectLocked() error {
 	if c.opts.Trace {
 		hello.Flags |= wire.CapTrace
 	}
+	if c.opts.Sequenced {
+		hello.Flags |= wire.CapSeq
+	}
 	if err := w.WriteFrame(hello); err != nil {
 		return fail(err)
 	}
@@ -250,6 +272,9 @@ func (c *Conn) connectLocked() error {
 				} else if f.Err != "" {
 					s.err = fmt.Errorf("client: re-bind %q: %s", s.name, f.Err)
 				}
+				if f.Err == "" {
+					s.applyAckSeq(f.Seq)
+				}
 				pending--
 			}
 		case wire.Demand:
@@ -268,6 +293,7 @@ func (c *Conn) connectLocked() error {
 	c.credits = int64(ack.Credits)
 	c.colOK = ack.Flags&wire.CapColumnar != 0
 	c.traceOK = ack.Flags&wire.CapTrace != 0
+	c.seqOK = ack.Flags&wire.CapSeq != 0
 	c.broken = false
 	c.epoch++
 	c.readers.Add(1)
@@ -302,6 +328,9 @@ func (c *Conn) readLoop(conn net.Conn, rd *wire.Reader, epoch uint64) {
 		case wire.BindAck:
 			if s := c.streams[f.ID]; s != nil && !s.ackDone {
 				s.ackDone, s.ackErr = true, f.Err
+				if f.Err == "" {
+					s.applyAckSeq(f.Seq)
+				}
 				c.cond.Broadcast()
 			}
 		case wire.Error:

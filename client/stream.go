@@ -40,6 +40,15 @@ type Stream struct {
 	eos        bool
 	err        error
 
+	// seq is the last sequence number assigned (Options.Sequenced): tuples
+	// are numbered seq+1, seq+2, … as Send buffers them, and a BIND_ACK
+	// watermark floors it so post-recovery sends never collide with
+	// sequence numbers the server already applied.
+	seq uint64
+	// acked is the last BIND_ACK dedupe watermark the server reported —
+	// the application's replay resume point after a server crash.
+	acked uint64
+
 	ackDone bool
 	ackErr  string
 }
@@ -105,6 +114,10 @@ func (s *Stream) Send(t *tuple.Tuple) error {
 	}
 	if err := c.takeCredits(1); err != nil {
 		return err
+	}
+	if c.opts.Sequenced {
+		s.seq++
+		t.Seq = s.seq
 	}
 	s.batch = append(s.batch, t)
 	if !s.hasTs || t.Ts > s.maxTs {
@@ -247,10 +260,16 @@ func (s *Stream) flushLocked() error {
 		return nil
 	}
 	var f wire.Frame
+	// The frame carries the first tuple's sequence number when the server
+	// negotiated sequencing (the batch is contiguous: seq..seq+n-1).
+	var seq uint64
+	if c.seqOK {
+		seq = s.batch[0].Seq
+	}
 	if len(s.batch) == 1 {
-		f = wire.Tuple{ID: s.id, T: s.batch[0]}
+		f = wire.Tuple{ID: s.id, T: s.batch[0], Seq: seq}
 	} else {
-		f = wire.Tuples{ID: s.id, Batch: s.batch}
+		f = wire.Tuples{ID: s.id, Batch: s.batch, Seq: seq}
 	}
 	if err := c.writeLocked(f); err != nil {
 		return err
@@ -286,6 +305,43 @@ func (s *Stream) CloseSend() error {
 			return nil
 		}
 	}
+}
+
+// applyAckSeq adopts the server's dedupe watermark from a BIND_ACK (0 =
+// sequencing not in use): the retained batch drops everything the server
+// already applied, and the sequence counter jumps forward so new tuples
+// never collide with applied sequence numbers. Called with c.mu held.
+func (s *Stream) applyAckSeq(w uint64) {
+	if w == 0 {
+		return
+	}
+	s.acked = w
+	if w > s.seq {
+		s.seq = w
+	}
+	kept := s.batch[:0]
+	for _, t := range s.batch {
+		if t.Seq != 0 && t.Seq <= w {
+			tuple.Put(t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	for i := len(kept); i < len(s.batch); i++ {
+		s.batch[i] = nil
+	}
+	s.batch = kept
+}
+
+// AckedSeq reports the last dedupe watermark the server sent in a BIND_ACK
+// (0 before the first sequenced ack). After a reconnect to a crash-restored
+// server this is the replay resume point: the application must re-Send its
+// tuples numbered above it that the client no longer retains, and nothing
+// at or below it (the server would suppress them anyway).
+func (s *Stream) AckedSeq() uint64 {
+	s.c.mu.Lock()
+	defer s.c.mu.Unlock()
+	return s.acked
 }
 
 // Err reports a terminal stream error (e.g. a failed re-bind after

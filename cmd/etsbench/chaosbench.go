@@ -58,9 +58,10 @@ type chaosReport struct {
 	// AdaptRetunes/AdaptApplied report the controller's activity when the
 	// soak runs with -chaos-adaptive (issued decisions / reconfigurations
 	// applied at punctuation boundaries).
-	AdaptRetunes uint64   `json:"adaptive_retunes,omitempty"`
-	AdaptApplied uint64   `json:"adaptive_applied,omitempty"`
-	Violations   []string `json:"violations"`
+	AdaptRetunes uint64    `json:"adaptive_retunes,omitempty"`
+	AdaptApplied uint64    `json:"adaptive_applied,omitempty"`
+	Ckpt         ckvReport `json:"kill_restore_verify"`
+	Violations   []string  `json:"violations"`
 }
 
 // runChaos builds the chaotic union graph, soaks it for dur, and validates.
@@ -252,6 +253,16 @@ func runChaos(spec string, seed int64, dur time.Duration, out string, adaptive b
 		fail("shedder dropped %d tuples with shedding disabled", snap.TuplesShed)
 	}
 
+	// Phase 2: the kill-restore-verify drill. A separate checkpointed run is
+	// killed without drain at a scheduled crash point, restored from the
+	// latest durable snapshot, and replayed above the source watermarks; its
+	// output must match a clean reference exactly.
+	ckptRep, ckptViol := runKillRestoreVerify("seed=1,crash=80ms", 60_000)
+	rep.Ckpt = ckptRep
+	for _, v := range ckptViol {
+		fail("kill-restore-verify: %s", v)
+	}
+
 	fmt.Printf("chaos soak: %v, spec %q\n", dur, spec)
 	fmt.Printf("  sent %d (stragglers %d)  delivered %d  injected-drops %d  reorder-late %d\n",
 		rep.Sent, rep.Stragglers, rep.Delivered, rep.InjDrops, rep.ReorderDrp)
@@ -260,6 +271,9 @@ func runChaos(spec string, seed int64, dur time.Duration, out string, adaptive b
 	fmt.Printf("  trace: panic %d  restart %d  ets-forced %d  late %d\n",
 		tr.Count(metrics.EvNodePanic), tr.Count(metrics.EvNodeRestart),
 		tr.Count(metrics.EvETSForced), tr.Count(metrics.EvLateTuple))
+	fmt.Printf("  kill-restore-verify: fed %d before crash  checkpoints %d  restored id %d  windows %d/%d\n",
+		ckptRep.FedAtCrash, ckptRep.Checkpoints, ckptRep.RestoredID,
+		ckptRep.GotWindows, ckptRep.RefWindows)
 	if ctl != nil {
 		fmt.Printf("  adaptive: %d retunes issued, %d applied at boundaries (trace applied %d)\n",
 			rep.AdaptRetunes, rep.AdaptApplied, tr.Count(metrics.EvRetuneApplied))

@@ -1,0 +1,442 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/ops"
+	rt "repro/internal/runtime"
+	"repro/internal/tuple"
+)
+
+// The checkpoint bench answers the two questions DESIGN.md §14 leaves to
+// measurement:
+//
+//   - Correctness under a crash: feed the union+aggregate workload while the
+//     coordinator checkpoints on a short cadence, kill the engine abruptly at
+//     a fault-spec scheduled point (no drain, no EOS), restore a fresh graph
+//     from the latest durable checkpoint, replay each source from its
+//     restored sequence watermark, and require the sink's commutative
+//     checksum to equal a clean reference run exactly — no tuple lost, none
+//     duplicated. This phase also rides the chaos soak (`make chaos`), so CI
+//     exercises kill-restore-verify under -race.
+//
+//   - Cost in steady state: the same workload unpaced, with and without the
+//     coordinator running, must stay within a small throughput budget
+//     (default 5%) — the barrier protocol's pauses are per-operator encodes,
+//     not a stop-the-world.
+
+const (
+	// ckvDelta is the external skew bound δ. The bench's event timestamps are
+	// synthetic (1µs per tuple) and unrelated to the wall clock, so the
+	// estimator's skew extrapolation (lastTs + elapsed − δ) must be pinned
+	// down: a δ larger than any run's wall time clamps every promise to
+	// lastTs — sound for the strictly increasing feed, and deterministic, so
+	// the reference and crash runs deliver identical output.
+	ckvDelta    = tuple.Time(1) << 40
+	ckvWindow   = 64               // aggregate window width (µs of event time)
+	ckvChunk    = 256              // tuples per source between pacing sleeps (crash run)
+	ckvPause    = time.Millisecond // pacing sleep, letting checkpoint ticks land mid-feed
+	ckvInterval = 10 * time.Millisecond
+	ckvTimeout  = 10 * time.Second
+)
+
+// ckptSum is the sink-side commutative checksum: order-independent (the
+// union's tie-breaking between equal timestamps is scheduling-dependent) but
+// sensitive to any lost or duplicated window result. It rides the sink's
+// checkpoint segment via StateHooks, so a restored run resumes the count at
+// the same cut as the operators.
+type ckptSum struct {
+	count uint64
+	sum   uint64
+	sq    uint64
+}
+
+func (c *ckptSum) add(t *tuple.Tuple) {
+	v := uint64(t.Ts)
+	if len(t.Vals) > 0 && t.Vals[0].Kind() == tuple.IntKind {
+		v = v*1_000_003 + uint64(t.Vals[0].AsInt())
+	}
+	c.count++
+	c.sum += v
+	c.sq += v * v
+}
+
+func (c *ckptSum) eq(o ckptSum) bool { return c.count == o.count && c.sum == o.sum && c.sq == o.sq }
+
+func (c *ckptSum) save(e *ckpt.Encoder) { e.U64(c.count); e.U64(c.sum); e.U64(c.sq) }
+
+func (c *ckptSum) restore(d *ckpt.Decoder) error {
+	c.count, c.sum, c.sq = d.U64(), d.U64(), d.U64()
+	return d.Err()
+}
+
+// ckvGraph builds the checkpointable workload: two external sources feeding
+// a TSM union, a tumbling count aggregate (stateful: open windows), and a
+// sink carrying the checksum. Timestamps are deterministic functions of the
+// tuple index, so a clean run and a crash-restored run are comparable.
+func ckvGraph(sum *ckptSum) (*graph.Graph, *ops.Source, *ops.Source) {
+	sch := tuple.NewSchema("s", tuple.Field{Name: "v", Kind: tuple.IntKind}).
+		WithTS(tuple.External)
+	g := graph.New("ckpt")
+	s1 := ops.NewSource("s1", sch, ckvDelta)
+	s2 := ops.NewSource("s2", sch, ckvDelta)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+	agg := g.AddNode(ops.NewAggregate("agg", nil, ckvWindow, -1, ops.AggSpec{Fn: ops.Count}), u)
+	sink := ops.NewSink("k", func(t *tuple.Tuple, _ tuple.Time) { sum.add(t) })
+	sink.StateHooks(sum.save, sum.restore)
+	g.AddNode(sink, agg)
+	return g, s1, s2
+}
+
+// ckvOpts: on-demand ETS must be on — after a barrier aligns at the union,
+// one input's register is frozen at the barrier bound, and only the demand
+// path (or fresh traffic) advances it (DESIGN.md §14).
+func ckvOpts() rt.Options {
+	return rt.Options{OnDemandETS: true, BatchSize: 32}
+}
+
+// ckvTuple is the deterministic feed: tuple i (0-based) carries ts i+1 µs,
+// and therefore sequence number i+1 at its source — index w..n-1 is exactly
+// the replay range above a restored watermark w.
+func ckvTuple(i int) *tuple.Tuple {
+	return tuple.NewData(tuple.Time(i+1), tuple.Int(int64(i)))
+}
+
+// ckvReference runs the workload cleanly and returns the sink checksum.
+func ckvReference(n int) (ckptSum, error) {
+	var sum ckptSum
+	g, s1, s2 := ckvGraph(&sum)
+	e, err := rt.New(g, ckvOpts())
+	if err != nil {
+		return sum, err
+	}
+	e.Start()
+	for i := 0; i < n; i++ {
+		e.Ingest(s1, ckvTuple(i))
+		e.Ingest(s2, ckvTuple(i))
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	return sum, e.Wait()
+}
+
+// ckvReport is the kill-restore-verify phase's summary.
+type ckvReport struct {
+	Spec        string `json:"spec"`
+	Tuples      int    `json:"tuples_per_source"`
+	FedAtCrash  int    `json:"fed_at_crash"`
+	Checkpoints uint64 `json:"checkpoints_completed"`
+	RestoredID  uint64 `json:"restored_id"`
+	Watermark1  uint64 `json:"watermark_s1"`
+	Watermark2  uint64 `json:"watermark_s2"`
+	RefWindows  uint64 `json:"reference_windows"`
+	GotWindows  uint64 `json:"recovered_windows"`
+}
+
+// runKillRestoreVerify executes the crash drill: checkpointed run killed at
+// the fault spec's crash point, restore into a fresh graph, watermark
+// replay, exact-checksum comparison against a clean reference. Violations
+// come back as strings so callers (the chaos soak, `-ckpt`) fold them into
+// their own gates.
+func runKillRestoreVerify(spec string, n int) (ckvReport, []string) {
+	rep := ckvReport{Spec: spec, Tuples: n}
+	var viol []string
+	fail := func(format string, args ...interface{}) {
+		viol = append(viol, fmt.Sprintf(format, args...))
+	}
+
+	cfg, err := fault.ParseSpec(spec)
+	if err != nil {
+		fail("bad fault spec: %v", err)
+		return rep, viol
+	}
+	if cfg.CrashAfter <= 0 {
+		fail("fault spec %q schedules no crash (want crash=AFTER)", spec)
+		return rep, viol
+	}
+	inj := fault.New(cfg)
+
+	ref, err := ckvReference(n)
+	if err != nil {
+		fail("reference run failed: %v", err)
+		return rep, viol
+	}
+	rep.RefWindows = ref.count
+
+	dir, err := os.MkdirTemp("", "etsbench-ckpt-*")
+	if err != nil {
+		fail("mkdtemp: %v", err)
+		return rep, viol
+	}
+	defer os.RemoveAll(dir)
+	st, err := ckpt.NewStore(dir)
+	if err != nil {
+		fail("store: %v", err)
+		return rep, viol
+	}
+
+	// Phase 1: checkpointed run, killed without drain at the crash point.
+	var lost ckptSum // this engine's sink state dies with it
+	g, s1, s2 := ckvGraph(&lost)
+	e, err := rt.New(g, ckvOpts())
+	if err != nil {
+		fail("engine: %v", err)
+		return rep, viol
+	}
+	coord, err := ckpt.NewCoordinator(e, st, ckpt.Options{Interval: ckvInterval, Timeout: ckvTimeout})
+	if err != nil {
+		fail("coordinator: %v", err)
+		return rep, viol
+	}
+	e.Start()
+	coord.Run()
+	inj.Arm()
+	fed := 0
+	for fed < n && !inj.CrashDue() {
+		stop := fed + ckvChunk
+		if stop > n {
+			stop = n
+		}
+		for ; fed < stop; fed++ {
+			e.Ingest(s1, ckvTuple(fed))
+			e.Ingest(s2, ckvTuple(fed))
+		}
+		time.Sleep(ckvPause)
+	}
+	rep.FedAtCrash = fed
+	// The kill: stop the coordinator (waits out an in-flight cycle, so the
+	// store holds only complete checkpoints), then tear the engine down with
+	// no drain — everything past the last durable barrier is lost.
+	coord.Stop()
+	e.Stop()
+	if err := e.Wait(); err != nil {
+		fail("crashed engine reported failure: %v", err)
+	}
+	rep.Checkpoints = coord.Completed()
+	if fed >= n {
+		fail("crash never fired: fed all %d tuples before CrashAfter=%v (raise tuples or lower crash)",
+			n, cfg.CrashAfter)
+	}
+	if rep.Checkpoints == 0 {
+		fail("no checkpoint completed before the crash: restore path not exercised")
+	}
+
+	// Phase 2: restore a fresh graph from the latest durable checkpoint and
+	// replay each source above its restored watermark.
+	var got ckptSum
+	g2, r1, r2 := ckvGraph(&got)
+	e2, err := rt.New(g2, ckvOpts())
+	if err != nil {
+		fail("restored engine: %v", err)
+		return rep, viol
+	}
+	snap, err := st.Latest()
+	if err != nil {
+		fail("latest: %v", err)
+		return rep, viol
+	}
+	var w1, w2 uint64
+	if snap != nil {
+		if err := e2.Restore(snap); err != nil {
+			fail("restore: %v", err)
+			return rep, viol
+		}
+		rep.RestoredID = snap.ID
+		// The restored sources' sequence counters are the replay watermarks:
+		// tuple i (seq i+1) is in the checkpoint iff i+1 <= w.
+		w1, w2 = r1.Seq(), r2.Seq()
+	}
+	rep.Watermark1, rep.Watermark2 = w1, w2
+	e2.Start()
+	// Interleave the replay as the original feed did: replaying one source
+	// to completion first would stall the union on the other's bound and
+	// deadlock the producer on backpressure.
+	for i := 0; i < n; i++ {
+		if uint64(i) >= w1 {
+			e2.Ingest(r1, ckvTuple(i))
+		}
+		if uint64(i) >= w2 {
+			e2.Ingest(r2, ckvTuple(i))
+		}
+	}
+	e2.CloseStream(r1)
+	e2.CloseStream(r2)
+	if err := e2.Wait(); err != nil {
+		fail("restored engine failed: %v", err)
+	}
+	rep.GotWindows = got.count
+	if !got.eq(ref) {
+		fail("recovered output diverges from reference: %d windows checksum (%d,%d) vs %d windows (%d,%d) — tuples lost or duplicated across the crash",
+			got.count, got.sum, got.sq, ref.count, ref.sum, ref.sq)
+	}
+	return rep, viol
+}
+
+// runCkptVerify is the standalone CI surface: one kill-restore-verify drill,
+// non-zero exit on any violation.
+func runCkptVerify(spec string, n int) {
+	rep, viol := runKillRestoreVerify(spec, n)
+	fmt.Printf("ckpt kill-restore-verify: spec %q, %d tuples/source\n", spec, n)
+	fmt.Printf("  fed %d before crash  checkpoints %d  restored id %d  watermarks s1=%d s2=%d\n",
+		rep.FedAtCrash, rep.Checkpoints, rep.RestoredID, rep.Watermark1, rep.Watermark2)
+	fmt.Printf("  windows: reference %d  recovered %d\n", rep.RefWindows, rep.GotWindows)
+	for _, v := range viol {
+		fmt.Fprintf(os.Stderr, "etsbench: ckpt violation: %s\n", v)
+	}
+	if len(viol) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("  no lost, no duplicated tuples across the crash")
+}
+
+type ckptBenchReport struct {
+	Tuples      int       `json:"tuples_per_source"`
+	Trials      int       `json:"trials"`
+	Interval    string    `json:"ckpt_interval"`
+	BaseSec     float64   `json:"baseline_best_s"`
+	CkptSec     float64   `json:"checkpointed_best_s"`
+	BaseTps     float64   `json:"baseline_tuples_per_s"`
+	CkptTps     float64   `json:"checkpointed_tuples_per_s"`
+	OverheadPct float64   `json:"overhead_pct"`
+	BudgetPct   float64   `json:"budget_pct"`
+	Checkpoints uint64    `json:"checkpoints_completed"`
+	Verify      ckvReport `json:"verify"`
+	Violations  []string  `json:"violations"`
+}
+
+// ckptTrial feeds the workload unpaced, optionally with the coordinator
+// checkpointing on interval, and reports the wall time plus how many
+// checkpoints committed.
+func ckptTrial(n int, interval time.Duration) (time.Duration, uint64, error) {
+	var sum ckptSum
+	g, s1, s2 := ckvGraph(&sum)
+	e, err := rt.New(g, ckvOpts())
+	if err != nil {
+		return 0, 0, err
+	}
+	var coord *ckpt.Coordinator
+	var dir string
+	if interval > 0 {
+		if dir, err = os.MkdirTemp("", "etsbench-ckpt-*"); err != nil {
+			return 0, 0, err
+		}
+		defer os.RemoveAll(dir)
+		st, err := ckpt.NewStore(dir)
+		if err != nil {
+			return 0, 0, err
+		}
+		if coord, err = ckpt.NewCoordinator(e, st, ckpt.Options{Interval: interval, Timeout: ckvTimeout}); err != nil {
+			return 0, 0, err
+		}
+	}
+	e.Start()
+	if coord != nil {
+		coord.Run()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		e.Ingest(s1, ckvTuple(i))
+		e.Ingest(s2, ckvTuple(i))
+	}
+	var done uint64
+	if coord != nil {
+		// Stop before EOS: a barrier injected into a closing source would
+		// never come back (DESIGN.md §14). The wait for an in-flight cycle
+		// is part of the measured cost.
+		coord.Stop()
+		done = coord.Completed()
+	}
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	if err := e.Wait(); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), done, nil
+}
+
+// runCkptBench is the full `-ckpt` mode: the kill-restore-verify drill, then
+// the steady-state overhead measurement against the budget.
+func runCkptBench(n int, out string, budget float64, spec string) {
+	const trials = 3
+	// A realistic steady-state cadence (the coordinator's default is 10s;
+	// 200ms is already 50× more aggressive). Benching at a few-ms interval
+	// would measure barrier-flight hiccups back to back, a regime no
+	// deployment runs in.
+	interval := 200 * time.Millisecond
+
+	verify, viol := runKillRestoreVerify(spec, n/10)
+	rep := ckptBenchReport{
+		Tuples: n, Trials: trials, Interval: interval.String(),
+		BudgetPct: budget, Verify: verify, Violations: viol,
+	}
+
+	fmt.Printf("checkpoint bench: %d tuples/source, %d trials, interval %v\n", n, trials, interval)
+	best := func(withCkpt bool) (time.Duration, uint64) {
+		bt, bc := time.Duration(0), uint64(0)
+		for t := 0; t < trials; t++ {
+			iv := time.Duration(0)
+			if withCkpt {
+				iv = interval
+			}
+			el, done, err := ckptTrial(n, iv)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+				os.Exit(1)
+			}
+			if bt == 0 || el < bt {
+				bt, bc = el, done
+			}
+		}
+		return bt, bc
+	}
+	baseT, _ := best(false)
+	ckptT, done := best(true)
+	rep.BaseSec = baseT.Seconds()
+	rep.CkptSec = ckptT.Seconds()
+	rep.BaseTps = float64(2*n) / baseT.Seconds()
+	rep.CkptTps = float64(2*n) / ckptT.Seconds()
+	rep.OverheadPct = (ckptT.Seconds() - baseT.Seconds()) / baseT.Seconds() * 100
+	rep.Checkpoints = done
+
+	fmt.Printf("  baseline      %8.3fs  %10.0f t/s\n", rep.BaseSec, rep.BaseTps)
+	fmt.Printf("  checkpointed  %8.3fs  %10.0f t/s  (%d checkpoints)\n", rep.CkptSec, rep.CkptTps, done)
+	fmt.Printf("  overhead %.2f%% (budget %.1f%%)\n", rep.OverheadPct, budget)
+	fmt.Printf("  verify: fed %d before crash, %d checkpoints, restored id %d, windows %d/%d\n",
+		verify.FedAtCrash, verify.Checkpoints, verify.RestoredID, verify.GotWindows, verify.RefWindows)
+
+	if done == 0 {
+		rep.Violations = append(rep.Violations, "no checkpoint completed during the overhead run")
+	}
+	if rep.OverheadPct > budget {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("checkpoint overhead %.2f%% exceeds the %.1f%% budget", rep.OverheadPct, budget))
+	}
+	if out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "etsbench: ckpt violation: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("  checkpointing within budget; crash drill clean")
+}

@@ -34,6 +34,13 @@
 //	etsbench -adaptive-smoke   short adaptive run asserting at least one
 //	                           retune applied at a punctuation boundary
 //	                           with all invariants held (CI gate)
+//	etsbench -ckpt             run the kill-restore-verify crash drill and
+//	                           measure checkpointing's steady-state overhead
+//	                           against a budget; write BENCH_ckpt.json
+//	etsbench -ckpt-verify      crash drill only: checkpointed run killed
+//	                           without drain, restored from the latest
+//	                           snapshot, watermark replay, exact-output
+//	                           comparison (CI gate)
 package main
 
 import (
@@ -78,6 +85,12 @@ func main() {
 	adSmoke := flag.Bool("adaptive-smoke", false, "short adaptive run asserting at least one retune applied with invariants held")
 	adSmokeTuples := flag.Int("adaptive-smoke-tuples", 60_000, "tuples for -adaptive-smoke")
 	chaosAdaptive := flag.Bool("chaos-adaptive", false, "run -chaos with the adaptive controller attached (invariants unchanged)")
+	ckptBench := flag.Bool("ckpt", false, "run the crash drill plus the checkpoint-overhead benchmark against the budget")
+	ckptVerify := flag.Bool("ckpt-verify", false, "run only the kill-restore-verify crash drill (CI gate)")
+	ckptTuples := flag.Int("ckpt-tuples", 1_000_000, "tuples per source for -ckpt (the drill uses a tenth)")
+	ckptOut := flag.String("ckpt-out", "BENCH_ckpt.json", "output file for -ckpt results")
+	ckptBudget := flag.Float64("ckpt-budget", 5, "max allowed checkpoint overhead for -ckpt, percent")
+	ckptSpec := flag.String("ckpt-spec", "seed=1,crash=80ms", "fault spec scheduling the drill's crash (see internal/fault.ParseSpec)")
 	flag.Parse()
 
 	render := func(f experiments.Figure) string {
@@ -99,6 +112,10 @@ func main() {
 		runShardBench(*shTuples, *shOut)
 	case *chaos:
 		runChaos(*chaosSpec, *chaosSeed, *chaosDur, *chaosOut, *chaosAdaptive)
+	case *ckptBench:
+		runCkptBench(*ckptTuples, *ckptOut, *ckptBudget, *ckptSpec)
+	case *ckptVerify:
+		runCkptVerify(*ckptSpec, *ckptTuples/10)
 	case *colBench:
 		runColumnarBench(*colTuples, *colOut)
 	case *obsBench:

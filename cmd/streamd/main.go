@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/metrics"
@@ -65,6 +66,12 @@ type options struct {
 	adaptive   bool
 	pprof      bool
 	spanLog    string
+
+	ckptDir      string
+	ckptInterval time.Duration
+	ckptKeep     int
+	restore      bool
+	maxQueue     int
 }
 
 func main() {
@@ -84,6 +91,11 @@ func main() {
 	flag.BoolVar(&opts.adaptive, "adaptive", false, "network mode: attach the self-tuning controller (batch sizes, shard tables, probe orders retuned at punctuation boundaries; watch sm_adapt_* in /vars)")
 	flag.BoolVar(&opts.pprof, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics address")
 	flag.StringVar(&opts.spanLog, "span-log", "", "network mode: dump the retained punctuation spans as JSONL to this file at shutdown")
+	flag.StringVar(&opts.ckptDir, "ckpt-dir", "", "network mode: checkpoint operator state to this directory on -ckpt-interval (punctuation-aligned barriers)")
+	flag.DurationVar(&opts.ckptInterval, "ckpt-interval", 10*time.Second, "network mode: checkpoint cadence for -ckpt-dir")
+	flag.IntVar(&opts.ckptKeep, "ckpt-keep", 3, "network mode: complete checkpoints to retain in -ckpt-dir")
+	flag.BoolVar(&opts.restore, "restore", false, "network mode: restore operator state from the latest checkpoint in -ckpt-dir before serving; sequenced clients resume at the reported watermark")
+	flag.IntVar(&opts.maxQueue, "max-queue", -1, "network mode: bound each operator input queue to this many tuples with backpressure (0 = unbounded; defaults to 4096 when -ckpt-dir is set, since a checkpoint barrier must drain the in-flight data ahead of it)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -97,6 +109,18 @@ func main() {
 	if *ddl == "" || *q == "" || (len(ins) == 0 && opts.listen == "") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if opts.maxQueue < 0 {
+		// A barrier rides the arcs FIFO, so checkpoint latency is bounded by
+		// the in-flight data ahead of it. Unbounded queues under overload make
+		// that unbounded — checkpointing defaults to backpressure-bounded
+		// queues unless -max-queue says otherwise.
+		if opts.ckptDir != "" {
+			opts.maxQueue = 4096
+			fmt.Fprintln(os.Stderr, "streamd: -ckpt-dir set; bounding input queues at 4096 tuples (override with -max-queue)")
+		} else {
+			opts.maxQueue = 0
+		}
 	}
 	var err error
 	if opts.listen != "" {
@@ -165,6 +189,7 @@ func serve(ddl, q string, opts options) error {
 		SourceTimeout: opts.srcTimeout,
 		Now:           clock,
 		Spans:         spans,
+		MaxQueueLen:   opts.maxQueue,
 	}
 	if opts.adaptive {
 		ropts.Adaptive = &runtime.AdaptiveOptions{}
@@ -173,20 +198,87 @@ func serve(ddl, q string, opts options) error {
 	if err != nil {
 		return err
 	}
+
+	// The observability endpoint comes up before any restore work so the
+	// /readyz probe can honestly answer "not yet" while state is loading.
+	rdy := &readiness{restoring: opts.restore}
+	if opts.metrics != "" {
+		ln, err := serveObs(opts, reg, tr, spans, rdy.check)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+	}
+
+	// Checkpointing: a store at -ckpt-dir, optionally restored from before
+	// the coordinator starts cutting new snapshots. The restored sources'
+	// sequence counters seed the server's dedupe watermarks, so sequenced
+	// clients that resend their retained batches are suppressed below the cut
+	// and learn the replay resume point from BIND_ACK.
+	var coord *ckpt.Coordinator
+	var initSeq map[string]uint64
+	if opts.restore && opts.ckptDir == "" {
+		return fmt.Errorf("-restore requires -ckpt-dir")
+	}
+	if opts.ckptDir != "" {
+		st, err := ckpt.NewStore(opts.ckptDir)
+		if err != nil {
+			return err
+		}
+		if opts.restore {
+			snap, err := st.Latest()
+			if err != nil {
+				return err
+			}
+			if snap == nil {
+				fmt.Fprintf(os.Stderr, "streamd: no checkpoint in %s; cold start\n", opts.ckptDir)
+			} else {
+				if err := re.Restore(snap); err != nil {
+					return err
+				}
+				initSeq = make(map[string]uint64)
+				for _, name := range e.Catalog().Names() {
+					if _, src, err := e.LookupStream(name); err == nil {
+						if w := src.Seq(); w > 0 {
+							initSeq[name] = w
+						}
+					}
+				}
+				fmt.Fprintf(os.Stderr, "streamd: restored checkpoint %d (%d segments) from %s\n",
+					snap.ID, len(snap.Segments), opts.ckptDir)
+			}
+		}
+		coord, err = ckpt.NewCoordinator(re, st, ckpt.Options{
+			Interval: opts.ckptInterval,
+			Keep:     opts.ckptKeep,
+			OnError: func(id uint64, err error) {
+				fmt.Fprintf(os.Stderr, "streamd: checkpoint %d: %v\n", id, err)
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	var ctl *adapt.Controller
 	if opts.adaptive {
 		ctl = adapt.Attach(re)
 	}
 	re.Start()
+	rdy.serving(re.Snapshot)
 	if ctl != nil {
 		ctl.Start()
 	}
+	if coord != nil {
+		coord.Run()
+	}
 	srv, err := server.Listen(opts.listen, server.Options{
-		Backend: server.NewEngineBackend(re, e.LookupStream),
-		Metrics: reg,
-		Trace:   tr,
-		Now:     clock,
-		Spans:   spans,
+		Backend:    server.NewEngineBackend(re, e.LookupStream),
+		Metrics:    reg,
+		Trace:      tr,
+		Now:        clock,
+		Spans:      spans,
+		InitialSeq: initSeq,
 	})
 	if err != nil {
 		re.Stop()
@@ -194,14 +286,6 @@ func serve(ddl, q string, opts options) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "streamd: ingest listening on %s\n", srv.Addr())
-	if opts.metrics != "" {
-		rdy := &readiness{snap: re.Snapshot}
-		ln, err := serveObs(opts, reg, tr, spans, rdy.check)
-		if err != nil {
-			return err
-		}
-		defer ln.Close()
-	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -213,6 +297,13 @@ func serve(ddl, q string, opts options) error {
 		srv.Close()
 		re.Stop()
 	}()
+	if coord != nil {
+		// Stop cutting checkpoints before streams start closing: a barrier
+		// injected into a source that EOSes first would never come back.
+		coord.Stop()
+		fmt.Fprintf(os.Stderr, "streamd: checkpoints: %d complete, %d failed\n",
+			coord.Completed(), coord.Failed())
+	}
 	if cut := srv.Drain(opts.drainGrace); cut > 0 {
 		fmt.Fprintf(os.Stderr, "streamd: drain: cut %d straggling session(s)\n", cut)
 	}
@@ -313,13 +404,16 @@ func serveObs(opts options, reg *metrics.Registry, tr *metrics.Tracer, spans *ob
 }
 
 // readiness implements the /readyz probe over engine snapshots: not ready
-// while any source is watchdog-dead, or while tuples keep arriving but no
-// watermark has advanced for stallAfter — the timestamp plane is wedged
-// even though the data plane looks busy.
+// while a checkpoint restore is still loading state (the probe comes up
+// before the restore so orchestrators never route to a half-restored
+// process), while any source is watchdog-dead, or while tuples keep arriving
+// but no watermark has advanced for stallAfter — the timestamp plane is
+// wedged even though the data plane looks busy.
 type readiness struct {
-	snap func() runtime.Snapshot
+	mu        sync.Mutex
+	restoring bool
+	snap      func() runtime.Snapshot
 
-	mu      sync.Mutex
 	started bool
 	wmSum   int64
 	tuples  uint64
@@ -328,8 +422,24 @@ type readiness struct {
 
 const stallAfter = 15 * time.Second
 
+// serving marks the restore finished and installs the live snapshot source.
+func (r *readiness) serving(snap func() runtime.Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.restoring, r.snap = false, snap
+}
+
 func (r *readiness) check() (bool, string) {
-	snap := r.snap()
+	r.mu.Lock()
+	restoring, snapFn := r.restoring, r.snap
+	r.mu.Unlock()
+	if restoring {
+		return false, "restoring from checkpoint"
+	}
+	if snapFn == nil {
+		return false, "engine not started"
+	}
+	snap := snapFn()
 	var wmSum int64
 	var tuples uint64
 	for _, ns := range snap.Nodes {
@@ -457,10 +567,26 @@ func run(ddl, q string, ins []input, opts options) error {
 	// drops lose the tuple before it reaches the source (a lossy feed) and
 	// skew perturbs the application timestamp while the arrival still
 	// drives the clock (a source clock drifting against the DSMS clock).
+	// SIGINT drains gracefully: the replay stops feeding, every stream
+	// closes so blocked windows flush, and buffered results reach stdout —
+	// a truncated trace, never a truncated output file.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	fed := 0
+replay:
 	for _, a := range arrivals {
+		select {
+		case <-sig:
+			fmt.Fprintf(os.Stderr, "streamd: interrupted after %d/%d arrivals; draining\n",
+				fed, len(arrivals))
+			break replay
+		default:
+		}
 		if a.t.Ts > clock {
 			clock = a.t.Ts
 		}
+		fed++
 		if inj.DropTuple(a.stream) {
 			continue
 		}
@@ -479,7 +605,7 @@ func run(ddl, q string, ins []input, opts options) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "streamd: %d input tuples, %d results, %d steps\n",
-		len(arrivals), results, ex.Steps())
+		fed, results, ex.Steps())
 	if inj != nil {
 		st := inj.Stats()
 		fmt.Fprintf(os.Stderr, "streamd: chaos: spec %q, %d dropped, %d skewed\n",

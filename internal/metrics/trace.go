@@ -79,6 +79,21 @@ const (
 	// punctuation boundary and applied it; Value is the punctuation
 	// timestamp at the apply point (the quiescence witness).
 	EvRetuneApplied
+	// EvCkptBarrier: a source emitted a checkpoint barrier; Value is the
+	// barrier's punctuation timestamp (the source's standing bound).
+	EvCkptBarrier
+	// EvCkptNode: a node applied a checkpoint barrier and snapshotted;
+	// Value is the encoded state size in bytes (0 for stateless nodes).
+	EvCkptNode
+	// EvCkptComplete: every node reported and the snapshot was assembled;
+	// Value is the checkpoint ID.
+	EvCkptComplete
+	// EvCkptAbort: a checkpoint attempt was abandoned (timeout or engine
+	// stop); Value is the checkpoint ID.
+	EvCkptAbort
+	// EvCkptRestore: operator state was restored from a checkpoint before
+	// start; Value is the checkpoint ID.
+	EvCkptRestore
 
 	numEventKinds
 )
@@ -129,6 +144,16 @@ func (k EventKind) String() string {
 		return "RetuneProbe"
 	case EvRetuneApplied:
 		return "RetuneApplied"
+	case EvCkptBarrier:
+		return "CkptBarrier"
+	case EvCkptNode:
+		return "CkptNode"
+	case EvCkptComplete:
+		return "CkptComplete"
+	case EvCkptAbort:
+		return "CkptAbort"
+	case EvCkptRestore:
+		return "CkptRestore"
 	default:
 		return fmt.Sprintf("EventKind(%d)", k)
 	}

@@ -201,6 +201,11 @@ func (a *Aggregate) Exec(ctx *Ctx) bool {
 	}
 	if t.IsPunct() {
 		a.punctOut++
+		if t.Ckpt != 0 {
+			// Checkpoint barrier: windows at or below the bound have just
+			// closed, so the snapshot taken here holds only open state.
+			ctx.barrier(t.Ckpt, t.Ts)
+		}
 		ctx.Emit(t)
 		return true
 	}

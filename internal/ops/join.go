@@ -53,6 +53,7 @@ type WindowJoin struct {
 	// DedupPunct is as for Union.
 	DedupPunct bool
 	watermark  tuple.Time
+	al         aligner // checkpoint-barrier alignment (TSM mode)
 
 	dataOut  uint64
 	punctOut uint64
@@ -191,6 +192,9 @@ func (j *WindowJoin) More(ctx *Ctx) bool {
 		return allNonEmpty(ctx.Ins)
 	case TSM:
 		j.regs.Observe(ctx.Ins)
+		if j.al.ready(ctx.Ins) >= 0 {
+			return true
+		}
 		ok, _, _ := j.regs.More(ctx.Ins)
 		return ok
 	default:
@@ -205,6 +209,9 @@ func (j *WindowJoin) BlockingInput(ctx *Ctx) int {
 		return firstEmpty(ctx.Ins)
 	case TSM:
 		j.regs.Observe(ctx.Ins)
+		if j.al.ready(ctx.Ins) >= 0 {
+			return -1
+		}
 		if ok, _, _ := j.regs.More(ctx.Ins); ok {
 			return -1
 		}
@@ -247,20 +254,38 @@ func (j *WindowJoin) execBasic(ctx *Ctx) bool {
 
 func (j *WindowJoin) execTSM(ctx *Ctx) bool {
 	j.regs.Observe(ctx.Ins)
-	ok, side, τ := j.regs.More(ctx.Ins)
-	if !ok {
-		return false
+	var t *tuple.Tuple
+	τ := tuple.MinTime
+	side := j.al.ready(ctx.Ins)
+	if side >= 0 {
+		// A checkpoint barrier at the head of an unaligned input is
+		// consumable regardless of τ (see barrier.go).
+		t = ctx.Ins[side].Pop()
+	} else {
+		ok, s, bound := j.regs.More(ctx.Ins)
+		if !ok {
+			return false
+		}
+		side, τ = s, bound
+		t = ctx.Ins[side].Pop()
 	}
-	t := ctx.Ins[side].Pop()
+	if handled, yield := handleBarrier(&j.al, j, ctx, side, t); handled {
+		return yield
+	}
 	if !t.IsPunct() {
 		if τ > j.watermark {
 			j.watermark = τ
 		}
 		return j.produce(ctx, side, t)
 	}
-	// Punctuation with timestamp τ: nothing joinable on the opposite side
-	// below τ remains possible, so expire state and propagate the bound
-	// (Figure 6, last production rule).
+	return j.punctStep(ctx, side, t)
+}
+
+// punctStep runs the TSM punctuation rule for a consumed punctuation with
+// timestamp t.Ts on side: nothing joinable on the opposite side below t.Ts
+// remains possible, so expire state and propagate the bound (Figure 6, last
+// production rule).
+func (j *WindowJoin) punctStep(ctx *Ctx, side int, t *tuple.Tuple) bool {
 	j.expireSide(1-side, t.Ts)
 	j.regs.Observe(ctx.Ins)
 	bound, _ := j.regs.Min()
@@ -284,6 +309,33 @@ func (j *WindowJoin) execTSM(ctx *Ctx) bool {
 	}
 	ctx.free(t) // absorbed: the bound did not advance
 	return false
+}
+
+// barrierHost hooks (see barrier.go).
+
+func (j *WindowJoin) replayData(ctx *Ctx, side int, t *tuple.Tuple) {
+	j.produce(ctx, side, t)
+}
+
+func (j *WindowJoin) replayPunct(ctx *Ctx, side int, t *tuple.Tuple) {
+	j.punctStep(ctx, side, t)
+}
+
+func (j *WindowJoin) barrierBound(ctx *Ctx) tuple.Time {
+	j.regs.Observe(ctx.Ins)
+	bound, _ := j.regs.Min()
+	return bound
+}
+
+func (j *WindowJoin) emitBarrier(ctx *Ctx, id uint64, bound tuple.Time) {
+	if bound > j.watermark && bound != tuple.MaxTime {
+		j.watermark = bound
+	}
+	j.punctOut++
+	ctx.barrier(id, bound)
+	p := tuple.GetPunct(bound)
+	p.Ckpt = id
+	ctx.Emit(p)
 }
 
 func (j *WindowJoin) execLatent(ctx *Ctx) bool {

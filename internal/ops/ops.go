@@ -19,6 +19,7 @@ package ops
 
 import (
 	"repro/internal/buffer"
+	"repro/internal/ckpt"
 	"repro/internal/tuple"
 )
 
@@ -43,6 +44,14 @@ type Ctx struct {
 	// prove exclusive ownership — e.g. the concurrent runtime enables it
 	// for fan-out-free graphs with Options.Recycle.
 	Release func(*tuple.Tuple)
+	// OnBarrier, when non-nil, is invoked by the operator the moment a
+	// checkpoint barrier (a punctuation with Ckpt != 0) has fully applied
+	// to it — after every input's barrier is aligned and before any
+	// post-barrier tuple is processed. The engine snapshots the operator's
+	// state inside the callback (on the node's own goroutine, so no
+	// locking is needed); bound is the merged barrier timestamp the
+	// operator conveys downstream.
+	OnBarrier func(id uint64, bound tuple.Time)
 }
 
 // free recycles t through the engine's release hook, when one is installed.
@@ -50,6 +59,27 @@ func (c *Ctx) free(t *tuple.Tuple) {
 	if c.Release != nil && t != nil {
 		c.Release(t)
 	}
+}
+
+// barrier reports a fully applied checkpoint barrier to the engine.
+func (c *Ctx) barrier(id uint64, bound tuple.Time) {
+	if c.OnBarrier != nil {
+		c.OnBarrier(id, bound)
+	}
+}
+
+// Stateful is implemented by operators whose state survives a crash through
+// punctuation-aligned checkpoints. SaveState encodes the operator's complete
+// state; it is called on the operator's own goroutine at a barrier, so it
+// may read everything freely but must not block on I/O (the payload is
+// persisted elsewhere). RestoreState decodes a payload produced by SaveState
+// into a freshly constructed operator of the identical shape (same
+// constructor arguments); it runs before the engine starts. Implementations
+// must consume their payload exactly — the engine verifies with
+// Decoder.Done.
+type Stateful interface {
+	SaveState(enc *ckpt.Encoder)
+	RestoreState(dec *ckpt.Decoder) error
 }
 
 // Operator is one node's behaviour in the query graph. Implementations are

@@ -83,6 +83,9 @@ func (r *Reorder) Exec(ctx *Ctx) bool {
 		if t.Ts > r.high {
 			r.high = t.Ts
 		}
+		if t.Ckpt != 0 {
+			ctx.barrier(t.Ckpt, t.Ts)
+		}
 		ctx.Emit(t)
 		return true
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/ckpt"
 	"repro/internal/tsm"
 	"repro/internal/tuple"
 )
@@ -158,6 +159,13 @@ func (s *Source) IngestCol(b *tuple.ColBatch, now tuple.Time) {
 // Emitted reports the number of data tuples the source has emitted.
 func (s *Source) Emitted() uint64 { return s.emitted }
 
+// Seq reports the sequence number of the last data tuple emitted — after a
+// checkpoint restore, the replay watermark: clients must resend everything
+// above it and nothing at or below it. Single-owner like the rest of the
+// source; read it only while the engine is stopped or from the source's own
+// goroutine.
+func (s *Source) Seq() uint64 { return s.seq }
+
 // ETSEmitted reports the number of punctuation tuples the source has
 // emitted (periodic and on-demand combined).
 func (s *Source) ETSEmitted() uint64 { return s.etsEmitted }
@@ -176,10 +184,22 @@ func (s *Source) Exec(ctx *Ctx) bool {
 		return false
 	}
 	if out.IsPunct() {
-		if s.est != nil && !out.IsEOS() {
+		s.etsEmitted++
+		if out.Ckpt != 0 {
+			// Checkpoint barrier (injected at MinTime): rewrite its
+			// timestamp to the estimator's standing bound — the strongest
+			// promise downstream could already rely on — so the barrier
+			// flows as an honest punctuation, and snapshot at the exact
+			// emission cut (s.seq is the replay watermark).
+			out.Ts = tuple.MinTime
+			if s.est != nil {
+				out.Ts = s.est.Bound()
+			}
+			ctx.barrier(out.Ckpt, out.Ts)
+		}
+		if s.est != nil && !out.IsEOS() && out.Ts != tuple.MinTime {
 			s.est.Emit(out.Ts)
 		}
-		s.etsEmitted++
 		ctx.Emit(out)
 		return true
 	}
@@ -264,11 +284,27 @@ type Sink struct {
 
 	received uint64
 	punct    uint64
+
+	// Optional application-state hooks: a consumer that accumulates state
+	// from delivered tuples (a test harness checksum, an output offset) can
+	// ride the sink's checkpoint segment with it, keeping its state aligned
+	// with the same cut as the operators'.
+	saveHook    func(*ckpt.Encoder)
+	restoreHook func(*ckpt.Decoder) error
 }
 
 // NewSink returns a sink; onTuple may be nil.
 func NewSink(name string, onTuple func(t *tuple.Tuple, now tuple.Time)) *Sink {
 	return &Sink{base: base{name: name, inputs: 1}, onTuple: onTuple}
+}
+
+// StateHooks attaches application save/restore callbacks to the sink's
+// checkpoint segment. Both must be set together (a snapshot written with
+// hooks does not restore into a sink without them, and vice versa); call
+// before the engine starts.
+func (s *Sink) StateHooks(save func(*ckpt.Encoder), restore func(*ckpt.Decoder) error) {
+	s.saveHook = save
+	s.restoreHook = restore
 }
 
 // Received reports the number of data tuples delivered.
@@ -296,6 +332,9 @@ func (s *Sink) Exec(ctx *Ctx) bool {
 	}
 	if t.IsPunct() {
 		s.punct++
+		if t.Ckpt != 0 {
+			ctx.barrier(t.Ckpt, t.Ts)
+		}
 		ctx.free(t)
 		return false
 	}

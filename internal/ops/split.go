@@ -218,9 +218,16 @@ func (s *Split) Exec(ctx *Ctx) bool {
 	if t.IsPunct() {
 		s.promote(t.Ts)
 		// Each shard gets its own copy so ownership stays single; EOS
-		// (a punctuation at MaxTime) broadcasts the same way.
+		// (a punctuation at MaxTime) broadcasts the same way, and a
+		// checkpoint barrier's tag rides every copy — each shard aligns on
+		// its own barrier.
 		for k := 0; k < s.shards; k++ {
-			ctx.EmitTo(k, tuple.GetPunct(t.Ts))
+			p := tuple.GetPunct(t.Ts)
+			p.Ckpt = t.Ckpt
+			ctx.EmitTo(k, p)
+		}
+		if t.Ckpt != 0 {
+			ctx.barrier(t.Ckpt, t.Ts)
 		}
 		ctx.free(t)
 		return true

@@ -41,6 +41,11 @@ func (u *unary) Exec(ctx *Ctx) bool {
 	}
 	if t.IsPunct() {
 		u.inPunct++
+		if t.Ckpt != 0 {
+			// Stateless transforms have nothing to snapshot, but the engine
+			// still counts every node's barrier application for completion.
+			ctx.barrier(t.Ckpt, t.Ts)
+		}
 		ctx.Emit(t)
 		return true
 	}

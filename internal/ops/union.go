@@ -34,6 +34,7 @@ type Union struct {
 
 	watermark tuple.Time // highest output bound already conveyed downstream
 	rr        int        // round-robin cursor for latent mode
+	al        aligner    // checkpoint-barrier alignment (TSM mode)
 
 	dataOut  uint64
 	punctOut uint64
@@ -79,6 +80,9 @@ func (u *Union) More(ctx *Ctx) bool {
 		return allNonEmpty(ctx.Ins)
 	case TSM:
 		u.regs.Observe(ctx.Ins)
+		if u.al.ready(ctx.Ins) >= 0 {
+			return true
+		}
 		ok, _, _ := u.regs.More(ctx.Ins)
 		return ok
 	default: // LatentMode
@@ -93,6 +97,9 @@ func (u *Union) BlockingInput(ctx *Ctx) int {
 		return firstEmpty(ctx.Ins)
 	case TSM:
 		u.regs.Observe(ctx.Ins)
+		if u.al.ready(ctx.Ins) >= 0 {
+			return -1
+		}
 		if ok, _, _ := u.regs.More(ctx.Ins); ok {
 			return -1
 		}
@@ -138,22 +145,39 @@ func (u *Union) execBasic(ctx *Ctx) bool {
 
 func (u *Union) execTSM(ctx *Ctx) bool {
 	u.regs.Observe(ctx.Ins)
-	ok, input, τ := u.regs.More(ctx.Ins)
-	if !ok {
-		return false
+	var t *tuple.Tuple
+	τ := tuple.MinTime
+	input := u.al.ready(ctx.Ins)
+	if input >= 0 {
+		// A checkpoint barrier at the head of an unaligned input is
+		// consumable regardless of τ (see barrier.go).
+		t = ctx.Ins[input].Pop()
+	} else {
+		ok, in, bound := u.regs.More(ctx.Ins)
+		if !ok {
+			return false
+		}
+		input, τ = in, bound
+		t = ctx.Ins[input].Pop()
 	}
-	t := ctx.Ins[input].Pop()
+	if handled, yield := handleBarrier(&u.al, u, ctx, input, t); handled {
+		return yield
+	}
 	if !t.IsPunct() {
 		// Data tuple at τ: deliver it (Figure 6). The tuple itself
 		// carries the bound τ downstream.
 		if τ > u.watermark {
 			u.watermark = τ
 		}
-		u.dataOut++
-		ctx.Emit(t)
+		u.replayData(ctx, input, t)
 		return true
 	}
-	// Punctuation at τ: consuming it may raise the operator-wide bound.
+	return u.punctStep(ctx, t)
+}
+
+// punctStep runs the TSM punctuation rule for a consumed punctuation:
+// re-observe, compute the merged bound, forward/dedup/absorb.
+func (u *Union) punctStep(ctx *Ctx, t *tuple.Tuple) bool {
 	u.regs.Observe(ctx.Ins)
 	bound, _ := u.regs.Min()
 	if !u.DedupPunct {
@@ -176,6 +200,34 @@ func (u *Union) execTSM(ctx *Ctx) bool {
 	}
 	ctx.free(t) // absorbed: the bound did not advance
 	return false
+}
+
+// barrierHost hooks (see barrier.go).
+
+func (u *Union) replayData(ctx *Ctx, _ int, t *tuple.Tuple) {
+	u.dataOut++
+	ctx.Emit(t)
+}
+
+func (u *Union) replayPunct(ctx *Ctx, _ int, t *tuple.Tuple) {
+	u.punctStep(ctx, t)
+}
+
+func (u *Union) barrierBound(ctx *Ctx) tuple.Time {
+	u.regs.Observe(ctx.Ins)
+	bound, _ := u.regs.Min()
+	return bound
+}
+
+func (u *Union) emitBarrier(ctx *Ctx, id uint64, bound tuple.Time) {
+	if bound > u.watermark && bound != tuple.MaxTime {
+		u.watermark = bound
+	}
+	u.punctOut++
+	ctx.barrier(id, bound)
+	p := tuple.GetPunct(bound)
+	p.Ckpt = id
+	ctx.Emit(p)
 }
 
 // allEOS reports whether every register has reached end-of-stream.

@@ -95,6 +95,9 @@ func (v *Validate) Exec(ctx *Ctx) bool {
 		if t.Ts > v.bound {
 			v.bound = t.Ts
 		}
+		if t.Ckpt != 0 {
+			ctx.barrier(t.Ckpt, t.Ts)
+		}
 	} else if t.Ts != tuple.MinTime && t.Ts < v.bound {
 		v.record("punctuation broken: data at %v after a promise of %v", t.Ts, v.bound)
 	}

@@ -1,0 +1,77 @@
+package runtime_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/runtime"
+	"repro/internal/tuple"
+)
+
+// A planner-built join graph (source → hash join → project → sink) under an
+// overload feed, used to regress a livelock: a barrier rides the arcs FIFO,
+// so with unbounded queues a join whose fan-out outpaces its consumers pushes
+// every checkpoint after the first out past its timeout. Bounded queues with
+// backpressure keep the in-flight data — and therefore barrier latency —
+// bounded, and consecutive checkpoints must all complete.
+func TestCheckpointRepeatsOnPlannedGraph(t *testing.T) {
+	e := core.NewEngine()
+	e.MustExecute(`CREATE STREAM backbone (flow int, bytes int) TIMESTAMP EXTERNAL`, nil)
+	e.MustExecute(`CREATE STREAM mgmt (flow int, code int) TIMESTAMP EXTERNAL`, nil)
+	e.MustExecute(`SELECT backbone.flow, bytes, code FROM backbone JOIN mgmt ON backbone.flow = mgmt.flow WINDOW 200ms`, func(*tuple.Tuple, tuple.Time) {})
+	re, err := e.BuildRuntime(runtime.Options{OnDemandETS: true, MaxQueueLen: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sb, err := e.LookupStream("backbone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sm, err := e.LookupStream("mgmt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Start()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, src := range []*ops.Source{sb, sm} {
+		src := src
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				re.Ingest(src, tuple.NewData(tuple.Time(i*1000), tuple.Int(int64(i%8)), tuple.Int(int64(i))))
+			}
+		}()
+	}
+	// Let the feed build real pressure before the first barrier: the join's
+	// ~25x fan-out (200ms window, 1ms tuple spacing, 8 keys) saturates it, so
+	// every queue sits at its bound when the checkpoints start.
+	time.Sleep(100 * time.Millisecond)
+	for id := uint64(1); id <= 3; id++ {
+		snap, err := re.Checkpoint(id, 30*time.Second)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", id, err)
+		}
+		names := make(map[string]bool, len(snap.Segments))
+		for _, seg := range snap.Segments {
+			names[seg.Name] = true
+		}
+		for _, want := range []string{"backbone", "mgmt", "join"} {
+			if !names[want] {
+				t.Fatalf("checkpoint %d: no segment for stateful node %q (got %v)", id, want, names)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	re.Stop()
+}

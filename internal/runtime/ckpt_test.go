@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// buildCkptGraph builds s1,s2 → union(TSM) → tumbling count(10) → sink: one
+// aligned multi-input operator plus a blocking stateful one, the two shapes
+// the barrier protocol has to get right.
+func buildCkptGraph() (*graph.Graph, *ops.Source, *ops.Source, *ops.Sink, *collector) {
+	g := graph.New("ck")
+	sch := intSchema("s", tuple.External)
+	s1 := ops.NewSource("s1", sch, 0)
+	s2 := ops.NewSource("s2", sch, 0)
+	a := g.AddNode(s1)
+	b := g.AddNode(s2)
+	u := g.AddNode(ops.NewUnion("u", nil, 2, ops.TSM), a, b)
+	an := g.AddNode(ops.NewAggregate("agg", nil, 10, -1, ops.AggSpec{Fn: ops.Count}), u)
+	col := &collector{}
+	sink := ops.NewSink("k", col.add)
+	g.AddNode(sink, an)
+	return g, s1, s2, sink, col
+}
+
+func feedRange(e *Engine, s *ops.Source, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		e.Ingest(s, tuple.NewData(tuple.Time(i), tuple.Int(int64(i))))
+	}
+}
+
+func TestCheckpointRestoreRoundTrip(t *testing.T) {
+	g, s1, s2, sink, _ := buildCkptGraph()
+	e, err := New(g, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	feedRange(e, s1, 1, 11)
+	feedRange(e, s2, 1, 11)
+
+	snap, err := e.Checkpoint(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != 1 {
+		t.Fatalf("snapshot id %d, want 1", snap.ID)
+	}
+	for _, name := range []string{"s1", "s2", "u", "agg", "k"} {
+		if snap.Segment(name) == nil {
+			t.Fatalf("snapshot missing segment %q (have %d segments)", name, len(snap.Segments))
+		}
+	}
+
+	// Finish the original run.
+	feedRange(e, s1, 11, 21)
+	feedRange(e, s2, 11, 21)
+	e.CloseStream(s1)
+	e.CloseStream(s2)
+	e.Wait()
+	origReceived := sink.Received()
+	if origReceived == 0 {
+		t.Fatal("original run produced no output")
+	}
+
+	// Restore into an identical fresh graph and replay only the
+	// post-checkpoint input; the restored run must converge to the same
+	// delivered-row count.
+	g2, r1, r2, sink2, _ := buildCkptGraph()
+	e2, err := New(g2, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := r1.Seq(); got != 10 {
+		t.Fatalf("restored s1 seq %d, want 10 (the barrier cut)", got)
+	}
+	if got := r2.Seq(); got != 10 {
+		t.Fatalf("restored s2 seq %d, want 10", got)
+	}
+	e2.Start()
+	feedRange(e2, r1, 11, 21)
+	feedRange(e2, r2, 11, 21)
+	e2.CloseStream(r1)
+	e2.CloseStream(r2)
+	e2.Wait()
+	if got := sink2.Received(); got != origReceived {
+		t.Fatalf("restored run delivered %d rows, original %d", got, origReceived)
+	}
+}
+
+func TestCheckpointSerializesAndRepeats(t *testing.T) {
+	g, s1, s2, _, _ := buildCkptGraph()
+	e, err := New(g, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	for id := uint64(1); id <= 3; id++ {
+		feedRange(e, s1, int(id)*10, int(id)*10+5)
+		feedRange(e, s2, int(id)*10, int(id)*10+5)
+		snap, err := e.Checkpoint(id, 10*time.Second)
+		if err != nil {
+			t.Fatalf("checkpoint %d: %v", id, err)
+		}
+		if snap.ID != id {
+			t.Fatalf("snapshot id %d, want %d", snap.ID, id)
+		}
+	}
+}
+
+func TestCheckpointRejectsUnsupported(t *testing.T) {
+	g, _, _, _ := buildUnion(t, ops.Basic, tuple.Internal)
+	e, err := New(g, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	defer e.Stop()
+	if _, err := e.Checkpoint(1, time.Second); !errors.Is(err, ErrCkptUnsupported) {
+		t.Fatalf("Basic-mode union accepted for checkpoint: %v", err)
+	}
+}
+
+func TestCheckpointRequiresStartAndNonzeroID(t *testing.T) {
+	g, _, _, _, _ := buildCkptGraph()
+	e, err := New(g, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(1, time.Second); err == nil {
+		t.Fatal("checkpoint before Start accepted")
+	}
+	e.Start()
+	defer e.Stop()
+	if _, err := e.Checkpoint(0, time.Second); err == nil {
+		t.Fatal("checkpoint id 0 accepted")
+	}
+}
+
+func TestRestoreRejectsMismatchAndRunning(t *testing.T) {
+	g, s1, s2, _, _ := buildCkptGraph()
+	e, err := New(g, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	feedRange(e, s1, 1, 6)
+	feedRange(e, s2, 1, 6)
+	snap, err := e.Checkpoint(1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+
+	// A different graph shape must be rejected wholesale.
+	g2, _, _, col := buildUnion(t, ops.TSM, tuple.Internal)
+	e2, err := New(g2, Options{OnDemandETS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = col
+	if err := e2.Restore(snap); err == nil {
+		t.Fatal("restore into a mismatched graph accepted")
+	}
+
+	// Restore after Start must be rejected.
+	g3, _, _, _, _ := buildCkptGraph()
+	e3, err := New(g3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3.Start()
+	defer e3.Stop()
+	if err := e3.Restore(snap); err == nil {
+		t.Fatal("restore into a running engine accepted")
+	}
+}

@@ -171,6 +171,13 @@ func (e *Engine) instrument() {
 		}
 		return int64(e.now()) - start
 	})
+	reg.CounterFunc("sm_ckpt_total", func() int64 { return int64(e.ckptTotal.Load()) })
+	reg.CounterFunc("sm_ckpt_failed_total", func() int64 { return int64(e.ckptFailed.Load()) })
+	reg.CounterFunc("sm_ckpt_bytes_total", func() int64 { return int64(e.ckptBytes.Load()) })
+	// Engine clock of the last completed checkpoint — 0 until one completes,
+	// so readiness probes can distinguish "never checkpointed" cheaply.
+	reg.GaugeFunc("sm_ckpt_last_complete_us", func() int64 { return e.ckptLastUs.Load() })
+	e.ckptDur = reg.Reservoir("sm_ckpt_duration_us", 256)
 	if e.plan != nil {
 		for s := 0; s < e.plan.Shards; s++ {
 			s := s

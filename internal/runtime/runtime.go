@@ -270,6 +270,17 @@ type Engine struct {
 	trace   *metrics.Tracer
 	spans   *obs.Collector
 	startTs atomic.Int64 // engine clock at Start, µs; -1 before
+
+	// Checkpointing (see ckpt.go). ckptMu serializes Checkpoint calls;
+	// ckptCur is the in-flight collection (nil when none) that node
+	// goroutines report into from their barrier callbacks.
+	ckptMu     sync.Mutex
+	ckptCur    atomic.Pointer[ckptCollect]
+	ckptTotal  atomic.Uint64
+	ckptFailed atomic.Uint64
+	ckptBytes  atomic.Uint64
+	ckptLastUs atomic.Int64 // engine clock when the last checkpoint completed
+	ckptDur    *metrics.Reservoir
 }
 
 // portBatch is one arc delivery: a single tuple (the Ingest fast path, no
@@ -778,6 +789,7 @@ func (e *Engine) runNode(n *node) {
 		EmitTo: func(i int, t *tuple.Tuple) { e.emitTo(n, i, t) },
 		Now:    e.now,
 	}
+	ctx.OnBarrier = func(id uint64, bound tuple.Time) { e.onBarrier(n, id, bound) }
 	if e.recycle {
 		// Each node goroutine recycles through its own magazine so the
 		// per-tuple release costs a stack push, not a shared-pool access.

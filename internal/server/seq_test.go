@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+func mkSensor(ts tuple.Time) *tuple.Tuple {
+	return tuple.NewData(ts, tuple.Int(int64(ts)), tuple.Float(1))
+}
+
+// TestSeqDedupe drives the sequenced-ingest protocol over raw wire frames:
+// the server must seed its watermark from Options.InitialSeq (a restored
+// checkpoint cut), report it in BIND_ACK, drop whole and partial resend
+// overlaps, and advance the watermark over what it admits.
+func TestSeqDedupe(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend:    back,
+		InitialSeq: map[string]uint64{"sensors": 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.send(wire.Hello{Version: wire.Version, Flags: wire.CapSeq, Name: "seq", Clock: 0})
+	ack, ok := tc.recv().(wire.HelloAck)
+	if !ok {
+		t.Fatal("no HELLO_ACK")
+	}
+	if ack.Flags&wire.CapSeq == 0 {
+		t.Fatalf("server did not grant CapSeq (flags %x)", ack.Flags)
+	}
+	tc.send(wire.Bind{ID: 1, Stream: "sensors", TS: tuple.External})
+	bak, ok := tc.recv().(wire.BindAck)
+	if !ok || bak.Err != "" {
+		t.Fatalf("bind failed: %+v", bak)
+	}
+	if bak.Seq != 3 {
+		t.Fatalf("BIND_ACK watermark = %d, want 3 (the seeded cut)", bak.Seq)
+	}
+
+	// A batch overlapping the watermark: seqs 1..5, of which 1..3 were
+	// applied before the "crash" — only 4 and 5 may land.
+	batch := []*tuple.Tuple{mkSensor(10), mkSensor(20), mkSensor(30), mkSensor(40), mkSensor(50)}
+	tc.send(wire.Tuples{ID: 1, Batch: batch, Seq: 1})
+	// The identical resend: a full duplicate, nothing lands.
+	batch2 := []*tuple.Tuple{mkSensor(10), mkSensor(20), mkSensor(30), mkSensor(40), mkSensor(50)}
+	tc.send(wire.Tuples{ID: 1, Batch: batch2, Seq: 1})
+	// A fresh single tuple, then its duplicate resend.
+	tc.send(wire.Tuple{ID: 1, T: mkSensor(60), Seq: 6})
+	tc.send(wire.Tuple{ID: 1, T: mkSensor(60), Seq: 6})
+	tc.send(wire.EOS{ID: 1})
+
+	waitCounts(t, back, 3, 0, true)
+	back.mu.Lock()
+	defer back.mu.Unlock()
+	var got []tuple.Time
+	for _, d := range back.data {
+		got = append(got, d.Ts)
+	}
+	want := []tuple.Time{40, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("applied timestamps %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("applied timestamps %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSeqNotGrantedWithoutOffer confirms an unsequenced session is untouched
+// by the dedupe path: no watermark in BIND_ACK, nothing suppressed.
+func TestSeqNotGrantedWithoutOffer(t *testing.T) {
+	back := newRecBackend(sensorSchema(), nil)
+	srv, err := server.Listen("127.0.0.1:0", server.Options{
+		Backend:    back,
+		InitialSeq: map[string]uint64{"sensors": 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	tc := dialWire(t, srv.Addr().String())
+	defer tc.conn.Close()
+	tc.send(wire.Hello{Version: wire.Version, Name: "plain", Clock: 0})
+	if ack, ok := tc.recv().(wire.HelloAck); !ok || ack.Flags&wire.CapSeq != 0 {
+		t.Fatalf("unexpected HELLO_ACK: %+v", ack)
+	}
+	tc.send(wire.Bind{ID: 1, Stream: "sensors", TS: tuple.External})
+	bak, ok := tc.recv().(wire.BindAck)
+	if !ok || bak.Err != "" || bak.Seq != 0 {
+		t.Fatalf("BIND_ACK = %+v, want no watermark", bak)
+	}
+	tc.send(wire.Tuple{ID: 1, T: mkSensor(10)})
+	tc.send(wire.EOS{ID: 1})
+	waitCounts(t, back, 1, 0, true)
+}

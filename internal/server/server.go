@@ -93,6 +93,12 @@ type Options struct {
 	// drain logic for a heartbeat cadence; also the read-deadline grace
 	// applied during Drain. Default 1s.
 	HeartbeatEvery time.Duration
+	// InitialSeq seeds each stream's ingest-sequence dedupe watermark (see
+	// wire.CapSeq) when the stream first opens — after a checkpoint restore,
+	// the restored source sequence numbers go here, so reconnecting clients
+	// that resend their retained batches have everything at or below the
+	// snapshot cut suppressed instead of double-applied.
+	InitialSeq map[string]uint64
 }
 
 // Server accepts and runs ingest sessions.
@@ -131,8 +137,37 @@ type streamState struct {
 	eosWanted bool
 	closed    bool
 
+	// ingested is the stream's sequence dedupe watermark: the highest
+	// client-assigned sequence number applied so far (wire.CapSeq). Seeded
+	// from Options.InitialSeq at open; sessions advance it as they admit
+	// sequenced frames and report it in BIND_ACK so reconnecting producers
+	// trim their resend batches.
+	ingested atomic.Uint64
+
 	tuples *metrics.Counter64
 	skewUs *metrics.Gauge64
+}
+
+// admitSeq checks the sequence range [seq, seq+n) against the stream's
+// dedupe watermark and advances the watermark over it. It returns how many
+// leading tuples of the range are duplicates (already applied under an
+// earlier session or before a crash) and must be dropped; the remaining
+// suffix is the caller's to ingest. Dedupe assumes one sequenced producer
+// per stream — concurrent sequenced writers would interleave their counters.
+func (st *streamState) admitSeq(seq uint64, n int) int {
+	last := seq + uint64(n) - 1
+	for {
+		cur := st.ingested.Load()
+		if last <= cur {
+			return n // whole range already applied
+		}
+		if st.ingested.CompareAndSwap(cur, last) {
+			if seq > cur {
+				return 0
+			}
+			return int(cur - seq + 1)
+		}
+	}
 }
 
 type serverMetrics struct {
@@ -144,6 +179,7 @@ type serverMetrics struct {
 	bytesIn      *metrics.Counter64
 	bytesOut     *metrics.Counter64
 	tuplesIn     *metrics.Counter64
+	tuplesDedup  *metrics.Counter64
 	punctIn      *metrics.Counter64
 	punctIgnored *metrics.Counter64
 	heartbeats   *metrics.Counter64
@@ -197,6 +233,7 @@ func Listen(addr string, opts Options) (*Server, error) {
 	m.bytesIn = s.reg.Counter("sm_net_bytes_in_total")
 	m.bytesOut = s.reg.Counter("sm_net_bytes_out_total")
 	m.tuplesIn = s.reg.Counter("sm_net_tuples_in_total")
+	m.tuplesDedup = s.reg.Counter("sm_net_tuples_deduped_total")
 	m.punctIn = s.reg.Counter("sm_net_punct_in_total")
 	m.punctIgnored = s.reg.Counter("sm_net_punct_ignored_total")
 	m.heartbeats = s.reg.Counter("sm_net_heartbeats_total")
@@ -285,6 +322,7 @@ func (s *Server) openStream(name string) (*streamState, error) {
 		tuples: s.reg.Counter(fmt.Sprintf("sm_net_stream_tuples_total{stream=%s}", name)),
 		skewUs: s.reg.Gauge(fmt.Sprintf("sm_net_skew_delta_us{stream=%s}", name)),
 	}
+	st.ingested.Store(s.opts.InitialSeq[name])
 	if st.src != nil {
 		st.skewUs.Set(int64(st.src.Delta()))
 	}

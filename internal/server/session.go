@@ -114,7 +114,7 @@ func (c *session) runBinary(br *bufio.Reader) {
 		ver = hello.Version
 	}
 	// Grant the intersection of the client's offered capabilities and ours.
-	c.caps = hello.Flags & wire.CapColumnar
+	c.caps = hello.Flags & (wire.CapColumnar | wire.CapSeq)
 	if c.s.spans != nil {
 		// Trace context is only useful (and only decoded into span events)
 		// when a collector exists server-side.
@@ -147,6 +147,15 @@ func (c *session) runBinary(br *bufio.Reader) {
 				c.protoError("TUPLE on unbound stream id %d", f.ID)
 				return
 			}
+			if f.Seq != 0 && c.caps&wire.CapSeq != 0 && b.st.admitSeq(f.Seq, 1) > 0 {
+				// A resend the stream already applied (retained-batch replay
+				// after reconnect or crash recovery): suppress, but still
+				// return the credit the client spent on it.
+				rd.Release(f.T)
+				s.m.tuplesDedup.Inc()
+				c.grant(1)
+				continue
+			}
 			s.m.tuplesIn.Inc()
 			b.st.tuples.Inc()
 			b.st.sink.Ingest(f.T)
@@ -161,9 +170,23 @@ func (c *session) runBinary(br *bufio.Reader) {
 				return
 			}
 			n := uint32(len(f.Batch))
-			s.m.tuplesIn.Add(uint64(n))
-			b.st.tuples.Add(uint64(n))
-			b.st.sink.IngestBatch(f.Batch)
+			batch := f.Batch
+			if f.Seq != 0 && c.caps&wire.CapSeq != 0 {
+				// The batch occupies Seq..Seq+n-1; drop the already-applied
+				// prefix (a resend overlapping the dedupe watermark).
+				if drop := b.st.admitSeq(f.Seq, len(batch)); drop > 0 {
+					for _, t := range batch[:drop] {
+						rd.Release(t)
+					}
+					s.m.tuplesDedup.Add(uint64(drop))
+					batch = batch[drop:]
+				}
+			}
+			if len(batch) > 0 {
+				s.m.tuplesIn.Add(uint64(len(batch)))
+				b.st.tuples.Add(uint64(len(batch)))
+				b.st.sink.IngestBatch(batch)
+			}
 			c.grant(n)
 		case wire.TuplesCol:
 			if c.caps&wire.CapColumnar == 0 {
@@ -286,7 +309,13 @@ func (c *session) handleBind(f wire.Bind) {
 	// The client's declared δ may already widen the source's bound, and the
 	// HELLO sample plus any prior heartbeats may widen it further.
 	c.applySkew()
-	c.send(wire.BindAck{ID: f.ID})
+	ack := wire.BindAck{ID: f.ID}
+	if c.caps&wire.CapSeq != 0 {
+		// Tell the producer where the stream's dedupe watermark stands so it
+		// can trim its retained resend batch before replaying.
+		ack.Seq = st.ingested.Load()
+	}
+	c.send(ack)
 }
 
 // checkBind validates the client's declared schema against the server's.

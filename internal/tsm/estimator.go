@@ -146,3 +146,31 @@ func (e *ETSEstimator) Emit(ets tuple.Time) {
 		e.hasETS = true
 	}
 }
+
+// Bound reports the strongest promise already standing on the arc: the last
+// issued ETS, else the last emitted timestamp, else tuple.MinTime. Unlike
+// ETS it never speculates — the value restates what downstream could
+// already rely on, which is exactly what a checkpoint barrier may carry
+// without lying about the future.
+func (e *ETSEstimator) Bound() tuple.Time {
+	if e.hasETS {
+		return e.lastETS
+	}
+	if e.seen {
+		return e.lastTs
+	}
+	return tuple.MinTime
+}
+
+// State exports the estimator's single-owner fields for a checkpoint
+// (lastTs, lastArrival, seen, lastETS, hasETS — δ is configuration and is
+// re-learned, not checkpointed). Must be called from the source's goroutine.
+func (e *ETSEstimator) State() (lastTs, lastArrival tuple.Time, seen bool, lastETS tuple.Time, hasETS bool) {
+	return e.lastTs, e.lastArrival, e.seen, e.lastETS, e.hasETS
+}
+
+// SetState restores the fields exported by State.
+func (e *ETSEstimator) SetState(lastTs, lastArrival tuple.Time, seen bool, lastETS tuple.Time, hasETS bool) {
+	e.lastTs, e.lastArrival, e.seen = lastTs, lastArrival, seen
+	e.lastETS, e.hasETS = lastETS, hasETS
+}

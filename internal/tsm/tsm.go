@@ -42,6 +42,11 @@ func (r *Registers) Len() int { return len(r.ts) }
 // Get returns register i.
 func (r *Registers) Get(i int) tuple.Time { return r.ts[i] }
 
+// Set overwrites register i unconditionally — the checkpoint-restore path,
+// where the saved value is a valid lower bound for the replayed stream and
+// the current value is the zero MinTime.
+func (r *Registers) Set(i int, ts tuple.Time) { r.ts[i] = ts }
+
 // Update sets register i to ts if ts is larger; timestamps on an arc are
 // non-decreasing so a smaller value would indicate disorder and is ignored.
 // It reports whether the register advanced.

@@ -64,6 +64,7 @@ func Put(t *Tuple) {
 	t.Arrived = 0
 	t.Seq = 0
 	t.Trace = 0
+	t.Ckpt = 0
 	tuplePool.Put(t)
 }
 
@@ -124,6 +125,7 @@ func (m *Magazine) Put(t *Tuple) {
 	t.Arrived = 0
 	t.Seq = 0
 	t.Trace = 0
+	t.Ckpt = 0
 	if len(m.stack) >= 2*MagazineSize {
 		top := len(m.stack) - MagazineSize
 		spill := make([]*Tuple, MagazineSize)

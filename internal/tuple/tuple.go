@@ -136,6 +136,12 @@ type Tuple struct {
 	// ETS logic, watchdog, or a remote client over the wire) and rides the
 	// tuple so every hop can append to the same timeline.
 	Trace uint64
+	// Ckpt is the checkpoint-barrier ID for Kind==Punct when the tuple is a
+	// barrier punctuation; 0 means not a barrier. Data tuples never carry a
+	// barrier ID. The checkpoint coordinator assigns it at injection and it
+	// rides the punctuation through the graph so every stateful operator
+	// snapshots at the same consistent cut.
+	Ckpt uint64
 }
 
 // NewData returns a data tuple with the given timestamp and values.

@@ -199,6 +199,13 @@ type BindAck struct {
 	ID uint32
 	// Err is empty on success, else the rejection reason.
 	Err string
+	// Seq is the server's last-applied ingest sequence number for the
+	// stream (0 = none, or sequencing not in use): the dedupe watermark a
+	// reconnecting client trims its retained resend batch against, so a
+	// crash-restored server tells each producer exactly where to resume.
+	// Optional trailing field, encoded only when non-zero under CapSeq
+	// (same scheme as HelloAck.Flags).
+	Seq uint64
 }
 
 // Tuple carries one data tuple for a bound stream.
@@ -208,6 +215,12 @@ type Tuple struct {
 	// T is the tuple; Ts is its external timestamp (ignored by the server
 	// for internal/latent streams, which stamp on arrival).
 	T *tuple.Tuple
+	// Seq is the client-assigned per-stream sequence number (1-based,
+	// contiguous; 0 = unsequenced). The server applies the tuple only when
+	// Seq exceeds its last-applied watermark, making retained-batch resend
+	// after reconnect or crash recovery idempotent. Optional trailing
+	// field, encoded only when non-zero under CapSeq.
+	Seq uint64
 }
 
 // Tuples carries a batch of data tuples for one bound stream.
@@ -216,6 +229,11 @@ type Tuples struct {
 	ID uint32
 	// Batch holds the tuples, in send order.
 	Batch []*tuple.Tuple
+	// Seq is the sequence number of the first tuple in Batch; the batch
+	// occupies Seq..Seq+len(Batch)-1 (client-assigned, contiguous; 0 =
+	// unsequenced). Optional trailing field, encoded only when non-zero
+	// under CapSeq.
+	Seq uint64
 }
 
 // Punct carries an enabling timestamp: a promise that no future tuple on
@@ -244,6 +262,14 @@ type Punct struct {
 // server echoes it when span collection is enabled, and only then may
 // either side append the trailing Trace/Clock fields.
 const CapTrace uint16 = 1 << 1
+
+// CapSeq is the HELLO/HELLO_ACK capability bit for per-stream tuple
+// sequencing: TUPLE/TUPLES frames carry a trailing client-assigned sequence
+// number, BIND_ACK carries the server's last-applied watermark, and the
+// server suppresses duplicates below it. Together with the client's
+// retained-batch resend this upgrades reconnect and crash-restore replay
+// from at-least-once to effectively exactly-once.
+const CapSeq uint16 = 1 << 2
 
 // Heartbeat carries a sender clock sample. The receiver records
 // (senderClock, receiveClock) pairs; the spread of their differences bounds
@@ -563,12 +589,20 @@ func (f Bind) encode(b []byte) []byte {
 
 func (f BindAck) encode(b []byte) []byte {
 	b = putU32(b, f.ID)
-	return putString(b, f.Err)
+	b = putString(b, f.Err)
+	if f.Seq != 0 {
+		b = putU64(b, f.Seq)
+	}
+	return b
 }
 
 func (f Tuple) encode(b []byte) []byte {
 	b = putU32(b, f.ID)
-	return appendTuple(b, f.T)
+	b = appendTuple(b, f.T)
+	if f.Seq != 0 {
+		b = putU64(b, f.Seq)
+	}
+	return b
 }
 
 func (f Tuples) encode(b []byte) []byte {
@@ -576,6 +610,9 @@ func (f Tuples) encode(b []byte) []byte {
 	b = putUvarint(b, uint64(len(f.Batch)))
 	for _, t := range f.Batch {
 		b = appendTuple(b, t)
+	}
+	if f.Seq != 0 {
+		b = putU64(b, f.Seq)
 	}
 	return b
 }
@@ -636,10 +673,16 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 		return f, d.done()
 	case TypeBindAck:
 		f := BindAck{ID: d.u32(), Err: d.str()}
+		if d.err == nil && d.off < len(d.b) {
+			f.Seq = d.u64() // optional dedupe watermark (see BindAck.Seq)
+		}
 		return f, d.done()
 	case TypeTuple:
 		f := Tuple{ID: d.u32()}
 		f.T = d.tuple(mag)
+		if d.err == nil && d.off < len(d.b) {
+			f.Seq = d.u64() // optional sequence number (see Tuple.Seq)
+		}
 		return f, d.done()
 	case TypeTuples:
 		f := Tuples{ID: d.u32()}
@@ -651,6 +694,9 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 			if t := d.tuple(mag); t != nil {
 				f.Batch = append(f.Batch, t)
 			}
+		}
+		if d.err == nil && d.off < len(d.b) {
+			f.Seq = d.u64() // optional first-tuple sequence (see Tuples.Seq)
 		}
 		if err := d.done(); err != nil {
 			// Return already-decoded tuples to their pool: the frame is

@@ -136,9 +136,9 @@ func TestDecodeRejectsUnknownType(t *testing.T) {
 func TestDecodeRejectsHugeCounts(t *testing.T) {
 	// A corrupted arity/count must not allocate unboundedly.
 	var b []byte
-	b = putU32(b, 1)               // stream id
-	b = putI64(b, 0)               // ts
-	b = putUvarint(b, 1<<40)       // absurd arity
+	b = putU32(b, 1)         // stream id
+	b = putI64(b, 0)         // ts
+	b = putUvarint(b, 1<<40) // absurd arity
 	if _, err := DecodeFrame(TypeTuple, b, nil); err == nil {
 		t.Error("absurd arity accepted")
 	}
@@ -281,4 +281,57 @@ func TestPunctTraceCompat(t *testing.T) {
 	if _, err := DecodeFrame(TypePunct, tp[:len(lp)+8], nil); err == nil {
 		t.Fatal("truncated trace context decoded without error")
 	}
+}
+
+// TestSeqCompat pins the sequencing trailing-field contract on all three
+// frames that carry it: an unsequenced frame encodes exactly as the legacy
+// payload, a sequenced one appends exactly 8 bytes, and each decodes back.
+func TestSeqCompat(t *testing.T) {
+	mk := func() *tuple.Tuple { return tuple.NewData(7, tuple.Int(1)) }
+
+	lt := Tuple{ID: 3, T: mk()}.encode(nil)
+	st := Tuple{ID: 3, T: mk(), Seq: 41}.encode(nil)
+	if len(st) != len(lt)+8 {
+		t.Fatalf("sequenced TUPLE payload = %d bytes, want %d", len(st), len(lt)+8)
+	}
+	if f := mustDecode(t, TypeTuple, lt).(Tuple); f.Seq != 0 {
+		t.Fatalf("legacy TUPLE decoded with Seq=%d", f.Seq)
+	}
+	if f := mustDecode(t, TypeTuple, st).(Tuple); f.Seq != 41 || f.T.Ts != 7 {
+		t.Fatalf("sequenced TUPLE decoded to %+v", f)
+	}
+
+	lb := Tuples{ID: 3, Batch: []*tuple.Tuple{mk(), mk()}}.encode(nil)
+	sb := Tuples{ID: 3, Batch: []*tuple.Tuple{mk(), mk()}, Seq: 90}.encode(nil)
+	if len(sb) != len(lb)+8 {
+		t.Fatalf("sequenced TUPLES payload = %d bytes, want %d", len(sb), len(lb)+8)
+	}
+	if f := mustDecode(t, TypeTuples, sb).(Tuples); f.Seq != 90 || len(f.Batch) != 2 {
+		t.Fatalf("sequenced TUPLES decoded to %+v", f)
+	}
+
+	la := BindAck{ID: 3}.encode(nil)
+	sa := BindAck{ID: 3, Seq: 12}.encode(nil)
+	if len(sa) != len(la)+8 {
+		t.Fatalf("sequenced BIND_ACK payload = %d bytes, want %d", len(sa), len(la)+8)
+	}
+	if f := mustDecode(t, TypeBindAck, la).(BindAck); f.Seq != 0 {
+		t.Fatalf("legacy BIND_ACK decoded with Seq=%d", f.Seq)
+	}
+	if f := mustDecode(t, TypeBindAck, sa).(BindAck); f.Seq != 12 || f.Err != "" {
+		t.Fatalf("sequenced BIND_ACK decoded to %+v", f)
+	}
+	// A truncated trailing Seq must error, not silently misparse.
+	if _, err := DecodeFrame(TypeBindAck, sa[:len(la)+4], nil); err == nil {
+		t.Fatal("truncated trailing Seq decoded without error")
+	}
+}
+
+func mustDecode(t *testing.T, typ FrameType, payload []byte) Frame {
+	t.Helper()
+	f, err := DecodeFrame(typ, payload, nil)
+	if err != nil {
+		t.Fatalf("%v decode: %v", typ, err)
+	}
+	return f
 }
