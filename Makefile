@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-columnar bench-adaptive bench-obs bench-ckpt obs-smoke net-smoke col-smoke adapt-smoke chaos ckpt-smoke fuzz-smoke check
+.PHONY: all build vet test race bench bench-runtime bench-shard bench-net bench-dist bench-columnar bench-adaptive bench-obs bench-ckpt obs-smoke net-smoke col-smoke adapt-smoke dist-smoke chaos ckpt-smoke fuzz-smoke check
 
 all: check
 
@@ -35,6 +35,12 @@ bench-shard:
 # plus the kill-the-client watchdog check; writes BENCH_net.json.
 bench-net:
 	$(GO) run ./cmd/etsbench -net
+
+# Distributed-cut measurement: the sharded join once in a single process and
+# once cut across a coordinator plus two loopback workers; writes
+# BENCH_dist.json and exits non-zero if the result counts diverge.
+bench-dist:
+	$(GO) run ./cmd/etsbench -dist
 
 # Row-vs-columnar data-plane measurement on the filter/project/hash and
 # filter/join/aggregate pipelines; writes BENCH_columnar.json.
@@ -90,6 +96,16 @@ obs-smoke:
 net-smoke:
 	sh scripts/net_smoke.sh
 
+# Distributed-execution smoke under the race detector: the dist package's
+# property and end-to-end tests, then scripts/dist_smoke.sh — the distquery
+# stalled-link drill (worker watchdogs must force ETS into a quiet network
+# link), a scaled-down etsbench -dist with the exact-output check, and a
+# real streamd coordinator + 2 workers fed over the wire with a clean
+# SIGINT drain.
+dist-smoke:
+	$(GO) test -race ./internal/dist
+	sh scripts/dist_smoke.sh
+
 # Adaptive-controller smoke under the race detector: the controller unit
 # tests (batch climb, barrier rebalance, probe reorder, the reconfig-at-
 # boundary property), then a short self-tuning run that must issue and
@@ -115,4 +131,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzColBatchRoundTrip -fuzztime=30s -run '^$$' ./internal/tuple
 	$(GO) test -fuzz=FuzzStateRoundTrip -fuzztime=30s -run '^$$' ./internal/ops
 
-check: vet build test race bench obs-smoke net-smoke col-smoke adapt-smoke chaos ckpt-smoke
+check: vet build test race bench obs-smoke net-smoke col-smoke adapt-smoke dist-smoke chaos ckpt-smoke

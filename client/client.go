@@ -125,6 +125,10 @@ type Conn struct {
 	streams map[uint32]*Stream
 	nextID  uint32
 
+	// planAcks tracks in-flight plan control operations by plan id (see
+	// plan.go); readLoop resolves them as PLAN_ACK frames arrive.
+	planAcks map[uint64]*planAck
+
 	reconnecting bool
 
 	hbStop  chan struct{}
@@ -331,6 +335,11 @@ func (c *Conn) readLoop(conn net.Conn, rd *wire.Reader, epoch uint64) {
 				if f.Err == "" {
 					s.applyAckSeq(f.Seq)
 				}
+				c.cond.Broadcast()
+			}
+		case wire.PlanAck:
+			if pa := c.planAcks[f.Plan]; pa != nil && !pa.done {
+				pa.done, pa.err = true, f.Err
 				c.cond.Broadcast()
 			}
 		case wire.Error:

@@ -1,0 +1,73 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// planAck tracks one in-flight plan operation awaiting its PLAN_ACK.
+type planAck struct {
+	done bool
+	err  string
+}
+
+// PlanDeploy ships a serialized plan fragment (internal/dist codec bytes,
+// opaque here) to the server and waits for its PLAN_ACK. The coordinator
+// side of the distributed-execution control plane: deploy to every worker,
+// then PlanStart everywhere only after all deploys acked.
+func (c *Conn) PlanDeploy(plan uint64, spec []byte) error {
+	return c.planOp(wire.PlanDeploy{Plan: plan, Spec: spec}, plan)
+}
+
+// PlanStart begins execution of a deployed plan fragment and waits for the
+// ack.
+func (c *Conn) PlanStart(plan uint64) error {
+	return c.planOp(wire.PlanStart{Plan: plan}, plan)
+}
+
+// PlanStop tears a deployed plan fragment down and waits for the ack.
+func (c *Conn) PlanStop(plan uint64) error {
+	return c.planOp(wire.PlanStop{Plan: plan}, plan)
+}
+
+// planOp writes one plan control frame and blocks until the server's
+// PLAN_ACK arrives. Plan operations do not survive a transport failure:
+// deployment state on the far side is unknowable mid-operation, so the
+// caller gets an error and decides (the coordinator aborts the deploy).
+func (c *Conn) planOp(f wire.Frame, plan uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureLocked(); err != nil {
+		return err
+	}
+	if c.planAcks == nil {
+		c.planAcks = make(map[uint64]*planAck)
+	}
+	if _, busy := c.planAcks[plan]; busy {
+		return fmt.Errorf("client: plan %d has an operation in flight", plan)
+	}
+	pa := &planAck{}
+	c.planAcks[plan] = pa
+	defer delete(c.planAcks, plan)
+	if err := c.writeLocked(f); err != nil {
+		return err
+	}
+	for !pa.done {
+		if c.closed {
+			return ErrClosed
+		}
+		if c.permErr != nil {
+			return c.permErr
+		}
+		if c.broken {
+			return errors.New("client: connection lost awaiting PLAN_ACK")
+		}
+		c.cond.Wait()
+	}
+	if pa.err != "" {
+		return fmt.Errorf("client: plan %d: %s", plan, pa.err)
+	}
+	return nil
+}

@@ -175,17 +175,29 @@ func (s *Stream) SendCol(b *tuple.ColBatch) error {
 		tuple.PutColBatch(b)
 		return err
 	}
+	// Plain punctuation marks leave the batch and ride PUNCT frames after
+	// the rows (trace-capable, and delaying a bound is always sound).
+	// Checkpoint-barrier marks (Ckpt != 0) stay in the batch on the columnar
+	// path: TUPLES_COL carries the tag at the mark's exact position, which a
+	// PUNCT frame cannot.
 	var marks []tuple.PunctMark
 	if b.HasPunct() {
-		marks = append(marks, b.Puncts...)
-		b.Puncts = b.Puncts[:0]
+		kept := b.Puncts[:0]
+		for _, p := range b.Puncts {
+			if p.Ckpt != 0 && c.colOK {
+				kept = append(kept, p)
+			} else {
+				marks = append(marks, p)
+			}
+		}
+		b.Puncts = kept
 	}
 	if mx, ok := b.MaxTs(); ok && (!s.hasTs || mx > s.maxTs) {
 		s.maxTs, s.hasTs = mx, true
 	}
 	s.sincePunct += n
 	sent := false
-	if c.colOK && n > 0 {
+	if c.colOK && (n > 0 || b.HasPunct()) {
 		// Order against anything buffered by row Sends, then ship columnar.
 		if s.flushLocked() == nil && c.writeLocked(wire.TuplesCol{ID: s.id, B: b}) == nil {
 			c.stats.BatchesSent++
@@ -193,12 +205,20 @@ func (s *Stream) SendCol(b *tuple.ColBatch) error {
 			sent = true
 		}
 	}
-	if !sent && n > 0 {
+	if !sent {
 		// Row fallback: capability not granted, or the transport died —
 		// either way the rows ride the ordinary batch (and its retry path).
-		s.batch = b.AppendRows(s.batch, nil)
-		if len(s.batch) >= c.opts.BatchSize {
-			s.flushLocked()
+		// Barrier marks degrade to PUNCT frames here (the row wire path has
+		// no barrier field), exactly like a pre-columnar client.
+		for _, p := range b.Puncts {
+			marks = append(marks, p)
+		}
+		b.Puncts = b.Puncts[:0]
+		if n > 0 {
+			s.batch = b.AppendRows(s.batch, nil)
+			if len(s.batch) >= c.opts.BatchSize {
+				s.flushLocked()
+			}
 		}
 	}
 	tuple.PutColBatch(b)

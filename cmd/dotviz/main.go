@@ -11,6 +11,13 @@
 // JSON dump or the URL of a live metrics endpoint (streamd -metrics), e.g.
 //
 //	dotviz -ddl ... -q ... -overlay http://127.0.0.1:9151/vars
+//
+// With -dist N, dotviz instead renders the distributed placement the
+// coordinator would deploy over N executors: the partition rewrite runs
+// first (factor -shards, default N), every node is filled with its
+// executor's color, and the cut arcs — the network links — draw dashed red:
+//
+//	dotviz -ddl ... -q ... -dist 3 | dot -Tpng > placement.png
 package main
 
 import (
@@ -24,13 +31,17 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/metrics"
+	"repro/internal/partition"
 )
 
 func main() {
 	ddl := flag.String("ddl", "", "semicolon-separated CREATE STREAM statements")
 	overlay := flag.String("overlay", "", "annotate nodes with live metrics from a /vars JSON file or URL")
+	distN := flag.Int("dist", 0, "render the distributed placement over this many executors: one fill color per executor, dashed red arcs for network links (implies the -shards partition rewrite)")
+	shards := flag.Int("shards", 0, "partition factor for -dist (0 = number of executors)")
 	var queries []string
 	flag.Func("q", "SELECT query (repeatable)", func(v string) error {
 		queries = append(queries, v)
@@ -51,6 +62,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dotviz:", err)
 			os.Exit(1)
 		}
+	}
+	if *distN > 0 {
+		if *shards == 0 {
+			*shards = *distN
+		}
+		g, plan := partition.Rewrite(e.Graph(), *shards)
+		placement := dist.AutoPlace(g, plan, *distN)
+		dot, err := dist.DotPlacement(g, placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dotviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(dot)
+		return
 	}
 	if *overlay == "" {
 		fmt.Print(e.Graph().Dot())

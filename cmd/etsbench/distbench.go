@@ -1,0 +1,300 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// The dist benchmark prices plan shipping: the same sharded join runs once in
+// a single process and once cut across a coordinator plus two loopback
+// workers (the shard replicas live on the workers, splitters and the merge on
+// the coordinator, so every joined tuple crosses the wire twice). Tuples
+// carry their send time on a clock shared by all three executors, making the
+// sink-observed latency end to end — for the distributed configuration it
+// includes the ingest session, both network links, and the remote fragment's
+// scheduling. The headline ratio is distributed p50 over in-process p50: what
+// a cut arc costs relative to an in-memory one. Both configurations must
+// produce exactly one result per input pair; a mismatch fails the run,
+// because a benchmark of a wrong answer is worthless.
+
+// distScript is the benchmark workload: an equi-join whose unique keys make
+// every input pair produce exactly one output row.
+const distBenchScript = `
+	CREATE STREAM a (k int, v float) TIMESTAMP EXTERNAL SKEW 100ms;
+	CREATE STREAM b (k int, w float) TIMESTAMP EXTERNAL SKEW 100ms;
+	SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 5s;
+`
+
+type distResult struct {
+	Name          string  `json:"name"`
+	Pairs         int     `json:"pairs"`
+	Results       uint64  `json:"results"`
+	Seconds       float64 `json:"seconds"`
+	PairsPerSec   float64 `json:"pairs_per_sec"`
+	LatencyP50Us  float64 `json:"latency_p50_us"`
+	LatencyP99Us  float64 `json:"latency_p99_us"`
+	LatencyMeanUs float64 `json:"latency_mean_us"`
+}
+
+type distReport struct {
+	Workload         string     `json:"workload"`
+	PairsPerConfig   int        `json:"pairs_per_config"`
+	Executors        int        `json:"executors"`
+	Shards           int        `json:"shards"`
+	GoVersion        string     `json:"go_version"`
+	Date             string     `json:"date"`
+	InProc           distResult `json:"in_process"`
+	Dist             distResult `json:"distributed"`
+	DistVsInProcP50X float64    `json:"dist_vs_inproc_p50_x"`
+	ResultsMatch     bool       `json:"results_match"`
+}
+
+// runDistInProc runs the workload in one sharded engine fed by direct
+// IngestBatch calls: the reference both for speed and for the exact result
+// count.
+func runDistInProc(pairs, shards int) distResult {
+	base := time.Now()
+	now := func() tuple.Time { return tuple.Time(time.Since(base).Microseconds()) }
+	lat := metrics.NewLatency()
+	var sunk atomic.Uint64
+	eng := core.NewEngine()
+	if _, err := eng.ExecuteScript(distBenchScript, func(t *tuple.Tuple, at tuple.Time) {
+		sunk.Add(1)
+		if d := at - t.Ts; d >= 0 {
+			lat.Observe(d)
+		}
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	re, err := eng.BuildRuntime(rt.Options{Shards: shards, BatchSize: 64, Now: now})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	re.Start()
+	_, srcA, errA := eng.LookupStream("a")
+	_, srcB, errB := eng.LookupStream("b")
+	if errA != nil || errB != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v %v\n", errA, errB)
+		os.Exit(1)
+	}
+	start := time.Now()
+	const span = 64
+	bufA := make([]*tuple.Tuple, 0, span)
+	bufB := make([]*tuple.Tuple, 0, span)
+	for i := 0; i < pairs; i += span {
+		n := span
+		if rem := pairs - i; rem < n {
+			n = rem
+		}
+		bufA, bufB = bufA[:0], bufB[:0]
+		for j := 0; j < n; j++ {
+			k := int64(i + j)
+			ts := now()
+			bufA = append(bufA, tuple.NewData(ts, tuple.Int(k), tuple.Float(0.5)))
+			bufB = append(bufB, tuple.NewData(ts, tuple.Int(k), tuple.Float(2)))
+		}
+		re.IngestBatch(srcA, bufA)
+		re.IngestBatch(srcB, bufB)
+	}
+	re.CloseStream(srcA)
+	re.CloseStream(srcB)
+	if err := re.Wait(); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	return distResult{
+		Name:          "in-process",
+		Pairs:         pairs,
+		Results:       sunk.Load(),
+		Seconds:       elapsed.Seconds(),
+		PairsPerSec:   float64(pairs) / elapsed.Seconds(),
+		LatencyP50Us:  float64(lat.Percentile(50)),
+		LatencyP99Us:  float64(lat.Percentile(99)),
+		LatencyMeanUs: float64(lat.Mean()),
+	}
+}
+
+// runDistLoopback ships the same plan across a coordinator plus two loopback
+// workers and feeds it over the wire like any external client.
+func runDistLoopback(pairs, shards int) distResult {
+	base := time.Now()
+	now := func() tuple.Time { return tuple.Time(time.Since(base).Microseconds()) }
+	lat := metrics.NewLatency()
+	var sunk atomic.Uint64
+
+	const execs = 3
+	workers := make([]*dist.Worker, 0, execs)
+	addrs := make([]string, 0, execs)
+	for i := 0; i < execs; i++ {
+		w := dist.NewWorker(dist.WorkerConfig{
+			Runtime:    rt.Options{BatchSize: 64, Now: now},
+			ClientName: fmt.Sprintf("distbench-exec%d", i),
+			Client:     client.Options{BatchSize: 256, HeartbeatEvery: -1},
+			OnRow: func(_ uint64, t *tuple.Tuple, at tuple.Time) {
+				sunk.Add(1)
+				if d := at - t.Ts; d >= 0 {
+					lat.Observe(d)
+				}
+			},
+		}, nil)
+		srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: w, Plans: w})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		workers = append(workers, w)
+		addrs = append(addrs, srv.Addr().String())
+	}
+
+	spec := &dist.Spec{
+		Plan:      1,
+		Script:    distBenchScript,
+		Shards:    shards,
+		Workers:   addrs,
+		LinkDelta: 100_000,
+	}
+	if err := spec.Place(); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	coord, err := dist.Deploy(workers[0], spec, client.Options{Name: "distbench-coord"})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	conn, err := client.Dial(addrs[0], client.Options{
+		Name: "distbench-feed", BatchSize: 256, HeartbeatEvery: -1,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	bind := func(name string) *client.Stream {
+		st, err := conn.Bind(name, tuple.External, client.StreamOptions{
+			Delta: 100_000, AutoPunctEvery: 256,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return st
+	}
+	sa, sb := bind("a"), bind("b")
+
+	start := time.Now()
+	for i := 0; i < pairs; i++ {
+		k := int64(i)
+		ts := now()
+		if err := sa.Send(tuple.NewData(ts, tuple.Int(k), tuple.Float(0.5))); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: feed a: %v\n", err)
+			os.Exit(1)
+		}
+		if err := sb.Send(tuple.NewData(ts, tuple.Int(k), tuple.Float(2))); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: feed b: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, st := range []*client.Stream{sa, sb} {
+		if err := st.CloseSend(); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: close feed: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: distributed drain: %v\n", err)
+			os.Exit(1)
+		}
+	case <-time.After(60 * time.Second):
+		fmt.Fprintln(os.Stderr, "etsbench: distributed deployment did not drain")
+		coord.Stop()
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	for i := 1; i < len(workers); i++ {
+		if err := workers[i].WaitPlan(spec.Plan); err != nil {
+			fmt.Fprintf(os.Stderr, "etsbench: worker %d: %v\n", i, err)
+			os.Exit(1)
+		}
+	}
+	return distResult{
+		Name:          "distributed",
+		Pairs:         pairs,
+		Results:       sunk.Load(),
+		Seconds:       elapsed.Seconds(),
+		PairsPerSec:   float64(pairs) / elapsed.Seconds(),
+		LatencyP50Us:  float64(lat.Percentile(50)),
+		LatencyP99Us:  float64(lat.Percentile(99)),
+		LatencyMeanUs: float64(lat.Mean()),
+	}
+}
+
+// runDistBench runs both configurations and writes the report.
+func runDistBench(pairs int, out string) {
+	if pairs < 1 {
+		fmt.Fprintf(os.Stderr, "etsbench: -dist-tuples must be ≥ 1 (got %d)\n", pairs)
+		os.Exit(2)
+	}
+	const shards = 2
+	rep := distReport{
+		Workload:       "join: 2 external-ts streams, unique keys, sharded ×2, shards on remote workers",
+		PairsPerConfig: pairs,
+		Executors:      3,
+		Shards:         shards,
+		GoVersion:      runtime.Version(),
+		Date:           time.Now().UTC().Format(time.RFC3339),
+	}
+	// One warmup pass each primes pools, the scheduler, and the TCP stack.
+	runDistInProc(pairs/10+1, shards)
+	rep.InProc = runDistInProc(pairs, shards)
+	runDistLoopback(pairs/10+1, shards)
+	rep.Dist = runDistLoopback(pairs, shards)
+	if rep.InProc.LatencyP50Us > 0 {
+		rep.DistVsInProcP50X = rep.Dist.LatencyP50Us / rep.InProc.LatencyP50Us
+	}
+	rep.ResultsMatch = rep.InProc.Results == uint64(pairs) && rep.Dist.Results == uint64(pairs)
+
+	for _, r := range []distResult{rep.InProc, rep.Dist} {
+		fmt.Printf("%-12s %10.0f pairs/s  p50 %6.0fµs  p99 %6.0fµs  results %d/%d\n",
+			r.Name, r.PairsPerSec, r.LatencyP50Us, r.LatencyP99Us, r.Results, pairs)
+	}
+	fmt.Printf("distributed vs in-process p50: %.2fx\n", rep.DistVsInProcP50X)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "etsbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !rep.ResultsMatch {
+		fmt.Fprintln(os.Stderr, "etsbench: dist result count MISMATCH — distributed output is wrong")
+		os.Exit(1)
+	}
+}

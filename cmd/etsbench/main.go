@@ -16,6 +16,9 @@
 //	etsbench -shards           sweep the partition rewrite over 1/2/4/8
 //	                           shards on the union+join workload and
 //	                           write BENCH_shard.json
+//	etsbench -dist             benchmark a plan cut across a coordinator
+//	                           plus two loopback workers against the same
+//	                           plan in-process and write BENCH_dist.json
 //	etsbench -chaos            soak the concurrent engine under seeded
 //	                           fault injection (panics, drops, a source
 //	                           stall) and verify the fault-tolerance
@@ -64,6 +67,9 @@ func main() {
 	netBench := flag.Bool("net", false, "benchmark loopback wire-protocol ingest vs in-process and run the kill-the-client check")
 	netTuples := flag.Int("net-tuples", 300_000, "tuples per configuration for -net")
 	netOut := flag.String("net-out", "BENCH_net.json", "output file for -net results")
+	distBench := flag.Bool("dist", false, "benchmark the distributed cut (coordinator + 2 loopback workers) vs in-process")
+	distTuples := flag.Int("dist-tuples", 100_000, "join pairs per configuration for -dist")
+	distOut := flag.String("dist-out", "BENCH_dist.json", "output file for -dist results")
 	shBench := flag.Bool("shards", false, "benchmark the partition rewrite (1/2/4/8 shards)")
 	shTuples := flag.Int("shards-tuples", 150_000, "tuples per configuration for -shards")
 	shOut := flag.String("shards-out", "BENCH_shard.json", "output file for -shards results")
@@ -108,6 +114,8 @@ func main() {
 		runRuntimeBench(*rtTuples, *rtOut)
 	case *netBench:
 		runNetBench(*netTuples, *netOut)
+	case *distBench:
+		runDistBench(*distTuples, *distOut)
 	case *shBench:
 		runShardBench(*shTuples, *shOut)
 	case *chaos:

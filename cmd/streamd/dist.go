@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+	"repro/internal/wrappers"
+)
+
+// serveWorker runs streamd as a distributed-execution worker: a wire server
+// whose control plane (PLAN_DEPLOY/START/STOP) a remote coordinator drives.
+// The worker has no query of its own — fragments arrive over the wire, get
+// recompiled deterministically, and run until their links EOS. SIGINT drains:
+// active fragments get drainGrace to run dry before being abandoned.
+func serveWorker(opts options) error {
+	reg := metrics.NewRegistry()
+	start := time.Now()
+	clock := func() tuple.Time { return tuple.Time(time.Since(start).Microseconds()) }
+	ropts := runtime.Options{
+		OnDemandETS:   !opts.noETS,
+		Metrics:       reg,
+		SourceTimeout: opts.srcTimeout,
+		Now:           clock,
+		MaxQueueLen:   opts.maxQueue,
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		Runtime:    ropts,
+		ClientName: "streamd-worker",
+		OnRow: func(plan uint64, t *tuple.Tuple, _ tuple.Time) {
+			// A hand placement may park a sink on a worker; rows go to
+			// stdout in a schema-less rendering rather than vanishing.
+			fmt.Printf("plan %d: %s\n", plan, t)
+		},
+	}, nil)
+	srv, err := server.Listen(opts.worker, server.Options{
+		Backend: w,
+		Plans:   w,
+		Metrics: reg,
+		Now:     clock,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamd: worker listening on %s\n", srv.Addr())
+	if opts.metrics != "" {
+		ln, err := serveObs(opts, reg, nil, nil, nil)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer ln.Close()
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "streamd: worker draining")
+	if cut := srv.Drain(opts.drainGrace); cut > 0 {
+		fmt.Fprintf(os.Stderr, "streamd: drain: cut %d straggling session(s)\n", cut)
+	}
+	// Let drained fragments retire; abandon whatever outlives the grace.
+	for _, plan := range w.Plans() {
+		done := make(chan error, 1)
+		go func(p uint64) { done <- w.WaitPlan(p) }(plan)
+		select {
+		case err := <-done:
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "streamd: plan %d: %v\n", plan, err)
+			}
+		case <-time.After(opts.drainGrace):
+			fmt.Fprintf(os.Stderr, "streamd: plan %d still running; stopping\n", plan)
+			w.PlanStop(plan)
+			<-done
+		}
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "streamd: worker stopped")
+	return nil
+}
+
+// serveCoordinator runs streamd as the coordinator of a distributed
+// deployment: it compiles the script, cuts the (shard-rewritten) graph
+// across itself plus the -coordinator worker list, ships the fragments, and
+// serves the original stream feeds on -listen. Results stream to stdout as
+// CSV exactly like single-process network mode. SIGINT drains end-to-end:
+// feed sessions finish, sources close, EOS cascades over every link, and
+// the local sink runs dry before the process exits.
+func serveCoordinator(ddl, q string, opts options) error {
+	workerAddrs := strings.Split(opts.coordinator, ",")
+	for i := range workerAddrs {
+		workerAddrs[i] = strings.TrimSpace(workerAddrs[i])
+	}
+	script := ddl + ";\n" + q
+
+	// A throwaway compile supplies the output schema for the CSV writer
+	// (the deployed copies recompile from the script themselves).
+	probe := core.NewEngine()
+	if _, err := probe.ExecuteScript(ddl, nil); err != nil {
+		return err
+	}
+	query, err := probe.Execute(q, nil)
+	if err != nil {
+		return err
+	}
+	out := wrappers.NewCSVWriter(os.Stdout, query.Out, wrappers.CSVOptions{TsColumn: 0, Header: true})
+
+	reg := metrics.NewRegistry()
+	resultsC := reg.Counter("sm_results_total")
+	start := time.Now()
+	clock := func() tuple.Time { return tuple.Time(time.Since(start).Microseconds()) }
+	var results uint64
+	ropts := runtime.Options{
+		OnDemandETS:   !opts.noETS,
+		Metrics:       reg,
+		SourceTimeout: opts.srcTimeout,
+		Now:           clock,
+		MaxQueueLen:   opts.maxQueue,
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		Runtime:    ropts,
+		ClientName: "streamd-coordinator",
+		OnRow: func(_ uint64, t *tuple.Tuple, _ tuple.Time) {
+			results++
+			resultsC.Inc()
+			if err := out.Write(t); err != nil {
+				fmt.Fprintln(os.Stderr, "streamd: write:", err)
+			}
+		},
+	}, nil)
+	srv, err := server.Listen(opts.listen, server.Options{
+		Backend: w,
+		Plans:   w,
+		Metrics: reg,
+		Now:     clock,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamd: coordinator ingest listening on %s\n", srv.Addr())
+	if opts.metrics != "" {
+		ln, err := serveObs(opts, reg, nil, nil, nil)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer ln.Close()
+	}
+
+	shards := opts.distShards
+	if shards == 0 {
+		shards = len(workerAddrs)
+	}
+	spec := &dist.Spec{
+		Plan:      1,
+		Script:    script,
+		Shards:    shards,
+		Workers:   append([]string{srv.Addr().String()}, workerAddrs...),
+		LinkDelta: tuple.Time(opts.linkDelta.Microseconds()),
+	}
+	if err := spec.Place(); err != nil {
+		srv.Close()
+		return err
+	}
+	coord, err := dist.Deploy(w, spec, client.Options{Name: "streamd-coordinator"})
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	execs := map[int32]bool{}
+	for _, p := range spec.Placement {
+		execs[p] = true
+	}
+	fmt.Fprintf(os.Stderr, "streamd: deployed plan %d: %d nodes over %d of %d executors (%d shards)\n",
+		spec.Plan, len(spec.Placement), len(execs), len(spec.Workers), shards)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "streamd: draining (interrupt again to abort)")
+	abort := make(chan struct{})
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "streamd: aborting")
+		close(abort)
+		coord.Stop()
+		srv.Close()
+	}()
+	if cut := srv.Drain(opts.drainGrace); cut > 0 {
+		fmt.Fprintf(os.Stderr, "streamd: drain: cut %d straggling session(s)\n", cut)
+	}
+	// Close never-bound original sources too, so the EOS cascade reaches
+	// every link and the whole distributed graph runs dry.
+	if eng := w.Engine(spec.Plan); eng != nil {
+		if frag := w.Fragment(spec.Plan); frag != nil {
+			for _, src := range frag.Sources {
+				eng.CloseStream(src)
+			}
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	var runErr error
+	select {
+	case runErr = <-done:
+	case <-abort:
+		runErr = <-done
+	case <-time.After(opts.drainGrace + 10*time.Second):
+		fmt.Fprintln(os.Stderr, "streamd: distributed drain timed out; stopping")
+		coord.Stop()
+		runErr = <-done
+	}
+	srv.Close()
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamd: coordinator drained, %d results\n", results)
+	if opts.stats {
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	return runErr
+}

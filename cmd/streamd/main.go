@@ -72,6 +72,11 @@ type options struct {
 	ckptKeep     int
 	restore      bool
 	maxQueue     int
+
+	worker      string
+	coordinator string
+	distShards  int
+	linkDelta   time.Duration
 }
 
 func main() {
@@ -96,6 +101,10 @@ func main() {
 	flag.IntVar(&opts.ckptKeep, "ckpt-keep", 3, "network mode: complete checkpoints to retain in -ckpt-dir")
 	flag.BoolVar(&opts.restore, "restore", false, "network mode: restore operator state from the latest checkpoint in -ckpt-dir before serving; sequenced clients resume at the reported watermark")
 	flag.IntVar(&opts.maxQueue, "max-queue", -1, "network mode: bound each operator input queue to this many tuples with backpressure (0 = unbounded; defaults to 4096 when -ckpt-dir is set, since a checkpoint barrier must drain the in-flight data ahead of it)")
+	flag.StringVar(&opts.worker, "worker", "", "distributed mode: run a plan-execution worker serving the wire protocol on this address; fragments arrive from a remote coordinator (no -ddl/-q needed)")
+	flag.StringVar(&opts.coordinator, "coordinator", "", "distributed mode: comma-separated worker addresses; cut the query across them, serve feeds on -listen, and collect results locally")
+	flag.IntVar(&opts.distShards, "dist-shards", 0, "distributed mode: partition factor applied before the cut (0 = number of workers)")
+	flag.DurationVar(&opts.linkDelta, "link-delta", 500*time.Millisecond, "distributed mode: skew bound declared for network links (the watchdog's forced-ETS bound on a stalled link)")
 	var ins []input
 	flag.Func("in", "stream=file CSV trace binding (repeatable)", func(v string) error {
 		parts := strings.SplitN(v, "=", 2)
@@ -106,7 +115,18 @@ func main() {
 		return nil
 	})
 	flag.Parse()
-	if *ddl == "" || *q == "" || (len(ins) == 0 && opts.listen == "") {
+	if opts.worker != "" {
+		if err := serveWorker(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "streamd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if opts.coordinator != "" && (*ddl == "" || *q == "" || opts.listen == "") {
+		fmt.Fprintln(os.Stderr, "streamd: -coordinator needs -ddl, -q and -listen")
+		os.Exit(2)
+	}
+	if opts.coordinator == "" && (*ddl == "" || *q == "" || (len(ins) == 0 && opts.listen == "")) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,9 +143,12 @@ func main() {
 		}
 	}
 	var err error
-	if opts.listen != "" {
+	switch {
+	case opts.coordinator != "":
+		err = serveCoordinator(*ddl, *q, opts)
+	case opts.listen != "":
 		err = serve(*ddl, *q, opts)
-	} else {
+	default:
 		err = run(*ddl, *q, ins, opts)
 	}
 	if err != nil {

@@ -1,0 +1,221 @@
+// Distributed query over loopback: one process plays a whole cluster. Three
+// executors — a coordinator and two workers — each run a dist.Worker behind
+// its own wire server; the coordinator cuts a sharded union across them, so
+// the shard replicas live on the workers and every tuple crosses the network
+// twice (splitter → shard, shard → merge).
+//
+// The demo then stages the failure the link-liveness machinery exists for: a
+// feed goes silent mid-stream without closing. The coordinator deliberately
+// runs without a source watchdog, so the silence propagates into the network
+// link itself — and it is the *worker's* watchdog that must force a
+// skew-bounded ETS into the quiet link source to keep its shard (and the
+// whole query) emitting. The demo asserts that results keep flowing and the
+// sink watermark keeps advancing while the feed is down, then resumes the
+// feed, drains end to end, and checks nothing was lost.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/internal/dist"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+const script = `
+	CREATE STREAM a (k int, v float) TIMESTAMP EXTERNAL SKEW 50ms;
+	CREATE STREAM c (k int, v float) TIMESTAMP EXTERNAL SKEW 50ms;
+	SELECT * FROM a UNION c WHERE v > 0.0;
+`
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "distquery: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	base := time.Now()
+	now := func() tuple.Time { return tuple.Time(time.Since(base).Microseconds()) }
+
+	var results atomic.Uint64
+	var maxTs atomic.Int64
+
+	// Executor 0 is the coordinator: no watchdog, so a stalled feed reaches
+	// the links. Executors 1 and 2 are workers: their watchdogs guard the
+	// link sources.
+	const execs = 3
+	var workers []*dist.Worker
+	var addrs []string
+	for i := 0; i < execs; i++ {
+		ropts := rt.Options{Now: now}
+		if i > 0 {
+			ropts.SourceTimeout = 100 * time.Millisecond
+		}
+		w := dist.NewWorker(dist.WorkerConfig{
+			Runtime:    ropts,
+			ClientName: fmt.Sprintf("distquery-exec%d", i),
+			OnRow: func(_ uint64, t *tuple.Tuple, _ tuple.Time) {
+				results.Add(1)
+				for {
+					cur := maxTs.Load()
+					if int64(t.Ts) <= cur || maxTs.CompareAndSwap(cur, int64(t.Ts)) {
+						break
+					}
+				}
+			},
+		}, nil)
+		srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: w, Plans: w})
+		if err != nil {
+			fail("listen: %v", err)
+		}
+		defer srv.Close()
+		workers = append(workers, w)
+		addrs = append(addrs, srv.Addr().String())
+	}
+
+	spec := &dist.Spec{
+		Plan:      1,
+		Script:    script,
+		Shards:    2,
+		Workers:   addrs,
+		LinkDelta: 50_000, // 50ms skew allowance on every network link
+	}
+	if err := spec.Place(); err != nil {
+		fail("place: %v", err)
+	}
+	coord, err := dist.Deploy(workers[0], spec, client.Options{Name: "distquery-coord"})
+	if err != nil {
+		fail("deploy: %v", err)
+	}
+	used := map[int32]bool{}
+	for _, p := range spec.Placement {
+		used[p] = true
+	}
+	fmt.Printf("distquery: deployed plan %d: %d nodes over %d executors (%d shards)\n",
+		spec.Plan, len(spec.Placement), len(used), spec.Shards)
+	if len(used) != execs {
+		fail("placement uses %d executors, want %d: %v", len(used), execs, spec.Placement)
+	}
+
+	conn, err := client.Dial(addrs[0], client.Options{Name: "distquery-feed", BatchSize: 16})
+	if err != nil {
+		fail("dial: %v", err)
+	}
+	defer conn.Close()
+	bind := func(name string) *client.Stream {
+		st, err := conn.Bind(name, tuple.External, client.StreamOptions{
+			Delta: 50_000, AutoPunctEvery: 32,
+		})
+		if err != nil {
+			fail("bind %s: %v", name, err)
+		}
+		return st
+	}
+	sa, sc := bind("a"), bind("c")
+
+	// Phase 1 — both feeds live: c sends a burst (the link needs at least
+	// one tuple for a skew bound to exist, or no ETS could ever be forced
+	// into it), a streams paced real-time tuples throughout.
+	var sentA, sentC atomic.Uint64
+	send := func(st *client.Stream, n *atomic.Uint64) {
+		k := int64(n.Add(1))
+		if err := st.Send(tuple.NewData(now(), tuple.Int(k), tuple.Float(1.5))); err != nil {
+			fail("send: %v", err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		send(sc, &sentC)
+	}
+	stopA := make(chan struct{})
+	aDone := make(chan struct{})
+	go func() {
+		defer close(aDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopA:
+				return
+			case <-tick.C:
+				send(sa, &sentA)
+			}
+		}
+	}()
+
+	// Phase 2 — c goes silent: no tuples, no punctuation, no close. The
+	// worker watchdogs must force ETS into the quiet c-links so the union
+	// shards keep releasing a's tuples.
+	time.Sleep(300 * time.Millisecond) // let the burst clear the links
+	stallStart := results.Load()
+	wmStart := tuple.Time(maxTs.Load())
+	fmt.Printf("distquery: stalling feed c (results so far: %d)\n", stallStart)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var forced uint64
+	for time.Now().Before(deadline) {
+		forced = 0
+		for i := 1; i < execs; i++ {
+			if eng := workers[i].Engine(spec.Plan); eng != nil {
+				forced += eng.Snapshot().ForcedETS
+			}
+		}
+		if forced > 0 && results.Load() > stallStart+100 && tuple.Time(maxTs.Load()) > wmStart {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	stallGain := results.Load() - stallStart
+	wmEnd := tuple.Time(maxTs.Load())
+	fmt.Printf("distquery: during stall: +%d results, sink watermark %dµs -> %dµs, forced ETS on workers: %d\n",
+		stallGain, wmStart, wmEnd, forced)
+	if forced == 0 {
+		fail("no worker forced ETS into the stalled link")
+	}
+	if stallGain <= 100 {
+		fail("query stalled with the silent feed: only %d results during the stall", stallGain)
+	}
+	if wmEnd <= wmStart {
+		fail("sink watermark did not advance during the stall")
+	}
+
+	// Phase 3 — c resumes, both feeds close, and the deployment drains
+	// naturally: EOS cascades over every link and Wait returns everywhere.
+	for i := 0; i < 64; i++ {
+		send(sc, &sentC)
+	}
+	close(stopA)
+	<-aDone
+	for _, st := range []*client.Stream{sa, sc} {
+		if err := st.CloseSend(); err != nil {
+			fail("close: %v", err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fail("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		fail("deployment did not drain")
+	}
+	for i := 1; i < execs; i++ {
+		if err := workers[i].WaitPlan(spec.Plan); err != nil {
+			fail("worker %d: %v", i, err)
+		}
+	}
+
+	sent := sentA.Load() + sentC.Load()
+	got := results.Load()
+	fmt.Printf("distquery: drained: %d results from %d sent tuples\n", got, sent)
+	if got != sent {
+		fail("lost tuples: sent %d, results %d", sent, got)
+	}
+	fmt.Println("distquery: OK")
+}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/client"
+)
+
+// Coordinator drives one distributed deployment from executor 0: it ships
+// the spec to every remote executor over the control plane (PLAN_DEPLOY),
+// deploys its own fragment through the local Worker directly, and releases
+// execution everywhere (PLAN_START) only after every deploy acked — the
+// two-phase handshake that guarantees every link's consuming server can
+// resolve the link name before any producer dials it.
+type Coordinator struct {
+	spec  *Spec
+	local *Worker
+	conns []*client.Conn // control connections by executor index; [0] nil
+}
+
+// Deploy ships spec to every executor and starts the plan. local is this
+// process's Worker (executor 0); copts configures the control connections.
+// On any failure the deployment is rolled back everywhere it reached.
+func Deploy(local *Worker, spec *Spec, copts client.Options) (*Coordinator, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{spec: spec, local: local, conns: make([]*client.Conn, len(spec.Workers))}
+	dial := local.cfg.Dial
+	fail := func(stage string, err error) (*Coordinator, error) {
+		c.abort()
+		return nil, fmt.Errorf("dist: plan %d: %s: %w", spec.Plan, stage, err)
+	}
+	for i := 1; i < len(spec.Workers); i++ {
+		if copts.Name == "" {
+			copts.Name = fmt.Sprintf("coordinator/plan%d", spec.Plan)
+		}
+		conn, err := dial(spec.Workers[i], copts)
+		if err != nil {
+			return fail(fmt.Sprintf("dial executor %d (%s)", i, spec.Workers[i]), err)
+		}
+		c.conns[i] = conn
+		if err := conn.PlanDeploy(spec.Plan, spec.WithSelf(i).Encode()); err != nil {
+			return fail(fmt.Sprintf("deploy to executor %d", i), err)
+		}
+	}
+	if err := local.PlanDeploy(spec.Plan, spec.WithSelf(0).Encode()); err != nil {
+		return fail("deploy locally", err)
+	}
+	// Every executor acked its deploy: all link names resolve everywhere.
+	// Start remote fragments first, the local one (which owns the original
+	// sources in the canonical placement) last.
+	for i := 1; i < len(spec.Workers); i++ {
+		if err := c.conns[i].PlanStart(spec.Plan); err != nil {
+			return fail(fmt.Sprintf("start executor %d", i), err)
+		}
+	}
+	if err := local.PlanStart(spec.Plan); err != nil {
+		return fail("start locally", err)
+	}
+	return c, nil
+}
+
+// Wait blocks until the local fragment drains — with the sink on executor 0
+// that is end-to-end completion: EOS cascades from the original sources
+// through every link back into the local merge and sink. Control
+// connections close afterwards (remote fragments have already drained
+// themselves by the time the local one does).
+func (c *Coordinator) Wait() error {
+	err := c.local.WaitPlan(c.spec.Plan)
+	c.closeConns()
+	return err
+}
+
+// Stop abandons the deployment everywhere without draining.
+func (c *Coordinator) Stop() {
+	for i := 1; i < len(c.conns); i++ {
+		if c.conns[i] != nil {
+			c.conns[i].PlanStop(c.spec.Plan)
+		}
+	}
+	c.local.PlanStop(c.spec.Plan)
+	c.closeConns()
+}
+
+// abort rolls a half-finished Deploy back: stop whatever deployed, ignoring
+// errors (an executor that never got the deploy rejects the stop).
+func (c *Coordinator) abort() {
+	for i := 1; i < len(c.conns); i++ {
+		if c.conns[i] != nil {
+			c.conns[i].PlanStop(c.spec.Plan)
+		}
+	}
+	c.local.PlanStop(c.spec.Plan)
+	c.closeConns()
+}
+
+func (c *Coordinator) closeConns() {
+	for i, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+			c.conns[i] = nil
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/tuple"
+)
+
+// Compile reproduces the spec's full query graph: parse and plan the script
+// into a fresh engine, then apply the partition rewrite. Every executor runs
+// this with identical inputs and — because node ids are assigned in
+// deterministic insertion order and the rewrite walks a deterministic
+// topological order — obtains an identical graph, which is what lets a
+// placement vector computed on the coordinator address nodes on a worker.
+// onRow receives result rows of every query whose sink this executor ends up
+// owning (may be nil).
+func Compile(spec *Spec, onRow func(t *tuple.Tuple, now tuple.Time)) (*core.Engine, *graph.Graph, error) {
+	eng := core.NewEngine()
+	if _, err := eng.ExecuteScript(spec.Script, onRow); err != nil {
+		return nil, nil, fmt.Errorf("dist: plan %d: compile: %w", spec.Plan, err)
+	}
+	g, _ := partition.Rewrite(eng.Graph(), spec.Shards)
+	if err := g.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("dist: plan %d: %w", spec.Plan, err)
+	}
+	if len(spec.Placement) != g.Len() {
+		return nil, nil, fmt.Errorf("dist: plan %d: placement covers %d nodes, graph has %d",
+			spec.Plan, len(spec.Placement), g.Len())
+	}
+	return eng, g, nil
+}
+
+// CutArc is one graph arc severed by the placement: its endpoints run on
+// different executors, so the arc becomes a named link stream served by the
+// consumer's ingest server and fed by an Egress operator on the producer.
+type CutArc struct {
+	// Name is the link stream name, unique per plan and per cut arc.
+	Name string
+	// From/To/Port identify the severed arc in full-graph node ids.
+	From graph.NodeID
+	To   graph.NodeID
+	Port int
+	// FromExec/ToExec are the executors owning the producer and consumer.
+	FromExec int
+	ToExec   int
+	// Schema is the stream schema of the link: the producer's output schema
+	// re-kinded to external timestamps (the producer stamps upstream; the
+	// link consumer must keep those stamps, and PUNCT admission requires an
+	// external stream) and renamed to the link name.
+	Schema *tuple.Schema
+}
+
+// Fragment is the slice of the full graph one executor runs: its owned
+// nodes plus the cut arcs it terminates (ingress) and originates (egress).
+type Fragment struct {
+	// Exec is the executor index.
+	Exec int
+	// Nodes lists the owned full-graph node ids, ascending.
+	Nodes []graph.NodeID
+	// Ingress lists cut arcs whose consumer is owned (served as link
+	// streams on this executor's ingest server).
+	Ingress []*CutArc
+	// Egress lists cut arcs whose producer is owned (dialed out to
+	// ToExec's server at start).
+	Egress []*CutArc
+}
+
+// Cut is a complete partitioning of a compiled graph across executors.
+type Cut struct {
+	// Frags holds one fragment per executor, indexed by executor number
+	// (possibly empty for executors the placement never names).
+	Frags []*Fragment
+	// Arcs lists every severed arc, in full-graph arc order.
+	Arcs []*CutArc
+}
+
+// linkName names a cut arc's stream: plan-scoped so concurrent deployments
+// on one worker cannot collide, arc-scoped so reassembly is unambiguous.
+func linkName(plan uint64, a *graph.Arc) string {
+	return fmt.Sprintf("link:%d:%d-%d.%d", plan, a.From, a.To, a.Port)
+}
+
+// MakeCut severs g at every arc whose endpoints the placement assigns to
+// different executors. The graph itself is not modified; fragments reference
+// it by node id.
+func MakeCut(g *graph.Graph, spec *Spec) (*Cut, error) {
+	if len(spec.Placement) != g.Len() {
+		return nil, fmt.Errorf("dist: plan %d: placement covers %d nodes, graph has %d",
+			spec.Plan, len(spec.Placement), g.Len())
+	}
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cut{Frags: make([]*Fragment, len(spec.Workers))}
+	for i := range c.Frags {
+		c.Frags[i] = &Fragment{Exec: i}
+	}
+	for _, n := range g.Nodes() {
+		c.Frags[spec.Placement[n.ID]].Nodes = append(c.Frags[spec.Placement[n.ID]].Nodes, n.ID)
+	}
+	for _, a := range g.Arcs() {
+		fe, te := int(spec.Placement[a.From]), int(spec.Placement[a.To])
+		if fe == te {
+			continue
+		}
+		sch := g.Node(a.From).Op.OutSchema()
+		if sch == nil {
+			return nil, fmt.Errorf("dist: plan %d: cut arc %d->%d has no schema (operator %q)",
+				spec.Plan, a.From, a.To, g.Node(a.From).Op.Name())
+		}
+		link := sch.WithTS(tuple.External)
+		link.Name = linkName(spec.Plan, a)
+		ca := &CutArc{
+			Name: link.Name, From: a.From, To: a.To, Port: a.Port,
+			FromExec: fe, ToExec: te, Schema: link,
+		}
+		c.Arcs = append(c.Arcs, ca)
+		c.Frags[fe].Egress = append(c.Frags[fe].Egress, ca)
+		c.Frags[te].Ingress = append(c.Frags[te].Ingress, ca)
+	}
+	return c, nil
+}
+
+// Verify checks that the cut is a faithful partitioning of g — the
+// reassembly property: every node in exactly one fragment, every arc either
+// intact inside one fragment or severed into exactly one matching
+// egress/ingress pair, schemas and timestamp-kind annotations preserved.
+// The property test drives it over arbitrary placements; the worker runs it
+// once per deploy as a cheap structural self-check.
+func (c *Cut) Verify(g *graph.Graph, spec *Spec) error {
+	owner := make(map[graph.NodeID]int, g.Len())
+	for _, f := range c.Frags {
+		for _, id := range f.Nodes {
+			if prev, dup := owner[id]; dup {
+				return fmt.Errorf("dist: node %d in fragments %d and %d", id, prev, f.Exec)
+			}
+			owner[id] = f.Exec
+		}
+	}
+	if len(owner) != g.Len() {
+		return fmt.Errorf("dist: fragments cover %d of %d nodes", len(owner), g.Len())
+	}
+	byName := make(map[string]*CutArc, len(c.Arcs))
+	for _, ca := range c.Arcs {
+		if _, dup := byName[ca.Name]; dup {
+			return fmt.Errorf("dist: duplicate link %q", ca.Name)
+		}
+		byName[ca.Name] = ca
+	}
+	cut := 0
+	for _, a := range g.Arcs() {
+		fe, te := owner[a.From], owner[a.To]
+		if fe == te {
+			if _, severed := byName[linkName(spec.Plan, a)]; severed {
+				return fmt.Errorf("dist: intact arc %d->%d listed as cut", a.From, a.To)
+			}
+			continue
+		}
+		cut++
+		ca := byName[linkName(spec.Plan, a)]
+		if ca == nil {
+			return fmt.Errorf("dist: cut arc %d->%d has no link", a.From, a.To)
+		}
+		if ca.From != a.From || ca.To != a.To || ca.Port != a.Port || ca.FromExec != fe || ca.ToExec != te {
+			return fmt.Errorf("dist: link %q does not match its arc", ca.Name)
+		}
+		want := g.Node(a.From).Op.OutSchema()
+		if want == nil {
+			return fmt.Errorf("dist: cut arc %d->%d lost its schema", a.From, a.To)
+		}
+		if len(ca.Schema.Fields) != len(want.Fields) {
+			return fmt.Errorf("dist: link %q schema arity %d, want %d", ca.Name, len(ca.Schema.Fields), len(want.Fields))
+		}
+		for i, fd := range want.Fields {
+			if ca.Schema.Fields[i].Kind != fd.Kind {
+				return fmt.Errorf("dist: link %q field %d kind mismatch", ca.Name, i)
+			}
+		}
+		if ca.Schema.TS != tuple.External {
+			return fmt.Errorf("dist: link %q is not an external-timestamp stream", ca.Name)
+		}
+		if !containsArc(c.Frags[fe].Egress, ca) || !containsArc(c.Frags[te].Ingress, ca) {
+			return fmt.Errorf("dist: link %q missing from its fragments", ca.Name)
+		}
+	}
+	if cut != len(c.Arcs) {
+		return fmt.Errorf("dist: %d links for %d cut arcs", len(c.Arcs), cut)
+	}
+	return nil
+}
+
+func containsArc(list []*CutArc, ca *CutArc) bool {
+	for _, x := range list {
+		if x == ca {
+			return true
+		}
+	}
+	return false
+}
+
+// Place fills spec.Placement with the canonical AutoPlace distribution,
+// compiling the script once to discover the rewritten graph's shape. The
+// coordinator calls it when the caller did not hand-place nodes.
+func (s *Spec) Place() error {
+	eng := core.NewEngine()
+	if _, err := eng.ExecuteScript(s.Script, nil); err != nil {
+		return fmt.Errorf("dist: plan %d: compile: %w", s.Plan, err)
+	}
+	g, plan := partition.Rewrite(eng.Graph(), s.Shards)
+	s.Placement = AutoPlace(g, plan, len(s.Workers))
+	return nil
+}
+
+// AutoPlace computes the canonical placement for spec.Workers executors
+// over a compiled graph: everything runs on the coordinator (executor 0)
+// except partitioned shard replicas, which round-robin across workers
+// 1..N-1 — splitters and the min-watermark merge stay on the coordinator,
+// so the links carry exactly the shard traffic. With one executor, or no
+// partitioned operator, everything lands on executor 0 (a valid, if
+// pointless, distribution). plan is the partition rewrite's output for the
+// same graph (nil when nothing was partitioned).
+func AutoPlace(g *graph.Graph, plan *partition.Plan, executors int) []int32 {
+	placement := make([]int32, g.Len())
+	if executors < 2 || plan == nil {
+		return placement
+	}
+	for _, sh := range plan.Ops {
+		for s, id := range sh.ShardIDs {
+			placement[id] = int32(1 + s%(executors-1))
+		}
+	}
+	return placement
+}

@@ -1,0 +1,255 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/core"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// e2eScript declares external-timestamp streams so the feed controls every
+// timestamp — the output multiset is then identical however the work is
+// spread across executors.
+const e2eScript = `
+	CREATE STREAM a (k int, v float) TIMESTAMP EXTERNAL SKEW 100ms;
+	CREATE STREAM b (k int, w float) TIMESTAMP EXTERNAL SKEW 100ms;
+	CREATE STREAM c (k int, v float) TIMESTAMP EXTERNAL SKEW 100ms;
+	SELECT a.k, v, w FROM a JOIN b ON a.k = b.k WINDOW 2s;
+	SELECT * FROM a UNION c WHERE v > 0.0;
+`
+
+const e2eTuples = 200
+
+// e2eFeed produces the three input streams: left/right join twins with
+// unique keys (left i matches exactly right i) plus a union side channel
+// with half its rows filtered out.
+func e2eFeed(n int) (a, b, c []*tuple.Tuple) {
+	for i := 0; i < n; i++ {
+		ts := tuple.Time(i * 1000)
+		a = append(a, tuple.NewData(ts+500, tuple.Int(int64(i)), tuple.Float(float64(i)+0.5)))
+		b = append(b, tuple.NewData(ts, tuple.Int(int64(i)), tuple.Float(float64(i)*2)))
+		v := float64(i)
+		if i%2 == 0 {
+			v = -v - 1 // filtered by WHERE v > 0.0
+		}
+		c = append(c, tuple.NewData(ts+250, tuple.Int(int64(i)), tuple.Float(v)))
+	}
+	return
+}
+
+// rowKey renders a sink row so multisets compare across runs.
+func rowKey(t *tuple.Tuple) string {
+	s := fmt.Sprintf("ts=%d", t.Ts)
+	for _, v := range t.Vals {
+		s += "|" + v.String()
+	}
+	return s
+}
+
+// runSingleProcess executes the script in one sharded in-process engine and
+// returns the sorted sink rows — the reference output.
+func runSingleProcess(t *testing.T, shards int) []string {
+	t.Helper()
+	var mu sync.Mutex
+	var rows []string
+	eng := core.NewEngine()
+	if _, err := eng.ExecuteScript(e2eScript, func(tp *tuple.Tuple, _ tuple.Time) {
+		mu.Lock()
+		rows = append(rows, rowKey(tp))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	re, err := eng.BuildRuntime(rt.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Start()
+	a, b, c := e2eFeed(e2eTuples)
+	for name, batch := range map[string][]*tuple.Tuple{"a": a, "b": b, "c": c} {
+		_, src, err := eng.LookupStream(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re.IngestBatch(src, batch)
+		re.CloseStream(src)
+	}
+	if err := re.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// distCluster is a loopback deployment: one server+worker per executor.
+type distCluster struct {
+	workers []*Worker
+	servers []*server.Server
+	addrs   []string
+	mu      sync.Mutex
+	rows    []string
+}
+
+func newDistCluster(t *testing.T, execs int, wcfg WorkerConfig) *distCluster {
+	t.Helper()
+	dc := &distCluster{}
+	for i := 0; i < execs; i++ {
+		cfg := wcfg
+		cfg.ClientName = fmt.Sprintf("exec%d", i)
+		cfg.OnRow = func(_ uint64, tp *tuple.Tuple, _ tuple.Time) {
+			dc.mu.Lock()
+			dc.rows = append(dc.rows, rowKey(tp))
+			dc.mu.Unlock()
+		}
+		w := NewWorker(cfg, nil)
+		srv, err := server.Listen("127.0.0.1:0", server.Options{Backend: w, Plans: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		dc.workers = append(dc.workers, w)
+		dc.servers = append(dc.servers, srv)
+		dc.addrs = append(dc.addrs, srv.Addr().String())
+	}
+	return dc
+}
+
+func (dc *distCluster) sortedRows() []string {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	rows := append([]string(nil), dc.rows...)
+	sort.Strings(rows)
+	return rows
+}
+
+// TestDistributedMatchesSingleProcess is the acceptance check: the same
+// script, cut across three executors (coordinator + two workers holding the
+// shards), produces exactly the single-process sink output.
+func TestDistributedMatchesSingleProcess(t *testing.T) {
+	const shards = 2
+	want := runSingleProcess(t, shards)
+	if len(want) == 0 {
+		t.Fatal("reference run produced no rows")
+	}
+
+	dc := newDistCluster(t, 3, WorkerConfig{})
+	spec := &Spec{
+		Plan:      1,
+		Script:    e2eScript,
+		Shards:    shards,
+		Workers:   dc.addrs,
+		LinkDelta: 100_000,
+	}
+	if err := spec.Place(); err != nil {
+		t.Fatal(err)
+	}
+	used := map[int32]bool{}
+	for _, p := range spec.Placement {
+		used[p] = true
+	}
+	if len(used) < 3 {
+		t.Fatalf("placement uses %d executors, want 3: %v", len(used), spec.Placement)
+	}
+
+	coord, err := Deploy(dc.workers[0], spec, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Feed the original streams over the wire, like any external client.
+	conn, err := client.Dial(dc.addrs[0], client.Options{Name: "feed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	a, b, c := e2eFeed(e2eTuples)
+	for name, batch := range map[string][]*tuple.Tuple{"a": a, "b": b, "c": c} {
+		st, err := conn.Bind(name, tuple.External, client.StreamOptions{Delta: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range batch {
+			if err := st.Send(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.CloseSend(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("distributed deployment did not drain")
+	}
+	// Remote fragments drained before the local sink did; reap them.
+	for i := 1; i < len(dc.workers); i++ {
+		if err := dc.workers[i].WaitPlan(spec.Plan); err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	got := dc.sortedRows()
+	if len(got) != len(want) {
+		t.Fatalf("distributed rows = %d, single-process = %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: distributed %q, single-process %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPlanStopAbandonsDeployment exercises the abandonment path: a started
+// deployment with live links tears down cleanly on PLAN_STOP.
+func TestPlanStopAbandonsDeployment(t *testing.T) {
+	dc := newDistCluster(t, 2, WorkerConfig{})
+	spec := &Spec{Plan: 9, Script: e2eScript, Shards: 2, Workers: dc.addrs, LinkDelta: 100_000}
+	if err := spec.Place(); err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Deploy(dc.workers[0], spec, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Stop()
+	if eng := dc.workers[0].Engine(spec.Plan); eng != nil {
+		t.Fatal("stop left the local deployment registered")
+	}
+	if eng := dc.workers[1].Engine(spec.Plan); eng != nil {
+		t.Fatal("stop left the remote deployment registered")
+	}
+}
+
+// TestDeployRejectsBadSpec covers control-plane rejection: a worker acks a
+// malformed deploy with an error and the coordinator aborts.
+func TestDeployRejectsBadSpec(t *testing.T) {
+	w := NewWorker(WorkerConfig{}, nil)
+	if err := w.PlanDeploy(5, []byte{0xFF}); err == nil {
+		t.Fatal("garbage spec accepted")
+	}
+	spec := testSpec(1, 0)
+	spec.Placement = []int32{0}
+	spec.Plan = 4
+	if err := w.PlanDeploy(5, spec.Encode()); err == nil {
+		t.Fatal("plan id mismatch accepted")
+	}
+	// Placement length must match the compiled graph.
+	bad := &Spec{Plan: 5, Script: e2eScript, Workers: []string{"x"}, Placement: []int32{0}}
+	if err := w.PlanDeploy(5, bad.Encode()); err == nil {
+		t.Fatal("short placement accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// placementPalette colors executors in DOT renderings (cycled when a
+// deployment has more executors than colors). Executor 0 — the coordinator —
+// is deliberately the pale one, so worker fragments pop.
+var placementPalette = []string{
+	"#f0f0f0", // 0: coordinator
+	"#a6cee3", "#b2df8a", "#fdbf6f", "#cab2d6",
+	"#fb9a99", "#ffff99", "#1f78b4", "#33a02c",
+}
+
+// DotPlacement renders a compiled full graph with its placement overlay:
+// nodes are filled per executor, intact arcs draw solid, and cut arcs —
+// the network links — draw dashed with the carrying executors on the label.
+// The output is ordinary Graphviz DOT, composable with `dot -Tpng`.
+func DotPlacement(g *graph.Graph, placement []int32) (string, error) {
+	if len(placement) != g.Len() {
+		return "", fmt.Errorf("dist: placement covers %d nodes, graph has %d", len(placement), g.Len())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [style=filled];\n", g.Name())
+	for _, n := range g.Nodes() {
+		shape := "box"
+		switch {
+		case n.IsSource():
+			shape = "ellipse"
+		case n.IsSink():
+			shape = "doublecircle"
+		}
+		exec := int(placement[n.ID])
+		color := placementPalette[exec%len(placementPalette)]
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s fillcolor=%q];\n",
+			n.ID, fmt.Sprintf("%s\nexec %d", n.Op.Name(), exec), shape, color)
+	}
+	for _, a := range g.Arcs() {
+		fe, te := placement[a.From], placement[a.To]
+		if fe == te {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"port %d\"];\n", a.From, a.To, a.Port)
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"port %d\\nlink %d->%d\" style=dashed color=\"#e31a1c\"];\n",
+			a.From, a.To, a.Port, fe, te)
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}

@@ -1,0 +1,127 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// EgressBinding pairs an egress operator with the cut arc it serves, so the
+// start phase can dial the consumer's server and bind the link stream.
+type EgressBinding struct {
+	Arc *CutArc
+	Op  *Egress
+}
+
+// Built is one executor's runnable slice of a distributed plan: the fragment
+// graph plus its network boundary.
+type Built struct {
+	// Graph is the fragment graph (possibly empty when the placement gives
+	// this executor nothing).
+	Graph *graph.Graph
+	// Links maps link stream name to the ingress source that terminates it —
+	// the executor's server serves these names to producing peers.
+	Links map[string]*ops.Source
+	// Egress lists the fragment's outbound boundary, in cut-arc order.
+	Egress []*EgressBinding
+	// Sources maps original (non-link) stream names owned by this fragment
+	// to their source operators — the executor's server serves these to
+	// external feeds.
+	Sources map[string]*ops.Source
+	// NodeOf maps full-graph node ids of owned nodes to fragment node ids,
+	// for placement-aware diagnostics.
+	NodeOf map[graph.NodeID]graph.NodeID
+}
+
+type arcKey struct {
+	from graph.NodeID
+	to   graph.NodeID
+	port int
+}
+
+// BuildFragment instantiates executor spec.Self's fragment of the compiled
+// graph g under the given cut. Operator instances are reused from g (they
+// are freshly compiled in this process and appear in exactly one fragment);
+// cut arcs become ingress sources on the consumer side and Egress operators
+// on the producer side.
+//
+// Construction order is load-bearing: nodes are processed in ascending
+// full-graph id, and a remote consumer's egress stand-in is attached to the
+// local producer at the remote consumer's position. Because full-graph
+// out-arc order is attachment order (ascending consumer id), every
+// producer's fragment out-arcs line up index-for-index with its full-graph
+// out-arcs — the invariant the partition splitter's EmitTo(shard, ·)
+// routing depends on.
+func BuildFragment(g *graph.Graph, c *Cut, spec *Spec) (*Built, error) {
+	self := spec.Self
+	cutBy := make(map[arcKey]*CutArc, len(c.Arcs))
+	for _, ca := range c.Arcs {
+		cutBy[arcKey{ca.From, ca.To, ca.Port}] = ca
+	}
+	b := &Built{
+		Graph:   graph.New(fmt.Sprintf("%s@exec%d", g.Name(), self)),
+		Links:   make(map[string]*ops.Source),
+		Sources: make(map[string]*ops.Source),
+		NodeOf:  make(map[graph.NodeID]graph.NodeID),
+	}
+	for _, n := range g.Nodes() {
+		if int(spec.Placement[n.ID]) == self {
+			preds := make([]graph.NodeID, 0, len(n.Preds))
+			for port, p := range n.Preds {
+				if int(spec.Placement[p]) == self {
+					preds = append(preds, b.NodeOf[p])
+					continue
+				}
+				ca := cutBy[arcKey{p, n.ID, port}]
+				if ca == nil {
+					return nil, fmt.Errorf("dist: plan %d: arc %d->%d.%d crosses executors but is not cut",
+						spec.Plan, p, n.ID, port)
+				}
+				src := ops.NewSource(ca.Name, ca.Schema, spec.LinkDelta)
+				preds = append(preds, b.Graph.AddNode(src))
+				b.Links[ca.Name] = src
+			}
+			b.NodeOf[n.ID] = b.Graph.AddNode(n.Op, preds...)
+			if s := n.Source(); s != nil {
+				b.Sources[s.Name()] = s
+			}
+			continue
+		}
+		// Remote consumer: stand in with an egress at each severed arc from
+		// a local producer, at this consumer's id position.
+		for port, p := range n.Preds {
+			if int(spec.Placement[p]) != self {
+				continue
+			}
+			ca := cutBy[arcKey{p, n.ID, port}]
+			if ca == nil {
+				return nil, fmt.Errorf("dist: plan %d: arc %d->%d.%d crosses executors but is not cut",
+					spec.Plan, p, n.ID, port)
+			}
+			eg := NewEgress(ca)
+			b.Graph.AddNode(eg, b.NodeOf[p])
+			b.Egress = append(b.Egress, &EgressBinding{Arc: ca, Op: eg})
+		}
+	}
+	if b.Graph.Len() > 0 {
+		if err := b.Graph.Validate(); err != nil {
+			return nil, fmt.Errorf("dist: plan %d: fragment %d: %w", spec.Plan, self, err)
+		}
+	}
+	return b, nil
+}
+
+// LookupStream resolves a stream name served by this fragment — a link
+// ingress or an owned original source — mirroring core.Engine.LookupStream
+// for the executor's ingest server.
+func (b *Built) LookupStream(name string) (*tuple.Schema, *ops.Source, error) {
+	if s, ok := b.Links[name]; ok {
+		return s.OutSchema(), s, nil
+	}
+	if s, ok := b.Sources[name]; ok {
+		return s.OutSchema(), s, nil
+	}
+	return nil, nil, fmt.Errorf("dist: no stream %q in this fragment", name)
+}

@@ -1,0 +1,159 @@
+// Package dist implements distributed execution: plan shipping and
+// cross-node query graphs over the wire protocol.
+//
+// The model is deliberately minimal. A deployment Spec carries the *compile
+// inputs* — the CQL script, the partition factor, and a placement vector —
+// not a serialized operator graph: every executor (the coordinator and each
+// worker) recompiles the identical graph deterministically (AddNode assigns
+// sequential ids, the partition rewrite walks a deterministic topological
+// order), cuts it with the same placement, and instantiates only its own
+// fragment. Shipping source code instead of object code keeps the codec
+// trivially versionable and makes the cut property checkable: any cut of a
+// planned DAG at arc boundaries reassembles into the original topology.
+//
+// Each cut arc becomes a *link*: a named stream (`link:<plan>:<from>-<to>.<port>`)
+// served by the consuming executor's ordinary ingest server and fed by an
+// Egress operator on the producing executor through an ordinary client
+// connection. Everything the wire protocol already does for remote feeds —
+// batching, credit-window flow control, punctuation transport, heartbeat
+// skew estimation, demand propagation — applies to links unchanged, which
+// is the whole point: the paper's external-timestamp rule (ETS = t + τ − δ
+// under a measured skew bound) makes a network arc just another external
+// stream whose bounds stay valid lower bounds.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/tuple"
+)
+
+// SpecVersion is the plan-codec version byte. Decode rejects mismatches —
+// a coordinator never deploys to a worker speaking another codec.
+const SpecVersion = 1
+
+// maxExecutors bounds the executor count a decoded spec may claim (a
+// corrupted count must not allocate unbounded).
+const maxExecutors = 1 << 10
+
+// Spec describes one distributed deployment: the compile inputs every
+// executor reproduces the full graph from, plus the placement that cuts it.
+type Spec struct {
+	// Plan is the coordinator-assigned deployment id; it scopes control
+	// frames and names the link streams.
+	Plan uint64
+	// Script is the CQL compile input (CREATE STREAM and SELECT statements,
+	// semicolon-separated) — identical on every executor.
+	Script string
+	// Shards is the partition.Rewrite factor applied after compilation
+	// (< 2 leaves the graph unsharded). With N workers, Shards = N turns
+	// the data-parallel rewrite into cross-machine sharding: hash splitters
+	// feed per-worker links and the min-watermark merge spans the network.
+	Shards int
+	// Self is the recipient's executor index — the one field that differs
+	// per deployed copy. Executor 0 is the coordinator by convention.
+	Self int
+	// Workers holds every executor's ingest-server address, indexed by
+	// executor number (Workers[0] is the coordinator's own server, which
+	// serves links flowing back to it).
+	Workers []string
+	// Placement maps every post-rewrite graph node id to the executor that
+	// runs it. len(Placement) must equal the compiled graph's node count.
+	Placement []int32
+	// LinkDelta is the skew bound δ (µs) declared for link ingress sources.
+	// Link punctuation is exact (the producer is in-system), so δ only
+	// matters when a link stalls: the receiving engine's source-liveness
+	// watchdog forces a skew-bounded ETS computed from it.
+	LinkDelta tuple.Time
+}
+
+// Encode serializes the spec with the checkpoint-codec idiom: a version
+// byte, then fields in declaration order. The encoding is canonical — equal
+// specs encode to equal bytes — so the property test can require
+// byte-identical round trips.
+func (s *Spec) Encode() []byte {
+	var e ckpt.Encoder
+	e.U8(SpecVersion)
+	e.U64(s.Plan)
+	e.String(s.Script)
+	e.Uvarint(uint64(s.Shards))
+	e.Uvarint(uint64(s.Self))
+	e.Uvarint(uint64(len(s.Workers)))
+	for _, w := range s.Workers {
+		e.String(w)
+	}
+	e.Uvarint(uint64(len(s.Placement)))
+	for _, p := range s.Placement {
+		e.Uvarint(uint64(p))
+	}
+	e.Time(s.LinkDelta)
+	return e.Bytes()
+}
+
+// DecodeSpec parses an Encode payload, validating counts against the bytes
+// actually present before allocating.
+func DecodeSpec(b []byte) (*Spec, error) {
+	d := ckpt.NewDecoder(b)
+	if v := d.U8(); v != SpecVersion {
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("dist: spec version %d, want %d", v, SpecVersion)
+	}
+	s := &Spec{
+		Plan:   d.U64(),
+		Script: d.String(),
+		Shards: int(d.Uvarint()),
+		Self:   int(d.Uvarint()),
+	}
+	nw := d.Uvarint()
+	if d.Err() == nil && (nw > maxExecutors || nw > uint64(d.Remaining())) {
+		return nil, fmt.Errorf("%w: %d executors", ckpt.ErrCorrupt, nw)
+	}
+	for i := uint64(0); i < nw && d.Err() == nil; i++ {
+		s.Workers = append(s.Workers, d.String())
+	}
+	np := d.Uvarint()
+	if d.Err() == nil && np > uint64(d.Remaining()) {
+		return nil, fmt.Errorf("%w: %d placements", ckpt.ErrCorrupt, np)
+	}
+	for i := uint64(0); i < np && d.Err() == nil; i++ {
+		s.Placement = append(s.Placement, int32(d.Uvarint()))
+	}
+	s.LinkDelta = d.Time()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate checks the spec's internal consistency (graph-independent; the
+// placement length is checked against the compiled graph in Compile).
+func (s *Spec) validate() error {
+	if len(s.Workers) == 0 {
+		return fmt.Errorf("dist: plan %d: no executors", s.Plan)
+	}
+	if s.Self < 0 || s.Self >= len(s.Workers) {
+		return fmt.Errorf("dist: plan %d: self %d out of range [0,%d)", s.Plan, s.Self, len(s.Workers))
+	}
+	for i, p := range s.Placement {
+		if p < 0 || int(p) >= len(s.Workers) {
+			return fmt.Errorf("dist: plan %d: node %d placed on executor %d of %d", s.Plan, i, p, len(s.Workers))
+		}
+	}
+	return nil
+}
+
+// WithSelf returns a copy of s addressed to executor self — the per-worker
+// variation the coordinator applies before encoding each deploy.
+func (s *Spec) WithSelf(self int) *Spec {
+	c := *s
+	c.Self = self
+	c.Workers = append([]string(nil), s.Workers...)
+	c.Placement = append([]int32(nil), s.Placement...)
+	return &c
+}

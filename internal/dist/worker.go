@@ -1,0 +1,280 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/client"
+	rt "repro/internal/runtime"
+	"repro/internal/server"
+	"repro/internal/tuple"
+)
+
+// WorkerConfig configures one executor's plan-execution side.
+type WorkerConfig struct {
+	// Runtime is the options template for fragment engines. Shards is
+	// ignored — the distributed path applies the partition rewrite itself
+	// (to the full graph, before cutting), so fragment engines must never
+	// re-shard.
+	Runtime rt.Options
+	// OnRow receives result rows of query sinks owned by this executor
+	// (nil discards them).
+	OnRow func(plan uint64, t *tuple.Tuple, now tuple.Time)
+	// ClientName names this executor's outbound link connections in HELLO
+	// frames (diagnostics).
+	ClientName string
+	// Client is the options template for outbound link connections.
+	Client client.Options
+	// Dial opens a link connection; defaults to client.Dial. A seam for
+	// tests.
+	Dial func(addr string, opts client.Options) (*client.Conn, error)
+}
+
+// Worker executes plan fragments on one node. It implements
+// server.PlanHandler (the control plane: deploy/start/stop arrive as PLAN_*
+// frames) and server.Backend (the data plane: it serves the link streams and
+// owned original streams of every active deployment, falling back to a
+// static backend for everything else). Both the coordinator and plain
+// workers run one — executor 0's Worker is simply driven by a local
+// Coordinator instead of a remote one.
+type Worker struct {
+	cfg      WorkerConfig
+	fallback server.Backend
+
+	mu   sync.Mutex
+	deps map[uint64]*deployment
+}
+
+// deployment is one deployed plan fragment on this worker.
+type deployment struct {
+	spec    *Spec
+	built   *Built
+	eng     *rt.Engine // nil when the fragment is empty
+	backend server.Backend
+	conns   map[string]*client.Conn // outbound link connections by address
+	started bool
+}
+
+// NewWorker returns a worker. fallback, which may be nil, serves stream
+// names no active deployment owns.
+func NewWorker(cfg WorkerConfig, fallback server.Backend) *Worker {
+	if cfg.Dial == nil {
+		cfg.Dial = client.Dial
+	}
+	return &Worker{cfg: cfg, fallback: fallback, deps: make(map[uint64]*deployment)}
+}
+
+// Open implements server.Backend: link streams and owned original streams
+// of active deployments first (ascending plan id, so collisions resolve
+// deterministically), then the fallback.
+func (w *Worker) Open(name string) (*tuple.Schema, server.StreamSink, error) {
+	w.mu.Lock()
+	plans := make([]uint64, 0, len(w.deps))
+	for p := range w.deps {
+		plans = append(plans, p)
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i] < plans[j] })
+	var backends []server.Backend
+	for _, p := range plans {
+		if d := w.deps[p]; d.backend != nil {
+			backends = append(backends, d.backend)
+		}
+	}
+	w.mu.Unlock()
+	for _, b := range backends {
+		if sch, sink, err := b.Open(name); err == nil {
+			return sch, sink, nil
+		}
+	}
+	if w.fallback != nil {
+		return w.fallback.Open(name)
+	}
+	return nil, nil, fmt.Errorf("dist: no deployment serves stream %q", name)
+}
+
+// PlanDeploy implements server.PlanHandler: decode the spec, recompile the
+// full graph, cut it, build this executor's fragment and its (not yet
+// started) engine, and register the fragment's streams with the data plane.
+func (w *Worker) PlanDeploy(plan uint64, specBytes []byte) error {
+	spec, err := DecodeSpec(specBytes)
+	if err != nil {
+		return err
+	}
+	if spec.Plan != plan {
+		return fmt.Errorf("dist: PLAN_DEPLOY frame for plan %d carries spec for plan %d", plan, spec.Plan)
+	}
+	onRow := func(t *tuple.Tuple, now tuple.Time) {
+		if w.cfg.OnRow != nil {
+			w.cfg.OnRow(plan, t, now)
+		}
+	}
+	_, g, err := Compile(spec, onRow)
+	if err != nil {
+		return err
+	}
+	cut, err := MakeCut(g, spec)
+	if err != nil {
+		return err
+	}
+	if err := cut.Verify(g, spec); err != nil {
+		return err
+	}
+	b, err := BuildFragment(g, cut, spec)
+	if err != nil {
+		return err
+	}
+	d := &deployment{spec: spec, built: b, conns: make(map[string]*client.Conn)}
+	if b.Graph.Len() > 0 {
+		opts := w.cfg.Runtime
+		opts.Shards = 0 // the full graph was already rewritten before the cut
+		eng, err := rt.New(b.Graph, opts)
+		if err != nil {
+			return fmt.Errorf("dist: plan %d: fragment engine: %w", plan, err)
+		}
+		d.eng = eng
+		d.backend = server.NewEngineBackend(eng, b.LookupStream)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.deps[plan]; dup {
+		return fmt.Errorf("dist: plan %d already deployed", plan)
+	}
+	w.deps[plan] = d
+	return nil
+}
+
+// PlanStart implements server.PlanHandler: dial every egress target, bind
+// the link streams, and only then start the fragment engine — nothing moves
+// before the boundary is wired, so no tuple can reach an unbound egress.
+// Incoming link traffic that lands before start buffers in source inboxes.
+func (w *Worker) PlanStart(plan uint64) error {
+	w.mu.Lock()
+	d := w.deps[plan]
+	w.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("dist: plan %d is not deployed", plan)
+	}
+	if d.started {
+		return fmt.Errorf("dist: plan %d already started", plan)
+	}
+	if d.eng == nil {
+		d.started = true // empty fragment: nothing to run
+		return nil
+	}
+	for _, eb := range d.built.Egress {
+		addr := d.spec.Workers[eb.Arc.ToExec]
+		conn := d.conns[addr]
+		if conn == nil {
+			copts := w.cfg.Client
+			if copts.Name == "" {
+				copts.Name = fmt.Sprintf("%s/plan%d-exec%d", w.cfg.ClientName, plan, d.spec.Self)
+			}
+			var err error
+			conn, err = w.cfg.Dial(addr, copts)
+			if err != nil {
+				w.teardownLinks(d)
+				return fmt.Errorf("dist: plan %d: dial executor %d (%s): %w", plan, eb.Arc.ToExec, addr, err)
+			}
+			d.conns[addr] = conn
+		}
+		st, err := conn.Bind(eb.Arc.Name, tuple.External, client.StreamOptions{Delta: d.spec.LinkDelta})
+		if err != nil {
+			w.teardownLinks(d)
+			return fmt.Errorf("dist: plan %d: bind link %q: %w", plan, eb.Arc.Name, err)
+		}
+		eb.Op.Bind(st)
+	}
+	d.eng.Start()
+	d.started = true
+	return nil
+}
+
+// PlanStop implements server.PlanHandler: abandon the deployment. Link
+// connections close first — that unblocks any egress stuck in a
+// credit-window Send — then the engine stops without draining.
+func (w *Worker) PlanStop(plan uint64) error {
+	w.mu.Lock()
+	d := w.deps[plan]
+	delete(w.deps, plan)
+	w.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("dist: plan %d is not deployed", plan)
+	}
+	w.teardownLinks(d)
+	if d.eng != nil {
+		d.eng.Stop()
+	}
+	return nil
+}
+
+// teardownLinks closes a deployment's outbound connections.
+func (w *Worker) teardownLinks(d *deployment) {
+	for addr, conn := range d.conns {
+		conn.Close()
+		delete(d.conns, addr)
+	}
+}
+
+// WaitPlan blocks until the plan's fragment drains naturally (every source
+// — link or original — reached EOS), closes its link connections, and
+// deregisters it. It returns the engine's failure, or the first egress
+// transport error, if any.
+func (w *Worker) WaitPlan(plan uint64) error {
+	w.mu.Lock()
+	d := w.deps[plan]
+	w.mu.Unlock()
+	if d == nil {
+		return fmt.Errorf("dist: plan %d is not deployed", plan)
+	}
+	var err error
+	if d.eng != nil {
+		err = d.eng.Wait()
+	}
+	if err == nil {
+		for _, eb := range d.built.Egress {
+			if e := eb.Op.Err(); e != nil {
+				err = e
+				break
+			}
+		}
+	}
+	w.mu.Lock()
+	delete(w.deps, plan)
+	w.mu.Unlock()
+	w.teardownLinks(d)
+	return err
+}
+
+// Plans lists the active deployment ids, ascending.
+func (w *Worker) Plans() []uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	plans := make([]uint64, 0, len(w.deps))
+	for p := range w.deps {
+		plans = append(plans, p)
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i] < plans[j] })
+	return plans
+}
+
+// Engine exposes a deployment's fragment engine (nil when the fragment is
+// empty or the plan unknown) — observability hooks read Snapshot through it.
+func (w *Worker) Engine(plan uint64) *rt.Engine {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if d := w.deps[plan]; d != nil {
+		return d.eng
+	}
+	return nil
+}
+
+// Fragment exposes a deployment's built fragment (nil when unknown).
+func (w *Worker) Fragment(plan uint64) *Built {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if d := w.deps[plan]; d != nil {
+		return d.built
+	}
+	return nil
+}

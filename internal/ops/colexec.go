@@ -32,12 +32,38 @@ type ColCtx struct {
 	// always exclusive (fan-out clones), so the engine installs it
 	// unconditionally.
 	FreeCol func(*tuple.ColBatch)
+	// OnBarrier mirrors Ctx.OnBarrier for the columnar plane: invoked when a
+	// checkpoint barrier mark (PunctMark with Ckpt != 0) has fully applied to
+	// the operator. Columnar operators are single-input, so alignment is
+	// trivial; the callback runs at the mark's recorded stream position.
+	OnBarrier func(id uint64, bound tuple.Time)
 }
 
 // free recycles b through the engine's release hook, when installed.
 func (c *ColCtx) free(b *tuple.ColBatch) {
 	if c.FreeCol != nil && b != nil {
 		c.FreeCol(b)
+	}
+}
+
+// barrier reports a fully applied checkpoint barrier to the engine.
+func (c *ColCtx) barrier(id uint64, bound tuple.Time) {
+	if c.OnBarrier != nil {
+		c.OnBarrier(id, bound)
+	}
+}
+
+// barrierMarks reports every barrier mark of a batch that is forwarded
+// whole (the pass-through fast paths, where marks are not re-positioned
+// one by one).
+func (c *ColCtx) barrierMarks(b *tuple.ColBatch) {
+	if c.OnBarrier == nil {
+		return
+	}
+	for i := range b.Puncts {
+		if b.Puncts[i].Ckpt != 0 {
+			c.OnBarrier(b.Puncts[i].Ckpt, b.Puncts[i].Ts)
+		}
 	}
 }
 
@@ -70,6 +96,7 @@ func (s *Select) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	s.inData += uint64(n)
 	s.inPunct += uint64(len(b.Puncts))
 	if n == 0 {
+		ctx.barrierMarks(b)
 		ctx.EmitCol(b) // punctuation-only batch passes through
 		return
 	}
@@ -93,14 +120,21 @@ func (s *Select) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	}
 	if kept == n {
 		s.out += uint64(n)
+		ctx.barrierMarks(b)
 		ctx.EmitCol(b)
 		return
 	}
 	out := tuple.GetColBatch(b.NumCols())
 	pi := 0
+	forward := func(m tuple.PunctMark) {
+		if m.Ckpt != 0 {
+			ctx.barrier(m.Ckpt, m.Ts)
+		}
+		out.AppendPunctCkpt(m.Ts, m.Ckpt)
+	}
 	for r := 0; r < n; r++ {
 		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
-			out.AppendPunct(b.Puncts[pi].Ts)
+			forward(b.Puncts[pi])
 			pi++
 		}
 		if keep[r] {
@@ -108,7 +142,7 @@ func (s *Select) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		}
 	}
 	for ; pi < len(b.Puncts); pi++ {
-		out.AppendPunct(b.Puncts[pi].Ts)
+		forward(b.Puncts[pi])
 	}
 	s.out += uint64(out.Len())
 	ctx.free(b)
@@ -126,6 +160,7 @@ func (p *Project) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	p.inData += uint64(n)
 	p.inPunct += uint64(len(b.Puncts))
 	p.out += uint64(n)
+	ctx.barrierMarks(b)
 	if n == 0 || (p.ident && len(p.idx) == b.NumCols()) {
 		ctx.EmitCol(b)
 		return
@@ -154,12 +189,18 @@ func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		s.hashes = b.HashKey(s.key, s.hashes[:0])
 	}
 	pi := 0
+	broadcast := func(m tuple.PunctMark) {
+		s.promote(m.Ts)
+		for k := 0; k < s.shards; k++ {
+			ensure(k).AppendPunctCkpt(m.Ts, m.Ckpt)
+		}
+		if m.Ckpt != 0 {
+			ctx.barrier(m.Ckpt, m.Ts)
+		}
+	}
 	for r := 0; r < n; r++ {
 		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
-			s.promote(b.Puncts[pi].Ts)
-			for k := 0; k < s.shards; k++ {
-				ensure(k).AppendPunct(b.Puncts[pi].Ts)
-			}
+			broadcast(b.Puncts[pi])
 			pi++
 		}
 		var k int
@@ -174,10 +215,7 @@ func (s *Split) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		s.routed.Add(k, 1)
 	}
 	for ; pi < len(b.Puncts); pi++ {
-		s.promote(b.Puncts[pi].Ts)
-		for k := 0; k < s.shards; k++ {
-			ensure(k).AppendPunct(b.Puncts[pi].Ts)
-		}
+		broadcast(b.Puncts[pi])
 	}
 	ctx.free(b)
 	for k := range outs {
@@ -207,7 +245,7 @@ func (a *Aggregate) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	pi := 0
 	for r := 0; r < n; r++ {
 		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
-			a.punctCol(b.Puncts[pi].Ts, out, emit)
+			a.punctCol(b.Puncts[pi], out, emit, ctx)
 			pi++
 		}
 		ts := b.Ts[r]
@@ -225,7 +263,7 @@ func (a *Aggregate) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 		}
 	}
 	for ; pi < len(b.Puncts); pi++ {
-		a.punctCol(b.Puncts[pi].Ts, out, emit)
+		a.punctCol(b.Puncts[pi], out, emit, ctx)
 	}
 	ctx.free(b)
 	if out.Empty() {
@@ -235,13 +273,18 @@ func (a *Aggregate) ExecCol(b *tuple.ColBatch, ctx *ColCtx) {
 	ctx.EmitCol(out)
 }
 
-func (a *Aggregate) punctCol(ts tuple.Time, out *tuple.ColBatch, emit func(tuple.Time, []tuple.Value)) {
-	if ts > a.bound {
-		a.bound = ts
+func (a *Aggregate) punctCol(m tuple.PunctMark, out *tuple.ColBatch, emit func(tuple.Time, []tuple.Value), ctx *ColCtx) {
+	if m.Ts > a.bound {
+		a.bound = m.Ts
 		a.closeInto(a.bound, emit)
 	}
 	a.punctOut++
-	out.AppendPunct(ts)
+	if m.Ckpt != 0 {
+		// Windows at or below the bound have just closed — snapshot holds
+		// only open state, matching the row path's barrier point.
+		ctx.barrier(m.Ckpt, m.Ts)
+	}
+	out.AppendPunctCkpt(m.Ts, m.Ckpt)
 }
 
 func (a *Aggregate) accumulateCol(w int64, b *tuple.ColBatch, r int) {

@@ -70,7 +70,9 @@ func (e *Engine) deliverCol(n *node, ctx *ops.Ctx, colCtx *ops.ColCtx, pb portBa
 				if p.Ts == tuple.MaxTime {
 					n.srcDone = true
 				}
-				src.Offer(tuple.GetPunct(p.Ts))
+				pt := tuple.GetPunct(p.Ts)
+				pt.Ckpt = p.Ckpt
+				src.Offer(pt)
 			}
 			b.Puncts = b.Puncts[:0]
 		}

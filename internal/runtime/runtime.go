@@ -803,6 +803,7 @@ func (e *Engine) runNode(n *node) {
 		EmitColTo: func(i int, b *tuple.ColBatch) { e.emitColTo(n, i, b) },
 		Now:       e.now,
 		FreeCol:   tuple.PutColBatch,
+		OnBarrier: ctx.OnBarrier,
 	}
 	if src != nil {
 		// Source nodes pull from their inbox; route the engine's fan-in

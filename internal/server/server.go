@@ -61,10 +61,31 @@ type TextOptions struct {
 	NewDecoder func(r io.Reader, sch *tuple.Schema) TupleDecoder
 }
 
+// PlanHandler accepts distributed-execution control frames (PLAN_DEPLOY /
+// PLAN_START / PLAN_STOP). internal/dist.Worker implements it; a server
+// without one rejects plan frames with a PLAN_ACK error instead of killing
+// the session, so a coordinator probing a non-worker gets a clean
+// diagnostic. Handlers run on the session's reader goroutine — a deploy may
+// compile a query graph, and blocking that one connection is acceptable
+// (control connections carry no data).
+type PlanHandler interface {
+	// PlanDeploy decodes and instantiates a plan fragment; the fragment must
+	// be ready to accept link binds when it returns.
+	PlanDeploy(plan uint64, spec []byte) error
+	// PlanStart begins execution of a deployed fragment (egress links dial
+	// out from here).
+	PlanStart(plan uint64) error
+	// PlanStop tears a deployed fragment down.
+	PlanStop(plan uint64) error
+}
+
 // Options configures a Server.
 type Options struct {
 	// Backend resolves stream bindings (required).
 	Backend Backend
+	// Plans, when non-nil, accepts distributed-execution control frames on
+	// any session (a worker streamd). Nil rejects them per frame.
+	Plans PlanHandler
 	// Metrics receives the server's sm_net_* instruments; nil gives the
 	// server a private registry (reachable via Server.Registry).
 	Metrics *metrics.Registry
@@ -188,6 +209,8 @@ type serverMetrics struct {
 	demandSent   *metrics.Counter64
 	credits      *metrics.Counter64
 	errors       *metrics.Counter64
+	planOps      *metrics.Counter64
+	planErrors   *metrics.Counter64
 }
 
 // Listen binds addr and starts accepting sessions.
@@ -242,6 +265,8 @@ func Listen(addr string, opts Options) (*Server, error) {
 	m.demandSent = s.reg.Counter("sm_net_demand_sent_total")
 	m.credits = s.reg.Counter("sm_net_credits_granted_total")
 	m.errors = s.reg.Counter("sm_net_errors_total")
+	m.planOps = s.reg.Counter("sm_net_plan_ops_total")
+	m.planErrors = s.reg.Counter("sm_net_plan_errors_total")
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil

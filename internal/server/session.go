@@ -274,6 +274,12 @@ func (c *session) runBinary(br *bufio.Reader) {
 		case wire.Demand:
 			// Credits flow server→client; a client DEMAND is advisory
 			// (a poll for liveness) and needs no reply.
+		case wire.PlanDeploy:
+			c.handlePlan(f.Plan, func() error { return s.opts.Plans.PlanDeploy(f.Plan, f.Spec) })
+		case wire.PlanStart:
+			c.handlePlan(f.Plan, func() error { return s.opts.Plans.PlanStart(f.Plan) })
+		case wire.PlanStop:
+			c.handlePlan(f.Plan, func() error { return s.opts.Plans.PlanStop(f.Plan) })
 		default:
 			c.protoError("unexpected frame %v", f.Type())
 			return
@@ -370,6 +376,25 @@ func (c *session) applySkew() {
 			}
 		}
 	}
+}
+
+// handlePlan runs one distributed-execution control operation through the
+// server's PlanHandler and answers with a PLAN_ACK. A server without a
+// handler rejects per frame (the session stays usable — a coordinator
+// probing a non-worker deserves a diagnostic, not a cut connection), and a
+// handler error travels back verbatim for the coordinator to abort on.
+func (c *session) handlePlan(plan uint64, op func() error) {
+	c.s.m.planOps.Inc()
+	var msg string
+	if c.s.opts.Plans == nil {
+		msg = "server does not accept plan deployments"
+	} else if err := op(); err != nil {
+		msg = err.Error()
+	}
+	if msg != "" {
+		c.s.m.planErrors.Inc()
+	}
+	c.send(wire.PlanAck{Plan: plan, Err: msg})
 }
 
 // grant accounts n consumed tuples and tops the client's credit window up

@@ -32,10 +32,13 @@ import (
 // PunctMark is one punctuation carried as batch metadata: an ETS of Ts
 // observed after the first Pos data rows of the batch. Marks are ordered by
 // Pos (ties preserve arrival order); Pos ranges over [0, Len()]. An ETS of
-// MaxTime marks end-of-stream.
+// MaxTime marks end-of-stream. Ckpt mirrors Tuple.Ckpt: a non-zero value
+// tags the mark as a checkpoint barrier, so barriers survive row⇄columnar
+// conversion and the TUPLES_COL wire frame.
 type PunctMark struct {
-	Pos int
-	Ts  Time
+	Pos  int
+	Ts   Time
+	Ckpt uint64
 }
 
 // Col is one attribute column of a ColBatch.
@@ -176,13 +179,18 @@ func (b *ColBatch) AppendPunct(ts Time) {
 	b.Puncts = append(b.Puncts, PunctMark{Pos: b.n, Ts: ts})
 }
 
+// AppendPunctCkpt is AppendPunct carrying a checkpoint barrier tag.
+func (b *ColBatch) AppendPunctCkpt(ts Time, ckpt uint64) {
+	b.Puncts = append(b.Puncts, PunctMark{Pos: b.n, Ts: ts, Ckpt: ckpt})
+}
+
 // AppendTuple appends one tuple — a data row or, for Kind==Punct, a
 // punctuation mark. The tuple's values are copied; t is not retained. The
 // batch must have been created with ncols == len(t.Vals) for data tuples
 // (a batch that has never seen a data row adopts the first row's arity).
 func (b *ColBatch) AppendTuple(t *Tuple) {
 	if t.IsPunct() {
-		b.AppendPunct(t.Ts)
+		b.AppendPunctCkpt(t.Ts, t.Ckpt)
 		return
 	}
 	if b.n == 0 && len(b.Cols) != len(t.Vals) {
@@ -247,7 +255,7 @@ func (b *ColBatch) AppendBatch(src *ColBatch) {
 		b.AppendRowFrom(src, i)
 	}
 	for _, p := range src.Puncts {
-		b.Puncts = append(b.Puncts, PunctMark{Pos: base + p.Pos, Ts: p.Ts})
+		b.Puncts = append(b.Puncts, PunctMark{Pos: base + p.Pos, Ts: p.Ts, Ckpt: p.Ckpt})
 	}
 }
 
@@ -404,7 +412,9 @@ func (b *ColBatch) AppendRows(dst []*Tuple, mag *Magazine) []*Tuple {
 	pi := 0
 	for r := 0; r < b.n; r++ {
 		for pi < len(b.Puncts) && b.Puncts[pi].Pos <= r {
-			dst = append(dst, GetPunct(b.Puncts[pi].Ts))
+			pt := GetPunct(b.Puncts[pi].Ts)
+			pt.Ckpt = b.Puncts[pi].Ckpt
+			dst = append(dst, pt)
 			pi++
 		}
 		var t *Tuple
@@ -417,7 +427,9 @@ func (b *ColBatch) AppendRows(dst []*Tuple, mag *Magazine) []*Tuple {
 		dst = append(dst, t)
 	}
 	for ; pi < len(b.Puncts); pi++ {
-		dst = append(dst, GetPunct(b.Puncts[pi].Ts))
+		pt := GetPunct(b.Puncts[pi].Ts)
+		pt.Ckpt = b.Puncts[pi].Ckpt
+		dst = append(dst, pt)
 	}
 	return dst
 }

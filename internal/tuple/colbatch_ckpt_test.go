@@ -1,0 +1,50 @@
+package tuple
+
+import "testing"
+
+// TestColBatchBarrierRoundTrip pins the checkpoint-barrier tag through the
+// row⇄columnar conversions: a punctuation tuple with Ckpt != 0 decomposed
+// into a PunctMark keeps its tag through AppendTuple, AppendBatch and the
+// AppendRows reconstruction.
+func TestColBatchBarrierRoundTrip(t *testing.T) {
+	b := GetColBatch(0)
+	defer PutColBatch(b)
+	b.AppendTuple(NewData(10, Int(1)))
+	bp := NewPunct(10)
+	bp.Ckpt = 42
+	b.AppendTuple(bp)
+	b.AppendTuple(NewData(20, Int(2)))
+	b.AppendPunctCkpt(MaxTime, 42) // tagged EOS
+
+	if len(b.Puncts) != 2 || b.Puncts[0].Ckpt != 42 || b.Puncts[1].Ckpt != 42 {
+		t.Fatalf("marks = %+v", b.Puncts)
+	}
+
+	// AppendBatch must carry the tags across (re-based positions included).
+	dst := GetColBatch(0)
+	defer PutColBatch(dst)
+	dst.AppendTuple(NewData(5, Int(0)))
+	dst.AppendBatch(b)
+	if len(dst.Puncts) != 2 || dst.Puncts[0] != (PunctMark{Pos: 2, Ts: 10, Ckpt: 42}) {
+		t.Fatalf("AppendBatch marks = %+v", dst.Puncts)
+	}
+
+	// Row reconstruction must yield punct tuples with the tag restored, in
+	// the recorded interleaving.
+	rows := b.AppendRows(nil, nil)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[1].IsPunct() || rows[1].Ckpt != 42 || rows[1].Ts != 10 {
+		t.Fatalf("mid punct = %+v", rows[1])
+	}
+	if !rows[3].IsEOS() || rows[3].Ckpt != 42 {
+		t.Fatalf("eos = %+v", rows[3])
+	}
+
+	// CloneInto copies marks wholesale.
+	cl := b.CloneInto(nil)
+	if len(cl.Puncts) != 2 || cl.Puncts[0].Ckpt != 42 {
+		t.Fatalf("clone marks = %+v", cl.Puncts)
+	}
+}

@@ -20,7 +20,7 @@ import (
 //	u32      bound stream id
 //	uvarint  row count R
 //	uvarint  punctuation count P
-//	P ×      uvarint pos (non-decreasing, ≤ R), i64 ets
+//	P ×      uvarint pos (non-decreasing, ≤ R), i64 ets, uvarint ckpt
 //	R × i64  timestamp column
 //	uvarint  column count C
 //	C ×      column block:
@@ -70,6 +70,7 @@ func (f TuplesCol) encode(b []byte) []byte {
 	for _, p := range batch.Puncts {
 		b = putUvarint(b, uint64(p.Pos))
 		b = putI64(b, int64(p.Ts))
+		b = putUvarint(b, p.Ckpt)
 	}
 	for _, ts := range batch.Ts[:n] {
 		b = putI64(b, int64(ts))
@@ -136,8 +137,9 @@ func (d *decoder) tuplesCol() *tuple.ColBatch {
 		return nil
 	}
 	// Every row costs ≥8 payload bytes (its timestamp), every punctuation
-	// ≥9; reject counts the frame cannot actually carry before allocating.
-	if rows > uint64(d.remaining())/8 || npunct > uint64(d.remaining())/9 {
+	// ≥10 (pos + ets + ckpt tag); reject counts the frame cannot actually
+	// carry before allocating.
+	if rows > uint64(d.remaining())/8 || npunct > uint64(d.remaining())/10 {
 		d.fail()
 		return nil
 	}
@@ -146,12 +148,13 @@ func (d *decoder) tuplesCol() *tuple.ColBatch {
 	for i := uint64(0); i < npunct && d.err == nil; i++ {
 		pos := d.uvarint()
 		ts := tuple.Time(d.i64())
+		ckpt := d.uvarint()
 		if pos > rows || int(pos) < prev {
 			d.fail()
 			break
 		}
 		prev = int(pos)
-		b.Puncts = append(b.Puncts, tuple.PunctMark{Pos: int(pos), Ts: ts})
+		b.Puncts = append(b.Puncts, tuple.PunctMark{Pos: int(pos), Ts: ts, Ckpt: ckpt})
 	}
 	for i := uint64(0); i < rows && d.err == nil; i++ {
 		b.Ts = append(b.Ts, tuple.Time(d.i64()))

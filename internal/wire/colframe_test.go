@@ -80,6 +80,28 @@ func TestRoundTripTuplesCol(t *testing.T) {
 	}
 }
 
+// TestRoundTripTuplesColBarrier pins the checkpoint-barrier tag through the
+// columnar frame: a PunctMark with Ckpt != 0 survives encode/decode at its
+// exact position, closing the row-plane-only barrier gap.
+func TestRoundTripTuplesColBarrier(t *testing.T) {
+	want := tuple.GetColBatch(0)
+	want.AppendTuple(tuple.NewData(10, tuple.Int(1)))
+	bp := tuple.NewPunct(10)
+	bp.Ckpt = 77
+	want.AppendTuple(bp)
+	want.AppendTuple(tuple.NewData(20, tuple.Int(2)))
+	want.AppendPunctCkpt(20, 1<<40) // large tags must not truncate
+	want.AppendPunct(25)            // plain mark rides alongside
+
+	got := roundTrip(t, TuplesCol{ID: 7, B: want}).(TuplesCol)
+	eqColRows(t, got.B, want)
+	if got.B.Puncts[0].Ckpt != 77 || got.B.Puncts[1].Ckpt != 1<<40 || got.B.Puncts[2].Ckpt != 0 {
+		t.Fatalf("barrier tags lost: %+v", got.B.Puncts)
+	}
+	tuple.PutColBatch(want)
+	tuple.PutColBatch(got.B)
+}
+
 func TestTuplesColRejectsTruncation(t *testing.T) {
 	b := buildColBatch([]*tuple.Tuple{
 		tuple.NewPunct(1),

@@ -38,6 +38,12 @@ func FuzzDecodeFrame(f *testing.F) {
 		EOS{ID: 3},
 		Error{Code: ErrCodeProtocol, Msg: "bad"},
 		colSeedFrame(),
+		PlanDeploy{Plan: 11, Spec: []byte{0x01, 0x02, 0x03}},
+		PlanDeploy{Plan: 12},
+		PlanAck{Plan: 11, Err: "no such stream"},
+		PlanAck{Plan: 11},
+		PlanStart{Plan: 11},
+		PlanStop{Plan: 11},
 	}
 	for _, fr := range seedFrames {
 		f.Add(byte(fr.Type()), fr.encode(nil))

@@ -1,0 +1,110 @@
+package wire
+
+// Control-plane frame extension: plan shipping. A coordinator deploys a
+// serialized query-plan fragment to a worker streamd over the same binary
+// session that later carries the cut arcs' data. The payload bytes are
+// opaque to this package — they are produced and consumed by the plan codec
+// in internal/dist — so the wire layer stays independent of plan schema
+// evolution (the codec versions itself, exactly like the checkpoint codec).
+//
+// Deployment is a two-phase handshake per worker:
+//
+//	PLAN_DEPLOY  coordinator → worker: plan id + codec bytes; the worker
+//	             decodes, recompiles its fragment, binds ingress streams,
+//	             and answers …
+//	PLAN_ACK     worker → coordinator: plan id + empty Err on success, else
+//	             the rejection reason (the coordinator aborts the deploy
+//	             everywhere on any rejection)
+//	PLAN_START   coordinator → worker: begin execution — only sent after
+//	             every worker acked, so no fragment emits into a link whose
+//	             receiver is not yet listening
+//	PLAN_STOP    coordinator → worker: tear the fragment down (drain links,
+//	             EOS egress, release streams); also acked with PLAN_ACK
+const (
+	// TypePlanDeploy ships a serialized plan fragment (coordinator → worker).
+	TypePlanDeploy FrameType = 13
+	// TypePlanAck accepts or rejects a deploy/start/stop (worker → coordinator).
+	TypePlanAck FrameType = 14
+	// TypePlanStart begins execution of a deployed fragment.
+	TypePlanStart FrameType = 15
+	// TypePlanStop tears a deployed fragment down.
+	TypePlanStop FrameType = 16
+)
+
+// PlanDeploy ships one serialized plan fragment to a worker.
+type PlanDeploy struct {
+	// Plan is the coordinator-assigned plan id; it scopes the later
+	// PLAN_START/PLAN_STOP and names the link streams of the cut arcs.
+	Plan uint64
+	// Spec is the plan-codec payload (versioned by internal/dist, opaque
+	// here). Bounded by MaxFrame like any payload.
+	Spec []byte
+}
+
+// PlanAck accepts (Err == "") or rejects one plan operation.
+type PlanAck struct {
+	// Plan echoes the operation's plan id.
+	Plan uint64
+	// Err is empty on success, else the rejection reason.
+	Err string
+}
+
+// PlanStart begins execution of a deployed plan fragment.
+type PlanStart struct {
+	// Plan is the deployed plan's id.
+	Plan uint64
+}
+
+// PlanStop tears a deployed plan fragment down.
+type PlanStop struct {
+	// Plan is the deployed plan's id.
+	Plan uint64
+}
+
+// Type reports TypePlanDeploy.
+func (PlanDeploy) Type() FrameType { return TypePlanDeploy }
+
+// Type reports TypePlanAck.
+func (PlanAck) Type() FrameType { return TypePlanAck }
+
+// Type reports TypePlanStart.
+func (PlanStart) Type() FrameType { return TypePlanStart }
+
+// Type reports TypePlanStop.
+func (PlanStop) Type() FrameType { return TypePlanStop }
+
+func (f PlanDeploy) encode(b []byte) []byte {
+	b = putU64(b, f.Plan)
+	b = putUvarint(b, uint64(len(f.Spec)))
+	return append(b, f.Spec...)
+}
+
+func (f PlanAck) encode(b []byte) []byte {
+	b = putU64(b, f.Plan)
+	return putString(b, f.Err)
+}
+
+func (f PlanStart) encode(b []byte) []byte { return putU64(b, f.Plan) }
+
+func (f PlanStop) encode(b []byte) []byte { return putU64(b, f.Plan) }
+
+// specBytes decodes a length-prefixed byte blob, copied out of the payload
+// (the reader's buffer is reused across frames). The length is validated
+// against the bytes actually on the wire before allocating, same as str().
+func (d *decoder) specBytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.remaining()) {
+		d.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	s := make([]byte, n)
+	copy(s, d.b[d.off:d.off+int(n)])
+	d.off += int(n)
+	return s
+}

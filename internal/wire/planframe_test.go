@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRoundTripPlanFrames(t *testing.T) {
+	frames := []Frame{
+		PlanDeploy{Plan: 1, Spec: []byte("ddl+queries+placement")},
+		PlanDeploy{Plan: 2},
+		PlanAck{Plan: 1, Err: ""},
+		PlanAck{Plan: 1, Err: "schema mismatch on link:1:3-5.0"},
+		PlanStart{Plan: 1},
+		PlanStop{Plan: 1},
+	}
+	for _, f := range frames {
+		got := roundTrip(t, f)
+		if pd, ok := f.(PlanDeploy); ok {
+			gd := got.(PlanDeploy)
+			if gd.Plan != pd.Plan || !bytes.Equal(gd.Spec, pd.Spec) {
+				t.Fatalf("%v: got %+v, want %+v", f.Type(), got, f)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("%v: got %+v, want %+v", f.Type(), got, f)
+		}
+	}
+}
+
+// TestPlanDeployDecodeCopies pins that the decoded Spec does not alias the
+// frame payload: the reader reuses its buffer across frames, so an aliased
+// spec would be silently corrupted by the next frame.
+func TestPlanDeployDecodeCopies(t *testing.T) {
+	payload := PlanDeploy{Plan: 3, Spec: []byte{9, 9, 9}}.encode(nil)
+	got, err := DecodeFrame(TypePlanDeploy, payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		payload[i] = 0
+	}
+	if f := got.(PlanDeploy); !bytes.Equal(f.Spec, []byte{9, 9, 9}) {
+		t.Fatalf("spec aliases payload: %v", f.Spec)
+	}
+}
+
+func TestPlanFramesRejectHostilePayloads(t *testing.T) {
+	cases := map[string]struct {
+		typ     FrameType
+		payload []byte
+	}{
+		"deploy-truncated-id":  {TypePlanDeploy, []byte{1, 2, 3}},
+		"deploy-huge-spec-len": {TypePlanDeploy, putUvarint(putU64(nil, 1), 1<<40)},
+		"deploy-spec-shorter": {TypePlanDeploy, append(
+			putUvarint(putU64(nil, 1), 16), 0xAA, 0xBB)},
+		"deploy-trailing":  {TypePlanDeploy, append(PlanDeploy{Plan: 1}.encode(nil), 0)},
+		"ack-truncated":    {TypePlanAck, putU64(nil, 1)},
+		"ack-huge-err-len": {TypePlanAck, putUvarint(putU64(nil, 1), 1<<40)},
+		"start-short":      {TypePlanStart, []byte{1, 2, 3, 4}},
+		"start-trailing":   {TypePlanStart, append(PlanStart{Plan: 1}.encode(nil), 0)},
+		"stop-short":       {TypePlanStop, nil},
+		"stop-trailing":    {TypePlanStop, append(PlanStop{Plan: 1}.encode(nil), 0)},
+	}
+	for name, c := range cases {
+		if _, err := DecodeFrame(c.typ, c.payload, nil); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -41,6 +41,11 @@
 //	                   runtime's upstream demand/backpressure signal
 //	EOS                end-of-stream for one bound stream
 //	ERROR              terminal diagnostic (protocol violation, drain)
+//	PLAN_DEPLOY / PLAN_ACK / PLAN_START / PLAN_STOP
+//	                   control plane for distributed execution: a coordinator
+//	                   ships serialized plan fragments to worker streamd
+//	                   instances and sequences their start/stop (see
+//	                   planframe.go and internal/dist)
 package wire
 
 import (
@@ -120,6 +125,14 @@ func (t FrameType) String() string {
 		return "ERROR"
 	case TypeTuplesCol:
 		return "TUPLES_COL"
+	case TypePlanDeploy:
+		return "PLAN_DEPLOY"
+	case TypePlanAck:
+		return "PLAN_ACK"
+	case TypePlanStart:
+		return "PLAN_START"
+	case TypePlanStop:
+		return "PLAN_STOP"
 	default:
 		return fmt.Sprintf("FrameType(%d)", uint8(t))
 	}
@@ -738,6 +751,18 @@ func DecodeFrame(typ FrameType, payload []byte, mag *tuple.Magazine) (Frame, err
 			return nil, err
 		}
 		return f, nil
+	case TypePlanDeploy:
+		f := PlanDeploy{Plan: d.u64(), Spec: d.specBytes()}
+		return f, d.done()
+	case TypePlanAck:
+		f := PlanAck{Plan: d.u64(), Err: d.str()}
+		return f, d.done()
+	case TypePlanStart:
+		f := PlanStart{Plan: d.u64()}
+		return f, d.done()
+	case TypePlanStop:
+		f := PlanStop{Plan: d.u64()}
+		return f, d.done()
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", typ)
 	}
